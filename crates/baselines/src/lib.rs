@@ -1,0 +1,43 @@
+//! # cf-baselines — every comparator from the CFSF paper's evaluation
+//!
+//! Tables II and III of the paper compare CFSF against seven published
+//! algorithms. All of them are implemented here from their defining
+//! equations, each as a [`cf_matrix::Predictor`]:
+//!
+//! | Name | Paper | Kind |
+//! |------|-------|------|
+//! | [`Sir`] | item-based PCC (Eq. 1; Sarwar et al. 2001) | memory-based |
+//! | [`Sur`] | user-based PCC (Eq. 2; Herlocker et al.) | memory-based |
+//! | [`SimilarityFusion`] | SF (Wang et al., SIGIR 2006) | memory-based, UI |
+//! | [`Emdp`] | EMDP (Ma et al., SIGIR 2007) | memory-based + imputation |
+//! | [`Scbpcc`] | SCBPCC (Xue et al., SIGIR 2005) | cluster smoothing |
+//! | [`AspectModel`] | AM (Hofmann, TOIS 2004) | model-based, EM |
+//! | [`PersonalityDiagnosis`] | PD (Pennock et al., UAI 2000) | hybrid |
+//!
+//! Every model guarantees a prediction for in-range ids via the standard
+//! fallback chain (user mean → item mean → global mean), so MAE is
+//! computed over identical cell sets for every algorithm — the same
+//! convention the paper's protocol needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aspect;
+mod common;
+mod content;
+mod emdp;
+mod pd;
+mod scbpcc;
+mod sf;
+mod sir;
+mod sur;
+
+pub use aspect::{AspectConfig, AspectModel};
+pub use common::fallback_rating;
+pub use content::{ContentBoostedSir, ContentConfig};
+pub use emdp::{Emdp, EmdpConfig};
+pub use pd::{PdConfig, PersonalityDiagnosis};
+pub use scbpcc::{Scbpcc, ScbpccConfig};
+pub use sf::{SfConfig, SimilarityFusion};
+pub use sir::{Sir, SirConfig};
+pub use sur::{Sur, SurConfig};

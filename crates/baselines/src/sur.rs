@@ -1,0 +1,188 @@
+//! SUR — traditional user-based CF with PCC (Eq. 2 of the CFSF paper).
+//!
+//! Predicts `r(u_b, i_a)` from the ratings like-minded users gave the
+//! active item. The like-minded users are found by scanning *every* user
+//! who rated the item and correlating their full profiles — the
+//! whole-matrix search whose latency motivates CFSF.
+
+use cf_matrix::{ItemId, Predictor, RatingMatrix, UserId};
+use cf_similarity::user_pcc;
+
+use crate::common::{fallback_rating, in_range};
+
+/// Configuration for [`Sur`].
+#[derive(Debug, Clone)]
+pub struct SurConfig {
+    /// Optional cap: use only the `n` most similar raters. `None` uses
+    /// every positively correlated rater (literal Eq. 2).
+    pub neighborhood: Option<usize>,
+    /// When true, deviations from each neighbor's mean are averaged and
+    /// re-anchored on the active user's mean (Resnick's formula) instead
+    /// of the plain weighted average Eq. 2 writes. The paper's Eq. 2 is
+    /// the plain form; the centered form is the stronger textbook variant
+    /// and is what `SUR'` inside CFSF uses.
+    pub mean_centered: bool,
+}
+
+impl Default for SurConfig {
+    fn default() -> Self {
+        Self {
+            neighborhood: None,
+            mean_centered: true,
+        }
+    }
+}
+
+/// User-based PCC predictor (the paper's "SUR" baseline).
+#[derive(Debug)]
+pub struct Sur {
+    matrix: RatingMatrix,
+    config: SurConfig,
+}
+
+impl Sur {
+    /// SUR has no offline phase — it is the memory-based baseline that
+    /// searches at request time; `fit` just snapshots the matrix.
+    pub fn fit(matrix: &RatingMatrix, config: SurConfig) -> Self {
+        Self {
+            matrix: matrix.clone(),
+            config,
+        }
+    }
+
+    /// Fits with defaults.
+    pub fn fit_default(matrix: &RatingMatrix) -> Self {
+        Self::fit(matrix, SurConfig::default())
+    }
+}
+
+impl Predictor for Sur {
+    fn predict(&self, user: UserId, item: ItemId) -> Option<f64> {
+        if !in_range(&self.matrix, user, item) {
+            return None;
+        }
+        let m = &self.matrix;
+        // Whole-matrix search: correlate against every rater of the item.
+        let mut neighbors: Vec<(f64, f64, UserId)> = m
+            .item_ratings(item)
+            .filter(|&(u_c, _)| u_c != user)
+            .filter_map(|(u_c, r)| {
+                let s = user_pcc(m, user, u_c);
+                (s > 0.0).then_some((s, r, u_c))
+            })
+            .collect();
+        if let Some(limit) = self.config.neighborhood {
+            neighbors.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .expect("similarities are finite")
+                    .then(a.2.cmp(&b.2))
+            });
+            neighbors.truncate(limit);
+        }
+
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(s, r, u_c) in &neighbors {
+            if self.config.mean_centered {
+                num += s * (r - m.user_mean(u_c));
+            } else {
+                num += s * r;
+            }
+            den += s;
+        }
+        let raw = if den > f64::EPSILON {
+            if self.config.mean_centered {
+                m.user_mean(user) + num / den
+            } else {
+                num / den
+            }
+        } else {
+            fallback_rating(m, user, item)
+        };
+        Some(m.scale().clamp(raw))
+    }
+
+    fn name(&self) -> &'static str {
+        "SUR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_matrix::MatrixBuilder;
+
+    /// Users 0 and 1 agree; user 2 disagrees with both.
+    fn matrix() -> RatingMatrix {
+        let mut b = MatrixBuilder::new();
+        let rows: [&[(u32, f64)]; 3] = [
+            &[(0, 5.0), (1, 4.0), (2, 1.0)],
+            &[(0, 4.0), (1, 5.0), (2, 2.0), (3, 5.0)],
+            &[(0, 1.0), (1, 1.0), (2, 5.0), (3, 1.0)],
+        ];
+        for (u, row) in rows.iter().enumerate() {
+            for &(i, r) in row.iter() {
+                b.push(UserId::from(u), ItemId::new(i), r);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn follows_like_minded_users() {
+        let m = matrix();
+        let sur = Sur::fit_default(&m);
+        // user 0 hasn't rated item 3; like-minded user 1 rated it 5,
+        // disagreeing user 2 rated it 1 (but has sim ≤ 0 → excluded).
+        let r = sur.predict(UserId::new(0), ItemId::new(3)).unwrap();
+        assert!(r > 3.5, "got {r}");
+    }
+
+    #[test]
+    fn plain_form_matches_equation_two() {
+        let m = matrix();
+        let sur = Sur::fit(&m, SurConfig { neighborhood: None, mean_centered: false });
+        // only user 1 is a positive neighbor of user 0 among raters of
+        // item 3 → plain weighted average = exactly user 1's rating.
+        let r = sur.predict(UserId::new(0), ItemId::new(3)).unwrap();
+        assert!((r - 5.0).abs() < 1e-9, "got {r}");
+    }
+
+    #[test]
+    fn falls_back_without_positive_neighbors() {
+        let m = matrix();
+        let sur = Sur::fit_default(&m);
+        // user 2 disagrees with everyone; predicting an item only others
+        // rated must fall back to user 2's mean.
+        let r = sur.predict(UserId::new(2), ItemId::new(3)).unwrap();
+        // but user 2 rated item 3! pick an unrated cell instead: all items
+        // are rated by user 2 except none… extend: use out-of-profile item
+        let mut b = MatrixBuilder::with_dims(3, 5);
+        for (u, i, v) in m.triplets() {
+            b.push(u, i, v);
+        }
+        b.push(UserId::new(0), ItemId::new(4), 4.0);
+        let m2 = b.build().unwrap();
+        let sur2 = Sur::fit_default(&m2);
+        let r2 = sur2.predict(UserId::new(2), ItemId::new(4)).unwrap();
+        let expected = m2.user_mean(UserId::new(2));
+        assert!((r2 - expected).abs() < 1e-12);
+        // silence unused warning for the first prediction
+        assert!((1.0..=5.0).contains(&r));
+    }
+
+    #[test]
+    fn neighborhood_cap_takes_strongest() {
+        let m = matrix();
+        let sur = Sur::fit(&m, SurConfig { neighborhood: Some(1), mean_centered: true });
+        let r = sur.predict(UserId::new(0), ItemId::new(3)).unwrap();
+        assert!((1.0..=5.0).contains(&r));
+    }
+
+    #[test]
+    fn out_of_range_returns_none() {
+        let m = matrix();
+        let sur = Sur::fit_default(&m);
+        assert!(sur.predict(UserId::new(9), ItemId::new(0)).is_none());
+    }
+}

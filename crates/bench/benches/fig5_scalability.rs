@@ -1,0 +1,64 @@
+//! Benchmark regenerating Fig. 5: online response time of CFSF vs
+//! SCBPCC as the evaluated testset grows (10% / 50% / 100% of test
+//! users at Given20). The paper's claims — linear growth and CFSF being
+//! a small multiple faster — show up directly in the reported times.
+
+use cf_baselines::Scbpcc;
+use cf_data::{GivenN, Protocol, TrainSize};
+use cf_eval::time_predictions;
+use cfsf_bench::{bench_config, bench_dataset};
+use cfsf_core::Cfsf;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn fig5(c: &mut Criterion) {
+    let data = bench_dataset();
+    let protocol = |fraction: f64| {
+        Protocol::new(TrainSize::Users(140), GivenN::Given20, 60)
+            .with_test_fraction(fraction)
+            .split(&data)
+            .expect("bench protocol fits")
+    };
+    let full = protocol(1.0);
+    let cfsf = Cfsf::fit(&full.train, bench_config()).unwrap();
+    let scbpcc = Scbpcc::fit_default(&full.train);
+
+    let mut group = c.benchmark_group("fig5/response_time");
+    group.sample_size(10);
+    for fraction in [0.1f64, 0.5, 1.0] {
+        let split = protocol(fraction);
+        group.throughput(Throughput::Elements(split.holdout.len() as u64));
+        // print the Fig. 5 data point once per method
+        cfsf.clear_caches();
+        let t_cfsf = time_predictions(&cfsf, &split.holdout);
+        let t_scb = time_predictions(&scbpcc, &split.holdout);
+        println!(
+            "fig5 bench: {:.0}% testset ({} cells): CFSF {:.3}s, SCBPCC {:.3}s",
+            fraction * 100.0,
+            split.holdout.len(),
+            t_cfsf.as_secs_f64(),
+            t_scb.as_secs_f64()
+        );
+        group.bench_with_input(
+            BenchmarkId::new("CFSF", format!("{:.0}%", fraction * 100.0)),
+            &split,
+            |b, s| {
+                b.iter(|| {
+                    cfsf.clear_caches();
+                    black_box(time_predictions(&cfsf, &s.holdout))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("SCBPCC", format!("{:.0}%", fraction * 100.0)),
+            &split,
+            |b, s| {
+                b.iter(|| black_box(time_predictions(&scbpcc, &s.holdout)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

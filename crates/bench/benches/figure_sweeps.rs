@@ -1,0 +1,76 @@
+//! Benchmarks regenerating the parameter-sensitivity figures (Figs. 2,
+//! 3, 4, 6, 7, 8): each group sweeps one parameter and measures the
+//! holdout-evaluation cost at a few representative points. MAE per point
+//! is printed once, so a bench run reproduces the figure's series.
+
+use cf_eval::evaluate_mae;
+use cfsf_bench::{bench_config, bench_dataset, bench_split};
+use cfsf_core::{Cfsf, CfsfConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn sweep_group<T: Copy + std::fmt::Display>(
+    c: &mut Criterion,
+    group_name: &str,
+    values: &[T],
+    apply: impl Fn(&mut CfsfConfig, T) + Copy,
+) {
+    let data = bench_dataset();
+    let split = bench_split(&data);
+    let base = Cfsf::fit(&split.train, bench_config()).unwrap();
+
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for &v in values {
+        let model = base.reparameterize(|cfg| apply(cfg, v)).unwrap();
+        let mae = evaluate_mae(&model, &split.holdout);
+        println!("{group_name}: value {v} -> MAE {mae:.3}");
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            b.iter(|| black_box(evaluate_mae(&model, &split.holdout)));
+        });
+    }
+    group.finish();
+}
+
+fn fig2_m_sweep(c: &mut Criterion) {
+    sweep_group(c, "fig2/m_sweep", &[10usize, 25, 40], |cfg, v| cfg.m = v);
+}
+
+fn fig3_k_sweep(c: &mut Criterion) {
+    sweep_group(c, "fig3/k_sweep", &[10usize, 25, 50], |cfg, v| cfg.k = v);
+}
+
+fn fig4_c_sweep(c: &mut Criterion) {
+    // cluster-count changes refit the offline phase inside
+    // reparameterize; the measured part is still holdout evaluation.
+    sweep_group(c, "fig4/c_sweep", &[4usize, 8, 16], |cfg, v| {
+        cfg.clusters = v
+    });
+}
+
+fn fig6_lambda_sweep(c: &mut Criterion) {
+    sweep_group(c, "fig6/lambda_sweep", &[0.2f64, 0.6, 1.0], |cfg, v| {
+        cfg.lambda = v
+    });
+}
+
+fn fig7_delta_sweep(c: &mut Criterion) {
+    sweep_group(c, "fig7/delta_sweep", &[0.0f64, 0.1, 0.5], |cfg, v| {
+        cfg.delta = v
+    });
+}
+
+fn fig8_w_sweep(c: &mut Criterion) {
+    sweep_group(c, "fig8/w_sweep", &[0.2f64, 0.5, 0.8], |cfg, v| cfg.w = v);
+}
+
+criterion_group!(
+    benches,
+    fig2_m_sweep,
+    fig3_k_sweep,
+    fig4_c_sweep,
+    fig6_lambda_sweep,
+    fig7_delta_sweep,
+    fig8_w_sweep
+);
+criterion_main!(benches);

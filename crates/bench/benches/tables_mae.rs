@@ -1,0 +1,70 @@
+//! Benchmarks regenerating Tables II and III: end-to-end MAE evaluation
+//! of CFSF and every comparator over one protocol split. The measured
+//! quantity is "score the whole holdout set", i.e. the serving cost the
+//! tables' accuracy numbers are paid with; the MAE itself is printed once
+//! so a bench run doubles as a smoke-check of the table values.
+
+use cf_baselines::{
+    AspectModel, Emdp, PersonalityDiagnosis, Scbpcc, SimilarityFusion, Sir, Sur,
+};
+use cf_eval::evaluate;
+use cf_matrix::Predictor;
+use cfsf_bench::{bench_config, bench_dataset, bench_split};
+use cfsf_core::Cfsf;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn table2_methods(c: &mut Criterion) {
+    let data = bench_dataset();
+    let split = bench_split(&data);
+    let cfsf = Cfsf::fit(&split.train, bench_config()).unwrap();
+    let sur = Sur::fit_default(&split.train);
+    let sir = Sir::fit_default(&split.train);
+
+    let mut group = c.benchmark_group("table2/evaluate_holdout");
+    group.sample_size(10);
+    for (name, model) in [
+        ("CFSF", &cfsf as &dyn Predictor),
+        ("SUR", &sur),
+        ("SIR", &sir),
+    ] {
+        let mae = evaluate(model, &split.holdout).mae;
+        println!("table2 bench: {name} MAE = {mae:.3}");
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(evaluate(model, &split.holdout)));
+        });
+    }
+    group.finish();
+}
+
+fn table3_methods(c: &mut Criterion) {
+    let data = bench_dataset();
+    let split = bench_split(&data);
+    let cfsf = Cfsf::fit(&split.train, bench_config()).unwrap();
+    let am = AspectModel::fit_default(&split.train);
+    let emdp = Emdp::fit_default(&split.train);
+    let scbpcc = Scbpcc::fit_default(&split.train);
+    let sf = SimilarityFusion::fit_default(&split.train);
+    let pd = PersonalityDiagnosis::fit_default(&split.train);
+
+    let mut group = c.benchmark_group("table3/evaluate_holdout");
+    group.sample_size(10);
+    for (name, model) in [
+        ("CFSF", &cfsf as &dyn Predictor),
+        ("AM", &am),
+        ("EMDP", &emdp),
+        ("SCBPCC", &scbpcc),
+        ("SF", &sf),
+        ("PD", &pd),
+    ] {
+        let mae = evaluate(model, &split.holdout).mae;
+        println!("table3 bench: {name} MAE = {mae:.3}");
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(evaluate(model, &split.holdout)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2_methods, table3_methods);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! cfsf-bench: see the `benches/` directory. One Criterion bench target
+//! exists per paper table/figure plus micro-benches of the offline and
+//! online phases; this library crate only hosts shared helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cf_data::{Dataset, GivenN, Protocol, Split, SyntheticConfig, TrainSize};
+
+/// The dataset all benches share: small enough for Criterion iteration,
+/// large enough to exercise the real code paths.
+pub fn bench_dataset() -> Dataset {
+    SyntheticConfig {
+        num_users: 200,
+        num_items: 300,
+        mean_ratings_per_user: 40.0,
+        min_ratings_per_user: 21,
+        ..SyntheticConfig::movielens()
+    }
+    .generate()
+}
+
+/// The standard bench split: 140 training users, 60 test users, Given10.
+pub fn bench_split(dataset: &Dataset) -> Split {
+    Protocol::new(TrainSize::Users(140), GivenN::Given10, 60)
+        .split(dataset)
+        .expect("bench protocol fits")
+}
+
+/// The CFSF configuration used across benches (substrate-tuned point).
+pub fn bench_config() -> cfsf_core::CfsfConfig {
+    cfsf_core::CfsfConfig {
+        clusters: 8,
+        k: 25,
+        m: 40,
+        w: 0.6,
+        lambda: 0.9,
+        ..cfsf_core::CfsfConfig::paper()
+    }
+}

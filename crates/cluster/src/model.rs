@@ -1,0 +1,73 @@
+//! The bundled offline clustering model: K-means + smoothing + iCluster.
+
+use cf_matrix::RatingMatrix;
+
+use crate::{ClusterAssignment, ICluster, KMeans, KMeansConfig, Smoothed, Smoother};
+
+/// Configuration for [`ClusterModel::fit`].
+#[derive(Debug, Clone, Default)]
+pub struct ClusterModelConfig {
+    /// K-means parameters (cluster count `C`, iterations, seed).
+    pub kmeans: KMeansConfig,
+    /// Worker threads for smoothing and iCluster (`None` = auto).
+    pub threads: Option<usize>,
+}
+
+/// Everything CFSF's offline phase derives from user clustering, built in
+/// one call: the assignment, the smoothed dense matrix with provenance
+/// bits, and the per-user cluster rankings.
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    /// Cluster id per user + member lists.
+    pub clusters: ClusterAssignment,
+    /// Smoothed dense ratings + deviation table (Eq. 7–8).
+    pub smoothed: Smoothed,
+    /// Per-user cluster rankings (Eq. 9).
+    pub icluster: ICluster,
+}
+
+impl ClusterModel {
+    /// Runs K-means, smoothing, and iCluster construction in sequence.
+    pub fn fit(m: &RatingMatrix, config: &ClusterModelConfig) -> Self {
+        let clusters = KMeans::fit(m, &config.kmeans);
+        let smoothed = Smoother::smooth(m, &clusters, config.threads);
+        let icluster = ICluster::build(m, &smoothed, config.threads);
+        Self {
+            clusters,
+            smoothed,
+            icluster,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_matrix::{ItemId, MatrixBuilder, UserId};
+
+    #[test]
+    fn fit_produces_consistent_bundle() {
+        let mut b = MatrixBuilder::new();
+        for u in 0..6u32 {
+            for i in 0..5u32 {
+                if (u + i) % 4 == 0 {
+                    continue;
+                }
+                let r = if (u < 3) == (i < 3) { 5.0 } else { 2.0 };
+                b.push(UserId::new(u), ItemId::new(i), r);
+            }
+        }
+        let m = b.build().unwrap();
+        let model = ClusterModel::fit(
+            &m,
+            &ClusterModelConfig {
+                kmeans: KMeansConfig { k: 2, seed: 9, ..Default::default() },
+                threads: Some(2),
+            },
+        );
+        assert_eq!(model.clusters.k(), 2);
+        assert_eq!(model.smoothed.num_clusters(), 2);
+        assert_eq!(model.icluster.num_users(), m.num_users());
+        assert!(model.smoothed.dense.is_complete());
+    }
+}

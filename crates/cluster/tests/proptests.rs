@@ -1,0 +1,74 @@
+//! Property-based tests for clustering and smoothing invariants.
+
+use cf_cluster::{KMeans, KMeansConfig, Smoother};
+use cf_matrix::{ItemId, MatrixBuilder, RatingMatrix, UserId};
+use proptest::prelude::*;
+
+fn arb_matrix() -> impl Strategy<Value = RatingMatrix> {
+    proptest::collection::btree_map(
+        (0u32..25, 0u32..20),
+        (1u32..=5).prop_map(|r| r as f64),
+        5..200,
+    )
+    .prop_map(|m| {
+        let mut b = MatrixBuilder::with_dims(25, 20);
+        for ((u, i), r) in m {
+            b.push(UserId::new(u), ItemId::new(i), r);
+        }
+        b.build().expect("valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kmeans_partitions_all_users(m in arb_matrix(), k in 1usize..8, seed in 0u64..50) {
+        let a = KMeans::fit(&m, &KMeansConfig { k, seed, ..Default::default() });
+        prop_assert!(a.k() >= 1 && a.k() <= k.max(1));
+        let total: usize = a.sizes().iter().sum();
+        prop_assert_eq!(total, m.num_users());
+        for u in m.users() {
+            let c = a.cluster_of(u);
+            prop_assert!(c < a.k());
+            prop_assert!(a.members(c).contains(&u));
+        }
+    }
+
+    #[test]
+    fn smoothing_completes_the_matrix_and_preserves_originals(
+        m in arb_matrix(),
+        k in 1usize..6,
+    ) {
+        let clusters = KMeans::fit(&m, &KMeansConfig { k, ..Default::default() });
+        let s = Smoother::smooth(&m, &clusters, Some(2));
+        prop_assert!(s.dense.is_complete());
+        for (u, i, r) in m.triplets() {
+            prop_assert_eq!(s.dense.get(u, i), Some(r));
+            prop_assert!(s.dense.is_original(u, i));
+        }
+        // imputation accounting covers exactly the missing cells
+        let missing = m.num_users() * m.num_items() - m.num_ratings();
+        prop_assert_eq!(s.cells_from_cluster + s.cells_from_fallback, missing);
+        // everything on scale
+        for u in m.users() {
+            for v in s.dense.row(u) {
+                prop_assert!((1.0..=5.0).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn smoothed_deviations_are_rating_deviation_bounded(m in arb_matrix(), k in 1usize..5) {
+        let clusters = KMeans::fit(&m, &KMeansConfig { k, ..Default::default() });
+        let s = Smoother::smooth(&m, &clusters, Some(1));
+        // |Δr(C,i)| can never exceed the full rating span
+        for c in 0..s.num_clusters() {
+            for i in m.items() {
+                if let Some(d) = s.deviation(c, i) {
+                    prop_assert!(d.abs() <= 4.0 + 1e-9, "Δ = {d}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Parallel batch prediction — the paper's future-work item "how CFSF can
+//! improve its scalability in a parallel manner" (§VI).
+//!
+//! The online phase is read-only over the fitted model (the per-user
+//! neighbor cache is behind a lock), so a batch of requests parallelizes
+//! trivially: shard requests across threads, warm each user's neighbor
+//! selection once, share everything else.
+
+use cf_matrix::{ItemId, Predictor, UserId};
+
+use crate::Cfsf;
+
+impl Cfsf {
+    /// Predicts a batch of `(user, item)` requests in parallel.
+    ///
+    /// Output order matches input order and every element equals what
+    /// [`Cfsf::predict`] would return for that pair — parallelism is an
+    /// implementation detail, not a semantic one.
+    ///
+    /// For throughput, requests are grouped so each user's top-`K`
+    /// selection is computed once even when the cache starts cold.
+    pub fn predict_batch(
+        &self,
+        requests: &[(UserId, ItemId)],
+        threads: Option<usize>,
+    ) -> Vec<Option<f64>> {
+        let threads = cf_parallel::effective_threads(threads);
+        // Pre-warm neighbor selections in parallel over *distinct* users,
+        // so the per-request loop below never contends on selection work.
+        let mut users: Vec<UserId> = requests.iter().map(|&(u, _)| u).collect();
+        users.sort_unstable();
+        users.dedup();
+        users.retain(|u| u.index() < self.matrix.num_users());
+        cf_parallel::par_map(users.len(), threads, |k| {
+            self.top_k_users(users[k]);
+        });
+
+        cf_parallel::par_map(requests.len(), threads, |k| {
+            let (u, i) = requests[k];
+            self.predict(u, i)
+        })
+    }
+
+    /// Scores every unrated item for `user` in parallel and returns the
+    /// best `n`, like [`Cfsf::recommend_top_n`] but sharded across
+    /// threads — the serving-path version for interactive latency on
+    /// large catalogs.
+    pub fn recommend_top_n_parallel(
+        &self,
+        user: UserId,
+        n: usize,
+        threads: Option<usize>,
+    ) -> Vec<(ItemId, f64)> {
+        let threads = cf_parallel::effective_threads(threads);
+        // Warm the user's selection once, outside the parallel region.
+        self.top_k_users(user);
+        let q = self.matrix.num_items();
+        let scored: Vec<Option<(ItemId, f64)>> = cf_parallel::par_map(q, threads, |i| {
+            let item = ItemId::from(i);
+            if self.matrix.is_rated(user, item) {
+                return None;
+            }
+            self.predict(user, item).map(|r| (item, r))
+        });
+        let mut scored: Vec<(ItemId, f64)> = scored.into_iter().flatten().collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("predictions are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(n);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CfsfConfig;
+    use cf_data::SyntheticConfig;
+
+    fn model() -> Cfsf {
+        let d = SyntheticConfig::small().generate();
+        Cfsf::fit(&d.matrix, CfsfConfig::small()).unwrap()
+    }
+
+    fn requests() -> Vec<(UserId, ItemId)> {
+        (0..300)
+            .map(|k| (UserId::new(k % 80), ItemId::new((k * 7) % 120)))
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_serial_exactly() {
+        let m = model();
+        let reqs = requests();
+        let serial: Vec<Option<f64>> = reqs.iter().map(|&(u, i)| m.predict(u, i)).collect();
+        for threads in [1, 2, 8] {
+            m.clear_caches();
+            let batch = m.predict_batch(&reqs, Some(threads));
+            assert_eq!(batch, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batch_handles_out_of_range_requests() {
+        let m = model();
+        let reqs = vec![
+            (UserId::new(0), ItemId::new(0)),
+            (UserId::new(9999), ItemId::new(0)),
+            (UserId::new(0), ItemId::new(9999)),
+        ];
+        let out = m.predict_batch(&reqs, Some(2));
+        assert!(out[0].is_some());
+        assert_eq!(out[1], None);
+        assert_eq!(out[2], None);
+    }
+
+    #[test]
+    fn parallel_recommendations_match_serial() {
+        let m = model();
+        for u in [0u32, 13, 55] {
+            let user = UserId::new(u);
+            let serial = m.recommend_top_n(user, 8);
+            let parallel = m.recommend_top_n_parallel(user, 8, Some(4));
+            assert_eq!(serial, parallel, "user {u}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let m = model();
+        assert!(m.predict_batch(&[], Some(4)).is_empty());
+    }
+}

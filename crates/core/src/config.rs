@@ -1,0 +1,201 @@
+//! CFSF hyper-parameters.
+
+use cf_similarity::GisConfig;
+
+use crate::CfsfError;
+
+/// All CFSF hyper-parameters. [`CfsfConfig::paper`] reproduces the values
+/// the paper uses for MovieLens (§V-C.1): `C=30, λ=0.8, δ=0.1, K=25,
+/// M=95, w=0.35`.
+#[derive(Debug, Clone)]
+pub struct CfsfConfig {
+    /// Number of user clusters `C`.
+    pub clusters: usize,
+    /// Fusion weight between `SIR'` and `SUR'` (Eq. 14): `λ=0` ignores
+    /// `SUR'`, `λ=1` ignores `SIR'`.
+    pub lambda: f64,
+    /// Fusion weight of `SUIR'` against the other two (Eq. 14).
+    pub delta: f64,
+    /// Number of like-minded users `K` in the local matrix.
+    pub k: usize,
+    /// Number of similar items `M` in the local matrix.
+    pub m: usize,
+    /// The smoothing-discount parameter `w` of Eq. 11 (called ε there):
+    /// original ratings weigh `w`, smoothed ones `1-w`.
+    pub w: f64,
+    /// Candidate pool size as a multiple of `K`: the online phase walks
+    /// iCluster until it has `candidate_factor · K` candidates before
+    /// ranking them with Eq. 10. Larger pools cost more per request but
+    /// approximate a whole-matrix search better.
+    pub candidate_factor: usize,
+    /// GIS construction parameters (threshold, neighbor cap, threads).
+    pub gis: GisConfig,
+    /// K-means iteration cap.
+    pub kmeans_iterations: usize,
+    /// Seed for K-means initialization.
+    pub seed: u64,
+    /// Worker threads for the offline phase (`None` = auto).
+    pub threads: Option<usize>,
+    /// Whether to smooth unrated cells (Eq. 7). Turning this off is the
+    /// "no smoothing" ablation: candidates and estimators then see only
+    /// original ratings.
+    pub use_smoothing: bool,
+}
+
+impl Default for CfsfConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl CfsfConfig {
+    /// The paper's MovieLens parameterization.
+    pub fn paper() -> Self {
+        Self {
+            clusters: 30,
+            lambda: 0.8,
+            delta: 0.1,
+            k: 25,
+            m: 95,
+            w: 0.35,
+            candidate_factor: 4,
+            gis: GisConfig::default(),
+            kmeans_iterations: 20,
+            seed: 42,
+            threads: None,
+            use_smoothing: true,
+        }
+    }
+
+    /// A scaled-down configuration for small test matrices.
+    pub fn small() -> Self {
+        Self {
+            clusters: 4,
+            k: 10,
+            m: 20,
+            ..Self::paper()
+        }
+    }
+
+    /// Validates ranges; called by [`crate::Cfsf::fit`].
+    pub fn validate(&self) -> Result<(), CfsfError> {
+        fn unit(name: &'static str, v: f64) -> Result<(), CfsfError> {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(CfsfError::InvalidParameter {
+                    name,
+                    message: format!("{v} is outside [0, 1]"),
+                });
+            }
+            Ok(())
+        }
+        unit("lambda", self.lambda)?;
+        unit("delta", self.delta)?;
+        unit("w", self.w)?;
+        if self.clusters == 0 {
+            return Err(CfsfError::InvalidParameter {
+                name: "clusters",
+                message: "must be at least 1".into(),
+            });
+        }
+        if self.k == 0 {
+            return Err(CfsfError::InvalidParameter {
+                name: "k",
+                message: "must be at least 1".into(),
+            });
+        }
+        if self.m == 0 {
+            return Err(CfsfError::InvalidParameter {
+                name: "m",
+                message: "must be at least 1".into(),
+            });
+        }
+        if self.candidate_factor == 0 {
+            return Err(CfsfError::InvalidParameter {
+                name: "candidate_factor",
+                message: "must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Builder-style override of `λ`.
+    #[must_use]
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Builder-style override of `δ`.
+    #[must_use]
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Builder-style override of `w`.
+    #[must_use]
+    pub fn with_w(mut self, w: f64) -> Self {
+        self.w = w;
+        self
+    }
+
+    /// Builder-style override of `M`.
+    #[must_use]
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m = m;
+        self
+    }
+
+    /// Builder-style override of `K`.
+    #[must_use]
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Builder-style override of the cluster count `C`.
+    #[must_use]
+    pub fn with_clusters(mut self, clusters: usize) -> Self {
+        self.clusters = clusters;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_five() {
+        let c = CfsfConfig::paper();
+        assert_eq!(c.clusters, 30);
+        assert_eq!(c.lambda, 0.8);
+        assert_eq!(c.delta, 0.1);
+        assert_eq!(c.k, 25);
+        assert_eq!(c.m, 95);
+        assert_eq!(c.w, 0.35);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_ranges() {
+        assert!(CfsfConfig::paper().with_lambda(1.5).validate().is_err());
+        assert!(CfsfConfig::paper().with_delta(-0.1).validate().is_err());
+        assert!(CfsfConfig::paper().with_w(f64::NAN).validate().is_err());
+        assert!(CfsfConfig::paper().with_m(0).validate().is_err());
+        assert!(CfsfConfig::paper().with_k(0).validate().is_err());
+        assert!(CfsfConfig::paper().with_clusters(0).validate().is_err());
+        let mut c = CfsfConfig::paper();
+        c.candidate_factor = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_override_single_fields() {
+        let c = CfsfConfig::paper().with_m(50).with_k(40).with_lambda(0.5);
+        assert_eq!(c.m, 50);
+        assert_eq!(c.k, 40);
+        assert_eq!(c.lambda, 0.5);
+        assert_eq!(c.delta, 0.1); // untouched
+    }
+}

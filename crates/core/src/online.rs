@@ -1,0 +1,325 @@
+//! The online phase: local `M × K` matrix construction and the three
+//! estimators `SIR'`, `SUR'`, `SUIR'` of Eq. 12.
+
+use std::sync::Arc;
+
+use cf_matrix::{ItemId, UserId};
+use cf_similarity::{pair_weight, smoothing_weight, weighted_user_pcc};
+
+use crate::{fuse, Cfsf};
+
+/// A prediction together with its Eq. 12 components — what the local
+/// `M × K` matrix produced before fusion. Exposed for tests, ablations,
+/// and the parameter-sensitivity experiments (Figs. 6–8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionBreakdown {
+    /// Same-user-on-similar-items estimator, if computable.
+    pub sir: Option<f64>,
+    /// Like-minded-users-on-the-active-item estimator, if computable.
+    pub sur: Option<f64>,
+    /// Like-minded-users-on-similar-items estimator, if computable.
+    pub suir: Option<f64>,
+    /// The fused prediction (Eq. 14), clamped to the rating scale.
+    pub fused: f64,
+    /// True when no estimator was available and the model fell back to
+    /// the smoothed cell value / user mean.
+    pub used_fallback: bool,
+    /// Similar items that actually contributed to `SIR'`.
+    pub m_used: usize,
+    /// Like-minded users selected for the local matrix.
+    pub k_used: usize,
+}
+
+impl Cfsf {
+    /// Selects the top `K` like-minded users for `user` (Eq. 10/11),
+    /// walking the iCluster ranking to build the candidate pool. Results
+    /// are cached per user: selection is independent of the active item.
+    pub fn top_k_users(&self, user: UserId) -> Arc<Vec<(UserId, f64)>> {
+        if let Some(hit) = self.neighbor_cache.read().get(&user) {
+            return Arc::clone(hit);
+        }
+        let computed = Arc::new(self.select_top_k(user));
+        self.neighbor_cache
+            .write()
+            .entry(user)
+            .or_insert_with(|| Arc::clone(&computed))
+            .clone()
+    }
+
+    fn select_top_k(&self, user: UserId) -> Vec<(UserId, f64)> {
+        let (items, vals) = self.matrix.user_row(user);
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let want = self
+            .config
+            .k
+            .saturating_mul(self.config.candidate_factor)
+            .min(self.matrix.num_users());
+
+        // Harvest candidates cluster by cluster, best cluster first
+        // (§IV-E2: "selects users from clusters in iCluster one by one").
+        let mut candidates: Vec<UserId> = Vec::with_capacity(want + 32);
+        for &c in self.icluster.ranking(user) {
+            for &u in self.clusters.members(c as usize) {
+                // Users with no original ratings have fully-imputed rows
+                // after smoothing; selecting them as "like-minded users"
+                // would inject cluster consensus disguised as a person.
+                if u != user && self.matrix.user_count(u) > 0 {
+                    candidates.push(u);
+                }
+            }
+            if candidates.len() >= want {
+                break;
+            }
+        }
+
+        // Rank candidates with the smoothing-aware weighted PCC (Eq. 10).
+        let mean_a = self.matrix.user_mean(user);
+        let mut scored: Vec<(UserId, f64)> = candidates
+            .into_iter()
+            .filter_map(|cand| {
+                let s = weighted_user_pcc(
+                    items,
+                    vals,
+                    mean_a,
+                    &self.dense,
+                    cand,
+                    self.matrix.user_mean(cand),
+                    self.config.w,
+                );
+                // Negatively correlated or signal-free users are never
+                // "like-minded"; Eq. 12's denominators assume positive sims.
+                (s > 0.0).then_some((cand, s))
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("similarities are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(self.config.k);
+        scored
+    }
+
+    /// Runs the full online phase for `(user, item)` and reports every
+    /// component. Returns `None` only when the model has no signal at all
+    /// (no estimator, no smoothed cell, and an empty user profile).
+    pub fn predict_with_breakdown(
+        &self,
+        user: UserId,
+        item: ItemId,
+    ) -> Option<PredictionBreakdown> {
+        if user.index() >= self.matrix.num_users() || item.index() >= self.matrix.num_items() {
+            return None;
+        }
+        let scale = self.matrix.scale();
+        let eps = self.config.w;
+
+        let similar_items = self.gis.top_m(item, self.config.m);
+        let top_users = self.top_k_users(user);
+
+        // --- SIR': the active user's (smoothed) ratings on similar items.
+        let row_b = self.dense.row(user);
+        let mut sir_num = 0.0;
+        let mut sir_den = 0.0;
+        let mut m_used = 0usize;
+        for &(i_s, sim_s) in similar_items {
+            let r = row_b[i_s.index()];
+            if r.is_nan() {
+                continue;
+            }
+            let w = smoothing_weight(self.dense.is_original(user, i_s), eps);
+            sir_num += w * sim_s * r;
+            sir_den += w * sim_s;
+            m_used += 1;
+        }
+        let sir = (sir_den > f64::EPSILON).then(|| sir_num / sir_den);
+
+        // --- SUR': like-minded users' (smoothed) ratings on the active
+        // item, mean-centered per user.
+        let mean_b = self.matrix.user_mean(user);
+        let mut sur_num = 0.0;
+        let mut sur_den = 0.0;
+        for &(u_t, sim_t) in top_users.iter() {
+            let Some(r) = self.dense.get(u_t, item) else {
+                continue;
+            };
+            let w = smoothing_weight(self.dense.is_original(u_t, item), eps);
+            sur_num += w * sim_t * (r - self.matrix.user_mean(u_t));
+            sur_den += w * sim_t;
+        }
+        let sur = (sur_den > f64::EPSILON).then(|| mean_b + sur_num / sur_den);
+
+        // --- SUIR': like-minded users' (smoothed) ratings on similar
+        // items, weighted by the Eq. 13 pair weight. This double loop *is*
+        // the local M × K matrix — O(M·K) work per request.
+        let mut suir_num = 0.0;
+        let mut suir_den = 0.0;
+        for &(u_t, sim_t) in top_users.iter() {
+            let row_t = self.dense.row(u_t);
+            for &(i_s, sim_s) in similar_items {
+                let r = row_t[i_s.index()];
+                if r.is_nan() {
+                    continue;
+                }
+                let pw = pair_weight(sim_s, sim_t);
+                if pw <= 0.0 {
+                    continue;
+                }
+                let w = smoothing_weight(self.dense.is_original(u_t, i_s), eps);
+                suir_num += w * pw * r;
+                suir_den += w * pw;
+            }
+        }
+        let suir = (suir_den > f64::EPSILON).then(|| suir_num / suir_den);
+
+        let fused = fuse(sir, sur, suir, self.config.lambda, self.config.delta);
+        let (fused, used_fallback) = match fused {
+            Some(v) => (v, false),
+            None => {
+                // No local evidence at all. The smoothed matrix still
+                // imputes every cell; without smoothing, fall back to the
+                // user's mean if they have a profile.
+                if self.config.use_smoothing {
+                    (self.smoothed.dense.get(user, item)?, true)
+                } else if self.matrix.user_count(user) > 0 {
+                    (mean_b, true)
+                } else {
+                    return None;
+                }
+            }
+        };
+
+        Some(PredictionBreakdown {
+            sir,
+            sur,
+            suir,
+            fused: scale.clamp(fused),
+            used_fallback,
+            m_used,
+            k_used: top_users.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CfsfConfig;
+    use cf_data::SyntheticConfig;
+    use cf_matrix::Predictor;
+
+    fn model() -> Cfsf {
+        let d = SyntheticConfig::small().generate();
+        Cfsf::fit(&d.matrix, CfsfConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn top_k_respects_k_and_positivity() {
+        let m = model();
+        for u in 0..8usize {
+            let top = m.top_k_users(UserId::from(u));
+            assert!(top.len() <= m.config().k);
+            assert!(top.windows(2).all(|w| w[0].1 >= w[1].1), "sorted desc");
+            assert!(top.iter().all(|&(_, s)| s > 0.0));
+            assert!(top.iter().all(|&(c, _)| c != UserId::from(u)), "self excluded");
+        }
+    }
+
+    #[test]
+    fn top_k_cache_returns_same_list() {
+        let m = model();
+        let a = m.top_k_users(UserId::new(5));
+        let b = m.top_k_users(UserId::new(5));
+        assert!(Arc::ptr_eq(&a, &b), "second call should hit the cache");
+    }
+
+    #[test]
+    fn breakdown_components_are_consistent_with_fusion() {
+        let m = model();
+        let mut checked = 0;
+        for u in 0..20usize {
+            for i in (0..120usize).step_by(11) {
+                let Some(b) = m.predict_with_breakdown(UserId::from(u), ItemId::from(i)) else {
+                    continue;
+                };
+                if b.used_fallback {
+                    assert!(b.sir.is_none() && b.sur.is_none() && b.suir.is_none());
+                } else {
+                    let expect =
+                        fuse(b.sir, b.sur, b.suir, m.config().lambda, m.config().delta).unwrap();
+                    let clamped = m.matrix().scale().clamp(expect);
+                    assert!((b.fused - clamped).abs() < 1e-12);
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 20, "expected plenty of non-fallback predictions");
+    }
+
+    #[test]
+    fn m_and_k_used_respect_configuration() {
+        let m = model();
+        for u in 0..10usize {
+            for i in 0..10usize {
+                if let Some(b) = m.predict_with_breakdown(UserId::from(u), ItemId::from(i)) {
+                    assert!(b.m_used <= m.config().m);
+                    assert!(b.k_used <= m.config().k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_ids_return_none() {
+        let m = model();
+        assert!(m.predict(UserId::new(10_000), ItemId::new(0)).is_none());
+        assert!(m.predict(UserId::new(0), ItemId::new(10_000)).is_none());
+    }
+
+    #[test]
+    fn smoothing_fallback_always_produces_a_value_in_range() {
+        let d = SyntheticConfig::small().generate();
+        let m = Cfsf::fit(&d.matrix, CfsfConfig::small()).unwrap();
+        // Every in-range pair must produce *some* prediction thanks to the
+        // smoothed-matrix fallback.
+        for u in (0..80usize).step_by(9) {
+            for i in (0..120usize).step_by(13) {
+                let r = m
+                    .predict(UserId::from(u), ItemId::from(i))
+                    .expect("smoothing guarantees a fallback");
+                assert!((1.0..=5.0).contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_prediction_is_convex_in_components() {
+        // Eq. 14 is a convex combination, so (before clamping) the fused
+        // value must lie within the envelope of the present components.
+        let m = model();
+        let mut seen = 0;
+        for u in 0..30usize {
+            for i in 0..40usize {
+                let Some(b) = m.predict_with_breakdown(UserId::from(u), ItemId::from(i)) else {
+                    continue;
+                };
+                if b.used_fallback {
+                    continue;
+                }
+                let present: Vec<f64> = [b.sir, b.sur, b.suir].iter().flatten().copied().collect();
+                let lo = present.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = present.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let unclamped =
+                    fuse(b.sir, b.sur, b.suir, m.config().lambda, m.config().delta).unwrap();
+                assert!(
+                    unclamped >= lo - 1e-9 && unclamped <= hi + 1e-9,
+                    "fused (unclamped) {unclamped} outside envelope [{lo}, {hi}]"
+                );
+                seen += 1;
+            }
+        }
+        assert!(seen > 100, "too few non-fallback predictions sampled: {seen}");
+    }
+}

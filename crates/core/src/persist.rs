@@ -1,0 +1,437 @@
+//! Model persistence: save a fitted [`Cfsf`] to a compact binary stream
+//! and load it back without repeating the expensive offline work.
+//!
+//! What is stored: the configuration, the training matrix, the GIS
+//! neighbor lists (the `O(Q·nnz)` part of the offline phase), and the
+//! K-means assignment (the iterative part). What is *recomputed* on
+//! load: smoothing, iCluster, and the dense online store — all linear
+//! passes that take milliseconds and would dominate the file size if
+//! stored (`P×Q` doubles).
+//!
+//! Format: little-endian, sectioned, versioned:
+//!
+//! ```text
+//! magic "CFSF"  | u32 version
+//! config        | clusters, k, m, candidate_factor, kmeans_iterations: u64
+//!               | lambda, delta, w, gis.threshold: f64
+//!               | gis.max_neighbors: u64 (u64::MAX = none)
+//!               | seed: u64 | use_smoothing: u8
+//! matrix        | num_users, num_items, nnz: u64 | scale min,max: f64
+//!               | nnz × (user u32, item u32, rating f64)
+//! gis           | num_items × [len u64, len × (item u32, sim f64)]
+//! clusters      | k, iterations: u64 | converged u8 | P × u32
+//! ```
+
+use std::io::{self, Read, Write};
+
+use cf_cluster::{ClusterAssignment, ICluster, Smoother};
+use cf_matrix::{DenseRatings, ItemId, MatrixBuilder, RatingScale, UserId};
+use cf_similarity::Gis;
+use parking_lot::RwLock;
+
+use crate::{Cfsf, CfsfConfig, CfsfError};
+
+const MAGIC: &[u8; 4] = b"CFSF";
+const VERSION: u32 = 1;
+
+/// Errors from loading a persisted model.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a CFSF model, has the wrong version, or is
+    /// internally inconsistent.
+    Format(String),
+    /// The stored configuration or matrix failed validation.
+    Invalid(CfsfError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Format(m) => write!(f, "malformed model file: {m}"),
+            Self::Invalid(e) => write!(f, "invalid model contents: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<CfsfError> for PersistError {
+    fn from(e: CfsfError) -> Self {
+        Self::Invalid(e)
+    }
+}
+
+// --- primitive codecs -------------------------------------------------
+
+fn put_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn get_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn get_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn get_usize<R: Read>(r: &mut R, what: &str, limit: u64) -> Result<usize, PersistError> {
+    let v = get_u64(r)?;
+    if v > limit {
+        return Err(PersistError::Format(format!("{what} = {v} exceeds sanity limit {limit}")));
+    }
+    Ok(v as usize)
+}
+
+/// Sanity cap on any stored count: a corrupt length field must fail fast
+/// rather than trigger a giant allocation.
+const LIMIT: u64 = 1 << 32;
+
+// --- model codec -------------------------------------------------------
+
+impl Cfsf {
+    /// Serializes the model. See the module docs for the format.
+    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        put_u32(&mut w, VERSION)?;
+
+        // config
+        let c = &self.config;
+        put_u64(&mut w, c.clusters as u64)?;
+        put_u64(&mut w, c.k as u64)?;
+        put_u64(&mut w, c.m as u64)?;
+        put_u64(&mut w, c.candidate_factor as u64)?;
+        put_u64(&mut w, c.kmeans_iterations as u64)?;
+        put_f64(&mut w, c.lambda)?;
+        put_f64(&mut w, c.delta)?;
+        put_f64(&mut w, c.w)?;
+        put_f64(&mut w, c.gis.threshold)?;
+        put_u64(&mut w, c.gis.max_neighbors.map_or(u64::MAX, |n| n as u64))?;
+        put_u64(&mut w, c.seed)?;
+        put_u8(&mut w, u8::from(c.use_smoothing))?;
+
+        // matrix
+        let m = &self.matrix;
+        put_u64(&mut w, m.num_users() as u64)?;
+        put_u64(&mut w, m.num_items() as u64)?;
+        put_u64(&mut w, m.num_ratings() as u64)?;
+        put_f64(&mut w, m.scale().min)?;
+        put_f64(&mut w, m.scale().max)?;
+        for (u, i, r) in m.triplets() {
+            put_u32(&mut w, u.raw())?;
+            put_u32(&mut w, i.raw())?;
+            put_f64(&mut w, r)?;
+        }
+
+        // gis
+        for item in m.items() {
+            let list = self.gis.neighbors(item);
+            put_u64(&mut w, list.len() as u64)?;
+            for &(i, s) in list {
+                put_u32(&mut w, i.raw())?;
+                put_f64(&mut w, s)?;
+            }
+        }
+
+        // clusters
+        put_u64(&mut w, self.clusters.k() as u64)?;
+        put_u64(&mut w, self.clusters.iterations as u64)?;
+        put_u8(&mut w, u8::from(self.clusters.converged))?;
+        for &c in self.clusters.assignment() {
+            put_u32(&mut w, c)?;
+        }
+        w.flush()
+    }
+
+    /// Saves to a file.
+    pub fn save_to_file(&self, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        self.save(io::BufWriter::new(f))
+    }
+
+    /// Deserializes a model saved by [`Cfsf::save`], recomputing the
+    /// smoothing/iCluster/dense structures. Predictions of the loaded
+    /// model are bit-identical to the original's.
+    pub fn load<R: Read>(mut r: R) -> Result<Self, PersistError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(PersistError::Format("bad magic (not a CFSF model)".into()));
+        }
+        let version = get_u32(&mut r)?;
+        if version != VERSION {
+            return Err(PersistError::Format(format!(
+                "unsupported version {version} (this build reads {VERSION})"
+            )));
+        }
+
+        // config
+        let clusters = get_usize(&mut r, "clusters", LIMIT)?;
+        let k = get_usize(&mut r, "k", LIMIT)?;
+        let m_param = get_usize(&mut r, "m", LIMIT)?;
+        let candidate_factor = get_usize(&mut r, "candidate_factor", LIMIT)?;
+        let kmeans_iterations = get_usize(&mut r, "kmeans_iterations", LIMIT)?;
+        let lambda = get_f64(&mut r)?;
+        let delta = get_f64(&mut r)?;
+        let w_param = get_f64(&mut r)?;
+        let gis_threshold = get_f64(&mut r)?;
+        let cap_raw = get_u64(&mut r)?;
+        let seed = get_u64(&mut r)?;
+        let use_smoothing = get_u8(&mut r)? != 0;
+        let config = CfsfConfig {
+            clusters,
+            lambda,
+            delta,
+            k,
+            m: m_param,
+            w: w_param,
+            candidate_factor,
+            gis: cf_similarity::GisConfig {
+                threshold: gis_threshold,
+                max_neighbors: (cap_raw != u64::MAX).then_some(cap_raw as usize),
+                threads: None,
+            },
+            kmeans_iterations,
+            seed,
+            threads: None,
+            use_smoothing,
+        };
+        config.validate()?;
+
+        // matrix
+        let num_users = get_usize(&mut r, "num_users", LIMIT)?;
+        let num_items = get_usize(&mut r, "num_items", LIMIT)?;
+        let nnz = get_usize(&mut r, "nnz", LIMIT)?;
+        let scale_min = get_f64(&mut r)?;
+        let scale_max = get_f64(&mut r)?;
+        if !(scale_min.is_finite() && scale_max.is_finite() && scale_min < scale_max) {
+            return Err(PersistError::Format(format!(
+                "invalid scale [{scale_min}, {scale_max}]"
+            )));
+        }
+        let mut b = MatrixBuilder::with_dims(num_users, num_items)
+            .scale(RatingScale::new(scale_min, scale_max));
+        b.reserve(nnz);
+        for _ in 0..nnz {
+            let u = get_u32(&mut r)?;
+            let i = get_u32(&mut r)?;
+            let rating = get_f64(&mut r)?;
+            b.push(UserId::new(u), ItemId::new(i), rating);
+        }
+        let matrix = b
+            .build()
+            .map_err(|e| PersistError::Format(format!("matrix section: {e}")))?;
+        if matrix.num_users() != num_users || matrix.num_items() != num_items {
+            return Err(PersistError::Format(
+                "matrix dimensions disagree with stored triplets".into(),
+            ));
+        }
+
+        // gis
+        let mut lists = Vec::with_capacity(num_items);
+        for item in 0..num_items {
+            let len = get_usize(&mut r, "gis list length", LIMIT)?;
+            let mut list = Vec::with_capacity(len);
+            for _ in 0..len {
+                let i = get_u32(&mut r)?;
+                if i as usize >= num_items {
+                    return Err(PersistError::Format(format!(
+                        "gis list of item {item} references item {i} out of range"
+                    )));
+                }
+                let s = get_f64(&mut r)?;
+                if !s.is_finite() {
+                    return Err(PersistError::Format(format!(
+                        "non-finite similarity in gis list of item {item}"
+                    )));
+                }
+                list.push((ItemId::new(i), s));
+            }
+            if !list.windows(2).all(|p: &[(ItemId, f64)]| p[0].1 >= p[1].1) {
+                return Err(PersistError::Format(format!(
+                    "gis list of item {item} is not sorted descending"
+                )));
+            }
+            lists.push(list);
+        }
+        let gis = Gis::from_lists(lists);
+
+        // clusters
+        let stored_k = get_usize(&mut r, "cluster count", LIMIT)?;
+        let iterations = get_usize(&mut r, "kmeans iterations run", LIMIT)?;
+        let converged = get_u8(&mut r)? != 0;
+        let mut assignment = Vec::with_capacity(num_users);
+        for ui in 0..num_users {
+            let c = get_u32(&mut r)?;
+            if c as usize >= stored_k {
+                return Err(PersistError::Format(format!(
+                    "user {ui} assigned to cluster {c} >= {stored_k}"
+                )));
+            }
+            assignment.push(c);
+        }
+        let clusters = ClusterAssignment::from_assignment(assignment, stored_k, iterations, converged);
+
+        // Recompute the cheap linear passes.
+        let smoothed = Smoother::smooth(&matrix, &clusters, None);
+        let icluster = ICluster::build(&matrix, &smoothed, None);
+        let dense = if config.use_smoothing {
+            smoothed.dense.clone()
+        } else {
+            DenseRatings::from_sparse(&matrix)
+        };
+
+        Ok(Self {
+            config,
+            matrix,
+            gis,
+            clusters,
+            smoothed,
+            icluster,
+            dense,
+            neighbor_cache: RwLock::new(std::collections::HashMap::new()),
+        })
+    }
+
+    /// Loads from a file.
+    pub fn load_from_file(path: impl AsRef<std::path::Path>) -> Result<Self, PersistError> {
+        let f = std::fs::File::open(path)?;
+        Self::load(io::BufReader::new(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_data::SyntheticConfig;
+    use cf_matrix::Predictor;
+
+    fn model() -> Cfsf {
+        let d = SyntheticConfig::small().generate();
+        Cfsf::fit(&d.matrix, CfsfConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_exactly() {
+        let original = model();
+        let mut buf = Vec::new();
+        original.save(&mut buf).unwrap();
+        let loaded = Cfsf::load(buf.as_slice()).unwrap();
+        for u in (0..80usize).step_by(7) {
+            for i in (0..120usize).step_by(11) {
+                assert_eq!(
+                    original.predict(UserId::from(u), ItemId::from(i)),
+                    loaded.predict(UserId::from(u), ItemId::from(i)),
+                    "({u},{i})"
+                );
+            }
+        }
+        assert_eq!(loaded.offline_summary().clusters, original.offline_summary().clusters);
+    }
+
+    #[test]
+    fn roundtrip_preserves_config() {
+        let original = model();
+        let mut buf = Vec::new();
+        original.save(&mut buf).unwrap();
+        let loaded = Cfsf::load(buf.as_slice()).unwrap();
+        let (a, b) = (original.config(), loaded.config());
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(a.k, b.k);
+        assert_eq!(a.m, b.m);
+        assert_eq!(a.lambda, b.lambda);
+        assert_eq!(a.delta, b.delta);
+        assert_eq!(a.w, b.w);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.use_smoothing, b.use_smoothing);
+        assert_eq!(a.gis.max_neighbors, b.gis.max_neighbors);
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_version() {
+        let e = Cfsf::load(&b"NOPE"[..]).unwrap_err();
+        assert!(matches!(e, PersistError::Format(_)), "{e}");
+
+        let original = model();
+        let mut buf = Vec::new();
+        original.save(&mut buf).unwrap();
+        buf[4] = 99; // corrupt the version
+        let e = Cfsf::load(buf.as_slice()).unwrap_err();
+        assert!(e.to_string().contains("version"), "{e}");
+    }
+
+    #[test]
+    fn rejects_truncated_streams() {
+        let original = model();
+        let mut buf = Vec::new();
+        original.save(&mut buf).unwrap();
+        for cut in [8usize, 64, buf.len() / 2, buf.len() - 3] {
+            let e = Cfsf::load(&buf[..cut]).unwrap_err();
+            assert!(matches!(e, PersistError::Io(_) | PersistError::Format(_)));
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_cluster_ids() {
+        let original = model();
+        let mut buf = Vec::new();
+        original.save(&mut buf).unwrap();
+        // cluster assignment u32s are the last 80×4 bytes
+        let off = buf.len() - 2;
+        buf[off] = 0xFF;
+        let e = Cfsf::load(buf.as_slice()).unwrap_err();
+        assert!(matches!(e, PersistError::Format(_)), "{e}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("cfsf_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.cfsf");
+        let original = model();
+        original.save_to_file(&path).unwrap();
+        let loaded = Cfsf::load_from_file(&path).unwrap();
+        assert_eq!(
+            original.predict(UserId::new(1), ItemId::new(2)),
+            loaded.predict(UserId::new(1), ItemId::new(2))
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for CFSF's fusion math and online invariants.
+
+use cf_matrix::{ItemId, MatrixBuilder, Predictor, RatingMatrix, UserId};
+use cfsf_core::{fuse, Cfsf, CfsfConfig, FusionWeights};
+use proptest::prelude::*;
+
+fn arb_component() -> impl Strategy<Value = Option<f64>> {
+    proptest::option::of(1.0f64..=5.0)
+}
+
+fn arb_matrix() -> impl Strategy<Value = RatingMatrix> {
+    proptest::collection::btree_map(
+        (0u32..20, 0u32..25),
+        (1u32..=5).prop_map(|r| r as f64),
+        10..150,
+    )
+    .prop_map(|m| {
+        let mut b = MatrixBuilder::with_dims(20, 25);
+        for ((u, i), r) in m {
+            b.push(UserId::new(u), ItemId::new(i), r);
+        }
+        b.build().expect("valid")
+    })
+}
+
+proptest! {
+    #[test]
+    fn fusion_weights_always_sum_to_one(lambda in 0.0f64..=1.0, delta in 0.0f64..=1.0) {
+        let w = FusionWeights::new(lambda, delta);
+        prop_assert!((w.sir + w.sur + w.suir - 1.0).abs() < 1e-12);
+        prop_assert!(w.sir >= 0.0 && w.sur >= 0.0 && w.suir >= 0.0);
+    }
+
+    #[test]
+    fn fusion_is_convex_over_present_components(
+        sir in arb_component(),
+        sur in arb_component(),
+        suir in arb_component(),
+        lambda in 0.0f64..=1.0,
+        delta in 0.0f64..=1.0,
+    ) {
+        match fuse(sir, sur, suir, lambda, delta) {
+            Some(v) => {
+                let present: Vec<f64> = [sir, sur, suir].iter().flatten().copied().collect();
+                let lo = present.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = present.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} not in [{lo}, {hi}]");
+            }
+            None => {
+                // None only when no component carries weight
+                let w = FusionWeights::new(lambda, delta);
+                let carried = [(sir, w.sir), (sur, w.sur), (suir, w.suir)]
+                    .iter()
+                    .any(|(v, wt)| v.is_some() && *wt > f64::EPSILON);
+                prop_assert!(!carried);
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_is_monotone_in_each_component(
+        base in 1.0f64..=4.0,
+        bump in 0.01f64..=1.0,
+        lambda in 0.05f64..=0.95,
+        delta in 0.05f64..=0.95,
+    ) {
+        let low = fuse(Some(base), Some(base), Some(base), lambda, delta).unwrap();
+        let hi_sir = fuse(Some(base + bump), Some(base), Some(base), lambda, delta).unwrap();
+        let hi_sur = fuse(Some(base), Some(base + bump), Some(base), lambda, delta).unwrap();
+        let hi_suir = fuse(Some(base), Some(base), Some(base + bump), lambda, delta).unwrap();
+        prop_assert!(hi_sir >= low && hi_sur >= low && hi_suir >= low);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn model_predictions_stay_on_scale_and_are_deterministic(
+        m in arb_matrix(),
+        lambda in 0.0f64..=1.0,
+        delta in 0.0f64..=1.0,
+    ) {
+        let config = CfsfConfig {
+            clusters: 3,
+            k: 6,
+            m: 10,
+            lambda,
+            delta,
+            ..CfsfConfig::paper()
+        };
+        let model = Cfsf::fit(&m, config).unwrap();
+        for u in 0..m.num_users().min(10) {
+            for i in 0..m.num_items().min(10) {
+                let (u, i) = (UserId::from(u), ItemId::from(i));
+                let a = model.predict(u, i);
+                let b = model.predict(u, i);
+                prop_assert_eq!(a, b);
+                if let Some(r) = a {
+                    prop_assert!((1.0..=5.0).contains(&r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn breakdown_matches_predict(m in arb_matrix()) {
+        let model = Cfsf::fit(
+            &m,
+            CfsfConfig { clusters: 3, k: 6, m: 10, ..CfsfConfig::paper() },
+        )
+        .unwrap();
+        for u in 0..m.num_users().min(8) {
+            for i in 0..m.num_items().min(8) {
+                let (u, i) = (UserId::from(u), ItemId::from(i));
+                let p = model.predict(u, i);
+                let b = model.predict_with_breakdown(u, i).map(|b| b.fused);
+                prop_assert_eq!(p, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Small sampling helpers on top of `rand` (the offline dependency set has
+//! no `rand_distr`, so the Gaussian comes from Box–Muller).
+
+use rand::Rng;
+
+/// Draws standard-normal variates via the Box–Muller transform, caching
+/// the spare value so consecutive draws cost one transcendental pair per
+/// two samples.
+#[derive(Debug, Default, Clone)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// A fresh sampler with no cached spare.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One sample from `N(0, 1)`.
+    pub fn standard<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: u1 ∈ (0, 1] avoids ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// One sample from `N(mean, sd²)`.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.standard(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_roughly_standard_normal() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut ns = NormalSampler::new();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| ns.standard(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn sample_shifts_and_scales() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut ns = NormalSampler::new();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| ns.sample(&mut rng, 10.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let draw = |seed| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut ns = NormalSampler::new();
+            (0..10).map(|_| ns.standard(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+}

@@ -1,0 +1,166 @@
+//! `cfsf-experiments` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p cf-eval --bin cfsf-experiments -- all
+//! cargo run --release -p cf-eval --bin cfsf-experiments -- table3 fig5 --quick
+//! ```
+//!
+//! Flags:
+//! - `--quick`      small dataset + coarse sweeps (seconds instead of minutes)
+//! - `--out DIR`    where CSVs are written (default `results/`)
+//! - `--seed N`     dataset seed (default 42)
+//! - `--threads N`  worker threads (default: all cores)
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use cf_eval::experiments::{ablations, extensions, scalability, sweeps, tables, tuning, ExperimentOutput};
+use cf_eval::{ExperimentContext, Scale};
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "given", "ablations", "tune", "topn", "temporal", "incremental", "coldstart", "variance", "crossval",
+];
+
+fn main() {
+    let mut selected: Vec<String> = Vec::new();
+    let mut scale = Scale::Paper;
+    let mut out_dir = PathBuf::from("results");
+    let mut seed = 42u64;
+    let mut threads: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--paper" => scale = Scale::Paper,
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a value")))
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"))
+            }
+            "--threads" => {
+                threads = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--threads needs an integer")),
+                )
+            }
+            "all" => selected.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            "--help" | "-h" => usage(""),
+            name if EXPERIMENTS.contains(&name) => selected.push(name.to_string()),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if selected.is_empty() {
+        usage("no experiment selected");
+    }
+    selected.dedup();
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    println!(
+        "# CFSF experiments ({} scale, seed {seed})\n",
+        if scale == Scale::Paper { "paper" } else { "quick" }
+    );
+    let t0 = Instant::now();
+    let ctx = ExperimentContext::new(scale, seed, threads);
+    println!(
+        "dataset: {} ({} ratings, density {:.2}%)\n",
+        ctx.dataset.name,
+        ctx.dataset.matrix.num_ratings(),
+        ctx.dataset.matrix.density() * 100.0
+    );
+
+    let mut all_markdown = String::new();
+    for name in &selected {
+        let started = Instant::now();
+        let output = run_experiment(name, &ctx);
+        let elapsed = started.elapsed();
+        let md = render(&output, elapsed);
+        print!("{md}");
+        all_markdown.push_str(&md);
+        for (idx, table) in output.tables.iter().enumerate() {
+            let suffix = if output.tables.len() > 1 {
+                format!("_{idx}")
+            } else {
+                String::new()
+            };
+            let path = out_dir.join(format!("{}{suffix}.csv", output.id));
+            std::fs::write(&path, table.to_csv()).expect("write CSV");
+        }
+    }
+    std::fs::write(out_dir.join("summary.md"), &all_markdown).expect("write summary");
+    println!(
+        "\nwrote CSVs + summary.md to {} ({:.1}s total)",
+        out_dir.display(),
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn run_experiment(name: &str, ctx: &ExperimentContext) -> ExperimentOutput {
+    match name {
+        "table1" => tables::table1(ctx),
+        "table2" => tables::table2(ctx),
+        "table3" => tables::table3(ctx),
+        "fig2" => sweeps::fig2_m(ctx),
+        "fig3" => sweeps::fig3_k(ctx),
+        "fig4" => sweeps::fig4_c(ctx),
+        "fig5" => scalability::fig5(ctx),
+        "fig6" => sweeps::fig6_lambda(ctx),
+        "fig7" => sweeps::fig7_delta(ctx),
+        "fig8" => sweeps::fig8_w(ctx),
+        "given" => sweeps::given_sweep(ctx),
+        "ablations" => ablations::ablations(ctx),
+        "tune" => tuning::tune(ctx),
+        "topn" => extensions::topn(ctx),
+        "temporal" => extensions::temporal(ctx),
+        "incremental" => extensions::incremental(ctx),
+        "coldstart" => extensions::coldstart(ctx),
+        "variance" => extensions::variance(ctx),
+        "crossval" => extensions::crossval(ctx),
+        other => unreachable!("validated above: {other}"),
+    }
+}
+
+fn render(output: &ExperimentOutput, elapsed: std::time::Duration) -> String {
+    let mut md = String::new();
+    md.push_str(&format!(
+        "\n## {} ({:.1}s)\n\n",
+        output.title,
+        elapsed.as_secs_f64()
+    ));
+    for table in &output.tables {
+        md.push_str(&table.to_markdown());
+        md.push('\n');
+    }
+    for chart in &output.charts {
+        md.push_str("```text\n");
+        md.push_str(chart);
+        md.push_str("```\n\n");
+    }
+    if !output.notes.is_empty() {
+        md.push_str("Shape checks:\n");
+        for note in &output.notes {
+            md.push_str(&format!("- {note}\n"));
+        }
+        md.push('\n');
+    }
+    md
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}\n");
+    }
+    eprintln!(
+        "usage: cfsf-experiments [EXPERIMENT..|all] [--quick|--paper] [--out DIR] [--seed N] [--threads N]\n\
+         experiments: {}",
+        EXPERIMENTS.join(", ")
+    );
+    std::process::exit(if problem.is_empty() { 0 } else { 2 });
+}

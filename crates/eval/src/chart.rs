@@ -1,0 +1,177 @@
+//! Terminal line charts for the figure experiments.
+//!
+//! The paper's Figs. 2–8 are line charts; the harness renders the same
+//! series as Unicode plots in the run summary so the shapes (U-curves,
+//! plateaus, crossings) are visible without leaving the terminal.
+
+/// A labelled series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label ("Given5", "CFSF", ...).
+    pub label: String,
+    /// Points in ascending-x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series; panics on empty input or unordered x values.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "series needs at least one point");
+        assert!(
+            points.windows(2).all(|w| w[0].0 <= w[1].0),
+            "points must be in ascending-x order"
+        );
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Renders one or more series as a fixed-size ASCII chart.
+///
+/// Each series gets a distinct glyph; points are plotted on a
+/// `width × height` grid with min/max axis annotations. Collisions keep
+/// the earlier series' glyph (charts are for shape, not precision — the
+/// CSVs carry the numbers).
+pub fn render_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 3, "chart too small to be legible");
+    assert!(!series.is_empty(), "nothing to plot");
+    const GLYPHS: [char; 6] = ['o', '*', '+', 'x', '#', '@'];
+
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .collect();
+    let (x_min, x_max) = min_max(&xs);
+    let (mut y_min, mut y_max) = min_max(&ys);
+    if (y_max - y_min).abs() < 1e-12 {
+        // flat line: open a window around it so it renders mid-chart
+        y_min -= 0.5;
+        y_max += 0.5;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = scale(x, x_min, x_max, width - 1);
+            let cy = height - 1 - scale(y, y_min, y_max, height - 1);
+            if grid[cy][cx] == ' ' {
+                grid[cy][cx] = glyph;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    let y_label_top = format!("{y_max:.3}");
+    let y_label_bot = format!("{y_min:.3}");
+    let margin = y_label_top.len().max(y_label_bot.len());
+    for (row, line) in grid.iter().enumerate() {
+        let label = if row == 0 {
+            &y_label_top
+        } else if row == height - 1 {
+            &y_label_bot
+        } else {
+            ""
+        };
+        out.push_str(&format!("{label:>margin$} |"));
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>margin$} +{}\n{:>margin$}  {:<w$}{:>8}\n",
+        "",
+        "-".repeat(width),
+        "",
+        format!("{x_min}"),
+        format!("{x_max}"),
+        margin = margin,
+        w = width.saturating_sub(8),
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", GLYPHS[i % GLYPHS.len()], s.label))
+        .collect();
+    out.push_str(&format!("  legend: {}\n", legend.join("   ")));
+    out
+}
+
+fn min_max(v: &[f64]) -> (f64, f64) {
+    let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (lo, hi)
+}
+
+fn scale(v: f64, lo: f64, hi: f64, cells: usize) -> usize {
+    if (hi - lo).abs() < 1e-12 {
+        return 0;
+    }
+    (((v - lo) / (hi - lo)) * cells as f64).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(label: &str, f: impl Fn(f64) -> f64) -> Series {
+        Series::new(label, (0..=10).map(|x| (x as f64, f(x as f64))).collect())
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let chart = render_chart("demo", &[line("up", |x| x)], 40, 10);
+        assert!(chart.starts_with("demo\n"));
+        assert!(chart.contains("legend: o up"));
+        assert!(chart.contains("10.000")); // y max label
+        assert!(chart.contains("0.000")); // y min label
+    }
+
+    #[test]
+    fn increasing_series_puts_first_point_at_bottom_left() {
+        let chart = render_chart("inc", &[line("up", |x| x)], 30, 8);
+        let rows: Vec<&str> = chart.lines().collect();
+        // last grid row (before the axis) contains the leftmost glyph
+        let bottom = rows[8]; // title + 8 grid rows → index 8 is last grid row
+        assert!(bottom.contains('o'), "bottom row: {bottom:?}");
+        let top = rows[1];
+        assert!(top.trim_end().ends_with('o'), "top row: {top:?}");
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_glyphs() {
+        let chart = render_chart(
+            "two",
+            &[line("a", |x| x), line("b", |x| 10.0 - x)],
+            30,
+            8,
+        );
+        assert!(chart.contains('o') && chart.contains('*'));
+        assert!(chart.contains("o a") && chart.contains("* b"));
+    }
+
+    #[test]
+    fn flat_series_renders_without_division_by_zero() {
+        let chart = render_chart("flat", &[line("c", |_| 3.0)], 30, 8);
+        assert!(chart.contains('o'));
+        assert!(chart.contains("3.500") && chart.contains("2.500"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending-x")]
+    fn unordered_points_panic() {
+        let _ = Series::new("bad", vec![(2.0, 1.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_series_panics() {
+        let _ = Series::new("empty", vec![]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Experiment drivers — one per table/figure of the paper's §V, plus the
+//! ablations from DESIGN.md.
+//!
+//! Each driver takes an [`ExperimentContext`] and returns an
+//! [`ExperimentOutput`] containing renderable tables and shape notes
+//! (the qualitative claims the paper makes, checked against our runs:
+//! "CFSF beats every baseline", "Fig. 3 is U-shaped", ...).
+
+pub mod ablations;
+pub mod extensions;
+pub mod scalability;
+pub mod sweeps;
+pub mod tables;
+pub mod tuning;
+
+use cf_baselines::{
+    AspectConfig, AspectModel, Emdp, EmdpConfig, PdConfig, PersonalityDiagnosis, Scbpcc,
+    ScbpccConfig, SfConfig, SimilarityFusion, Sir, SirConfig, Sur, SurConfig,
+};
+use cf_data::{Dataset, GivenN, Protocol, Split, SyntheticConfig, TrainSize};
+use cf_matrix::{Predictor, RatingMatrix};
+use cf_similarity::GisConfig;
+use cfsf_core::{Cfsf, CfsfConfig};
+
+use crate::Table;
+
+/// How big an experiment run should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale: the 500×1000 synthetic MovieLens analogue, 200 test
+    /// users, full sweep grids. Minutes of wall time in release mode.
+    Paper,
+    /// A 200×300 dataset with coarser sweeps; seconds of wall time. Used
+    /// by integration tests and for iterating on the harness itself.
+    Quick,
+}
+
+/// Shared state for one experiment session: the dataset and the scale.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// The dataset every experiment draws splits from.
+    pub dataset: Dataset,
+    /// Run scale.
+    pub scale: Scale,
+    /// Worker threads (`None` = auto).
+    pub threads: Option<usize>,
+}
+
+/// One experiment's renderable output.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Stable id ("table2", "fig5", ...), used for CSV filenames.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Qualitative shape observations (paper claim → measured verdict).
+    pub notes: Vec<String>,
+    /// Rendered ASCII charts (the figure experiments attach one each).
+    pub charts: Vec<String>,
+}
+
+impl ExperimentContext {
+    /// Builds a context at the given scale with a deterministic dataset.
+    pub fn new(scale: Scale, seed: u64, threads: Option<usize>) -> Self {
+        let dataset = match scale {
+            Scale::Paper => SyntheticConfig::movielens().with_seed(seed).generate(),
+            Scale::Quick => SyntheticConfig {
+                num_users: 200,
+                num_items: 300,
+                mean_ratings_per_user: 40.0,
+                min_ratings_per_user: 21,
+                taste_groups: 6,
+                genres: 8,
+                ..SyntheticConfig::movielens()
+            }
+            .with_seed(seed)
+            .generate(),
+        };
+        Self {
+            dataset,
+            scale,
+            threads,
+        }
+    }
+
+    /// The paper's training-set grid (ML_100/200/300), scaled down in
+    /// quick mode.
+    pub fn train_sizes(&self) -> Vec<TrainSize> {
+        match self.scale {
+            Scale::Paper => vec![
+                TrainSize::Users(100),
+                TrainSize::Users(200),
+                TrainSize::Users(300),
+            ],
+            Scale::Quick => vec![TrainSize::Users(60), TrainSize::Users(100), TrainSize::Users(140)],
+        }
+    }
+
+    /// The largest training set (the paper runs its sweeps on ML_300).
+    pub fn largest_train(&self) -> TrainSize {
+        *self.train_sizes().last().expect("non-empty grid")
+    }
+
+    /// Number of test users (paper: 200).
+    pub fn test_users(&self) -> usize {
+        match self.scale {
+            Scale::Paper => 200,
+            Scale::Quick => 60,
+        }
+    }
+
+    /// Materializes a protocol split.
+    pub fn split(&self, train: TrainSize, given: GivenN) -> Split {
+        Protocol::new(train, given, self.test_users())
+            .split(&self.dataset)
+            .expect("context grids are always consistent")
+    }
+
+    /// Materializes a Fig. 5 split (Given20, partial test population).
+    pub fn split_fraction(&self, train: TrainSize, fraction: f64) -> Split {
+        Protocol::new(train, GivenN::Given20, self.test_users())
+            .with_test_fraction(fraction)
+            .split(&self.dataset)
+            .expect("context grids are always consistent")
+    }
+
+    /// CFSF configuration at this scale, with a GIS cap generous enough
+    /// for the Fig. 2 `M` sweep.
+    ///
+    /// The paper tuned its operating point (`C=30, K=25, w=0.35, λ=0.8,
+    /// δ=0.1`) on its MovieLens extract (§V-C/E). On our synthetic
+    /// substitute the `tune` experiment puts the optimum elsewhere
+    /// (fewer clusters — with C=30 over 500 users each Eq. 8 deviation
+    /// averages fewer than two ratings; larger K; higher w), so the
+    /// harness uses the substrate-tuned point below. The deviation and
+    /// its cause are documented in EXPERIMENTS.md; the Figs. 2–8 sweeps
+    /// cover both operating points. SCBPCC shares the same `C`/`K` since
+    /// it uses the same clustering substrate.
+    pub fn cfsf_config(&self) -> CfsfConfig {
+        let mut c = match self.scale {
+            Scale::Paper => CfsfConfig {
+                clusters: 12,
+                k: 40,
+                w: 0.6,
+                lambda: 0.9,
+                ..CfsfConfig::paper()
+            },
+            Scale::Quick => CfsfConfig {
+                clusters: 8,
+                k: 25,
+                m: 40,
+                w: 0.6,
+                lambda: 0.9,
+                ..CfsfConfig::paper()
+            },
+        };
+        c.gis = GisConfig {
+            max_neighbors: Some(sweep_m_values(self.scale).last().copied().unwrap_or(100).max(c.m)),
+            threads: self.threads,
+            ..GisConfig::default()
+        };
+        c.threads = self.threads;
+        c
+    }
+
+    /// Fits CFSF on a training matrix.
+    pub fn fit_cfsf(&self, train: &RatingMatrix) -> Cfsf {
+        Cfsf::fit(train, self.cfsf_config()).expect("paper config is valid")
+    }
+
+    /// Fits a baseline by its paper label.
+    pub fn fit_baseline(&self, name: &str, train: &RatingMatrix) -> Box<dyn Predictor> {
+        match name {
+            "SIR" => Box::new(Sir::fit(
+                train,
+                SirConfig {
+                    gis: GisConfig {
+                        threads: self.threads,
+                        max_neighbors: None,
+                        ..GisConfig::default()
+                    },
+                    ..SirConfig::default()
+                },
+            )),
+            "SUR" => Box::new(Sur::fit(train, SurConfig::default())),
+            "SF" => Box::new(SimilarityFusion::fit(
+                train,
+                SfConfig {
+                    gis: GisConfig {
+                        threads: self.threads,
+                        ..GisConfig::default()
+                    },
+                    ..SfConfig::default()
+                },
+            )),
+            "EMDP" => Box::new(Emdp::fit(
+                train,
+                EmdpConfig {
+                    threads: self.threads,
+                    ..EmdpConfig::default()
+                },
+            )),
+            "SCBPCC" => Box::new(Scbpcc::fit(
+                train,
+                ScbpccConfig {
+                    clusters: self.cfsf_config().clusters,
+                    k: self.cfsf_config().k,
+                    threads: self.threads,
+                    ..ScbpccConfig::default()
+                },
+            )),
+            "AM" => Box::new(AspectModel::fit(train, AspectConfig::default())),
+            "PD" => Box::new(PersonalityDiagnosis::fit(train, PdConfig::default())),
+            other => panic!("unknown baseline {other:?}"),
+        }
+    }
+
+    /// The Given-N grid (always the paper's three).
+    pub fn givens(&self) -> [GivenN; 3] {
+        GivenN::paper_grid()
+    }
+}
+
+/// Sweep grid for `M` (Fig. 2).
+pub fn sweep_m_values(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Paper => (1..=10).map(|x| x * 10).collect(), // 10..100
+        Scale::Quick => vec![10, 25, 40, 60],
+    }
+}
+
+/// Sweep grid for `K` (Fig. 3).
+pub fn sweep_k_values(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Paper => (1..=10).map(|x| x * 10).collect(),
+        Scale::Quick => vec![5, 15, 30, 50],
+    }
+}
+
+/// Sweep grid for `C` (Fig. 4).
+pub fn sweep_c_values(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Paper => (1..=10).map(|x| x * 10).collect(),
+        Scale::Quick => vec![4, 12, 24, 40],
+    }
+}
+
+/// Sweep grid for `λ` and `δ` (Figs. 6–7).
+pub fn sweep_unit_values(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Paper => (0..=10).map(|x| x as f64 / 10.0).collect(),
+        Scale::Quick => vec![0.0, 0.25, 0.5, 0.75, 1.0],
+    }
+}
+
+/// Sweep grid for `w` (Fig. 8); avoids the exact 0/1 endpoints the way
+/// the paper's x-axis does.
+pub fn sweep_w_values(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Paper => (1..=19).map(|x| x as f64 / 20.0).collect(),
+        Scale::Quick => vec![0.1, 0.3, 0.5, 0.7, 0.9],
+    }
+}
+
+/// Fig. 5 testset fractions.
+pub fn sweep_fractions(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Paper => (1..=10).map(|x| x as f64 / 10.0).collect(),
+        Scale::Quick => vec![0.25, 0.5, 0.75, 1.0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_context_is_consistent() {
+        let ctx = ExperimentContext::new(Scale::Quick, 1, Some(2));
+        assert_eq!(ctx.dataset.matrix.num_users(), 200);
+        let split = ctx.split(ctx.largest_train(), GivenN::Given5);
+        assert!(!split.holdout.is_empty());
+        assert_eq!(split.train.num_users(), 200);
+    }
+
+    #[test]
+    fn sweep_grids_are_monotonic() {
+        for scale in [Scale::Paper, Scale::Quick] {
+            assert!(sweep_m_values(scale).windows(2).all(|w| w[0] < w[1]));
+            assert!(sweep_k_values(scale).windows(2).all(|w| w[0] < w[1]));
+            assert!(sweep_c_values(scale).windows(2).all(|w| w[0] < w[1]));
+            assert!(sweep_unit_values(scale).windows(2).all(|w| w[0] < w[1]));
+            assert!(sweep_w_values(scale).windows(2).all(|w| w[0] < w[1]));
+            assert!(sweep_fractions(scale).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn all_baselines_fit_on_quick_data() {
+        let ctx = ExperimentContext::new(Scale::Quick, 1, Some(2));
+        let split = ctx.split(TrainSize::Users(60), GivenN::Given5);
+        for name in ["SIR", "SUR", "PD"] {
+            let model = ctx.fit_baseline(name, &split.train);
+            assert_eq!(model.name(), name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown baseline")]
+    fn unknown_baseline_panics() {
+        let ctx = ExperimentContext::new(Scale::Quick, 1, Some(2));
+        let _ = ctx.fit_baseline("nope", &ctx.dataset.matrix.clone());
+    }
+}

@@ -1,0 +1,293 @@
+//! Parameter-sensitivity figures: Fig. 2 (M), Fig. 3 (K), Fig. 4 (C),
+//! Fig. 6 (λ), Fig. 7 (δ), Fig. 8 (w).
+//!
+//! All sweeps run on the largest training set (the paper's ML_300) across
+//! Given5/10/20, exactly like the figures.
+
+use cf_data::GivenN;
+use cfsf_core::CfsfConfig;
+
+use crate::chart::{render_chart, Series};
+use crate::metrics::evaluate_mae;
+use crate::table::{fmt_mae, Table};
+
+/// Sweep x-axis values must be chartable.
+pub(crate) trait AsF64: Copy {
+    fn as_f64(self) -> f64;
+}
+impl AsF64 for usize {
+    fn as_f64(self) -> f64 {
+        self as f64
+    }
+}
+impl AsF64 for f64 {
+    fn as_f64(self) -> f64 {
+        self
+    }
+}
+
+use super::{
+    sweep_c_values, sweep_k_values, sweep_m_values, sweep_unit_values, sweep_w_values,
+    ExperimentContext, ExperimentOutput,
+};
+
+/// Engine shared by all sweep figures: for every swept value, evaluate a
+/// re-parameterized (or re-fitted) CFSF on all three GivenN splits.
+fn sweep<T: AsF64 + std::fmt::Display>(
+    ctx: &ExperimentContext,
+    id: &str,
+    title: &str,
+    param_name: &str,
+    values: &[T],
+    apply: impl Fn(&mut CfsfConfig, T),
+) -> (ExperimentOutput, Vec<Vec<f64>>) {
+    let train = ctx.largest_train();
+    let mut table = Table::new(title, &[param_name, "Given5", "Given10", "Given20"]);
+    // series[given][point]
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); 3];
+
+    // One split + base model per GivenN, swept via reparameterize (which
+    // refits only when the parameter is offline-side, e.g. C).
+    let splits: Vec<_> = ctx.givens().iter().map(|&g| ctx.split(train, g)).collect();
+    let bases: Vec<_> = splits.iter().map(|s| ctx.fit_cfsf(&s.train)).collect();
+
+    for &v in values {
+        let mut row = vec![format!("{v}")];
+        for (g, (split, base)) in splits.iter().zip(&bases).enumerate() {
+            let model = base
+                .reparameterize(|c| apply(c, v))
+                .expect("sweep values are valid");
+            let mae = evaluate_mae(&model, &split.holdout);
+            series[g].push(mae);
+            row.push(fmt_mae(mae));
+        }
+        table.push_row(row);
+    }
+
+    let chart_series: Vec<Series> = series
+        .iter()
+        .enumerate()
+        .map(|(g, s)| {
+            Series::new(
+                format!("Given{}", [5, 10, 20][g]),
+                values.iter().map(|v| v.as_f64()).zip(s.iter().copied()).collect(),
+            )
+        })
+        .collect();
+    let chart = render_chart(&format!("{title} — MAE vs {param_name}"), &chart_series, 60, 14);
+
+    let out = ExperimentOutput {
+        id: id.into(),
+        title: title.into(),
+        tables: vec![table],
+        notes: Vec::new(),
+        charts: vec![chart],
+    };
+    (out, series)
+}
+
+/// Index of the minimum of a series.
+fn argmin(series: &[f64]) -> usize {
+    series
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty series")
+}
+
+/// Fig. 2 — accuracy as the number of similar items `M` varies.
+pub fn fig2_m(ctx: &ExperimentContext) -> ExperimentOutput {
+    let values = sweep_m_values(ctx.scale);
+    let (mut out, series) = sweep(
+        ctx,
+        "fig2",
+        "Fig. 2 — MAE with M similar items (largest training set)",
+        "M",
+        &values,
+        |c, v| c.m = v,
+    );
+    // Paper: high MAE for small M, flattening once M passes ~60.
+    for (g, s) in series.iter().enumerate() {
+        let small = s[0];
+        let large = *s.last().expect("non-empty");
+        out.notes.push(format!(
+            "Given{}: MAE at smallest M = {:.3}, at largest M = {:.3} (paper: small M is worse) — {}",
+            [5, 10, 20][g],
+            small,
+            large,
+            if small >= large { "matches" } else { "DIFFERS" }
+        ));
+    }
+    out
+}
+
+/// Fig. 3 — accuracy as the number of like-minded users `K` varies.
+pub fn fig3_k(ctx: &ExperimentContext) -> ExperimentOutput {
+    let values = sweep_k_values(ctx.scale);
+    let (mut out, series) = sweep(
+        ctx,
+        "fig3",
+        "Fig. 3 — MAE with K like-minded users (largest training set)",
+        "K",
+        &values,
+        |c, v| c.k = v,
+    );
+    // Paper: minimum in the 20–40 band; larger K drags in unrelated users.
+    for (g, s) in series.iter().enumerate() {
+        let best = values[argmin(s)];
+        out.notes.push(format!(
+            "Given{}: best K = {best} (paper: minimum for K in [20, 40])",
+            [5, 10, 20][g]
+        ));
+    }
+    out
+}
+
+/// Fig. 4 — accuracy as the number of user clusters `C` varies. Each
+/// point refits the offline phase (cluster structure changes).
+pub fn fig4_c(ctx: &ExperimentContext) -> ExperimentOutput {
+    let values = sweep_c_values(ctx.scale);
+    let (mut out, series) = sweep(
+        ctx,
+        "fig4",
+        "Fig. 4 — MAE with C user clusters (largest training set)",
+        "C",
+        &values,
+        |c, v| c.clusters = v,
+    );
+    for (g, s) in series.iter().enumerate() {
+        let best = values[argmin(s)];
+        out.notes.push(format!(
+            "Given{}: best C = {best} (paper: minimum around C = 30; too many clusters hurt)",
+            [5, 10, 20][g]
+        ));
+    }
+    out
+}
+
+/// Fig. 6 — sensitivity of the fusion weight λ.
+pub fn fig6_lambda(ctx: &ExperimentContext) -> ExperimentOutput {
+    let values = sweep_unit_values(ctx.scale);
+    let (mut out, series) = sweep(
+        ctx,
+        "fig6",
+        "Fig. 6 — sensitivity of lambda (largest training set)",
+        "lambda",
+        &values,
+        |c, v| c.lambda = v,
+    );
+    for (g, s) in series.iter().enumerate() {
+        let best = values[argmin(s)];
+        out.notes.push(format!(
+            "Given{}: best lambda = {best} (paper: MAE dips then rises, minimum at 0.8 — SUR' matters more than SIR')",
+            [5, 10, 20][g]
+        ));
+    }
+    out
+}
+
+/// Fig. 7 — sensitivity of the SUIR' weight δ.
+pub fn fig7_delta(ctx: &ExperimentContext) -> ExperimentOutput {
+    let values = sweep_unit_values(ctx.scale);
+    let (mut out, series) = sweep(
+        ctx,
+        "fig7",
+        "Fig. 7 — sensitivity of delta (largest training set)",
+        "delta",
+        &values,
+        |c, v| c.delta = v,
+    );
+    for (g, s) in series.iter().enumerate() {
+        let best = values[argmin(s)];
+        let rises_to_one = *s.last().expect("non-empty") > s[argmin(s)];
+        out.notes.push(format!(
+            "Given{}: best delta = {best}, MAE at delta=1 is worse: {rises_to_one} \
+             (paper: minimum at 0.1, rising thereafter)",
+            [5, 10, 20][g]
+        ));
+    }
+    out
+}
+
+/// Fig. 8 — sensitivity of the smoothing-discount w.
+pub fn fig8_w(ctx: &ExperimentContext) -> ExperimentOutput {
+    let values = sweep_w_values(ctx.scale);
+    let (mut out, series) = sweep(
+        ctx,
+        "fig8",
+        "Fig. 8 — sensitivity of w (largest training set)",
+        "w",
+        &values,
+        |c, v| c.w = v,
+    );
+    for (g, s) in series.iter().enumerate() {
+        let best = values[argmin(s)];
+        out.notes.push(format!(
+            "Given{}: best w = {best} (paper: high accuracy for w in [0.2, 0.4])",
+            [5, 10, 20][g]
+        ));
+    }
+    out
+}
+
+/// Beyond-the-paper sweep: GivenN far outside {5,10,20}, checking that
+/// more revealed ratings keep helping (the trend the paper extrapolates).
+pub fn given_sweep(ctx: &ExperimentContext) -> ExperimentOutput {
+    let train = ctx.largest_train();
+    let counts: &[usize] = match ctx.scale {
+        super::Scale::Paper => &[2, 5, 10, 20, 30],
+        super::Scale::Quick => &[2, 5, 10],
+    };
+    let mut table = Table::new(
+        "Extension — MAE as the number of revealed ratings grows",
+        &["GivenN", "MAE"],
+    );
+    let mut series = Vec::new();
+    for &n in counts {
+        let split = ctx.split(train, GivenN::Custom(n));
+        if split.holdout.is_empty() {
+            continue;
+        }
+        let model = ctx.fit_cfsf(&split.train);
+        let mae = evaluate_mae(&model, &split.holdout);
+        table.push_row(vec![n.to_string(), fmt_mae(mae)]);
+        series.push(mae);
+    }
+    let trend_down = series.first() >= series.last();
+    ExperimentOutput {
+        id: "given_sweep".into(),
+        title: "Extension — GivenN sweep".into(),
+        tables: vec![table],
+        notes: vec![format!(
+            "MAE at Given2 ≥ MAE at the largest GivenN: {trend_down} (more evidence should help)"
+        )],
+        charts: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+
+    #[test]
+    fn m_sweep_produces_full_grid() {
+        let ctx = ExperimentContext::new(Scale::Quick, 5, Some(2));
+        let out = fig2_m(&ctx);
+        assert_eq!(out.tables[0].rows.len(), sweep_m_values(Scale::Quick).len());
+        assert_eq!(out.notes.len(), 3);
+        for row in &out.tables[0].rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v > 0.0 && v < 4.0);
+            }
+        }
+    }
+
+    #[test]
+    fn argmin_finds_minimum() {
+        assert_eq!(argmin(&[3.0, 1.0, 2.0]), 1);
+        assert_eq!(argmin(&[1.0]), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # cf-eval — evaluation harness for the CFSF reproduction
+//!
+//! Everything needed to regenerate the paper's evaluation section:
+//!
+//! - [`metrics`] — MAE (Eq. 15), RMSE, coverage,
+//! - [`timing`] — wall-clock measurement of the online phase (Fig. 5),
+//! - [`table`] — markdown/CSV rendering of experiment outputs,
+//! - [`experiments`] — one driver per paper table/figure (Table I–III,
+//!   Fig. 2–8) plus the ablations DESIGN.md calls out,
+//! - the `cfsf-experiments` binary that runs them
+//!   (`cargo run --release -p cf-eval --bin cfsf-experiments -- all`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod experiments;
+pub mod metrics;
+pub mod ranking;
+pub mod stats;
+pub mod table;
+pub mod timing;
+
+pub use chart::{render_chart, Series};
+pub use experiments::{ExperimentContext, Scale};
+pub use metrics::{evaluate, evaluate_mae, evaluate_rmse, Evaluation};
+pub use ranking::{evaluate_ranking, RankingEvaluation};
+pub use stats::{absolute_errors, paired_t_test, PairedTTest};
+pub use table::Table;
+pub use timing::time_predictions;

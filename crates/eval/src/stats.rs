@@ -1,0 +1,159 @@
+//! Statistical significance of accuracy differences.
+//!
+//! The paper reports raw MAE differences; a production evaluation should
+//! also say whether a difference is real. Two predictors scored on the
+//! *same* holdout cells give paired per-cell absolute errors, so the
+//! paired t-test applies directly. With thousands of cells the t
+//! statistic is effectively normal, so the p-value uses the Gaussian
+//! CDF (documented approximation; exact Student-t would need an
+//! incomplete-beta implementation for no practical gain at these n).
+
+use cf_data::HoldoutCell;
+use cf_matrix::Predictor;
+
+/// Result of a paired t-test on per-cell absolute errors.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct PairedTTest {
+    /// Mean of (errors_a − errors_b); negative means `a` is better.
+    pub mean_diff: f64,
+    /// The t statistic.
+    pub t: f64,
+    /// Two-sided p-value under the normal approximation.
+    pub p_two_sided: f64,
+    /// Number of pairs.
+    pub n: usize,
+}
+
+impl PairedTTest {
+    /// `true` when the difference is significant at the given level.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_two_sided < alpha
+    }
+}
+
+/// Per-cell absolute errors of a predictor over a holdout set (midpoint
+/// fallback on abstention, matching [`crate::evaluate`]).
+pub fn absolute_errors<P: Predictor + ?Sized>(
+    predictor: &P,
+    holdout: &[HoldoutCell],
+) -> Vec<f64> {
+    holdout
+        .iter()
+        .map(|cell| {
+            let p = predictor.predict(cell.user, cell.item).unwrap_or(3.0);
+            (p - cell.rating).abs()
+        })
+        .collect()
+}
+
+/// Paired t-test on two equal-length error vectors.
+///
+/// Returns `None` when fewer than 2 pairs exist or the differences have
+/// zero variance (identical predictors — no test to run).
+pub fn paired_t_test(errors_a: &[f64], errors_b: &[f64]) -> Option<PairedTTest> {
+    assert_eq!(
+        errors_a.len(),
+        errors_b.len(),
+        "paired test needs equal-length samples"
+    );
+    let n = errors_a.len();
+    if n < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = errors_a.iter().zip(errors_b).map(|(a, b)| a - b).collect();
+    let mean = diffs.iter().sum::<f64>() / n as f64;
+    let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1) as f64;
+    if var <= 0.0 {
+        return None;
+    }
+    let se = (var / n as f64).sqrt();
+    let t = mean / se;
+    let p = 2.0 * (1.0 - standard_normal_cdf(t.abs()));
+    Some(PairedTTest {
+        mean_diff: mean,
+        t,
+        p_two_sided: p.clamp(0.0, 1.0),
+        n,
+    })
+}
+
+/// Φ(x): the standard normal CDF via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7 — far below anything that changes a
+/// significance verdict).
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((standard_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(standard_normal_cdf(6.0) > 0.999_999);
+        assert!(standard_normal_cdf(-6.0) < 1e-6);
+    }
+
+    #[test]
+    fn detects_a_consistent_difference() {
+        // b is uniformly worse by 0.1 with small noise
+        let a: Vec<f64> = (0..500).map(|i| 0.5 + 0.01 * ((i % 7) as f64)).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 0.1).collect();
+        let t = paired_t_test(&a, &b).unwrap();
+        assert!(t.mean_diff < 0.0, "a better → negative diff");
+        assert!(t.significant_at(0.001), "p = {}", t.p_two_sided);
+    }
+
+    #[test]
+    fn no_difference_is_not_significant() {
+        // symmetric noise around zero difference
+        let a: Vec<f64> = (0..400).map(|i| 0.5 + 0.05 * (((i * 31) % 11) as f64 - 5.0)).collect();
+        let b: Vec<f64> = (0..400).map(|i| 0.5 + 0.05 * (((i * 17) % 11) as f64 - 5.0)).collect();
+        let t = paired_t_test(&a, &b).unwrap();
+        assert!(!t.significant_at(0.01), "p = {}", t.p_two_sided);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(paired_t_test(&[1.0], &[2.0]).is_none());
+        assert!(paired_t_test(&[1.0, 1.0, 1.0], &[1.5, 1.5, 1.5]).is_none()); // zero variance
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        let _ = paired_t_test(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn absolute_errors_match_manual_computation() {
+        use cf_matrix::{ItemId, UserId};
+        struct Fixed;
+        impl Predictor for Fixed {
+            fn predict(&self, _: UserId, _: ItemId) -> Option<f64> {
+                Some(4.0)
+            }
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+        }
+        let holdout = vec![
+            HoldoutCell { user: UserId::new(0), item: ItemId::new(0), rating: 5.0 },
+            HoldoutCell { user: UserId::new(0), item: ItemId::new(1), rating: 3.0 },
+        ];
+        assert_eq!(absolute_errors(&Fixed, &holdout), vec![1.0, 1.0]);
+    }
+}

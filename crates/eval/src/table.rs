@@ -1,0 +1,129 @@
+//! Rendering of experiment outputs as markdown and CSV.
+
+/// A rectangular results table with named columns.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct Table {
+    /// Table title (e.g. "Table II — MAE for SIR, SUR and CFSF").
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells, each the same length as `columns`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and columns.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Panics if the width doesn't match the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows, RFC-4180-style quoting for commas).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| field(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an MAE for the tables (3 decimals like the paper).
+pub fn fmt_mae(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a duration in seconds with millisecond resolution.
+pub fn fmt_secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("Demo", &["method", "mae"]);
+        t.push_row(vec!["CFSF".into(), "0.743".into()]);
+        t.push_row(vec!["SUR".into(), "0.838".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_has_header_separator_and_rows() {
+        let md = table().to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| method | mae |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| CFSF | 0.743 |"));
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let mut t = table();
+        t.push_row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("method,mae\n"));
+        assert!(csv.contains("CFSF,0.743"));
+        assert!(csv.contains("\"a,b\",\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        table().push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_mae(0.74349), "0.743");
+        assert_eq!(fmt_secs(std::time::Duration::from_millis(1500)), "1.500");
+    }
+}

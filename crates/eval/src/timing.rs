@@ -1,0 +1,61 @@
+//! Wall-clock measurement of the online phase (Fig. 5's metric).
+
+use std::time::{Duration, Instant};
+
+use cf_data::HoldoutCell;
+use cf_matrix::Predictor;
+
+/// Predicts every holdout cell once and returns the elapsed wall time.
+///
+/// This is the paper's "response time" metric: how long the *online*
+/// phase takes to serve a whole testset. The offline phase (fitting) is
+/// deliberately excluded, matching §V-D.
+pub fn time_predictions<P: Predictor + ?Sized>(
+    predictor: &P,
+    holdout: &[HoldoutCell],
+) -> Duration {
+    let start = Instant::now();
+    for cell in holdout {
+        // The value is consumed through a black box so the optimizer can't
+        // hoist or skip predictions.
+        std::hint::black_box(predictor.predict(cell.user, cell.item));
+    }
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_matrix::{ItemId, UserId};
+
+    struct Slow;
+    impl Predictor for Slow {
+        fn predict(&self, _: UserId, _: ItemId) -> Option<f64> {
+            std::hint::black_box((0..2000).map(|x| x as f64).sum::<f64>());
+            Some(3.0)
+        }
+        fn name(&self) -> &'static str {
+            "slow"
+        }
+    }
+
+    #[test]
+    fn time_grows_with_cells() {
+        let cell = |i| HoldoutCell {
+            user: UserId::new(0),
+            item: ItemId::new(i),
+            rating: 3.0,
+        };
+        let small: Vec<_> = (0..50u32).map(cell).collect();
+        let large: Vec<_> = (0..5000u32).map(cell).collect();
+        let t_small = time_predictions(&Slow, &small);
+        let t_large = time_predictions(&Slow, &large);
+        assert!(t_large > t_small, "{t_large:?} !> {t_small:?}");
+    }
+
+    #[test]
+    fn empty_holdout_is_instant() {
+        let t = time_predictions(&Slow, &[]);
+        assert!(t < Duration::from_millis(50));
+    }
+}

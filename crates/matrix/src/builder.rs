@@ -1,0 +1,299 @@
+//! Construction of [`RatingMatrix`] from `(user, item, rating)` triplets.
+
+use crate::{ItemId, MatrixError, RatingMatrix, RatingScale, UserId};
+
+/// Accumulates rating triplets and freezes them into a [`RatingMatrix`].
+///
+/// The builder accepts triplets in any order, deduplicates exact repeats,
+/// rejects conflicting repeats, validates every rating against the declared
+/// [`RatingScale`], and assembles both the CSR and CSC views plus all means
+/// in `O(n log n)`.
+///
+/// ```
+/// use cf_matrix::{MatrixBuilder, UserId, ItemId};
+///
+/// let mut b = MatrixBuilder::new();
+/// b.push(UserId::new(0), ItemId::new(2), 4.0);
+/// b.push(UserId::new(1), ItemId::new(0), 3.0);
+/// let m = b.build().unwrap();
+/// assert_eq!(m.num_users(), 2);
+/// assert_eq!(m.num_items(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatrixBuilder {
+    triplets: Vec<(UserId, ItemId, f64)>,
+    min_users: usize,
+    min_items: usize,
+    scale: RatingScale,
+}
+
+impl Default for MatrixBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MatrixBuilder {
+    /// New builder; dimensions are inferred from the largest ids pushed.
+    pub fn new() -> Self {
+        Self {
+            triplets: Vec::new(),
+            min_users: 0,
+            min_items: 0,
+            scale: RatingScale::default(),
+        }
+    }
+
+    /// New builder with dimensions fixed to at least `users × items`, so
+    /// trailing unrated users/items keep their slots (the evaluation
+    /// protocol relies on stable ids across splits).
+    pub fn with_dims(users: usize, items: usize) -> Self {
+        Self {
+            triplets: Vec::new(),
+            min_users: users,
+            min_items: items,
+            scale: RatingScale::default(),
+        }
+    }
+
+    /// Sets the rating scale validated at build time (default 1..=5).
+    #[must_use]
+    pub fn scale(mut self, scale: RatingScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Pre-allocates space for `n` triplets.
+    pub fn reserve(&mut self, n: usize) {
+        self.triplets.reserve(n);
+    }
+
+    /// Adds one rating.
+    pub fn push(&mut self, user: UserId, item: ItemId, rating: f64) {
+        self.triplets.push((user, item, rating));
+    }
+
+    /// Number of triplets pushed so far (before deduplication).
+    pub fn len(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// `true` if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.triplets.is_empty()
+    }
+
+    /// Validates, sorts, deduplicates, and assembles the matrix.
+    pub fn build(self) -> Result<RatingMatrix, MatrixError> {
+        let MatrixBuilder {
+            mut triplets,
+            min_users,
+            min_items,
+            scale,
+        } = self;
+
+        for &(u, i, r) in &triplets {
+            if !r.is_finite() {
+                return Err(MatrixError::NonFiniteRating {
+                    user: u,
+                    item: i,
+                    value: r,
+                });
+            }
+            if !scale.contains(r) {
+                return Err(MatrixError::RatingOutOfScale {
+                    user: u,
+                    item: i,
+                    value: r,
+                    min: scale.min,
+                    max: scale.max,
+                });
+            }
+        }
+        if triplets.is_empty() {
+            return Err(MatrixError::Empty);
+        }
+
+        triplets.sort_unstable_by_key(|t| (t.0, t.1));
+        // Reject conflicting duplicates, collapse exact ones.
+        let mut deduped: Vec<(UserId, ItemId, f64)> = Vec::with_capacity(triplets.len());
+        for (u, i, r) in triplets {
+            match deduped.last() {
+                Some(&(pu, pi, pr)) if pu == u && pi == i => {
+                    if pr != r {
+                        return Err(MatrixError::ConflictingDuplicate {
+                            user: u,
+                            item: i,
+                            first: pr,
+                            second: r,
+                        });
+                    }
+                }
+                _ => deduped.push((u, i, r)),
+            }
+        }
+
+        let num_users = min_users.max(
+            deduped
+                .iter()
+                .map(|t| t.0.index() + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        let num_items = min_items.max(
+            deduped
+                .iter()
+                .map(|t| t.1.index() + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        let nnz = deduped.len();
+
+        // CSR (already in user-major sorted order).
+        let mut user_ptr = vec![0u32; num_users + 1];
+        for &(u, _, _) in &deduped {
+            user_ptr[u.index() + 1] += 1;
+        }
+        for k in 0..num_users {
+            user_ptr[k + 1] += user_ptr[k];
+        }
+        let user_items: Vec<ItemId> = deduped.iter().map(|t| t.1).collect();
+        let user_vals: Vec<f64> = deduped.iter().map(|t| t.2).collect();
+
+        // CSC via counting sort on item.
+        let mut item_ptr = vec![0u32; num_items + 1];
+        for &(_, i, _) in &deduped {
+            item_ptr[i.index() + 1] += 1;
+        }
+        for k in 0..num_items {
+            item_ptr[k + 1] += item_ptr[k];
+        }
+        let mut cursor: Vec<u32> = item_ptr[..num_items].to_vec();
+        let mut item_users = vec![UserId::new(0); nnz];
+        let mut item_vals = vec![0.0f64; nnz];
+        // deduped is user-major, so within each column users come out sorted.
+        for &(u, i, r) in &deduped {
+            let slot = cursor[i.index()] as usize;
+            item_users[slot] = u;
+            item_vals[slot] = r;
+            cursor[i.index()] += 1;
+        }
+
+        let total: f64 = user_vals.iter().sum();
+        let global_mean = total / nnz as f64;
+
+        let mut user_means = vec![global_mean; num_users];
+        for u in 0..num_users {
+            let lo = user_ptr[u] as usize;
+            let hi = user_ptr[u + 1] as usize;
+            if hi > lo {
+                user_means[u] = user_vals[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            }
+        }
+        let mut item_means = vec![global_mean; num_items];
+        for i in 0..num_items {
+            let lo = item_ptr[i] as usize;
+            let hi = item_ptr[i + 1] as usize;
+            if hi > lo {
+                item_means[i] = item_vals[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            }
+        }
+
+        Ok(RatingMatrix {
+            num_users,
+            num_items,
+            scale,
+            user_ptr,
+            user_items,
+            user_vals,
+            item_ptr,
+            item_users,
+            item_vals,
+            user_means,
+            item_means,
+            global_mean,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_order_input_is_sorted() {
+        let mut b = MatrixBuilder::new();
+        b.push(UserId::new(1), ItemId::new(3), 2.0);
+        b.push(UserId::new(0), ItemId::new(1), 5.0);
+        b.push(UserId::new(1), ItemId::new(0), 4.0);
+        let m = b.build().unwrap();
+        let (items, vals) = m.user_row(UserId::new(1));
+        assert_eq!(items, &[ItemId::new(0), ItemId::new(3)]);
+        assert_eq!(vals, &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn exact_duplicates_collapse() {
+        let mut b = MatrixBuilder::new();
+        b.push(UserId::new(0), ItemId::new(0), 3.0);
+        b.push(UserId::new(0), ItemId::new(0), 3.0);
+        let m = b.build().unwrap();
+        assert_eq!(m.num_ratings(), 1);
+    }
+
+    #[test]
+    fn conflicting_duplicates_error() {
+        let mut b = MatrixBuilder::new();
+        b.push(UserId::new(0), ItemId::new(0), 3.0);
+        b.push(UserId::new(0), ItemId::new(0), 4.0);
+        assert!(matches!(
+            b.build(),
+            Err(MatrixError::ConflictingDuplicate { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_rating_rejected() {
+        let mut b = MatrixBuilder::new();
+        b.push(UserId::new(0), ItemId::new(0), f64::NAN);
+        assert!(matches!(b.build(), Err(MatrixError::NonFiniteRating { .. })));
+    }
+
+    #[test]
+    fn out_of_scale_rejected() {
+        let mut b = MatrixBuilder::new();
+        b.push(UserId::new(0), ItemId::new(0), 6.0);
+        assert!(matches!(b.build(), Err(MatrixError::RatingOutOfScale { .. })));
+    }
+
+    #[test]
+    fn custom_scale_accepts_wider_values() {
+        let mut b = MatrixBuilder::new().scale(RatingScale::new(0.0, 10.0));
+        b.push(UserId::new(0), ItemId::new(0), 6.0);
+        let m = b.build().unwrap();
+        assert_eq!(m.get(UserId::new(0), ItemId::new(0)), Some(6.0));
+    }
+
+    #[test]
+    fn empty_builder_errors() {
+        assert!(matches!(MatrixBuilder::new().build(), Err(MatrixError::Empty)));
+    }
+
+    #[test]
+    fn with_dims_pads_dimensions() {
+        let mut b = MatrixBuilder::with_dims(10, 20);
+        b.push(UserId::new(0), ItemId::new(0), 1.0);
+        let m = b.build().unwrap();
+        assert_eq!(m.num_users(), 10);
+        assert_eq!(m.num_items(), 20);
+    }
+
+    #[test]
+    fn dims_grow_past_with_dims_if_needed() {
+        let mut b = MatrixBuilder::with_dims(2, 2);
+        b.push(UserId::new(5), ItemId::new(7), 1.0);
+        let m = b.build().unwrap();
+        assert_eq!(m.num_users(), 6);
+        assert_eq!(m.num_items(), 8);
+    }
+}

@@ -1,0 +1,125 @@
+//! Typed indices for users and items.
+//!
+//! The paper works with a `Q × P` item-user matrix; mixing up the two axes
+//! is the classic bug in CF code, so both axes get a newtype. Internally
+//! they are `u32`: the MovieLens-scale matrices this workspace targets are
+//! far below `u32::MAX`, and the smaller index type halves the size of the
+//! sparse index arrays (see the Type Sizes guidance in the Rust perf book).
+
+use std::fmt;
+
+/// Identifier of a user (a row of the user-major matrix).
+///
+/// Wraps a dense 0-based index. Construct with [`UserId::new`] or `from`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct UserId(pub u32);
+
+/// Identifier of an item (a column of the user-major matrix).
+///
+/// Wraps a dense 0-based index. Construct with [`ItemId::new`] or `from`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct ItemId(pub u32);
+
+macro_rules! impl_id {
+    ($name:ident, $label:literal) => {
+        impl $name {
+            /// Creates an id from a dense 0-based index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// The underlying dense index, widened for slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// The raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            /// Panics if `v` does not fit in `u32`; matrices that large are
+            /// outside this crate's design envelope.
+            #[inline]
+            fn from(v: usize) -> Self {
+                Self(u32::try_from(v).expect("index exceeds u32 range"))
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($label, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+impl_id!(UserId, "u");
+impl_id!(ItemId, "i");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_id_roundtrip() {
+        let u = UserId::new(7);
+        assert_eq!(u.index(), 7);
+        assert_eq!(u.raw(), 7);
+        assert_eq!(UserId::from(7usize), u);
+        assert_eq!(usize::from(u), 7);
+    }
+
+    #[test]
+    fn item_id_roundtrip() {
+        let i = ItemId::new(42);
+        assert_eq!(i.index(), 42);
+        assert_eq!(ItemId::from(42u32), i);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(UserId::new(1) < UserId::new(2));
+        assert!(ItemId::new(0) < ItemId::new(10));
+    }
+
+    #[test]
+    fn debug_formatting_distinguishes_axes() {
+        assert_eq!(format!("{:?}", UserId::new(3)), "u3");
+        assert_eq!(format!("{:?}", ItemId::new(3)), "i3");
+        assert_eq!(format!("{}", ItemId::new(3)), "3");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn oversized_usize_panics() {
+        let _ = UserId::from(u64::MAX as usize);
+    }
+}

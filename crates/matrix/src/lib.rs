@@ -1,0 +1,39 @@
+//! # cf-matrix — sparse item-user rating matrix substrate
+//!
+//! This crate is the foundation of the CFSF reproduction. It provides:
+//!
+//! - [`UserId`] / [`ItemId`] — typed indices into the matrix,
+//! - [`RatingMatrix`] — an immutable sparse rating matrix stored in both
+//!   user-major (CSR) and item-major (CSC) order, with precomputed user and
+//!   item means,
+//! - [`MatrixBuilder`] — the only way to construct a [`RatingMatrix`];
+//!   deduplicates, sorts, and validates triplets,
+//! - [`DenseRatings`] — a dense user×item matrix with an "originally rated"
+//!   bitset; used for cluster-smoothed ratings (Eq. 7 of the paper),
+//! - [`Predictor`] — the trait every CF algorithm in this workspace
+//!   implements, plus rating-scale clamping helpers,
+//! - [`stats`] — dataset statistics as reported in Table I of the paper.
+//!
+//! The matrix is deliberately immutable after build: every algorithm in the
+//! paper (CFSF and all baselines) trains on a frozen snapshot, and
+//! immutability lets us share it freely across threads (`&RatingMatrix` is
+//! `Send + Sync`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod dense;
+mod error;
+mod ids;
+mod matrix;
+mod predictor;
+pub mod stats;
+
+pub use builder::MatrixBuilder;
+pub use dense::DenseRatings;
+pub use error::MatrixError;
+pub use ids::{ItemId, UserId};
+pub use matrix::RatingMatrix;
+pub use predictor::{clamp_rating, Predictor, RatingScale};
+pub use stats::MatrixStats;

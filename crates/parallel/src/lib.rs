@@ -1,0 +1,298 @@
+//! # cf-parallel — minimal data-parallel toolkit
+//!
+//! The CFSF offline phase builds a 1000×1000 item-similarity matrix and
+//! runs K-means over user profiles; both are embarrassingly parallel. The
+//! allowed dependency set for this reproduction has no `rayon`, so this
+//! crate provides the small slice of it the workspace needs, built on
+//! `std::thread::scope` and a crossbeam channel:
+//!
+//! - [`par_map`] — dynamically scheduled parallel map over an index range,
+//! - [`par_for_each_mut`] — statically chunked parallel mutation of a slice,
+//! - [`par_reduce`] — parallel map + associative fold,
+//! - [`join`] — run two closures on two threads,
+//! - [`effective_threads`] — thread-count policy (request → env → cores).
+//!
+//! Everything is safe code; results are deterministic for deterministic
+//! closures (outputs are reassembled in index order regardless of which
+//! worker computed them).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable that caps worker threads for the whole workspace.
+pub const THREADS_ENV: &str = "CF_THREADS";
+
+/// Resolves the number of worker threads to use.
+///
+/// Priority: an explicit `requested` value, then the `CF_THREADS`
+/// environment variable, then `std::thread::available_parallelism()`.
+/// Always at least 1.
+pub fn effective_threads(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Picks a chunk size giving each thread several chunks to balance over,
+/// with a floor so tiny work items aren't dominated by scheduling overhead.
+fn chunk_size_for(n: usize, threads: usize) -> usize {
+    (n / (threads * 8)).max(1)
+}
+
+/// Parallel map over `0..n`, dynamically scheduled in chunks.
+///
+/// Returns `vec![f(0), f(1), .., f(n-1)]`, identical to the sequential map
+/// for any deterministic `f`. Worker panics propagate to the caller.
+///
+/// ```
+/// let squares = cf_parallel::par_map(100, 4, |i| i * i);
+/// assert_eq!(squares[7], 49);
+/// ```
+pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = chunk_size_for(n, threads);
+    let num_chunks = n.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Vec<T>)>();
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let f = &f;
+            let next = &next;
+            s.spawn(move || loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= num_chunks {
+                    break;
+                }
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(n);
+                let vals: Vec<T> = (lo..hi).map(f).collect();
+                // The receiver outlives the workers, so a send can only
+                // fail after a panic elsewhere; swallowing the error lets
+                // the scope surface the original panic instead.
+                let _ = tx.send((c, vals));
+            });
+        }
+        drop(tx);
+        let mut parts: Vec<Option<Vec<T>>> = (0..num_chunks).map(|_| None).collect();
+        for (c, vals) in rx {
+            parts[c] = Some(vals);
+        }
+        let mut out = Vec::with_capacity(n);
+        for p in parts {
+            out.extend(p.expect("worker panicked before finishing its chunk"));
+        }
+        out
+    })
+}
+
+/// Parallel in-place mutation of a slice, statically chunked.
+///
+/// `f` receives the element's index and a mutable reference. Chunks are
+/// contiguous, so false sharing is limited to chunk boundaries.
+///
+/// ```
+/// let mut v = vec![0usize; 64];
+/// cf_parallel::par_for_each_mut(&mut v, 4, |i, x| *x = i * 2);
+/// assert_eq!(v[10], 20);
+/// ```
+pub fn par_for_each_mut<T, F>(data: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = data.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 || n <= 1 {
+        for (i, x) in data.iter_mut().enumerate() {
+            f(i, x);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (c, part) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let base = c * chunk;
+                for (k, x) in part.iter_mut().enumerate() {
+                    f(base + k, x);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel map-reduce over `0..n` with an associative `fold`.
+///
+/// Each chunk folds locally starting from `identity()`; the caller then
+/// folds the per-chunk results *in chunk order*, so the result is
+/// deterministic whenever `fold` is associative (it need not be
+/// commutative, and floating-point summation stays reproducible run to
+/// run).
+///
+/// ```
+/// let sum = cf_parallel::par_reduce(1000, 4, || 0u64, |i| i as u64, |a, b| a + b);
+/// assert_eq!(sum, 499_500);
+/// ```
+pub fn par_reduce<T, Id, M, F>(n: usize, threads: usize, identity: Id, map: M, fold: F) -> T
+where
+    T: Send,
+    Id: Fn() -> T + Sync,
+    M: Fn(usize) -> T + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    if n == 0 {
+        return identity();
+    }
+    let threads = threads.clamp(1, n);
+    let chunk = chunk_size_for(n, threads);
+    let num_chunks = n.div_ceil(chunk);
+    let parts = par_map(num_chunks, threads, |c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        let mut acc = identity();
+        for i in lo..hi {
+            acc = fold(acc, map(i));
+        }
+        acc
+    });
+    let mut acc = identity();
+    for part in parts {
+        acc = fold(acc, part);
+    }
+    acc
+}
+
+/// Runs `a` and `b` concurrently and returns both results.
+///
+/// ```
+/// let (x, y) = cf_parallel::join(|| 2 + 2, || "ok");
+/// assert_eq!((x, y), (4, "ok"));
+/// ```
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("join: second closure panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let seq: Vec<usize> = (0..1000).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map(1000, threads, |i| i * 3 + 1), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_tiny() {
+        assert!(par_map(0, 4, |i| i).is_empty());
+        assert_eq!(par_map(1, 4, |i| i + 7), vec![7]);
+        assert_eq!(par_map(2, 16, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn par_map_with_nontrivial_payloads() {
+        let out = par_map(100, 4, |i| vec![i; i % 5]);
+        assert_eq!(out[9], vec![9; 4]);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn par_map_propagates_worker_panic() {
+        let _ = par_map(100, 4, |i| {
+            if i == 57 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_every_index_once() {
+        let mut v = vec![0u32; 777];
+        par_for_each_mut(&mut v, 5, |i, x| *x += i as u32 + 1);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn par_for_each_mut_handles_empty() {
+        let mut v: Vec<u8> = vec![];
+        par_for_each_mut(&mut v, 4, |_, _| unreachable!());
+    }
+
+    #[test]
+    fn par_reduce_sums_correctly() {
+        for threads in [1, 2, 7] {
+            let s = par_reduce(12345, threads, || 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(s, 12345 * 12344 / 2, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_empty_returns_identity() {
+        let s = par_reduce(0, 4, || 41u64, |_| 1, |a, b| a + b);
+        assert_eq!(s, 41);
+    }
+
+    #[test]
+    fn par_reduce_is_order_preserving_for_associative_noncommutative_fold() {
+        // String concatenation is associative but not commutative.
+        let s = par_reduce(
+            26,
+            4,
+            String::new,
+            |i| char::from(b'a' + i as u8).to_string(),
+            |a, b| a + &b,
+        );
+        assert_eq!(s, "abcdefghijklmnopqrstuvwxyz");
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| (0..10).sum::<i32>(), || "done".to_string());
+        assert_eq!(a, 45);
+        assert_eq!(b, "done");
+    }
+
+    #[test]
+    fn effective_threads_has_floor_of_one() {
+        assert_eq!(effective_threads(Some(0)), 1);
+        assert!(effective_threads(None) >= 1);
+        assert_eq!(effective_threads(Some(9)), 9);
+    }
+}

@@ -1,0 +1,43 @@
+//! Property-based tests: the parallel primitives must be observationally
+//! identical to their sequential counterparts for any input shape.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn par_map_equals_sequential_map(n in 0usize..500, threads in 1usize..12, salt in 0u64..1000) {
+        let f = |i: usize| i as u64 * 31 + salt;
+        let par = cf_parallel::par_map(n, threads, f);
+        let seq: Vec<u64> = (0..n).map(f).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_reduce_equals_sequential_fold(n in 0usize..500, threads in 1usize..12) {
+        let par = cf_parallel::par_reduce(n, threads, || 0u64, |i| (i * i) as u64, |a, b| a + b);
+        let seq: u64 = (0..n).map(|i| (i * i) as u64).sum();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_for_each_mut_equals_sequential(len in 0usize..400, threads in 1usize..12) {
+        let mut par: Vec<usize> = vec![0; len];
+        cf_parallel::par_for_each_mut(&mut par, threads, |i, x| *x = i.wrapping_mul(7) ^ 3);
+        let seq: Vec<usize> = (0..len).map(|i| i.wrapping_mul(7) ^ 3).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_reduce_string_concat_preserves_order(n in 0usize..60, threads in 1usize..8) {
+        // associative but NOT commutative: order must be preserved
+        let par = cf_parallel::par_reduce(
+            n,
+            threads,
+            String::new,
+            |i| format!("{i},"),
+            |a, b| a + &b,
+        );
+        let seq: String = (0..n).map(|i| format!("{i},")).collect();
+        prop_assert_eq!(par, seq);
+    }
+}

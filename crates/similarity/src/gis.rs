@@ -1,0 +1,422 @@
+//! The Global Item Similarity matrix (GIS) — §IV-B of the paper.
+//!
+//! The offline phase computes PCC between every pair of items over the
+//! entire matrix, keeps per-item neighbor lists sorted in descending
+//! similarity, and thresholds away "less important" items so the structure
+//! stays small. The online phase then answers "top M similar items" with a
+//! slice.
+
+use cf_matrix::{ItemId, RatingMatrix};
+use cf_parallel::par_map;
+
+/// Configuration for building a [`Gis`].
+#[derive(Debug, Clone)]
+pub struct GisConfig {
+    /// Keep only neighbors with similarity strictly greater than this
+    /// (the paper "sets thresholds for Eq. 5 to filter less important
+    /// items"). Default 0: negative and zero correlations are dropped —
+    /// they are never useful as "similar items".
+    pub threshold: f64,
+    /// Hard cap on neighbors stored per item, `None` for unlimited.
+    /// Online requests ask for the top `M`; storing a few hundred is
+    /// plenty while bounding memory at `Q × cap`.
+    pub max_neighbors: Option<usize>,
+    /// Worker threads for the pairwise computation (`None` = auto).
+    pub threads: Option<usize>,
+}
+
+impl Default for GisConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.0,
+            max_neighbors: Some(400),
+            threads: None,
+        }
+    }
+}
+
+/// The Global Item Similarity matrix: for every item, its neighbors sorted
+/// by descending PCC.
+#[derive(Debug, Clone)]
+pub struct Gis {
+    /// `lists[q]` = neighbors of item `q`, descending similarity.
+    lists: Vec<Vec<(ItemId, f64)>>,
+}
+
+/// Computes the PCC of item `a` against every other item, returning all
+/// finite similarities (un-thresholded). Shared by the full build and the
+/// incremental per-item rebuild.
+fn sims_for_item(m: &RatingMatrix, a: ItemId) -> Vec<(ItemId, f64)> {
+    let q = m.num_items();
+    let p = m.num_users();
+    let (users_a, vals_a) = m.item_col(a);
+    if users_a.len() < crate::MIN_OVERLAP {
+        return Vec::new();
+    }
+    // Scatter item a's centered column into a dense buffer.
+    let mean_a = m.item_mean(a);
+    let mut dense = vec![f64::NAN; p];
+    for (&u, &r) in users_a.iter().zip(vals_a) {
+        dense[u.index()] = r - mean_a;
+    }
+    let mut sims = Vec::new();
+    for b_idx in 0..q {
+        if b_idx == a.index() {
+            continue;
+        }
+        let b = ItemId::from(b_idx);
+        let (users_b, vals_b) = m.item_col(b);
+        let mean_b = m.item_mean(b);
+        let mut dot = 0.0;
+        let mut norm_a = 0.0;
+        let mut norm_b = 0.0;
+        let mut n = 0usize;
+        for (&u, &r) in users_b.iter().zip(vals_b) {
+            let da = dense[u.index()];
+            if da.is_nan() {
+                continue;
+            }
+            let db = r - mean_b;
+            dot += da * db;
+            norm_a += da * da;
+            norm_b += db * db;
+            n += 1;
+        }
+        if n < crate::MIN_OVERLAP || norm_a <= 0.0 || norm_b <= 0.0 {
+            continue;
+        }
+        let sim = (dot / (norm_a.sqrt() * norm_b.sqrt())).clamp(-1.0, 1.0);
+        sims.push((b, sim));
+    }
+    sims
+}
+
+/// Sorts a neighbor list descending by similarity (ties by item id) and
+/// applies threshold + cap.
+fn finalize_list(
+    mut neighbors: Vec<(ItemId, f64)>,
+    threshold: f64,
+    cap: Option<usize>,
+) -> Vec<(ItemId, f64)> {
+    neighbors.retain(|&(_, s)| s > threshold);
+    neighbors.sort_unstable_by(|x, y| {
+        y.1.partial_cmp(&x.1)
+            .expect("similarities are finite")
+            .then(x.0.cmp(&y.0))
+    });
+    if let Some(cap) = cap {
+        neighbors.truncate(cap);
+    }
+    neighbors.shrink_to_fit();
+    neighbors
+}
+
+impl Gis {
+    /// Builds the GIS over the whole matrix in parallel (one task per
+    /// item column, dynamically scheduled).
+    ///
+    /// Cost is `O(Q · (P + nnz))`: for each item the column is scattered
+    /// into a dense user-indexed buffer, then every other item's column is
+    /// streamed against it.
+    pub fn build(m: &RatingMatrix, config: &GisConfig) -> Self {
+        let q = m.num_items();
+        let threads = cf_parallel::effective_threads(config.threads);
+        let threshold = config.threshold;
+        let cap = config.max_neighbors;
+
+        let lists = par_map(q, threads, |a_idx| {
+            finalize_list(sims_for_item(m, ItemId::from(a_idx)), threshold, cap)
+        });
+
+        Self { lists }
+    }
+
+    /// Incrementally refreshes the similarity lists of the given items
+    /// against the (updated) matrix — the paper's future-work question of
+    /// "how CFSF can keep GIS up-to-date" (§VI).
+    ///
+    /// For each stale item this recomputes its own neighbor list exactly,
+    /// and patches the *reverse* entries in every other item's list
+    /// (updating, inserting, or removing the stale item there). One
+    /// approximation is inherent to capped lists: inserting into a full
+    /// list evicts its tail, and an entry evicted earlier cannot be
+    /// resurrected without a full [`Gis::build`] — callers that need
+    /// exactness after heavy churn should rebuild periodically.
+    pub fn rebuild_items(&mut self, m: &RatingMatrix, items: &[ItemId], config: &GisConfig) {
+        let threads = cf_parallel::effective_threads(config.threads);
+        let threshold = config.threshold;
+        let cap = config.max_neighbors;
+
+        let fresh: Vec<(ItemId, Vec<(ItemId, f64)>)> = par_map(items.len(), threads, |k| {
+            let a = items[k];
+            (a, sims_for_item(m, a))
+        });
+
+        for (a, sims) in fresh {
+            // Patch the reverse direction first: every other item's view
+            // of `a` changes to the recomputed similarity (or vanishes).
+            let stale_set: Vec<bool> = {
+                // quick membership test for "is b itself also stale" —
+                // those rows get fully rebuilt below anyway.
+                let mut v = vec![false; self.lists.len()];
+                for &i in items {
+                    v[i.index()] = true;
+                }
+                v
+            };
+            let mut new_sim = vec![f64::NAN; self.lists.len()];
+            for &(b, s) in &sims {
+                new_sim[b.index()] = s;
+            }
+            for b_idx in 0..self.lists.len() {
+                if b_idx == a.index() || stale_set[b_idx] {
+                    continue;
+                }
+                let list = &mut self.lists[b_idx];
+                list.retain(|&(i, _)| i != a);
+                let s = new_sim[b_idx];
+                if !s.is_nan() && s > threshold {
+                    let pos = list
+                        .binary_search_by(|&(i, ls)| {
+                            s.partial_cmp(&ls)
+                                .expect("similarities are finite")
+                                .then(i.cmp(&a))
+                        })
+                        .unwrap_or_else(|p| p);
+                    list.insert(pos, (a, s));
+                    if let Some(cap) = cap {
+                        list.truncate(cap);
+                    }
+                }
+            }
+            // Then replace `a`'s own list exactly.
+            self.lists[a.index()] = finalize_list(sims, threshold, cap);
+        }
+    }
+
+    /// Reassembles a GIS from per-item neighbor lists (as produced by
+    /// [`Gis::neighbors`]) — the deserialization path for model
+    /// persistence. Each list must already be sorted by descending
+    /// similarity; this is validated and panics otherwise, since a
+    /// mis-sorted list silently corrupts every `top_m` query.
+    pub fn from_lists(lists: Vec<Vec<(ItemId, f64)>>) -> Self {
+        for (idx, list) in lists.iter().enumerate() {
+            assert!(
+                list.windows(2).all(|w| w[0].1 >= w[1].1),
+                "neighbor list of item {idx} is not sorted descending"
+            );
+        }
+        Self { lists }
+    }
+
+    /// Number of items the GIS was built over.
+    pub fn num_items(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// All stored neighbors of `item`, descending similarity.
+    #[inline]
+    pub fn neighbors(&self, item: ItemId) -> &[(ItemId, f64)] {
+        &self.lists[item.index()]
+    }
+
+    /// The top `m` similar items of `item` (fewer if the list is shorter —
+    /// thresholding may leave less than `m` genuine neighbors).
+    #[inline]
+    pub fn top_m(&self, item: ItemId, m: usize) -> &[(ItemId, f64)] {
+        let list = self.neighbors(item);
+        &list[..list.len().min(m)]
+    }
+
+    /// Stored similarity between `item` and `other`, if `other` survived
+    /// thresholding/capping. Linear scan — lists are short and this is
+    /// only used by tests and diagnostics.
+    pub fn get(&self, item: ItemId, other: ItemId) -> Option<f64> {
+        self.neighbors(item)
+            .iter()
+            .find(|(i, _)| *i == other)
+            .map(|&(_, s)| s)
+    }
+
+    /// Total number of stored (directed) neighbor pairs.
+    pub fn stored_pairs(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item_pcc;
+    use cf_matrix::{MatrixBuilder, UserId};
+
+    fn matrix() -> RatingMatrix {
+        // 6 users × 5 items with two clear item groups: {0,1} and {2,3};
+        // item 4 is anticorrelated with group {0,1}.
+        let rows: [&[f64]; 6] = [
+            &[5.0, 4.0, 1.0, 2.0, 1.0],
+            &[4.0, 5.0, 2.0, 1.0, 2.0],
+            &[5.0, 5.0, 1.0, 1.0, 1.0],
+            &[1.0, 2.0, 5.0, 4.0, 5.0],
+            &[2.0, 1.0, 4.0, 5.0, 4.0],
+            &[1.0, 1.0, 5.0, 5.0, 5.0],
+        ];
+        let mut b = MatrixBuilder::new();
+        for (u, row) in rows.iter().enumerate() {
+            for (i, &r) in row.iter().enumerate() {
+                b.push(UserId::from(u), ItemId::from(i), r);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn gis_matches_pairwise_kernel() {
+        let m = matrix();
+        let gis = Gis::build(&m, &GisConfig {
+            threshold: -1.0, // keep everything to compare against the kernel
+            max_neighbors: None,
+            threads: Some(2),
+        });
+        for a in m.items() {
+            for b in m.items() {
+                if a == b {
+                    continue;
+                }
+                let expect = item_pcc(&m, a, b);
+                let got = gis.get(a, b);
+                if expect > -1.0 {
+                    let got = got.unwrap_or(0.0);
+                    assert!(
+                        (got - expect).abs() < 1e-12,
+                        "({a:?},{b:?}): gis={got}, kernel={expect}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lists_are_sorted_descending() {
+        let gis = Gis::build(&matrix(), &GisConfig::default());
+        for i in 0..gis.num_items() {
+            let list = gis.neighbors(ItemId::from(i));
+            assert!(list.windows(2).all(|w| w[0].1 >= w[1].1));
+        }
+    }
+
+    #[test]
+    fn default_threshold_drops_nonpositive_sims() {
+        let m = matrix();
+        let gis = Gis::build(&m, &GisConfig::default());
+        // item 4 anticorrelates with items 0 and 1: must not appear there.
+        assert!(gis.get(ItemId::new(0), ItemId::new(4)).is_none());
+        assert!(gis.get(ItemId::new(1), ItemId::new(4)).is_none());
+        // but items 0 and 1 are mutual neighbors
+        assert!(gis.get(ItemId::new(0), ItemId::new(1)).unwrap() > 0.5);
+        for i in m.items() {
+            for &(_, s) in gis.neighbors(i) {
+                assert!(s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn top_m_truncates_but_never_pads() {
+        let gis = Gis::build(&matrix(), &GisConfig::default());
+        let full = gis.neighbors(ItemId::new(0)).len();
+        assert_eq!(gis.top_m(ItemId::new(0), 1).len(), 1.min(full));
+        assert_eq!(gis.top_m(ItemId::new(0), 1000).len(), full);
+    }
+
+    #[test]
+    fn max_neighbors_caps_lists() {
+        let gis = Gis::build(&matrix(), &GisConfig {
+            threshold: -1.0,
+            max_neighbors: Some(2),
+            threads: Some(1),
+        });
+        for i in 0..gis.num_items() {
+            assert!(gis.neighbors(ItemId::from(i)).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let m = matrix();
+        let g1 = Gis::build(&m, &GisConfig { threads: Some(1), ..Default::default() });
+        let g4 = Gis::build(&m, &GisConfig { threads: Some(4), ..Default::default() });
+        for i in m.items() {
+            assert_eq!(g1.neighbors(i), g4.neighbors(i));
+        }
+    }
+
+    #[test]
+    fn rebuild_items_matches_full_rebuild() {
+        // Start from one matrix, move to another, and verify that an
+        // incremental rebuild of the changed items converges to the same
+        // GIS a from-scratch build over the new matrix produces.
+        let m_old = matrix();
+        // new matrix: user 0 flips their rating of item 2
+        let mut b = MatrixBuilder::new();
+        for (u, i, r) in m_old.triplets() {
+            let r = if u == UserId::new(0) && i == ItemId::new(2) { 5.0 } else { r };
+            b.push(u, i, r);
+        }
+        let m_new = b.build().unwrap();
+        let config = GisConfig { threshold: 0.0, max_neighbors: None, threads: Some(1) };
+
+        let mut incremental = Gis::build(&m_old, &config);
+        // item 2 changed; items co-rated with it also shift (their sim to
+        // item 2 changes, which rebuild_items patches via reverse edges).
+        incremental.rebuild_items(&m_new, &[ItemId::new(2)], &config);
+
+        let fresh = Gis::build(&m_new, &config);
+        for i in m_new.items() {
+            let a: Vec<_> = incremental.neighbors(i).to_vec();
+            let b: Vec<_> = fresh.neighbors(i).to_vec();
+            assert_eq!(a.len(), b.len(), "item {i:?}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.0, y.0, "item {i:?}");
+                assert!((x.1 - y.1).abs() < 1e-12, "item {i:?}: {} vs {}", x.1, y.1);
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_items_respects_threshold_and_removal() {
+        // After an update that destroys a correlation, the reverse edge
+        // must disappear from the partner's list.
+        let mut b = MatrixBuilder::new();
+        for u in 0..4u32 {
+            let r = 1.0 + u as f64;
+            b.push(UserId::new(u), ItemId::new(0), r);
+            b.push(UserId::new(u), ItemId::new(1), r); // perfectly correlated
+            b.push(UserId::new(u), ItemId::new(2), 6.0 - r);
+        }
+        let m_old = b.build().unwrap();
+        let config = GisConfig::default();
+        let mut gis = Gis::build(&m_old, &config);
+        assert!(gis.get(ItemId::new(0), ItemId::new(1)).is_some());
+
+        // item 1 becomes constant: zero variance, no similarity at all
+        let mut b = MatrixBuilder::new();
+        for (u, i, r) in m_old.triplets() {
+            let r = if i == ItemId::new(1) { 3.0 } else { r };
+            b.push(u, i, r);
+        }
+        let m_new = b.build().unwrap();
+        gis.rebuild_items(&m_new, &[ItemId::new(1)], &config);
+        assert!(gis.neighbors(ItemId::new(1)).is_empty());
+        assert!(gis.get(ItemId::new(0), ItemId::new(1)).is_none());
+        assert!(gis.get(ItemId::new(2), ItemId::new(1)).is_none());
+    }
+
+    #[test]
+    fn stored_pairs_counts_all_lists() {
+        let gis = Gis::build(&matrix(), &GisConfig::default());
+        let total: usize = (0..5usize).map(|i| gis.neighbors(ItemId::from(i)).len()).sum();
+        assert_eq!(gis.stored_pairs(), total);
+        assert!(total > 0);
+    }
+}

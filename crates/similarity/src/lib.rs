@@ -1,0 +1,29 @@
+//! # cf-similarity — similarity kernels and the Global Item Similarity matrix
+//!
+//! Implements every similarity function the CFSF paper uses:
+//!
+//! - [`item_pcc`] — Pearson correlation between two item columns (Eq. 5),
+//! - [`user_pcc`] — Pearson correlation between two user rows (Eq. 6),
+//! - [`cosine`] / [`adjusted_cosine`] — the VSS alternatives the paper
+//!   rejects for GIS (kept for comparison and ablations),
+//! - [`significance_weight`] — the overlap-devaluation factor used by the
+//!   EMDP baseline,
+//! - [`weighted_user_pcc`] — the smoothing-aware user similarity of
+//!   Eq. 10/11 (original ratings weigh `ε`, smoothed ones `1-ε`),
+//! - [`pair_weight`] — the item×user pair weight of Eq. 13,
+//! - [`Gis`] — the Global Item Similarity matrix: per-item neighbor lists
+//!   sorted by descending PCC, built in parallel, thresholded and capped.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gis;
+mod kernels;
+mod weighted;
+
+pub use gis::{Gis, GisConfig};
+pub use kernels::{
+    adjusted_cosine, cosine, item_overlap, item_pcc, significance_weight, spearman_item,
+    spearman_user, user_pcc, MIN_OVERLAP,
+};
+pub use weighted::{pair_weight, smoothing_weight, weighted_user_pcc};

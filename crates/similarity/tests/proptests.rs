@@ -1,0 +1,88 @@
+//! Property-based tests for the similarity kernels and the GIS.
+
+use cf_matrix::{ItemId, MatrixBuilder, RatingMatrix, UserId};
+use cf_similarity::{
+    adjusted_cosine, cosine, item_pcc, pair_weight, user_pcc, Gis, GisConfig,
+};
+use proptest::prelude::*;
+
+fn arb_matrix() -> impl Strategy<Value = RatingMatrix> {
+    proptest::collection::btree_map(
+        (0u32..15, 0u32..20),
+        (1u32..=5).prop_map(|r| r as f64),
+        2..120,
+    )
+    .prop_map(|m| {
+        let mut b = MatrixBuilder::with_dims(15, 20);
+        for ((u, i), r) in m {
+            b.push(UserId::new(u), ItemId::new(i), r);
+        }
+        b.build().expect("valid")
+    })
+}
+
+proptest! {
+    #[test]
+    fn kernels_are_bounded_and_symmetric(m in arb_matrix()) {
+        for a in 0..m.num_items().min(8) {
+            for b in 0..m.num_items().min(8) {
+                let (a, b) = (ItemId::from(a), ItemId::from(b));
+                for f in [item_pcc, cosine, adjusted_cosine] {
+                    let ab = f(&m, a, b);
+                    let ba = f(&m, b, a);
+                    prop_assert!((-1.0..=1.0).contains(&ab), "{ab}");
+                    prop_assert!((ab - ba).abs() < 1e-12);
+                }
+            }
+        }
+        for a in 0..m.num_users().min(8) {
+            for b in 0..m.num_users().min(8) {
+                let (a, b) = (UserId::from(a), UserId::from(b));
+                let ab = user_pcc(&m, a, b);
+                prop_assert!((-1.0..=1.0).contains(&ab));
+                prop_assert!((ab - user_pcc(&m, b, a)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gis_lists_are_sorted_thresholded_and_kernel_consistent(m in arb_matrix()) {
+        let threshold = 0.1;
+        let gis = Gis::build(&m, &GisConfig {
+            threshold,
+            max_neighbors: None,
+            threads: Some(2),
+        });
+        for i in m.items() {
+            let list = gis.neighbors(i);
+            prop_assert!(list.windows(2).all(|w| w[0].1 >= w[1].1));
+            for &(j, s) in list {
+                prop_assert!(s > threshold);
+                prop_assert!((s - item_pcc(&m, i, j)).abs() < 1e-9);
+                prop_assert!(j != i, "self-neighbor");
+            }
+        }
+    }
+
+    #[test]
+    fn gis_build_is_thread_count_invariant(m in arb_matrix()) {
+        let cfg1 = GisConfig { threads: Some(1), ..GisConfig::default() };
+        let cfg4 = GisConfig { threads: Some(4), ..GisConfig::default() };
+        let g1 = Gis::build(&m, &cfg1);
+        let g4 = Gis::build(&m, &cfg4);
+        for i in m.items() {
+            prop_assert_eq!(g1.neighbors(i), g4.neighbors(i));
+        }
+    }
+
+    #[test]
+    fn pair_weight_is_bounded_by_min_magnitude(a in -1.0f64..=1.0, b in -1.0f64..=1.0) {
+        let w = pair_weight(a, b);
+        prop_assert!(w.is_finite());
+        prop_assert!(w.abs() <= a.abs().min(b.abs()) + 1e-12);
+        // sign(w) = sign(a*b) unless w == 0
+        if w != 0.0 {
+            prop_assert_eq!(w.signum(), (a * b).signum());
+        }
+    }
+}

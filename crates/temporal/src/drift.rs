@@ -1,0 +1,192 @@
+//! Synthetic preference drift: a seeded generator where some users
+//! switch taste groups partway through their rating history.
+//!
+//! The paper conjectures rating dates "may reflect shifts of user
+//! preferences" (§VI). To exercise that, this generator gives every user
+//! a rating timeline; drifting users draw their early ratings from one
+//! group's affinity profile and their late ratings from another's. A
+//! time-oblivious algorithm averages the two personalities; a
+//! time-decayed one follows the recent one.
+
+use cf_matrix::{ItemId, UserId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use cf_data::NormalSampler;
+
+use crate::TimestampedMatrix;
+
+/// Configuration of the drifting generator.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Number of users.
+    pub num_users: usize,
+    /// Number of items.
+    pub num_items: usize,
+    /// Latent taste groups.
+    pub taste_groups: usize,
+    /// Latent item genres.
+    pub genres: usize,
+    /// Ratings per user (all users rate the same count, spread uniformly
+    /// over the timeline).
+    pub ratings_per_user: usize,
+    /// Fraction of users whose taste group switches mid-timeline.
+    pub drift_fraction: f64,
+    /// Strength of the group↔genre affinity signal.
+    pub affinity_strength: f64,
+    /// Observation noise standard deviation.
+    pub noise_sd: f64,
+    /// Timeline span in "seconds".
+    pub time_span: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            num_users: 120,
+            num_items: 160,
+            taste_groups: 4,
+            genres: 6,
+            ratings_per_user: 40,
+            drift_fraction: 0.5,
+            affinity_strength: 1.2,
+            noise_sd: 0.4,
+            time_span: 1_000_000,
+            seed: 42,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Generates the timestamped matrix plus, for testing, the set of
+    /// drifted users.
+    pub fn generate(&self) -> (TimestampedMatrix, Vec<UserId>) {
+        assert!(self.ratings_per_user <= self.num_items, "too many ratings per user");
+        assert!((0.0..=1.0).contains(&self.drift_fraction), "fraction in [0,1]");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut normal = NormalSampler::new();
+
+        let affinity: Vec<Vec<f64>> = (0..self.taste_groups)
+            .map(|_| {
+                (0..self.genres)
+                    .map(|_| normal.sample(&mut rng, 0.0, self.affinity_strength))
+                    .collect()
+            })
+            .collect();
+        let item_genres: Vec<usize> = (0..self.num_items)
+            .map(|_| rng.gen_range(0..self.genres))
+            .collect();
+
+        let mut quads = Vec::with_capacity(self.num_users * self.ratings_per_user);
+        let mut drifted = Vec::new();
+        let mut item_pool: Vec<usize> = (0..self.num_items).collect();
+        for u in 0..self.num_users {
+            let group_early = rng.gen_range(0..self.taste_groups);
+            let drifts = rng.gen::<f64>() < self.drift_fraction && self.taste_groups > 1;
+            let group_late = if drifts {
+                // a guaranteed-different group
+                let mut g = rng.gen_range(0..self.taste_groups - 1);
+                if g >= group_early {
+                    g += 1;
+                }
+                g
+            } else {
+                group_early
+            };
+            if drifts {
+                drifted.push(UserId::from(u));
+            }
+
+            item_pool.shuffle(&mut rng);
+            let switch_at = self.ratings_per_user / 2;
+            for (k, &item) in item_pool.iter().take(self.ratings_per_user).enumerate() {
+                // timeline position: k-th rating lands at a jittered slot
+                let slot = self.time_span * k as i64 / self.ratings_per_user as i64;
+                let jitter = rng.gen_range(0..=(self.time_span / self.ratings_per_user as i64).max(1));
+                let t = (slot + jitter).min(self.time_span);
+                let group = if k < switch_at { group_early } else { group_late };
+                let signal = 3.0
+                    + affinity[group][item_genres[item]]
+                    + normal.sample(&mut rng, 0.0, self.noise_sd);
+                let rating = signal.round().clamp(1.0, 5.0);
+                quads.push((UserId::from(u), ItemId::from(item), rating, t));
+            }
+        }
+
+        let matrix = TimestampedMatrix::from_quads(quads).expect("generator output is valid");
+        (matrix, drifted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let (m, drifted) = DriftConfig::default().generate();
+        assert_eq!(m.matrix().num_ratings(), 120 * 40);
+        assert!(!drifted.is_empty());
+        assert!(drifted.len() < 120);
+        assert!(m.t_max() > m.t_min());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, da) = DriftConfig::default().generate();
+        let (b, db) = DriftConfig::default().generate();
+        assert_eq!(da, db);
+        let ta: Vec<_> = a.matrix().triplets().collect();
+        let tb: Vec<_> = b.matrix().triplets().collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn zero_drift_fraction_drifts_nobody() {
+        let cfg = DriftConfig { drift_fraction: 0.0, ..Default::default() };
+        let (_, drifted) = cfg.generate();
+        assert!(drifted.is_empty());
+    }
+
+    #[test]
+    fn drifted_users_change_their_behaviour_over_time() {
+        // For a drifted user, the mean rating per genre in the early half
+        // should differ from the late half more than for stable users.
+        let cfg = DriftConfig { noise_sd: 0.1, ..Default::default() };
+        let (m, drifted) = cfg.generate();
+        let mid = (m.t_min() + m.t_max()) / 2;
+        let behaviour_shift = |u: UserId| -> f64 {
+            let (mut e, mut ec, mut l, mut lc) = (0.0, 0usize, 0.0, 0usize);
+            for (_, r, t) in m.user_row_timed(u) {
+                if t < mid {
+                    e += r;
+                    ec += 1;
+                } else {
+                    l += r;
+                    lc += 1;
+                }
+            }
+            if ec == 0 || lc == 0 {
+                return 0.0;
+            }
+            (e / ec as f64 - l / lc as f64).abs()
+        };
+        let drift_shift: f64 =
+            drifted.iter().map(|&u| behaviour_shift(u)).sum::<f64>() / drifted.len() as f64;
+        let stable: Vec<UserId> = m
+            .matrix()
+            .users()
+            .filter(|u| !drifted.contains(u))
+            .collect();
+        let stable_shift: f64 =
+            stable.iter().map(|&u| behaviour_shift(u)).sum::<f64>() / stable.len() as f64;
+        // Mean-level shift is a crude proxy (genre mix washes some of it
+        // out), but drifted users must shift more on average.
+        assert!(
+            drift_shift > stable_shift,
+            "drifted {drift_shift:.3} vs stable {stable_shift:.3}"
+        );
+    }
+}

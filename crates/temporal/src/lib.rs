@@ -1,0 +1,35 @@
+//! # cf-temporal — timestamps, preference drift, and time-decayed CF
+//!
+//! The CFSF paper closes with two accuracy-side future-work items (§VI):
+//! capturing "dates associated with the ratings … which may reflect
+//! shifts of user preferences". This crate implements that extension:
+//!
+//! - [`TimestampedMatrix`] — a rating matrix with a per-rating timestamp,
+//!   buildable from MovieLens `u.data` (whose fourth column is exactly
+//!   this) or from the drifting synthetic generator,
+//! - [`DriftConfig`] — a seeded generator where a fraction of users
+//!   *switch taste groups* mid-stream: their early ratings follow one
+//!   preference profile, their late ratings another,
+//! - [`Decay`] — exponential time decay with a configurable half-life,
+//! - [`TimeAwareSur`] — user-based CF whose evidence is decay-weighted
+//!   toward the present, against which plain SUR loses on drifted users,
+//! - [`temporal_split`] — a train-on-the-past / test-on-the-future
+//!   protocol (per-user chronological split), the evaluation setting
+//!   drift actually shows up in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decay;
+mod drift;
+mod loader;
+mod matrix;
+mod predictor;
+mod protocol;
+
+pub use decay::Decay;
+pub use drift::DriftConfig;
+pub use loader::{load_timestamped, load_timestamped_reader, load_timestamped_str, TemporalLoadError};
+pub use matrix::TimestampedMatrix;
+pub use predictor::{DecayMode, TimeAwareSur, TimeAwareSurConfig};
+pub use protocol::{temporal_split, TemporalSplit};

@@ -1,0 +1,130 @@
+//! Timestamped `u.data` loading.
+//!
+//! `cf-data`'s loader discards the fourth (timestamp) column because the
+//! paper's protocol never uses it; this one keeps it, producing a
+//! [`TimestampedMatrix`] the temporal extension can run on real
+//! MovieLens data.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+use cf_matrix::{ItemId, UserId};
+
+use crate::TimestampedMatrix;
+
+/// Errors while loading timestamped ratings.
+#[derive(Debug)]
+pub enum TemporalLoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What failed.
+        message: String,
+    },
+    /// The ratings failed matrix validation.
+    Matrix(cf_matrix::MatrixError),
+}
+
+impl std::fmt::Display for TemporalLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Parse { line, message } => write!(f, "line {line}: {message}"),
+            Self::Matrix(e) => write!(f, "invalid rating data: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TemporalLoadError {}
+
+/// Parses `user<TAB>item<TAB>rating<TAB>timestamp` lines (1-based ids,
+/// timestamp **required** here, unlike the plain loader).
+pub fn load_timestamped_reader<R: Read>(reader: R) -> Result<TimestampedMatrix, TemporalLoadError> {
+    let reader = BufReader::new(reader);
+    let mut quads = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(TemporalLoadError::Io)?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 4 {
+            return Err(TemporalLoadError::Parse {
+                line: line_no,
+                message: format!("expected 4 fields, found {}", fields.len()),
+            });
+        }
+        let parse = |k: usize, what: &str| -> Result<f64, TemporalLoadError> {
+            fields[k].parse().map_err(|_| TemporalLoadError::Parse {
+                line: line_no,
+                message: format!("cannot parse {what} from {:?}", fields[k]),
+            })
+        };
+        let user = parse(0, "user id")? as u64;
+        let item = parse(1, "item id")? as u64;
+        let rating = parse(2, "rating")?;
+        let t = parse(3, "timestamp")? as i64;
+        if user == 0 || item == 0 {
+            return Err(TemporalLoadError::Parse {
+                line: line_no,
+                message: "MovieLens ids are 1-based; found 0".into(),
+            });
+        }
+        quads.push((
+            UserId::new((user - 1) as u32),
+            ItemId::new((item - 1) as u32),
+            rating,
+            t,
+        ));
+    }
+    TimestampedMatrix::from_quads(quads).map_err(TemporalLoadError::Matrix)
+}
+
+/// Loads a timestamped `u.data` file from disk.
+pub fn load_timestamped(path: impl AsRef<Path>) -> Result<TimestampedMatrix, TemporalLoadError> {
+    let file = std::fs::File::open(path).map_err(TemporalLoadError::Io)?;
+    load_timestamped_reader(file)
+}
+
+/// Parses timestamped `u.data` text from a string.
+pub fn load_timestamped_str(text: &str) -> Result<TimestampedMatrix, TemporalLoadError> {
+    load_timestamped_reader(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_movielens_lines_with_timestamps() {
+        let data = load_timestamped_str("1\t2\t5\t881250949\n2\t1\t3\t891717742\n").unwrap();
+        assert_eq!(data.matrix().num_ratings(), 2);
+        assert_eq!(
+            data.time_of(UserId::new(0), ItemId::new(1)),
+            Some(881_250_949)
+        );
+        assert_eq!(data.t_max(), 891_717_742);
+    }
+
+    #[test]
+    fn missing_timestamp_is_an_error() {
+        let e = load_timestamped_str("1\t2\t5\n").unwrap_err();
+        assert!(e.to_string().contains("expected 4 fields"), "{e}");
+    }
+
+    #[test]
+    fn zero_ids_rejected() {
+        assert!(load_timestamped_str("0\t1\t3\t1\n").is_err());
+    }
+
+    #[test]
+    fn bad_ratings_propagate_matrix_validation() {
+        let e = load_timestamped_str("1\t1\t42\t1\n").unwrap_err();
+        assert!(matches!(e, TemporalLoadError::Matrix(_)));
+    }
+}

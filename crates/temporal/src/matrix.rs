@@ -1,0 +1,144 @@
+//! A rating matrix with one timestamp per rating.
+
+use cf_matrix::{ItemId, MatrixBuilder, MatrixError, RatingMatrix, UserId};
+
+/// A [`RatingMatrix`] plus a per-rating timestamp (seconds, arbitrary
+/// epoch — MovieLens uses Unix time).
+///
+/// Timestamps are stored in the matrix's user-major (CSR) order, so
+/// lookup shares the matrix's row binary search.
+#[derive(Debug, Clone)]
+pub struct TimestampedMatrix {
+    matrix: RatingMatrix,
+    /// Aligned with the matrix's user-major value order.
+    times: Vec<i64>,
+    /// CSR row offsets into `times` (offsets[u] = index of user u's
+    /// first timestamp).
+    offsets: Vec<usize>,
+    t_min: i64,
+    t_max: i64,
+}
+
+impl TimestampedMatrix {
+    /// Builds from `(user, item, rating, timestamp)` quadruplets.
+    pub fn from_quads(
+        quads: impl IntoIterator<Item = (UserId, ItemId, f64, i64)>,
+    ) -> Result<Self, MatrixError> {
+        let mut triplets = Vec::new();
+        let mut stamped: Vec<(UserId, ItemId, i64)> = Vec::new();
+        for (u, i, r, t) in quads {
+            triplets.push((u, i, r));
+            stamped.push((u, i, t));
+        }
+        let mut b = MatrixBuilder::new();
+        for &(u, i, r) in &triplets {
+            b.push(u, i, r);
+        }
+        let matrix = b.build()?;
+        // Reorder timestamps into the matrix's CSR order.
+        stamped.sort_unstable_by_key(|&(u, i, _)| (u, i));
+        stamped.dedup_by_key(|&mut (u, i, _)| (u, i));
+        debug_assert_eq!(stamped.len(), matrix.num_ratings());
+        let times: Vec<i64> = stamped.iter().map(|&(_, _, t)| t).collect();
+        let t_min = times.iter().copied().min().unwrap_or(0);
+        let t_max = times.iter().copied().max().unwrap_or(0);
+        let offsets = Self::compute_offsets(&matrix);
+        Ok(Self {
+            matrix,
+            times,
+            offsets,
+            t_min,
+            t_max,
+        })
+    }
+
+    /// The plain rating matrix (timestamp-oblivious algorithms train on
+    /// this directly).
+    pub fn matrix(&self) -> &RatingMatrix {
+        &self.matrix
+    }
+
+    /// Timestamp of the rating `(u, i)`, if rated.
+    pub fn time_of(&self, u: UserId, i: ItemId) -> Option<i64> {
+        let (items, _) = self.matrix.user_row(u);
+        let pos = items.binary_search(&i).ok()?;
+        let base = self.row_base(u);
+        Some(self.times[base + pos])
+    }
+
+    /// The user's row as `(item, rating, timestamp)` entries.
+    pub fn user_row_timed(&self, u: UserId) -> impl Iterator<Item = (ItemId, f64, i64)> + '_ {
+        let base = self.row_base(u);
+        self.matrix
+            .user_ratings(u)
+            .enumerate()
+            .map(move |(k, (i, r))| (i, r, self.times[base + k]))
+    }
+
+    #[inline]
+    fn row_base(&self, u: UserId) -> usize {
+        self.offsets[u.index()]
+    }
+
+    /// Earliest timestamp in the data.
+    pub fn t_min(&self) -> i64 {
+        self.t_min
+    }
+
+    /// Latest timestamp in the data ("now" for decay purposes).
+    pub fn t_max(&self) -> i64 {
+        self.t_max
+    }
+}
+
+impl TimestampedMatrix {
+    /// Precomputes the CSR row offset of every user's first rating.
+    fn compute_offsets(matrix: &RatingMatrix) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(matrix.num_users());
+        let mut acc = 0usize;
+        for u in matrix.users() {
+            offsets.push(acc);
+            acc += matrix.user_count(u);
+        }
+        offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quads() -> Vec<(UserId, ItemId, f64, i64)> {
+        vec![
+            (UserId::new(1), ItemId::new(0), 3.0, 200),
+            (UserId::new(0), ItemId::new(1), 5.0, 100),
+            (UserId::new(0), ItemId::new(0), 4.0, 50),
+            (UserId::new(1), ItemId::new(2), 2.0, 400),
+        ]
+    }
+
+    #[test]
+    fn timestamps_follow_their_ratings() {
+        let t = TimestampedMatrix::from_quads(quads()).unwrap();
+        assert_eq!(t.time_of(UserId::new(0), ItemId::new(0)), Some(50));
+        assert_eq!(t.time_of(UserId::new(0), ItemId::new(1)), Some(100));
+        assert_eq!(t.time_of(UserId::new(1), ItemId::new(0)), Some(200));
+        assert_eq!(t.time_of(UserId::new(1), ItemId::new(2)), Some(400));
+        assert_eq!(t.time_of(UserId::new(1), ItemId::new(1)), None);
+    }
+
+    #[test]
+    fn bounds_and_rows() {
+        let t = TimestampedMatrix::from_quads(quads()).unwrap();
+        assert_eq!(t.t_min(), 50);
+        assert_eq!(t.t_max(), 400);
+        let row: Vec<_> = t.user_row_timed(UserId::new(1)).collect();
+        assert_eq!(row, vec![(ItemId::new(0), 3.0, 200), (ItemId::new(2), 2.0, 400)]);
+    }
+
+    #[test]
+    fn invalid_ratings_propagate_matrix_errors() {
+        let bad = vec![(UserId::new(0), ItemId::new(0), 9.0, 1)];
+        assert!(TimestampedMatrix::from_quads(bad).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Train-on-the-past / test-on-the-future evaluation protocol.
+
+use cf_matrix::{ItemId, UserId};
+
+use crate::TimestampedMatrix;
+
+/// A chronological split: for every user, the earliest fraction of their
+/// ratings trains, the rest is held out.
+#[derive(Debug, Clone)]
+pub struct TemporalSplit {
+    /// Training data (each user's earliest ratings).
+    pub train: TimestampedMatrix,
+    /// Held-out future ratings: `(user, item, rating, timestamp)`.
+    pub holdout: Vec<(UserId, ItemId, f64, i64)>,
+}
+
+/// Splits each user's history chronologically: the earliest
+/// `train_fraction` of their ratings (by timestamp) go to training, the
+/// rest to the holdout. Users with one rating stay entirely in training.
+///
+/// This is the protocol where preference drift is visible: a
+/// time-oblivious model trained on the past mispredicts the future of a
+/// drifted user, a time-decayed one tracks it.
+pub fn temporal_split(data: &TimestampedMatrix, train_fraction: f64) -> TemporalSplit {
+    assert!(
+        (0.0..1.0).contains(&train_fraction) && train_fraction > 0.0,
+        "fraction must be in (0, 1), got {train_fraction}"
+    );
+    let m = data.matrix();
+    let mut train_quads = Vec::new();
+    let mut holdout = Vec::new();
+    for u in m.users() {
+        let mut row: Vec<(ItemId, f64, i64)> = data.user_row_timed(u).collect();
+        if row.is_empty() {
+            continue;
+        }
+        row.sort_by_key(|&(_, _, t)| t);
+        let cut = ((row.len() as f64 * train_fraction).ceil() as usize)
+            .clamp(1, row.len());
+        for (k, (i, r, t)) in row.into_iter().enumerate() {
+            if k < cut {
+                train_quads.push((u, i, r, t));
+            } else {
+                holdout.push((u, i, r, t));
+            }
+        }
+    }
+    let train = TimestampedMatrix::from_quads(train_quads)
+        .expect("chronological split of valid data is valid");
+    TemporalSplit { train, holdout }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DriftConfig;
+
+    #[test]
+    fn split_is_chronological_per_user() {
+        let (data, _) = DriftConfig::default().generate();
+        let split = temporal_split(&data, 0.7);
+        assert!(!split.holdout.is_empty());
+        for u in split.train.matrix().users() {
+            let train_max = split
+                .train
+                .user_row_timed(u)
+                .map(|(_, _, t)| t)
+                .max();
+            let holdout_min = split
+                .holdout
+                .iter()
+                .filter(|&&(hu, _, _, _)| hu == u)
+                .map(|&(_, _, _, t)| t)
+                .min();
+            if let (Some(tm), Some(hm)) = (train_max, holdout_min) {
+                assert!(tm <= hm, "user {u:?}: train max {tm} > holdout min {hm}");
+            }
+        }
+    }
+
+    #[test]
+    fn fractions_partition_each_profile() {
+        let (data, _) = DriftConfig::default().generate();
+        let split = temporal_split(&data, 0.5);
+        let m = data.matrix();
+        for u in m.users() {
+            let train_count = split.train.matrix().user_count(u);
+            let held = split.holdout.iter().filter(|&&(hu, _, _, _)| hu == u).count();
+            assert_eq!(train_count + held, m.user_count(u));
+            assert!(train_count >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in (0, 1)")]
+    fn bad_fraction_panics() {
+        let (data, _) = DriftConfig::default().generate();
+        let _ = temporal_split(&data, 1.5);
+    }
+
+    #[test]
+    fn time_decay_beats_plain_sur_on_drifting_data() {
+        // The headline claim of the extension, checked end to end.
+        let cfg = DriftConfig {
+            drift_fraction: 0.8,
+            noise_sd: 0.25,
+            ratings_per_user: 60,
+            num_items: 200,
+            ..DriftConfig::default()
+        };
+        let (data, _) = cfg.generate();
+        let split = temporal_split(&data, 0.75);
+
+        let decayed = crate::TimeAwareSur::fit(
+            &split.train,
+            crate::TimeAwareSurConfig {
+                decay: crate::Decay::with_half_life(cfg.time_span as f64 / 8.0),
+                mode: crate::DecayMode::ActiveAge,
+                decay_neighbor_ratings: false,
+                neighborhood: Some(40),
+            },
+        );
+        let plain = crate::TimeAwareSur::fit(
+            &split.train,
+            crate::TimeAwareSurConfig {
+                // effectively no decay = plain SUR under the same code path
+                decay: crate::Decay::with_half_life(1e15),
+                mode: crate::DecayMode::ActiveAge,
+                decay_neighbor_ratings: false,
+                neighborhood: Some(40),
+            },
+        );
+        let mae = |model: &crate::TimeAwareSur| {
+            let mut err = 0.0;
+            for &(u, i, r, _) in &split.holdout {
+                let p = cf_matrix::Predictor::predict(model, u, i).unwrap();
+                err += (p - r).abs();
+            }
+            err / split.holdout.len() as f64
+        };
+        let mae_decay = mae(&decayed);
+        let mae_plain = mae(&plain);
+        assert!(
+            mae_decay < mae_plain,
+            "decay {mae_decay:.3} should beat plain {mae_plain:.3} under drift"
+        );
+    }
+}

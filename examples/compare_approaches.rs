@@ -1,0 +1,92 @@
+//! Fits CFSF and all seven comparators from the paper on one protocol
+//! split and prints an accuracy/latency scoreboard — a miniature of
+//! Tables II/III plus Fig. 5 in one run.
+//!
+//! ```text
+//! cargo run --release --example compare_approaches
+//! ```
+
+use std::time::Instant;
+
+use cfsf::prelude::*;
+use cf_matrix::Predictor;
+
+fn main() {
+    // A mid-sized dataset so the memory-based baselines finish promptly.
+    let dataset = SyntheticConfig {
+        num_users: 250,
+        num_items: 400,
+        mean_ratings_per_user: 50.0,
+        min_ratings_per_user: 25,
+        ..SyntheticConfig::movielens()
+    }
+    .generate();
+    let split = Protocol::new(TrainSize::Users(170), GivenN::Given10, 80)
+        .split(&dataset)
+        .expect("protocol fits");
+    println!(
+        "split {}: {} training ratings, {} holdout cells\n",
+        split.label,
+        split.train.num_ratings(),
+        split.holdout.len()
+    );
+
+    println!(
+        "{:<8} {:>7} {:>7} {:>9} {:>9} {:>10}",
+        "method", "MAE", "RMSE", "fit (s)", "serve (s)", "coverage"
+    );
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for name in ["CFSF", "SUR", "SIR", "SF", "EMDP", "SCBPCC", "AM", "PD"] {
+        let t_fit = Instant::now();
+        let model: Box<dyn Predictor> = if name == "CFSF" {
+            Box::new(
+                Cfsf::fit(
+                    &split.train,
+                    CfsfConfig {
+                        clusters: 20,
+                        ..CfsfConfig::paper()
+                    },
+                )
+                .expect("valid config"),
+            )
+        } else {
+            fit_baseline(name, &split.train)
+        };
+        let fit_time = t_fit.elapsed();
+
+        let t_serve = Instant::now();
+        let eval = cfsf::eval::evaluate(model.as_ref(), &split.holdout);
+        let serve_time = t_serve.elapsed();
+
+        println!(
+            "{:<8} {:>7.3} {:>7.3} {:>9.2} {:>9.2} {:>9.1}%",
+            model.name(),
+            eval.mae,
+            eval.rmse,
+            fit_time.as_secs_f64(),
+            serve_time.as_secs_f64(),
+            eval.coverage * 100.0
+        );
+        rows.push((name.to_string(), eval.mae));
+    }
+
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    println!(
+        "\nbest MAE: {} ({:.3}) — the paper's Tables II/III report CFSF winning every cell",
+        rows[0].0, rows[0].1
+    );
+}
+
+fn fit_baseline(name: &str, train: &cf_matrix::RatingMatrix) -> Box<dyn Predictor> {
+    match name {
+        "SUR" => Box::new(Sur::fit_default(train)),
+        "SIR" => Box::new(Sir::fit_default(train)),
+        "SF" => Box::new(SimilarityFusion::fit_default(train)),
+        "EMDP" => Box::new(Emdp::fit_default(train)),
+        "SCBPCC" => Box::new(Scbpcc::fit_default(train)),
+        "AM" => Box::new(AspectModel::fit_default(train)),
+        "PD" => Box::new(PersonalityDiagnosis::fit_default(train)),
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,106 @@
+//! Grid search over the fusion weights (λ, δ) and the smoothing discount
+//! w — the workflow behind the paper's Figs. 6–8, shown as a library use
+//! case. Re-parameterization reuses the offline structures, so the whole
+//! grid costs one fit plus cheap clones.
+//!
+//! ```text
+//! cargo run --release --example parameter_tuning
+//! ```
+
+use cfsf::prelude::*;
+
+fn main() {
+    let dataset = SyntheticConfig {
+        num_users: 200,
+        num_items: 300,
+        mean_ratings_per_user: 40.0,
+        min_ratings_per_user: 21,
+        ..SyntheticConfig::movielens()
+    }
+    .generate();
+
+    // Tune on a validation split carved from the *training* users so the
+    // final test holdout stays untouched.
+    let validation = Protocol::new(TrainSize::Users(80), GivenN::Given10, 60)
+        .with_seed(1)
+        .split(&dataset)
+        .expect("protocol fits");
+    let test = Protocol::new(TrainSize::Users(140), GivenN::Given10, 60)
+        .split(&dataset)
+        .expect("protocol fits");
+
+    println!("fitting the offline phase once...");
+    let base = Cfsf::fit(
+        &validation.train,
+        CfsfConfig {
+            clusters: 12,
+            ..CfsfConfig::paper()
+        },
+    )
+    .expect("valid config");
+
+    let lambdas = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let deltas = [0.0, 0.1, 0.2, 0.4];
+    let ws = [0.15, 0.35, 0.55, 0.75];
+
+    let mut best = (f64::INFINITY, 0.0, 0.0, 0.0);
+    println!(
+        "grid: {} lambda x {} delta x {} w = {} variants",
+        lambdas.len(),
+        deltas.len(),
+        ws.len(),
+        lambdas.len() * deltas.len() * ws.len()
+    );
+    for &lambda in &lambdas {
+        for &delta in &deltas {
+            for &w in &ws {
+                let model = base
+                    .reparameterize(|c| {
+                        c.lambda = lambda;
+                        c.delta = delta;
+                        c.w = w;
+                    })
+                    .expect("grid values are valid");
+                let mae = evaluate_mae(&model, &validation.holdout);
+                if mae < best.0 {
+                    best = (mae, lambda, delta, w);
+                    println!(
+                        "  new best: MAE {mae:.4} at lambda={lambda} delta={delta} w={w}"
+                    );
+                }
+            }
+        }
+    }
+    let (val_mae, lambda, delta, w) = best;
+    println!(
+        "\nvalidation best: MAE {val_mae:.4} at lambda={lambda}, delta={delta}, w={w} \
+         (paper defaults: 0.8, 0.1, 0.35)"
+    );
+
+    // Refit on the real training split with the tuned parameters.
+    let tuned = Cfsf::fit(
+        &test.train,
+        CfsfConfig {
+            lambda,
+            delta,
+            w,
+            clusters: 12,
+            ..CfsfConfig::paper()
+        },
+    )
+    .expect("valid config");
+    let defaults = Cfsf::fit(
+        &test.train,
+        CfsfConfig {
+            clusters: 12,
+            ..CfsfConfig::paper()
+        },
+    )
+    .expect("valid config");
+    println!(
+        "test split {}: tuned MAE {:.4} vs paper-default MAE {:.4}",
+        test.label,
+        evaluate_mae(&tuned, &test.holdout),
+        evaluate_mae(&defaults, &test.holdout)
+    );
+}

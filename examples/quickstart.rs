@@ -1,0 +1,75 @@
+//! Quickstart: generate data, run the paper's protocol, train CFSF,
+//! report MAE and inspect one prediction.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cfsf::prelude::*;
+
+fn main() {
+    // 1. A MovieLens-like dataset (seeded: every run is identical).
+    //    Swap in `cfsf::data::load_movielens("u.data")` for the real thing.
+    let dataset = SyntheticConfig::small().generate();
+    println!("dataset: {}", dataset.name);
+    println!("{}", dataset.stats());
+
+    // 2. The paper's protocol: train on the first 40 users' full profiles,
+    //    reveal 5 ratings for each of the last 20 users, hold out the rest.
+    let split = Protocol::new(TrainSize::Users(40), GivenN::Given5, 20)
+        .split(&dataset)
+        .expect("protocol fits the dataset");
+    println!(
+        "split {}: {} training ratings, {} holdout cells",
+        split.label,
+        split.train.num_ratings(),
+        split.holdout.len()
+    );
+
+    // 3. Offline phase: GIS + clustering + smoothing + iCluster.
+    let model = Cfsf::fit(&split.train, CfsfConfig::small()).expect("valid config");
+    let summary = model.offline_summary();
+    println!(
+        "offline: {} clusters (k-means {} iters, converged={}), {} GIS pairs, {} smoothed cells",
+        summary.clusters,
+        summary.kmeans_iterations,
+        summary.kmeans_converged,
+        summary.gis_pairs,
+        summary.smoothed_cells
+    );
+
+    // 4. Online phase: score the holdout.
+    let eval = cfsf::eval::evaluate(&model, &split.holdout);
+    println!(
+        "CFSF: MAE {:.3}, RMSE {:.3}, coverage {:.1}%",
+        eval.mae,
+        eval.rmse,
+        eval.coverage * 100.0
+    );
+
+    // 5. One prediction, dissected into the paper's Eq. 12 components.
+    let cell = &split.holdout[0];
+    let b = model
+        .predict_with_breakdown(cell.user, cell.item)
+        .expect("in-range cell");
+    println!(
+        "\nprediction for (user {}, item {}): {:.2} (truth {:.0})",
+        cell.user, cell.item, b.fused, cell.rating
+    );
+    println!(
+        "  SIR'  (same user, similar items)        = {}",
+        b.sir.map_or("n/a".into(), |v| format!("{v:.2}")),
+    );
+    println!(
+        "  SUR'  (like-minded users, same item)    = {}",
+        b.sur.map_or("n/a".into(), |v| format!("{v:.2}")),
+    );
+    println!(
+        "  SUIR' (like-minded users, similar items) = {}",
+        b.suir.map_or("n/a".into(), |v| format!("{v:.2}")),
+    );
+    println!(
+        "  local matrix: {} similar items × {} like-minded users",
+        b.m_used, b.k_used
+    );
+}

@@ -1,0 +1,218 @@
+//! `cfsf-cli` — command-line front end for the CFSF library.
+//!
+//! ```text
+//! cfsf-cli stats <u.data>
+//! cfsf-cli evaluate <u.data> [--algo cfsf|sur|sir|sf|emdp|scbpcc|am|pd]
+//!                            [--train-users N] [--test-users N] [--given N]
+//! cfsf-cli recommend <u.data> --user ID [--n 10]
+//! cfsf-cli train <u.data> --out model.cfsf      # persist a fitted model
+//! cfsf-cli serve <model.cfsf> --user ID [--n N] # recommend from a saved model
+//! cfsf-cli demo
+//! ```
+//!
+//! `<u.data>` is the GroupLens tab-separated rating format
+//! (`user item rating timestamp`, 1-based ids). `demo` runs the whole
+//! pipeline on a synthetic dataset so the tool works without a download.
+
+use cfsf::prelude::*;
+use cf_matrix::RatingMatrix;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage("no command");
+    };
+    match command.as_str() {
+        "stats" => cmd_stats(&args[1..]),
+        "evaluate" => cmd_evaluate(&args[1..]),
+        "recommend" => cmd_recommend(&args[1..]),
+        "train" => cmd_train(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "demo" => cmd_demo(),
+        "--help" | "-h" => usage(""),
+        other => usage(&format!("unknown command {other:?}")),
+    }
+}
+
+fn load(path: &str) -> Dataset {
+    match cfsf::data::load_movielens(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot load {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|p| args.get(p + 1).cloned())
+}
+
+fn flag_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag(args, name) {
+        Some(v) => v.parse().unwrap_or_else(|_| usage(&format!("{name} needs a number"))),
+        None => default,
+    }
+}
+
+fn cmd_stats(args: &[String]) {
+    let Some(path) = args.first() else {
+        usage("stats needs a file");
+    };
+    let dataset = load(path);
+    println!("dataset: {}", dataset.name);
+    print!("{}", dataset.stats());
+}
+
+fn cmd_evaluate(args: &[String]) {
+    let Some(path) = args.first() else {
+        usage("evaluate needs a file");
+    };
+    let dataset = load(path);
+    let total = dataset.matrix.num_users();
+    let test_users = flag_num(args, "--test-users", (total / 4).max(1));
+    let train_users = flag_num(args, "--train-users", total.saturating_sub(test_users));
+    let given = flag_num(args, "--given", 10usize);
+    let algo = flag(args, "--algo").unwrap_or_else(|| "cfsf".into());
+
+    let split = match Protocol::new(TrainSize::Users(train_users), GivenN::Custom(given), test_users)
+        .split(&dataset)
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "split {}: {} training ratings, {} holdout cells",
+        split.label,
+        split.train.num_ratings(),
+        split.holdout.len()
+    );
+    let model = fit(&algo, &split.train);
+    let eval = cfsf::eval::evaluate(model.as_ref(), &split.holdout);
+    println!(
+        "{}: MAE {:.4}, RMSE {:.4}, coverage {:.1}%",
+        model.name(),
+        eval.mae,
+        eval.rmse,
+        eval.coverage * 100.0
+    );
+}
+
+fn cmd_recommend(args: &[String]) {
+    let Some(path) = args.first() else {
+        usage("recommend needs a file");
+    };
+    let dataset = load(path);
+    let user: u32 = flag_num(args, "--user", u32::MAX);
+    if user == u32::MAX {
+        usage("recommend needs --user ID (1-based, as in the file)");
+    }
+    let n = flag_num(args, "--n", 10usize);
+    // File ids are 1-based; internal are 0-based.
+    let uid = UserId::new(user.saturating_sub(1));
+    if uid.index() >= dataset.matrix.num_users() {
+        eprintln!("error: user {user} not in the dataset");
+        std::process::exit(1);
+    }
+    let model = Cfsf::fit(&dataset.matrix, CfsfConfig::paper()).expect("valid config");
+    println!("top-{n} recommendations for user {user}:");
+    for (rank, (item, score)) in model.recommend_top_n(uid, n).into_iter().enumerate() {
+        println!("  {:>2}. item {:<6} predicted {score:.2}", rank + 1, item.raw() + 1);
+    }
+}
+
+fn cmd_train(args: &[String]) {
+    let Some(path) = args.first() else {
+        usage("train needs a file");
+    };
+    let out = flag(args, "--out").unwrap_or_else(|| "model.cfsf".into());
+    let dataset = load(path);
+    println!(
+        "training CFSF on {} ({} ratings)...",
+        dataset.name,
+        dataset.matrix.num_ratings()
+    );
+    let t = std::time::Instant::now();
+    let model = Cfsf::fit(&dataset.matrix, CfsfConfig::paper()).expect("valid config");
+    println!("offline phase done in {:.2}s", t.elapsed().as_secs_f64());
+    model.save_to_file(&out).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!("saved {out} ({:.1} MiB)", bytes as f64 / (1024.0 * 1024.0));
+}
+
+fn cmd_serve(args: &[String]) {
+    let Some(path) = args.first() else {
+        usage("serve needs a model file");
+    };
+    let user: u32 = flag_num(args, "--user", u32::MAX);
+    if user == u32::MAX {
+        usage("serve needs --user ID (1-based)");
+    }
+    let n = flag_num(args, "--n", 10usize);
+    let t = std::time::Instant::now();
+    let model = Cfsf::load_from_file(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot load {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("model loaded in {:.2}s (no offline recompute)", t.elapsed().as_secs_f64());
+    let uid = UserId::new(user.saturating_sub(1));
+    if uid.index() >= model.matrix().num_users() {
+        eprintln!("error: user {user} not in the model");
+        std::process::exit(1);
+    }
+    println!("top-{n} recommendations for user {user}:");
+    for (rank, (item, score)) in model.recommend_top_n(uid, n).into_iter().enumerate() {
+        println!("  {:>2}. item {:<6} predicted {score:.2}", rank + 1, item.raw() + 1);
+    }
+}
+
+fn cmd_demo() {
+    println!("generating a synthetic MovieLens-like dataset...");
+    let dataset = SyntheticConfig::small().generate();
+    print!("{}", dataset.stats());
+    let split = Protocol::new(TrainSize::Users(40), GivenN::Given5, 20)
+        .split(&dataset)
+        .expect("protocol fits");
+    let model = Cfsf::fit(&split.train, CfsfConfig::small()).expect("valid config");
+    let eval = cfsf::eval::evaluate(&model, &split.holdout);
+    println!(
+        "CFSF on {}: MAE {:.3}, RMSE {:.3} over {} holdout cells",
+        split.label, eval.mae, eval.rmse, eval.cells
+    );
+    let recs = model.recommend_top_n(UserId::new(0), 5);
+    println!("top-5 items for user 0: {recs:?}");
+}
+
+fn fit(algo: &str, train: &RatingMatrix) -> Box<dyn cf_matrix::Predictor> {
+    match algo {
+        "cfsf" => Box::new(Cfsf::fit(train, CfsfConfig::paper()).expect("valid config")),
+        "sur" => Box::new(Sur::fit_default(train)),
+        "sir" => Box::new(Sir::fit_default(train)),
+        "sf" => Box::new(SimilarityFusion::fit_default(train)),
+        "emdp" => Box::new(Emdp::fit_default(train)),
+        "scbpcc" => Box::new(Scbpcc::fit_default(train)),
+        "am" => Box::new(AspectModel::fit_default(train)),
+        "pd" => Box::new(PersonalityDiagnosis::fit_default(train)),
+        other => usage(&format!("unknown algorithm {other:?}")),
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}\n");
+    }
+    eprintln!(
+        "usage:\n  cfsf-cli stats <u.data>\n  cfsf-cli evaluate <u.data> [--algo NAME] \
+         [--train-users N] [--test-users N] [--given N]\n  cfsf-cli recommend <u.data> --user ID [--n N]\n  cfsf-cli demo\n\
+         algorithms: cfsf, sur, sir, sf, emdp, scbpcc, am, pd"
+    );
+    std::process::exit(if problem.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,204 @@
+//! Degenerate-input and failure-injection tests: every algorithm must
+//! stay total, finite, and on-scale when the data carries no signal.
+
+use cfsf::prelude::*;
+use cf_matrix::{MatrixBuilder, Predictor, RatingMatrix};
+
+/// Every user rated every item with the same value: zero variance
+/// everywhere, every similarity undefined.
+fn constant_matrix() -> RatingMatrix {
+    let mut b = MatrixBuilder::new();
+    for u in 0..10u32 {
+        for i in 0..8u32 {
+            b.push(UserId::new(u), ItemId::new(i), 3.0);
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Two user populations that share no items at all.
+fn disjoint_matrix() -> RatingMatrix {
+    let mut b = MatrixBuilder::with_dims(8, 10);
+    for u in 0..4u32 {
+        for i in 0..5u32 {
+            b.push(UserId::new(u), ItemId::new(i), 1.0 + ((u + i) % 5) as f64);
+        }
+    }
+    for u in 4..8u32 {
+        for i in 5..10u32 {
+            b.push(UserId::new(u), ItemId::new(i), 1.0 + ((u * i) % 5) as f64);
+        }
+    }
+    b.build().unwrap()
+}
+
+/// A single user with a handful of ratings.
+fn single_user_matrix() -> RatingMatrix {
+    let mut b = MatrixBuilder::with_dims(1, 6);
+    for i in 0..4u32 {
+        b.push(UserId::new(0), ItemId::new(i), 1.0 + i as f64);
+    }
+    b.build().unwrap()
+}
+
+fn all_models(m: &RatingMatrix) -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(Cfsf::fit(m, CfsfConfig { clusters: 2, k: 3, m: 3, ..CfsfConfig::paper() }).unwrap()),
+        Box::new(Sur::fit_default(m)),
+        Box::new(Sir::fit_default(m)),
+        Box::new(SimilarityFusion::fit_default(m)),
+        Box::new(Emdp::fit_default(m)),
+        Box::new(Scbpcc::fit_default(m)),
+        Box::new(AspectModel::fit_default(m)),
+        Box::new(PersonalityDiagnosis::fit_default(m)),
+    ]
+}
+
+fn assert_total_and_on_scale(m: &RatingMatrix) {
+    for model in all_models(m) {
+        for u in m.users() {
+            for i in m.items() {
+                let r = model
+                    .predict(u, i)
+                    .unwrap_or_else(|| panic!("{} abstained at ({u:?},{i:?})", model.name()));
+                assert!(
+                    r.is_finite() && (1.0..=5.0).contains(&r),
+                    "{}: ({u:?},{i:?}) -> {r}",
+                    model.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn constant_ratings_never_produce_nan() {
+    let m = constant_matrix();
+    assert_total_and_on_scale(&m);
+    // and the sensible answer is the constant itself
+    let cfsf = Cfsf::fit(&m, CfsfConfig { clusters: 2, k: 3, m: 3, ..CfsfConfig::paper() }).unwrap();
+    let r = cfsf.predict(UserId::new(0), ItemId::new(7)).unwrap();
+    assert!((r - 3.0).abs() < 1e-9, "got {r}");
+}
+
+#[test]
+fn disjoint_populations_fall_back_gracefully() {
+    let m = disjoint_matrix();
+    assert_total_and_on_scale(&m);
+}
+
+#[test]
+fn single_user_matrix_works_everywhere() {
+    let m = single_user_matrix();
+    assert_total_and_on_scale(&m);
+}
+
+#[test]
+fn extreme_cfsf_parameters_stay_sane() {
+    let d = SyntheticConfig::small().generate();
+    let m = &d.matrix;
+    for config in [
+        CfsfConfig { lambda: 0.0, delta: 0.0, ..CfsfConfig::small() },
+        CfsfConfig { lambda: 1.0, delta: 1.0, ..CfsfConfig::small() },
+        CfsfConfig { w: 0.999, ..CfsfConfig::small() },
+        CfsfConfig { w: 0.001, ..CfsfConfig::small() },
+        CfsfConfig { k: 1, m: 1, ..CfsfConfig::small() },
+        CfsfConfig { clusters: 1, ..CfsfConfig::small() },
+        CfsfConfig { clusters: 1000, ..CfsfConfig::small() },
+        CfsfConfig { candidate_factor: 1, ..CfsfConfig::small() },
+    ] {
+        let model = Cfsf::fit(m, config.clone()).unwrap();
+        for u in (0..m.num_users()).step_by(19) {
+            for i in (0..m.num_items()).step_by(23) {
+                if let Some(r) = model.predict(UserId::from(u), ItemId::from(i)) {
+                    assert!(
+                        r.is_finite() && (1.0..=5.0).contains(&r),
+                        "{config:?}: got {r}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn loader_rejects_garbage_but_never_panics() {
+    for garbage in [
+        "not a rating file",
+        "1\t2",
+        "1\t2\tNaN\t0",
+        "0\t0\t0\t0",
+        "1\t1\t99\t0",
+        "\u{0}\u{1}\u{2}",
+        "1 1 5 extra fields here are fine 123",
+    ] {
+        // must return Err or Ok, never panic
+        let _ = cfsf::data::load_movielens_str(garbage, "fuzz");
+    }
+    // empty input errors cleanly
+    assert!(cfsf::data::load_movielens_str("", "empty").is_err());
+}
+
+#[test]
+fn whole_pipeline_works_on_a_non_movielens_scale() {
+    // Nothing in the stack may hardcode 1..=5: run end-to-end on 1..=10.
+    use cf_matrix::RatingScale;
+    let d = SyntheticConfig {
+        scale: RatingScale::new(1.0, 10.0),
+        base_rating: 5.5,
+        affinity_strength: 2.0,
+        user_bias_sd: 1.0,
+        noise_sd: 1.0,
+        ..SyntheticConfig::small()
+    }
+    .generate();
+    let split = Protocol::new(TrainSize::Users(40), GivenN::Given5, 20)
+        .split(&d)
+        .unwrap();
+    let model = Cfsf::fit(&split.train, CfsfConfig::small()).unwrap();
+    let eval = cfsf::eval::evaluate(&model, &split.holdout);
+    assert!(eval.mae.is_finite() && eval.mae < 4.0, "MAE {}", eval.mae);
+    for u in (0..d.matrix.num_users()).step_by(9) {
+        for i in (0..d.matrix.num_items()).step_by(13) {
+            if let Some(r) = model.predict(UserId::from(u), ItemId::from(i)) {
+                assert!((1.0..=10.0).contains(&r), "({u},{i}) -> {r}");
+            }
+        }
+    }
+    // baselines respect the scale too
+    let sur = Sur::fit_default(&split.train);
+    for cell in split.holdout.iter().take(50) {
+        let r = sur.predict(cell.user, cell.item).unwrap();
+        assert!((1.0..=10.0).contains(&r));
+    }
+}
+
+#[test]
+fn protocol_with_minimal_populations() {
+    let d = SyntheticConfig::small().generate();
+    // 1 training user, 1 test user
+    let split = Protocol::new(TrainSize::Users(1), GivenN::Custom(1), 1)
+        .split(&d)
+        .unwrap();
+    assert!(!split.holdout.is_empty());
+    let model = Cfsf::fit(&split.train, CfsfConfig { clusters: 1, k: 1, m: 1, ..CfsfConfig::paper() })
+        .unwrap();
+    let eval = cfsf::eval::evaluate(&model, &split.holdout);
+    assert!(eval.mae.is_finite());
+}
+
+#[test]
+fn recommendations_on_a_user_who_rated_everything() {
+    let mut b = MatrixBuilder::with_dims(3, 4);
+    for i in 0..4u32 {
+        b.push(UserId::new(0), ItemId::new(i), 4.0 - (i % 3) as f64);
+        b.push(UserId::new(1), ItemId::new(i), 2.0 + (i % 3) as f64);
+    }
+    b.push(UserId::new(2), ItemId::new(0), 5.0);
+    let m = b.build().unwrap();
+    let model = Cfsf::fit(&m, CfsfConfig { clusters: 1, k: 2, m: 2, ..CfsfConfig::paper() }).unwrap();
+    // user 0 rated every item: nothing to recommend
+    assert!(model.recommend_top_n(UserId::new(0), 5).is_empty());
+    // user 2 rated one item: three candidates
+    assert_eq!(model.recommend_top_n(UserId::new(2), 5).len(), 3);
+}

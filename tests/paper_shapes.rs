@@ -1,0 +1,139 @@
+//! Fast shape checks of the paper's qualitative claims, run at the
+//! harness's quick scale. The full paper-scale evidence lives in
+//! EXPERIMENTS.md; these tests keep the claims from silently regressing.
+
+use cfsf::eval::experiments::{ablations, scalability, sweeps, tables};
+use cfsf::eval::{ExperimentContext, Scale};
+
+fn ctx() -> ExperimentContext {
+    ExperimentContext::new(Scale::Quick, 42, None)
+}
+
+fn parse_maes(rows: &[Vec<String>], method: &str) -> Vec<f64> {
+    rows.iter()
+        .filter(|r| r[1] == method)
+        .flat_map(|r| r[2..].iter().map(|c| c.parse::<f64>().unwrap()))
+        .collect()
+}
+
+#[test]
+fn table2_cfsf_beats_sir_and_sur_on_most_cells() {
+    let out = tables::table2(&ctx());
+    let rows = &out.tables[0].rows;
+    let cfsf = parse_maes(rows, "CFSF");
+    let sur = parse_maes(rows, "SUR");
+    let sir = parse_maes(rows, "SIR");
+    assert_eq!(cfsf.len(), 9);
+    let wins = cfsf
+        .iter()
+        .zip(sur.iter().zip(&sir))
+        .filter(|(c, (u, i))| *c < u && *c < i)
+        .count();
+    assert!(wins >= 7, "CFSF won only {wins}/9 cells");
+}
+
+#[test]
+fn table2_mae_improves_with_more_evidence() {
+    let out = tables::table2(&ctx());
+    let cfsf = parse_maes(&out.tables[0].rows, "CFSF");
+    // chunks of 3 = (Given5, Given10, Given20) per training size
+    for chunk in cfsf.chunks(3) {
+        assert!(
+            chunk[0] >= chunk[2],
+            "Given20 should beat Given5: {chunk:?}"
+        );
+    }
+    // largest training set at least matches the smallest, per GivenN
+    for g in 0..3 {
+        assert!(
+            cfsf[6 + g] <= cfsf[g] + 0.02,
+            "ML grows but MAE worsened: {} -> {}",
+            cfsf[g],
+            cfsf[6 + g]
+        );
+    }
+}
+
+#[test]
+fn fig3_k_sweep_has_interior_optimum_shape() {
+    let out = sweeps::fig3_k(&ctx());
+    // column 1 = Given5 series
+    let series: Vec<f64> = out.tables[0]
+        .rows
+        .iter()
+        .map(|r| r[1].parse().unwrap())
+        .collect();
+    // the smallest K must not be the best: tiny neighborhoods starve
+    let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(series[0] > min, "K sweep should improve past the smallest K");
+}
+
+#[test]
+fn fig7_delta_one_is_worse_than_small_delta() {
+    let out = sweeps::fig7_delta(&ctx());
+    for g in 1..=3 {
+        let series: Vec<f64> = out.tables[0]
+            .rows
+            .iter()
+            .map(|r| r[g].parse().unwrap())
+            .collect();
+        let first = series[0];
+        let last = *series.last().unwrap();
+        assert!(
+            last > first,
+            "pure SUIR' (delta=1) must be worse than delta=0: {first} vs {last}"
+        );
+    }
+}
+
+#[test]
+fn fig5_cfsf_is_faster_than_scbpcc() {
+    let out = scalability::fig5(&ctx());
+    // The last row of each training set block is the 100% point:
+    // columns are [train, pct, cells, cfsf, scbpcc].
+    let mut checked = 0;
+    for row in &out.tables[0].rows {
+        if row[1] == "100%" {
+            let cfsf: f64 = row[3].parse().unwrap();
+            let scb: f64 = row[4].parse().unwrap();
+            assert!(
+                cfsf < scb,
+                "CFSF ({cfsf}s) should be faster than SCBPCC ({scb}s)"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 3);
+}
+
+#[test]
+fn ablation_table_is_complete_and_local_beats_global_latency() {
+    let out = ablations::ablations(&ctx());
+    let rows = &out.tables[0].rows;
+    assert_eq!(rows.len(), 5);
+    let time = |label: &str| -> f64 {
+        rows.iter()
+            .find(|r| r[0].starts_with(label))
+            .unwrap_or_else(|| panic!("row {label}"))[2]
+            .parse()
+            .unwrap()
+    };
+    // The local M×K online phase must be faster than SF's global fusion.
+    assert!(time("CFSF (full)") < time("global fusion"));
+}
+
+#[test]
+fn table1_matches_generator_contract() {
+    let c = ctx();
+    let out = tables::table1(&c);
+    let rows = &out.tables[0].rows;
+    let get = |label: &str| -> String {
+        rows.iter()
+            .find(|r| r[0] == label)
+            .unwrap_or_else(|| panic!("row {label}"))[1]
+            .clone()
+    };
+    assert_eq!(get("No. of users"), "200");
+    assert_eq!(get("No. of items"), "300");
+    assert_eq!(get("No. of rating values"), "5");
+}

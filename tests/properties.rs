@@ -1,0 +1,131 @@
+//! Cross-crate property-based tests: the protocol and the full CFSF
+//! pipeline under arbitrary (but valid) inputs.
+
+use cfsf::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small random rating dataset via the seeded generator —
+/// proptest explores seeds and dimensions, the generator guarantees a
+/// valid matrix.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (20usize..60, 30usize..80, 0u64..1000).prop_map(|(users, items, seed)| {
+        SyntheticConfig {
+            num_users: users,
+            num_items: items,
+            mean_ratings_per_user: 12.0,
+            min_ratings_per_user: 8,
+            taste_groups: 3,
+            genres: 4,
+            ..SyntheticConfig::movielens()
+        }
+        .with_seed(seed)
+        .generate()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn protocol_partitions_test_profiles(
+        dataset in arb_dataset(),
+        given in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let test_users = dataset.matrix.num_users() / 4;
+        let train_users = dataset.matrix.num_users() / 2;
+        let split = Protocol::new(
+            TrainSize::Users(train_users),
+            GivenN::Custom(given),
+            test_users,
+        )
+        .with_seed(seed)
+        .split(&dataset)
+        .unwrap();
+
+        // 1. Holdout cells never appear in the training matrix and carry
+        //    the true rating.
+        for cell in &split.holdout {
+            prop_assert_eq!(split.train.get(cell.user, cell.item), None);
+            prop_assert_eq!(dataset.matrix.get(cell.user, cell.item), Some(cell.rating));
+        }
+        // 2. Every test user's profile splits exactly into revealed +
+        //    held-out.
+        for user in split.test_users() {
+            let revealed = split.train.user_count(user);
+            let held = split.holdout.iter().filter(|c| c.user == user).count();
+            prop_assert_eq!(revealed + held, dataset.matrix.user_count(user));
+            prop_assert!(revealed <= given);
+        }
+        // 3. Training users keep full profiles.
+        for u in 0..train_users {
+            let u = UserId::from(u);
+            prop_assert_eq!(split.train.user_count(u), dataset.matrix.user_count(u));
+        }
+    }
+
+    #[test]
+    fn cfsf_predictions_always_land_on_scale(
+        dataset in arb_dataset(),
+        lambda in 0.0f64..=1.0,
+        delta in 0.0f64..=1.0,
+        w in 0.01f64..=0.99,
+    ) {
+        let config = CfsfConfig {
+            clusters: 4,
+            k: 8,
+            m: 12,
+            lambda,
+            delta,
+            w,
+            ..CfsfConfig::paper()
+        };
+        let model = Cfsf::fit(&dataset.matrix, config).unwrap();
+        for u in (0..dataset.matrix.num_users()).step_by(11) {
+            for i in (0..dataset.matrix.num_items()).step_by(13) {
+                if let Some(r) = cf_matrix::Predictor::predict(
+                    &model,
+                    UserId::from(u),
+                    ItemId::from(i),
+                ) {
+                    prop_assert!((1.0..=5.0).contains(&r), "({u},{i}) -> {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_is_invariant_to_holdout_order(
+        dataset in arb_dataset(),
+        seed in 0u64..50,
+    ) {
+        let test_users = dataset.matrix.num_users() / 4;
+        let split = Protocol::new(
+            TrainSize::Users(dataset.matrix.num_users() / 2),
+            GivenN::Custom(4),
+            test_users,
+        )
+        .with_seed(seed)
+        .split(&dataset)
+        .unwrap();
+        prop_assume!(!split.holdout.is_empty());
+        let model = Sur::fit_default(&split.train);
+        let forward = evaluate_mae(&model, &split.holdout);
+        let mut reversed = split.holdout.clone();
+        reversed.reverse();
+        let backward = evaluate_mae(&model, &reversed);
+        prop_assert!((forward - backward).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(dataset in arb_dataset()) {
+        let s = dataset.stats();
+        prop_assert!(s.active_users <= s.num_users);
+        prop_assert!(s.active_items <= s.num_items);
+        prop_assert!(s.density >= 0.0 && s.density <= 1.0);
+        prop_assert!(s.min_rating >= 1.0 && s.max_rating <= 5.0);
+        prop_assert!(s.min_ratings_per_user <= s.max_ratings_per_user);
+        let implied = s.avg_ratings_per_user * s.active_users as f64;
+        prop_assert!((implied - s.num_ratings as f64).abs() < 1e-6);
+    }
+}
