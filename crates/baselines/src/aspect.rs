@@ -86,12 +86,8 @@ impl AspectModel {
         // initial parameters.
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
         let mut p_z = vec![1.0 / z_count as f64; z_count];
-        let mut p_u_z: Vec<Vec<f64>> = (0..z_count)
-            .map(|_| random_simplex(&mut rng, p))
-            .collect();
-        let mut p_i_z: Vec<Vec<f64>> = (0..z_count)
-            .map(|_| random_simplex(&mut rng, q))
-            .collect();
+        let mut p_u_z: Vec<Vec<f64>> = (0..z_count).map(|_| random_simplex(&mut rng, p)).collect();
+        let mut p_i_z: Vec<Vec<f64>> = (0..z_count).map(|_| random_simplex(&mut rng, q)).collect();
         let mut p_r_z: Vec<Vec<f64>> = (0..z_count)
             .map(|_| random_simplex(&mut rng, v_count))
             .collect();
@@ -235,7 +231,14 @@ mod tests {
     #[test]
     fn learns_block_structure() {
         let m = blocks();
-        let am = AspectModel::fit(&m, AspectConfig { aspects: 4, iterations: 60, ..Default::default() });
+        let am = AspectModel::fit(
+            &m,
+            AspectConfig {
+                aspects: 4,
+                iterations: 60,
+                ..Default::default()
+            },
+        );
         // user 0's hole is item 0 (block-high): expect a high prediction;
         // user 7's hole is item 7 (block-high for u≥5): also high.
         let r0 = am.predict(UserId::new(0), ItemId::new(0)).unwrap();
@@ -250,7 +253,14 @@ mod tests {
     #[test]
     fn distributions_are_normalized() {
         let m = blocks();
-        let am = AspectModel::fit(&m, AspectConfig { aspects: 3, iterations: 10, ..Default::default() });
+        let am = AspectModel::fit(
+            &m,
+            AspectConfig {
+                aspects: 3,
+                iterations: 10,
+                ..Default::default()
+            },
+        );
         let sz: f64 = am.p_z.iter().sum();
         assert!((sz - 1.0).abs() < 1e-9);
         for z in 0..3 {
@@ -270,7 +280,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let m = blocks();
-        let cfg = AspectConfig { aspects: 4, iterations: 15, ..Default::default() };
+        let cfg = AspectConfig {
+            aspects: 4,
+            iterations: 15,
+            ..Default::default()
+        };
         let a = AspectModel::fit(&m, cfg.clone());
         let b = AspectModel::fit(&m, cfg);
         for u in 0..10u32 {
@@ -285,6 +299,12 @@ mod tests {
     #[should_panic(expected = "aspects must be positive")]
     fn zero_aspects_panics() {
         let m = blocks();
-        let _ = AspectModel::fit(&m, AspectConfig { aspects: 0, ..Default::default() });
+        let _ = AspectModel::fit(
+            &m,
+            AspectConfig {
+                aspects: 0,
+                ..Default::default()
+            },
+        );
     }
 }

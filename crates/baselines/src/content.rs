@@ -59,30 +59,31 @@ impl ContentBoostedSir {
         );
         let q = matrix.num_items();
         let alpha = config.alpha;
-        let sim_lists: Vec<Vec<(ItemId, f64)>> = cf_parallel::par_map(q, cf_parallel::effective_threads(None), |a_idx| {
-            let a = ItemId::from(a_idx);
-            let mut list: Vec<(ItemId, f64)> = (0..q)
-                .filter(|&b| b != a_idx)
-                .filter_map(|b_idx| {
-                    let b = ItemId::from(b_idx);
-                    let pcc = item_pcc(matrix, a, b);
-                    let genre = if item_genres[a_idx] == item_genres[b_idx] {
-                        1.0
-                    } else {
-                        0.0
-                    };
-                    let sim = alpha * pcc + (1.0 - alpha) * genre;
-                    (sim > 0.0).then_some((b, sim))
-                })
-                .collect();
-            list.sort_by(|x, y| {
-                y.1.partial_cmp(&x.1)
-                    .expect("similarities are finite")
-                    .then(x.0.cmp(&y.0))
+        let sim_lists: Vec<Vec<(ItemId, f64)>> =
+            cf_parallel::par_map(q, cf_parallel::effective_threads(None), |a_idx| {
+                let a = ItemId::from(a_idx);
+                let mut list: Vec<(ItemId, f64)> = (0..q)
+                    .filter(|&b| b != a_idx)
+                    .filter_map(|b_idx| {
+                        let b = ItemId::from(b_idx);
+                        let pcc = item_pcc(matrix, a, b);
+                        let genre = if item_genres[a_idx] == item_genres[b_idx] {
+                            1.0
+                        } else {
+                            0.0
+                        };
+                        let sim = alpha * pcc + (1.0 - alpha) * genre;
+                        (sim > 0.0).then_some((b, sim))
+                    })
+                    .collect();
+                list.sort_by(|x, y| {
+                    y.1.partial_cmp(&x.1)
+                        .expect("similarities are finite")
+                        .then(x.0.cmp(&y.0))
+                });
+                list.truncate(256);
+                list
             });
-            list.truncate(256);
-            list
-        });
         Self {
             matrix: matrix.clone(),
             sim_lists,
@@ -164,7 +165,10 @@ mod tests {
         let pure = ContentBoostedSir::fit(
             &m,
             &genres,
-            ContentConfig { alpha: 1.0, ..Default::default() },
+            ContentConfig {
+                alpha: 1.0,
+                ..Default::default()
+            },
         );
         // With alpha=1 the genre link vanishes and user 3 has no usable
         // neighbors for item 0 → fallback to user mean (5.0).
@@ -186,7 +190,10 @@ mod tests {
         let _ = ContentBoostedSir::fit(
             &m,
             &genres,
-            ContentConfig { alpha: 1.5, ..Default::default() },
+            ContentConfig {
+                alpha: 1.5,
+                ..Default::default()
+            },
         );
     }
 

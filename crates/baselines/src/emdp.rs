@@ -118,8 +118,8 @@ impl Emdp {
                     if raw <= 0.0 {
                         return None;
                     }
-                    let s = significance_weight(item_overlap(matrix, ia, ib), config.gamma_item)
-                        * raw;
+                    let s =
+                        significance_weight(item_overlap(matrix, ia, ib), config.gamma_item) * raw;
                     (s > config.theta).then_some((ib, s))
                 })
                 .collect();
@@ -177,8 +177,7 @@ impl Emdp {
                 if !row[i].is_nan() {
                     continue;
                 }
-                let user_part =
-                    (uden[i] > f64::EPSILON).then(|| mean_u + unum[i] / uden[i]);
+                let user_part = (uden[i] > f64::EPSILON).then(|| mean_u + unum[i] / uden[i]);
                 // Item part from the user's own original ratings.
                 let mut inum = 0.0;
                 let mut iden = 0.0;
@@ -189,8 +188,8 @@ impl Emdp {
                         iden += s;
                     }
                 }
-                let item_part = (iden > f64::EPSILON)
-                    .then(|| m.item_mean(ItemId::from(i)) + inum / iden);
+                let item_part =
+                    (iden > f64::EPSILON).then(|| m.item_mean(ItemId::from(i)) + inum / iden);
                 let l = self.config.lambda;
                 let v = match (user_part, item_part) {
                     (Some(a), Some(b)) => Some(l * a + (1.0 - l) * b),
@@ -356,7 +355,13 @@ mod tests {
     fn predictions_in_range_with_and_without_smoothing() {
         let m = small();
         let with = Emdp::fit_default(&m);
-        let without = Emdp::fit(&m, EmdpConfig { smooth_missing: false, ..Default::default() });
+        let without = Emdp::fit(
+            &m,
+            EmdpConfig {
+                smooth_missing: false,
+                ..Default::default()
+            },
+        );
         for u in (0..m.num_users()).step_by(13) {
             for i in (0..m.num_items()).step_by(19) {
                 for model in [&with, &without] {
@@ -370,7 +375,13 @@ mod tests {
     #[test]
     fn out_of_range_returns_none() {
         let m = small();
-        let e = Emdp::fit(&m, EmdpConfig { smooth_missing: false, ..Default::default() });
+        let e = Emdp::fit(
+            &m,
+            EmdpConfig {
+                smooth_missing: false,
+                ..Default::default()
+            },
+        );
         assert!(e.predict(UserId::new(60_000), ItemId::new(0)).is_none());
     }
 }

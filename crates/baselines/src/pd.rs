@@ -161,8 +161,20 @@ mod tests {
     #[test]
     fn smaller_sigma_sharpens_the_posterior() {
         let m = matrix();
-        let sharp = PersonalityDiagnosis::fit(&m, PdConfig { sigma: 0.3, ..Default::default() });
-        let blunt = PersonalityDiagnosis::fit(&m, PdConfig { sigma: 5.0, ..Default::default() });
+        let sharp = PersonalityDiagnosis::fit(
+            &m,
+            PdConfig {
+                sigma: 0.3,
+                ..Default::default()
+            },
+        );
+        let blunt = PersonalityDiagnosis::fit(
+            &m,
+            PdConfig {
+                sigma: 5.0,
+                ..Default::default()
+            },
+        );
         let rs = sharp.predict(UserId::new(0), ItemId::new(2)).unwrap();
         let rb = blunt.predict(UserId::new(0), ItemId::new(2)).unwrap();
         // sharp posterior ≈ the matching user's rating; blunt one mixes
@@ -187,7 +199,13 @@ mod tests {
     #[test]
     fn min_overlap_excludes_strangers() {
         let m = matrix();
-        let pd = PersonalityDiagnosis::fit(&m, PdConfig { min_overlap: 10, ..Default::default() });
+        let pd = PersonalityDiagnosis::fit(
+            &m,
+            PdConfig {
+                min_overlap: 10,
+                ..Default::default()
+            },
+        );
         // nobody shares 10 items → fallback (user 0's mean = 3.0)
         let r = pd.predict(UserId::new(0), ItemId::new(2)).unwrap();
         assert_eq!(r, 3.0);
@@ -197,7 +215,13 @@ mod tests {
     #[should_panic(expected = "sigma must be positive")]
     fn zero_sigma_panics() {
         let m = matrix();
-        let _ = PersonalityDiagnosis::fit(&m, PdConfig { sigma: 0.0, ..Default::default() });
+        let _ = PersonalityDiagnosis::fit(
+            &m,
+            PdConfig {
+                sigma: 0.0,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]

@@ -135,7 +135,9 @@ impl Predictor for Scbpcc {
         let mut num = 0.0;
         let mut den = 0.0;
         for (u_t, s) in self.top_k(user) {
-            let Some(r) = dense.get(u_t, item) else { continue };
+            let Some(r) = dense.get(u_t, item) else {
+                continue;
+            };
             let w = smoothing_weight(dense.is_original(u_t, item), self.config.w);
             num += w * s * (r - m.user_mean(u_t));
             den += w * s;
@@ -166,7 +168,11 @@ mod tests {
     }
 
     fn small_config() -> ScbpccConfig {
-        ScbpccConfig { clusters: 4, k: 10, ..Default::default() }
+        ScbpccConfig {
+            clusters: 4,
+            k: 10,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -46,7 +46,8 @@ impl Default for SfConfig {
 }
 
 /// Cached per-user neighbor list, shared across requests.
-type UserCache = std::sync::RwLock<std::collections::HashMap<UserId, std::sync::Arc<Vec<(UserId, f64)>>>>;
+type UserCache =
+    std::sync::RwLock<std::collections::HashMap<UserId, std::sync::Arc<Vec<(UserId, f64)>>>>;
 
 /// The SF baseline.
 #[derive(Debug)]

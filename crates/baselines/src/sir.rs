@@ -143,10 +143,13 @@ mod tests {
     #[test]
     fn neighborhood_cap_limits_evidence() {
         let m = matrix();
-        let capped = Sir::fit(&m, SirConfig {
-            neighborhood: Some(1),
-            ..SirConfig::default()
-        });
+        let capped = Sir::fit(
+            &m,
+            SirConfig {
+                neighborhood: Some(1),
+                ..SirConfig::default()
+            },
+        );
         let full = Sir::fit_default(&m);
         // both must predict, possibly differently
         let a = capped.predict(UserId::new(0), ItemId::new(2)).unwrap();

@@ -141,7 +141,13 @@ mod tests {
     #[test]
     fn plain_form_matches_equation_two() {
         let m = matrix();
-        let sur = Sur::fit(&m, SurConfig { neighborhood: None, mean_centered: false });
+        let sur = Sur::fit(
+            &m,
+            SurConfig {
+                neighborhood: None,
+                mean_centered: false,
+            },
+        );
         // only user 1 is a positive neighbor of user 0 among raters of
         // item 3 → plain weighted average = exactly user 1's rating.
         let r = sur.predict(UserId::new(0), ItemId::new(3)).unwrap();
@@ -174,7 +180,13 @@ mod tests {
     #[test]
     fn neighborhood_cap_takes_strongest() {
         let m = matrix();
-        let sur = Sur::fit(&m, SurConfig { neighborhood: Some(1), mean_centered: true });
+        let sur = Sur::fit(
+            &m,
+            SurConfig {
+                neighborhood: Some(1),
+                mean_centered: true,
+            },
+        );
         let r = sur.predict(UserId::new(0), ItemId::new(3)).unwrap();
         assert!((1.0..=5.0).contains(&r));
     }

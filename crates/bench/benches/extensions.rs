@@ -33,7 +33,10 @@ fn persistence(c: &mut Criterion) {
     let model = Cfsf::fit(&data.matrix, bench_config()).unwrap();
     let mut buf = Vec::new();
     model.save(&mut buf).unwrap();
-    println!("extensions bench: serialized model is {} KiB", buf.len() / 1024);
+    println!(
+        "extensions bench: serialized model is {} KiB",
+        buf.len() / 1024
+    );
 
     let mut group = c.benchmark_group("extensions/persistence");
     group.sample_size(10);

@@ -73,5 +73,10 @@ fn full_fit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, gis_parallel_scaling, kmeans_and_smoothing, full_fit);
+criterion_group!(
+    benches,
+    gis_parallel_scaling,
+    kmeans_and_smoothing,
+    full_fit
+);
 criterion_main!(benches);

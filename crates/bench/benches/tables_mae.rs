@@ -4,9 +4,7 @@
 //! tables' accuracy numbers are paid with; the MAE itself is printed once
 //! so a bench run doubles as a smoke-check of the table values.
 
-use cf_baselines::{
-    AspectModel, Emdp, PersonalityDiagnosis, Scbpcc, SimilarityFusion, Sir, Sur,
-};
+use cf_baselines::{AspectModel, Emdp, PersonalityDiagnosis, Scbpcc, SimilarityFusion, Sir, Sur};
 use cf_eval::evaluate;
 use cf_matrix::Predictor;
 use cfsf_bench::{bench_config, bench_dataset, bench_split};

@@ -122,7 +122,14 @@ mod tests {
             }
         }
         let m = b.build().unwrap();
-        let clusters = KMeans::fit(&m, &KMeansConfig { k: 2, seed: 1, ..Default::default() });
+        let clusters = KMeans::fit(
+            &m,
+            &KMeansConfig {
+                k: 2,
+                seed: 1,
+                ..Default::default()
+            },
+        );
         let smoothed = Smoother::smooth(&m, &clusters, Some(1));
         (m, smoothed, clusters)
     }
@@ -184,7 +191,14 @@ mod tests {
         b.push(UserId::new(1), ItemId::new(1), 1.0);
         b.push(UserId::new(2), ItemId::new(3), 4.0);
         let m = b.build().unwrap();
-        let clusters = KMeans::fit(&m, &KMeansConfig { k: 2, seed: 5, ..Default::default() });
+        let clusters = KMeans::fit(
+            &m,
+            &KMeansConfig {
+                k: 2,
+                seed: 5,
+                ..Default::default()
+            },
+        );
         let smoothed = Smoother::smooth(&m, &clusters, Some(1));
         let ic = ICluster::build(&m, &smoothed, Some(1));
         // u2 has a single rated item → overlap < 2 with every cluster → 0s

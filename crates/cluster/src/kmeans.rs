@@ -89,7 +89,11 @@ impl Centroid {
                 }
             })
             .collect();
-        let mean = if defined > 0 { total / defined as f64 } else { 0.0 };
+        let mean = if defined > 0 {
+            total / defined as f64
+        } else {
+            0.0
+        };
         Self { values, mean }
     }
 
@@ -150,11 +154,19 @@ impl ClusterAssignment {
     /// Reassembles an assignment from a per-user cluster-id vector — the
     /// deserialization path for model persistence. Panics if any id is
     /// `>= k` (a corrupt assignment must not silently mis-index).
-    pub fn from_assignment(assignment: Vec<u32>, k: usize, iterations: usize, converged: bool) -> Self {
+    pub fn from_assignment(
+        assignment: Vec<u32>,
+        k: usize,
+        iterations: usize,
+        converged: bool,
+    ) -> Self {
         assert!(k > 0, "k must be positive");
         let mut members: Vec<Vec<UserId>> = vec![Vec::new(); k];
         for (ui, &c) in assignment.iter().enumerate() {
-            assert!((c as usize) < k, "user {ui} assigned to cluster {c} >= k={k}");
+            assert!(
+                (c as usize) < k,
+                "user {ui} assigned to cluster {c} >= k={k}"
+            );
             members[c as usize].push(UserId::from(ui));
         }
         Self {
@@ -203,6 +215,7 @@ impl KMeans {
     /// clusters (they carry no signal either way; leaving them out would
     /// make downstream indexing partial).
     pub fn fit(m: &RatingMatrix, config: &KMeansConfig) -> ClusterAssignment {
+        cf_obs::time_scope!("offline.kmeans.fit_ns");
         let p = m.num_users();
         assert!(config.k > 0, "k must be positive");
         let k = config.k.min(p.max(1));
@@ -235,6 +248,7 @@ impl KMeans {
         let mut converged = false;
 
         for iter in 0..config.max_iterations {
+            let iter_start = std::time::Instant::now();
             iterations = iter + 1;
             // Assignment step (parallel over users). Ties break toward the
             // lowest cluster index; empty profiles keep the round-robin slot.
@@ -258,6 +272,7 @@ impl KMeans {
             let changed = next != assignment;
             assignment = next;
             if !changed {
+                cf_obs::histogram!("offline.kmeans.iter_ns").record_duration(iter_start.elapsed());
                 converged = true;
                 break;
             }
@@ -271,9 +286,7 @@ impl KMeans {
             }
             for c in 0..k {
                 if members[c].is_empty() {
-                    let donor = (0..k)
-                        .max_by_key(|&d| members[d].len())
-                        .expect("k >= 1");
+                    let donor = (0..k).max_by_key(|&d| members[d].len()).expect("k >= 1");
                     if members[donor].len() > 1 {
                         let worst = *members[donor]
                             .iter()
@@ -291,6 +304,14 @@ impl KMeans {
                 }
             }
             centroids = par_map(k, threads, |c| Centroid::from_members(m, &members[c]));
+            cf_obs::histogram!("offline.kmeans.iter_ns").record_duration(iter_start.elapsed());
+        }
+
+        cf_obs::histogram!("offline.kmeans.iterations").record(iterations as u64);
+        if converged {
+            cf_obs::counter!("offline.kmeans.converged").inc();
+        } else {
+            cf_obs::counter!("offline.kmeans.hit_iteration_cap").inc();
         }
 
         let mut members: Vec<Vec<UserId>> = vec![Vec::new(); k];
@@ -369,13 +390,16 @@ mod tests {
     #[test]
     fn recovers_planted_clusters() {
         let m = two_blocks();
-        let a = KMeans::fit(&m, &KMeansConfig {
-            k: 2,
-            max_iterations: 20,
-            seed: 7,
-            threads: Some(2),
-            ..Default::default()
-        });
+        let a = KMeans::fit(
+            &m,
+            &KMeansConfig {
+                k: 2,
+                max_iterations: 20,
+                seed: 7,
+                threads: Some(2),
+                ..Default::default()
+            },
+        );
         assert_eq!(a.k(), 2);
         let c0 = a.cluster_of(UserId::new(0));
         for u in 1..4u32 {
@@ -392,7 +416,11 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let m = two_blocks();
-        let cfg = KMeansConfig { k: 3, seed: 11, ..Default::default() };
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 11,
+            ..Default::default()
+        };
         let a = KMeans::fit(&m, &cfg);
         let b = KMeans::fit(&m, &cfg);
         for u in m.users() {
@@ -403,8 +431,24 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let m = two_blocks();
-        let a = KMeans::fit(&m, &KMeansConfig { k: 2, seed: 3, threads: Some(1), ..Default::default() });
-        let b = KMeans::fit(&m, &KMeansConfig { k: 2, seed: 3, threads: Some(4), ..Default::default() });
+        let a = KMeans::fit(
+            &m,
+            &KMeansConfig {
+                k: 2,
+                seed: 3,
+                threads: Some(1),
+                ..Default::default()
+            },
+        );
+        let b = KMeans::fit(
+            &m,
+            &KMeansConfig {
+                k: 2,
+                seed: 3,
+                threads: Some(4),
+                ..Default::default()
+            },
+        );
         for u in m.users() {
             assert_eq!(a.cluster_of(u), b.cluster_of(u));
         }
@@ -413,7 +457,13 @@ mod tests {
     #[test]
     fn k_larger_than_user_count_is_clamped() {
         let m = two_blocks();
-        let a = KMeans::fit(&m, &KMeansConfig { k: 100, ..Default::default() });
+        let a = KMeans::fit(
+            &m,
+            &KMeansConfig {
+                k: 100,
+                ..Default::default()
+            },
+        );
         assert!(a.k() <= 8);
         for u in m.users() {
             assert!(a.cluster_of(u) < a.k());
@@ -423,7 +473,13 @@ mod tests {
     #[test]
     fn members_partition_all_users() {
         let m = two_blocks();
-        let a = KMeans::fit(&m, &KMeansConfig { k: 3, ..Default::default() });
+        let a = KMeans::fit(
+            &m,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         let total: usize = a.sizes().iter().sum();
         assert_eq!(total, m.num_users());
         for c in 0..a.k() {
@@ -444,7 +500,13 @@ mod tests {
         b.push(UserId::new(1), ItemId::new(1), 2.0);
         // users 2..4 rate nothing
         let m = b.build().unwrap();
-        let a = KMeans::fit(&m, &KMeansConfig { k: 2, ..Default::default() });
+        let a = KMeans::fit(
+            &m,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         for u in m.users() {
             assert!(a.cluster_of(u) < a.k());
         }
@@ -454,18 +516,27 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
         let m = two_blocks();
-        let _ = KMeans::fit(&m, &KMeansConfig { k: 0, ..Default::default() });
+        let _ = KMeans::fit(
+            &m,
+            &KMeansConfig {
+                k: 0,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     fn plus_plus_also_recovers_planted_clusters() {
         let m = two_blocks();
-        let a = KMeans::fit(&m, &KMeansConfig {
-            k: 2,
-            init: KMeansInit::PlusPlus,
-            seed: 7,
-            ..Default::default()
-        });
+        let a = KMeans::fit(
+            &m,
+            &KMeansConfig {
+                k: 2,
+                init: KMeansInit::PlusPlus,
+                seed: 7,
+                ..Default::default()
+            },
+        );
         let c0 = a.cluster_of(UserId::new(0));
         for u in 1..4u32 {
             assert_eq!(a.cluster_of(UserId::new(u)), c0);
@@ -479,13 +550,16 @@ mod tests {
         // different taste blocks for any seed value.
         let m = two_blocks();
         for seed in 0..10u64 {
-            let a = KMeans::fit(&m, &KMeansConfig {
-                k: 2,
-                init: KMeansInit::PlusPlus,
-                seed,
-                max_iterations: 20,
-                threads: Some(2),
-            });
+            let a = KMeans::fit(
+                &m,
+                &KMeansConfig {
+                    k: 2,
+                    init: KMeansInit::PlusPlus,
+                    seed,
+                    max_iterations: 20,
+                    threads: Some(2),
+                },
+            );
             // converged 2-cluster solutions on this data separate the blocks
             assert_ne!(
                 a.cluster_of(UserId::new(0)),
@@ -498,7 +572,12 @@ mod tests {
     #[test]
     fn plus_plus_is_deterministic_per_seed() {
         let m = two_blocks();
-        let cfg = KMeansConfig { k: 3, init: KMeansInit::PlusPlus, seed: 5, ..Default::default() };
+        let cfg = KMeansConfig {
+            k: 3,
+            init: KMeansInit::PlusPlus,
+            seed: 5,
+            ..Default::default()
+        };
         let a = KMeans::fit(&m, &cfg);
         let b = KMeans::fit(&m, &cfg);
         for u in m.users() {

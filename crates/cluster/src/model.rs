@@ -61,7 +61,11 @@ mod tests {
         let model = ClusterModel::fit(
             &m,
             &ClusterModelConfig {
-                kmeans: KMeansConfig { k: 2, seed: 9, ..Default::default() },
+                kmeans: KMeansConfig {
+                    k: 2,
+                    seed: 9,
+                    ..Default::default()
+                },
                 threads: Some(2),
             },
         );

@@ -97,13 +97,23 @@ mod tests {
         }
         .generate();
         let truth = d.user_groups.as_ref().unwrap();
-        let clusters = KMeans::fit(&d.matrix, &KMeansConfig { k: 4, seed: 3, ..Default::default() });
+        let clusters = KMeans::fit(
+            &d.matrix,
+            &KMeansConfig {
+                k: 4,
+                seed: 3,
+                ..Default::default()
+            },
+        );
         let labels: Vec<u32> = d
             .matrix
             .users()
             .map(|u| clusters.cluster_of(u) as u32)
             .collect();
         let ari = adjusted_rand_index(truth, &labels);
-        assert!(ari > 0.5, "K-means should recover planted groups, ARI = {ari}");
+        assert!(
+            ari > 0.5,
+            "K-means should recover planted groups, ARI = {ari}"
+        );
     }
 }

@@ -71,6 +71,7 @@ impl Smoother {
         clusters: &ClusterAssignment,
         threads: Option<usize>,
     ) -> Smoothed {
+        cf_obs::time_scope!("offline.smoothing.pass_ns");
         let threads = cf_parallel::effective_threads(threads);
         let q = m.num_items();
         let k = clusters.k();
@@ -100,35 +101,36 @@ impl Smoother {
         // Eq. 7, one row per user, in parallel; rows are disjoint slices
         // of the dense store.
         let scale = m.scale();
-        let rows: Vec<(Vec<f64>, Vec<bool>, usize, usize)> = par_map(m.num_users(), threads, |ui| {
-            let u = UserId::from(ui);
-            let c = clusters.cluster_of(u);
-            let dev = &deviations[c];
-            let mean_u = m.user_mean(u);
-            let mut row = vec![f64::NAN; q];
-            let mut original = vec![false; q];
-            for (i, r) in m.user_ratings(u) {
-                row[i.index()] = r;
-                original[i.index()] = true;
-            }
-            let mut from_cluster = 0usize;
-            let mut from_fallback = 0usize;
-            for i in 0..q {
-                if original[i] {
-                    continue;
+        let rows: Vec<(Vec<f64>, Vec<bool>, usize, usize)> =
+            par_map(m.num_users(), threads, |ui| {
+                let u = UserId::from(ui);
+                let c = clusters.cluster_of(u);
+                let dev = &deviations[c];
+                let mean_u = m.user_mean(u);
+                let mut row = vec![f64::NAN; q];
+                let mut original = vec![false; q];
+                for (i, r) in m.user_ratings(u) {
+                    row[i.index()] = r;
+                    original[i.index()] = true;
                 }
-                let d = dev[i];
-                let v = if d.is_nan() {
-                    from_fallback += 1;
-                    mean_u
-                } else {
-                    from_cluster += 1;
-                    mean_u + d
-                };
-                row[i] = scale.clamp(v);
-            }
-            (row, original, from_cluster, from_fallback)
-        });
+                let mut from_cluster = 0usize;
+                let mut from_fallback = 0usize;
+                for i in 0..q {
+                    if original[i] {
+                        continue;
+                    }
+                    let d = dev[i];
+                    let v = if d.is_nan() {
+                        from_fallback += 1;
+                        mean_u
+                    } else {
+                        from_cluster += 1;
+                        mean_u + d
+                    };
+                    row[i] = scale.clamp(v);
+                }
+                (row, original, from_cluster, from_fallback)
+            });
 
         let mut dense = DenseRatings::new(m.num_users(), q);
         let mut cells_from_cluster = 0usize;
@@ -146,6 +148,9 @@ impl Smoother {
             cells_from_cluster += fc;
             cells_from_fallback += ff;
         }
+
+        cf_obs::counter!("offline.smoothing.cells_from_cluster").add(cells_from_cluster as u64);
+        cf_obs::counter!("offline.smoothing.cells_from_fallback").add(cells_from_fallback as u64);
 
         Smoothed {
             dense,
@@ -176,7 +181,13 @@ mod tests {
     }
 
     fn one_cluster(m: &RatingMatrix) -> ClusterAssignment {
-        KMeans::fit(m, &KMeansConfig { k: 1, ..Default::default() })
+        KMeans::fit(
+            m,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -229,7 +240,13 @@ mod tests {
         b.push(UserId::new(0), ItemId::new(1), 1.0);
         b.push(UserId::new(1), ItemId::new(0), 1.0);
         let m = b.build().unwrap();
-        let clusters = KMeans::fit(&m, &KMeansConfig { k: 2, ..Default::default() });
+        let clusters = KMeans::fit(
+            &m,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         let s = Smoother::smooth(&m, &clusters, Some(1));
         assert!(s.dense.is_complete());
         // u1's cluster (u1 alone, or with u0 — either way the accounting

@@ -24,6 +24,8 @@ impl Cfsf {
         requests: &[(UserId, ItemId)],
         threads: Option<usize>,
     ) -> Vec<Option<f64>> {
+        cf_obs::time_scope!("online.batch.batch_ns");
+        cf_obs::counter!("online.batch.requests").add(requests.len() as u64);
         let threads = cf_parallel::effective_threads(threads);
         // Pre-warm neighbor selections in parallel over *distinct* users,
         // so the per-request loop below never contends on selection work.

@@ -40,6 +40,8 @@ mod tests {
             message: "2 is outside [0, 1]".into(),
         };
         assert!(e.to_string().contains("lambda"));
-        assert!(CfsfError::EmptyTrainingMatrix.to_string().contains("no ratings"));
+        assert!(CfsfError::EmptyTrainingMatrix
+            .to_string()
+            .contains("no ratings"));
     }
 }

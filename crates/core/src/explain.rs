@@ -153,7 +153,10 @@ mod tests {
                 if !e.item_evidence.is_empty() {
                     let total: f64 = e.item_evidence.iter().map(|x| x.weight).sum();
                     assert!((total - 1.0).abs() < 1e-9, "item weights sum {total}");
-                    assert!(e.item_evidence.windows(2).all(|w| w[0].weight >= w[1].weight));
+                    assert!(e
+                        .item_evidence
+                        .windows(2)
+                        .all(|w| w[0].weight >= w[1].weight));
                     seen += 1;
                 }
                 if !e.user_evidence.is_empty() {
@@ -184,11 +187,7 @@ mod tests {
                 continue;
             };
             let Some(sir) = e.breakdown.sir else { continue };
-            let recon: f64 = e
-                .item_evidence
-                .iter()
-                .map(|x| x.weight * x.rating)
-                .sum();
+            let recon: f64 = e.item_evidence.iter().map(|x| x.weight * x.rating).sum();
             assert!((recon - sir).abs() < 1e-9, "recon {recon} vs sir {sir}");
             return; // one verified case is enough
         }

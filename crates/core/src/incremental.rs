@@ -137,6 +137,7 @@ impl IncrementalCfsf {
         let stats = if escalate {
             self.model = Cfsf::fit(&merged_matrix, self.model.config().clone())?;
             self.churn_since_full = 0;
+            cf_obs::counter!("incremental.refresh.full").inc();
             RefreshStats {
                 kind: RefreshKind::Full,
                 merged,
@@ -146,6 +147,8 @@ impl IncrementalCfsf {
         } else {
             let items: Vec<ItemId> = self.stale_items.iter().copied().collect();
             self.partial_refresh(&merged_matrix, &items);
+            cf_obs::counter!("incremental.refresh.partial").inc();
+            cf_obs::counter!("incremental.items_rebuilt").add(items.len() as u64);
             RefreshStats {
                 kind: RefreshKind::Partial,
                 merged,
@@ -155,6 +158,7 @@ impl IncrementalCfsf {
         };
         self.pending.clear();
         self.stale_items.clear();
+        cf_obs::histogram!("incremental.refresh_ns").record_duration(start.elapsed());
         Ok(stats)
     }
 
@@ -258,7 +262,9 @@ mod tests {
         // off scale, out of range
         let (u2, i2) = unrated_cell(&d.matrix, 40);
         assert!(inc.add_rating(u2, i2, 9.0).is_err());
-        assert!(inc.add_rating(UserId::new(9999), ItemId::new(0), 3.0).is_err());
+        assert!(inc
+            .add_rating(UserId::new(9999), ItemId::new(0), 3.0)
+            .is_err());
         assert_eq!(inc.pending(), 1);
     }
 
@@ -295,9 +301,7 @@ mod tests {
         'outer: for u in 0..d.matrix.num_users() as u32 {
             for i in 0..d.matrix.num_items() as u32 {
                 let (user, item) = (UserId::new(u), ItemId::new(i));
-                if d.matrix.get(user, item).is_none()
-                    && inc.add_rating(user, item, 3.0).is_ok()
-                {
+                if d.matrix.get(user, item).is_none() && inc.add_rating(user, item, 3.0).is_ok() {
                     added += 1;
                     if added >= 5 {
                         break 'outer;
@@ -351,6 +355,34 @@ mod tests {
             mean_diff < 0.15,
             "partial refresh drifted {mean_diff:.3} on average over {total} probes"
         );
+    }
+
+    #[test]
+    fn refresh_invalidates_cached_neighbor_selections() {
+        // Regression: the per-user top-K cache must not survive a refresh,
+        // or predictions would keep using neighbor similarities computed
+        // against the pre-update matrix.
+        let (d, mut inc) = setup();
+        let (u, i) = unrated_cell(&d.matrix, 2);
+
+        // Prime the cache for a user whose selection the update can shift.
+        let before = inc.model().top_k_users(u);
+        assert!(std::sync::Arc::ptr_eq(&before, &inc.model().top_k_users(u)));
+
+        inc.add_rating(u, i, 5.0).unwrap();
+        inc.refresh().unwrap();
+
+        let after = inc.model().top_k_users(u);
+        assert!(
+            !std::sync::Arc::ptr_eq(&before, &after),
+            "neighbor cache still serves the pre-refresh selection"
+        );
+        // The fresh selection must reflect the merged matrix: recomputing
+        // after another cache flush gives the same list (i.e. `after` is a
+        // genuine post-refresh selection, not a stale survivor).
+        inc.model().clear_caches();
+        let recomputed = inc.model().top_k_users(u);
+        assert_eq!(*after, *recomputed);
     }
 
     #[test]

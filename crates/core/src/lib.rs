@@ -53,5 +53,5 @@ pub use explain::{Explanation, ItemEvidence, UserEvidence};
 pub use fusion::{fuse, FusionWeights};
 pub use incremental::{IncrementalCfsf, RefreshKind, RefreshStats};
 pub use model::{Cfsf, OfflineSummary};
-pub use persist::PersistError;
 pub use online::PredictionBreakdown;
+pub use persist::PersistError;

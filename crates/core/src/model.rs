@@ -6,7 +6,7 @@ use std::sync::Arc;
 use cf_cluster::{ClusterAssignment, ICluster, KMeansConfig, Smoothed, Smoother};
 use cf_matrix::{DenseRatings, ItemId, Predictor, RatingMatrix, UserId};
 use cf_similarity::Gis;
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::{CfsfConfig, CfsfError};
 
@@ -55,7 +55,14 @@ impl std::fmt::Debug for Cfsf {
             .field("items", &self.matrix.num_items())
             .field("clusters", &self.clusters.k())
             .field("gis_pairs", &self.gis.stored_pairs())
-            .field("cached_users", &self.neighbor_cache.read().len())
+            .field(
+                "cached_users",
+                &self
+                    .neighbor_cache
+                    .read()
+                    .expect("cache lock poisoned")
+                    .len(),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -147,7 +154,10 @@ impl Cfsf {
     /// Drops all cached per-user neighbor selections (used by benchmarks
     /// that must measure cold-path latency).
     pub fn clear_caches(&self) {
-        self.neighbor_cache.write().clear();
+        self.neighbor_cache
+            .write()
+            .expect("cache lock poisoned")
+            .clear();
     }
 
     /// Builds a new model with a modified configuration, reusing the
@@ -160,10 +170,7 @@ impl Cfsf {
     /// back to a full [`Cfsf::fit`]. Note that a swept `M` larger than the
     /// GIS neighbor cap the model was *fitted* with will silently see
     /// shorter lists — fit with an adequate `gis.max_neighbors` first.
-    pub fn reparameterize(
-        &self,
-        modify: impl FnOnce(&mut CfsfConfig),
-    ) -> Result<Self, CfsfError> {
+    pub fn reparameterize(&self, modify: impl FnOnce(&mut CfsfConfig)) -> Result<Self, CfsfError> {
         let mut config = self.config.clone();
         modify(&mut config);
         config.validate()?;
@@ -216,8 +223,7 @@ impl Cfsf {
 
 impl Predictor for Cfsf {
     fn predict(&self, user: UserId, item: ItemId) -> Option<f64> {
-        self.predict_with_breakdown(user, item)
-            .map(|b| b.fused)
+        self.predict_with_breakdown(user, item).map(|b| b.fused)
     }
 
     fn name(&self) -> &'static str {
@@ -238,7 +244,10 @@ mod tests {
     fn fit_rejects_invalid_config() {
         let d = data();
         let e = Cfsf::fit(&d.matrix, CfsfConfig::small().with_lambda(7.0)).unwrap_err();
-        assert!(matches!(e, CfsfError::InvalidParameter { name: "lambda", .. }));
+        assert!(matches!(
+            e,
+            CfsfError::InvalidParameter { name: "lambda", .. }
+        ));
     }
 
     #[test]

@@ -35,12 +35,20 @@ impl Cfsf {
     /// walking the iCluster ranking to build the candidate pool. Results
     /// are cached per user: selection is independent of the active item.
     pub fn top_k_users(&self, user: UserId) -> Arc<Vec<(UserId, f64)>> {
-        if let Some(hit) = self.neighbor_cache.read().get(&user) {
+        if let Some(hit) = self
+            .neighbor_cache
+            .read()
+            .expect("cache lock poisoned")
+            .get(&user)
+        {
+            cf_obs::counter!("online.neighbor_cache.hit").inc();
             return Arc::clone(hit);
         }
+        cf_obs::counter!("online.neighbor_cache.miss").inc();
         let computed = Arc::new(self.select_top_k(user));
         self.neighbor_cache
             .write()
+            .expect("cache lock poisoned")
             .entry(user)
             .or_insert_with(|| Arc::clone(&computed))
             .clone()
@@ -110,7 +118,9 @@ impl Cfsf {
         user: UserId,
         item: ItemId,
     ) -> Option<PredictionBreakdown> {
+        cf_obs::time_scope!("online.predict_ns");
         if user.index() >= self.matrix.num_users() || item.index() >= self.matrix.num_items() {
+            cf_obs::counter!("online.no_signal").inc();
             return None;
         }
         let scale = self.matrix.scale();
@@ -182,14 +192,32 @@ impl Cfsf {
                 // imputes every cell; without smoothing, fall back to the
                 // user's mean if they have a profile.
                 if self.config.use_smoothing {
-                    (self.smoothed.dense.get(user, item)?, true)
+                    match self.smoothed.dense.get(user, item) {
+                        Some(v) => (v, true),
+                        None => {
+                            cf_obs::counter!("online.no_signal").inc();
+                            return None;
+                        }
+                    }
                 } else if self.matrix.user_count(user) > 0 {
                     (mean_b, true)
                 } else {
+                    cf_obs::counter!("online.no_signal").inc();
                     return None;
                 }
             }
         };
+
+        cf_obs::counter!("online.predictions").inc();
+        // `add(0)` still registers the metric, so a snapshot always carries
+        // these names even for runs where the event never fires — absent
+        // vs zero would be ambiguous to dashboards diffing runs.
+        cf_obs::counter!("online.fallback").add(used_fallback as u64);
+        cf_obs::counter!("online.estimator.sir").add(sir.is_some() as u64);
+        cf_obs::counter!("online.estimator.sur").add(sur.is_some() as u64);
+        cf_obs::counter!("online.estimator.suir").add(suir.is_some() as u64);
+        cf_obs::histogram!("online.m_used").record(m_used as u64);
+        cf_obs::histogram!("online.k_used").record(top_users.len() as u64);
 
         Some(PredictionBreakdown {
             sir,
@@ -223,7 +251,10 @@ mod tests {
             assert!(top.len() <= m.config().k);
             assert!(top.windows(2).all(|w| w[0].1 >= w[1].1), "sorted desc");
             assert!(top.iter().all(|&(_, s)| s > 0.0));
-            assert!(top.iter().all(|&(c, _)| c != UserId::from(u)), "self excluded");
+            assert!(
+                top.iter().all(|&(c, _)| c != UserId::from(u)),
+                "self excluded"
+            );
         }
     }
 
@@ -320,6 +351,9 @@ mod tests {
                 seen += 1;
             }
         }
-        assert!(seen > 100, "too few non-fallback predictions sampled: {seen}");
+        assert!(
+            seen > 100,
+            "too few non-fallback predictions sampled: {seen}"
+        );
     }
 }

@@ -27,7 +27,7 @@ use std::io::{self, Read, Write};
 use cf_cluster::{ClusterAssignment, ICluster, Smoother};
 use cf_matrix::{DenseRatings, ItemId, MatrixBuilder, RatingScale, UserId};
 use cf_similarity::Gis;
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::{Cfsf, CfsfConfig, CfsfError};
 
@@ -115,7 +115,9 @@ fn get_u8<R: Read>(r: &mut R) -> io::Result<u8> {
 fn get_usize<R: Read>(r: &mut R, what: &str, limit: u64) -> Result<usize, PersistError> {
     let v = get_u64(r)?;
     if v > limit {
-        return Err(PersistError::Format(format!("{what} = {v} exceeds sanity limit {limit}")));
+        return Err(PersistError::Format(format!(
+            "{what} = {v} exceeds sanity limit {limit}"
+        )));
     }
     Ok(v as usize)
 }
@@ -307,7 +309,8 @@ impl Cfsf {
             }
             assignment.push(c);
         }
-        let clusters = ClusterAssignment::from_assignment(assignment, stored_k, iterations, converged);
+        let clusters =
+            ClusterAssignment::from_assignment(assignment, stored_k, iterations, converged);
 
         // Recompute the cheap linear passes.
         let smoothed = Smoother::smooth(&matrix, &clusters, None);
@@ -363,7 +366,10 @@ mod tests {
                 );
             }
         }
-        assert_eq!(loaded.offline_summary().clusters, original.offline_summary().clusters);
+        assert_eq!(
+            loaded.offline_summary().clusters,
+            original.offline_summary().clusters
+        );
     }
 
     #[test]

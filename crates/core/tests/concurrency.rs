@@ -1,0 +1,54 @@
+//! Concurrency behavior of the online phase's shared caches.
+
+use std::sync::Arc;
+
+use cf_matrix::UserId;
+use cfsf_core::{Cfsf, CfsfConfig};
+
+fn model() -> Cfsf {
+    let d = cf_data::SyntheticConfig::small().generate();
+    Cfsf::fit(&d.matrix, CfsfConfig::small()).unwrap()
+}
+
+#[test]
+fn concurrent_top_k_users_share_one_cached_selection() {
+    // N threads race on a cold cache for the same user. Whoever loses the
+    // insert race must still end up with the winner's Arc — all returned
+    // handles are pointer-equal, so the cache holds exactly one selection
+    // per user no matter how the race resolves.
+    let m = model();
+    let user = UserId::new(17);
+    let threads = 8;
+
+    for round in 0..10 {
+        m.clear_caches();
+        let handles: Vec<Arc<Vec<(UserId, f64)>>> =
+            cf_parallel::par_map(threads, threads, |_| m.top_k_users(user));
+        assert_eq!(handles.len(), threads);
+        let first = &handles[0];
+        for (t, h) in handles.iter().enumerate() {
+            assert!(
+                Arc::ptr_eq(first, h),
+                "round {round}: thread {t} got a different selection Arc"
+            );
+        }
+        // And the shared selection is the correct one.
+        assert_eq!(**first, *m.top_k_users(user));
+    }
+}
+
+#[test]
+fn concurrent_top_k_users_across_distinct_users_is_consistent() {
+    // Different users hammered concurrently: each user's selection matches
+    // what a quiet, sequential query produces.
+    let m = model();
+    let users = 24;
+    let concurrent: Vec<Arc<Vec<(UserId, f64)>>> =
+        cf_parallel::par_map(users, 8, |u| m.top_k_users(UserId::from(u)));
+
+    let quiet = model();
+    for (u, got) in concurrent.iter().enumerate() {
+        let expect = quiet.top_k_users(UserId::from(u));
+        assert_eq!(**got, *expect, "user {u}");
+    }
+}

@@ -64,7 +64,11 @@ pub fn k_fold_splits(dataset: &Dataset, k: usize, given: GivenN, seed: u64) -> V
                     if pos < n_given {
                         b.push(u, i, r);
                     } else {
-                        holdout.push(HoldoutCell { user: u, item: i, rating: r });
+                        holdout.push(HoldoutCell {
+                            user: u,
+                            item: i,
+                            rating: r,
+                        });
                     }
                 }
             }

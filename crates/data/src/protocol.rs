@@ -17,7 +17,7 @@ use rand::SeedableRng;
 use crate::Dataset;
 
 /// How many leading users form the training population.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrainSize {
     /// First `n` users (the paper's ML_100/ML_200/ML_300).
     Users(usize),
@@ -38,7 +38,7 @@ impl TrainSize {
 }
 
 /// How many ratings each test user reveals.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GivenN {
     /// Reveal 5 ratings.
     Given5,
@@ -100,7 +100,10 @@ pub enum ProtocolError {
 impl std::fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::NotEnoughUsers { required, available } => write!(
+            Self::NotEnoughUsers {
+                required,
+                available,
+            } => write!(
                 f,
                 "protocol needs {required} users but the dataset has {available}"
             ),
@@ -214,7 +217,11 @@ impl Protocol {
                 if pos < given {
                     b.push(u, i, r);
                 } else if is_evaluated {
-                    holdout.push(HoldoutCell { user: u, item: i, rating: r });
+                    holdout.push(HoldoutCell {
+                        user: u,
+                        item: i,
+                        rating: r,
+                    });
                 }
             }
         }
@@ -353,7 +360,10 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             e,
-            ProtocolError::NotEnoughUsers { required: 90, available: 80 }
+            ProtocolError::NotEnoughUsers {
+                required: 90,
+                available: 80
+            }
         );
         let e = Protocol::new(TrainSize::Users(10), GivenN::Given5, 0)
             .split(&d)

@@ -28,7 +28,7 @@ use crate::{Dataset, NormalSampler};
 /// Parameters of the synthetic generator. Defaults reproduce the paper's
 /// Table I shape; [`SyntheticConfig::small`] is a fast variant for tests
 /// and doctests.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SyntheticConfig {
     /// Number of users (paper: 500).
     pub num_users: usize,
@@ -120,7 +120,10 @@ impl SyntheticConfig {
     /// ratings per user exceeds the item count.
     pub fn generate(&self) -> Dataset {
         assert!(self.num_users > 0 && self.num_items > 0, "empty dimensions");
-        assert!(self.taste_groups > 0 && self.genres > 0, "zero latent groups");
+        assert!(
+            self.taste_groups > 0 && self.genres > 0,
+            "zero latent groups"
+        );
         assert!(
             self.min_ratings_per_user <= self.num_items,
             "min ratings per user exceeds item count"
@@ -169,17 +172,14 @@ impl SyntheticConfig {
         let ln_mean = self.mean_ratings_per_user.max(1.0).ln()
             - 0.5 * self.ratings_per_user_sigma * self.ratings_per_user_sigma;
 
-        let mut b =
-            MatrixBuilder::with_dims(self.num_users, self.num_items).scale(self.scale);
+        let mut b = MatrixBuilder::with_dims(self.num_users, self.num_items).scale(self.scale);
         let mut chosen = vec![false; self.num_items];
         for u in 0..self.num_users {
             // Log-normal rating count, floored and capped.
             let count = (ln_mean + self.ratings_per_user_sigma * normal.standard(&mut rng))
                 .exp()
                 .round() as usize;
-            let count = count
-                .max(self.min_ratings_per_user)
-                .min(self.num_items);
+            let count = count.max(self.min_ratings_per_user).min(self.num_items);
 
             // Weighted sampling without replacement via rejection on the
             // cumulative table; falls back to a scan when nearly all items
@@ -202,7 +202,9 @@ impl SyntheticConfig {
                     break;
                 }
                 let x = rng.gen::<f64>() * total_weight;
-                let i = cumulative.partition_point(|&c| c < x).min(self.num_items - 1);
+                let i = cumulative
+                    .partition_point(|&c| c < x)
+                    .min(self.num_items - 1);
                 if !chosen[i] {
                     chosen[i] = true;
                     picked.push(i);
@@ -246,17 +248,17 @@ mod tests {
         assert_eq!(s.num_users, 500);
         assert_eq!(s.num_items, 1000);
         assert_eq!(s.active_users, 500);
-        assert!(s.min_ratings_per_user >= 40, "min {}", s.min_ratings_per_user);
+        assert!(
+            s.min_ratings_per_user >= 40,
+            "min {}",
+            s.min_ratings_per_user
+        );
         assert!(
             (s.avg_ratings_per_user - 94.4).abs() < 12.0,
             "avg {}",
             s.avg_ratings_per_user
         );
-        assert!(
-            (s.density - 0.0944).abs() < 0.012,
-            "density {}",
-            s.density
-        );
+        assert!((s.density - 0.0944).abs() < 0.012, "density {}", s.density);
         assert_eq!(s.distinct_rating_values, 5);
         assert_eq!(s.min_rating, 1.0);
         assert_eq!(s.max_rating, 5.0);
@@ -373,7 +375,11 @@ mod tests {
         }
         .generate();
         let s = d.stats();
-        assert!(s.max_rating > 5.0, "scale ceiling unused: max {}", s.max_rating);
+        assert!(
+            s.max_rating > 5.0,
+            "scale ceiling unused: max {}",
+            s.max_rating
+        );
         assert!(s.min_rating >= 1.0);
         assert_eq!(d.matrix.scale(), RatingScale::new(1.0, 10.0));
     }

@@ -10,16 +10,38 @@
 //! - `--out DIR`    where CSVs are written (default `results/`)
 //! - `--seed N`     dataset seed (default 42)
 //! - `--threads N`  worker threads (default: all cores)
+//! - `--stats`      also write the runtime metrics snapshot (offline phase
+//!   timings, online latency quantiles, cache hit rates) to
+//!   `<out>/obs_snapshot.json` and print it
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use cf_eval::experiments::{ablations, extensions, scalability, sweeps, tables, tuning, ExperimentOutput};
+use cf_eval::experiments::{
+    ablations, extensions, scalability, sweeps, tables, tuning, ExperimentOutput,
+};
 use cf_eval::{ExperimentContext, Scale};
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "given", "ablations", "tune", "topn", "temporal", "incremental", "coldstart", "variance", "crossval",
+    "table1",
+    "table2",
+    "table3",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "given",
+    "ablations",
+    "tune",
+    "topn",
+    "temporal",
+    "incremental",
+    "coldstart",
+    "variance",
+    "crossval",
 ];
 
 fn main() {
@@ -28,12 +50,14 @@ fn main() {
     let mut out_dir = PathBuf::from("results");
     let mut seed = 42u64;
     let mut threads: Option<usize> = None;
+    let mut stats = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
             "--paper" => scale = Scale::Paper,
+            "--stats" => stats = true,
             "--out" => {
                 out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a value")))
             }
@@ -65,7 +89,11 @@ fn main() {
 
     println!(
         "# CFSF experiments ({} scale, seed {seed})\n",
-        if scale == Scale::Paper { "paper" } else { "quick" }
+        if scale == Scale::Paper {
+            "paper"
+        } else {
+            "quick"
+        }
     );
     let t0 = Instant::now();
     let ctx = ExperimentContext::new(scale, seed, threads);
@@ -100,6 +128,13 @@ fn main() {
         out_dir.display(),
         t0.elapsed().as_secs_f64()
     );
+
+    if stats {
+        let path = out_dir.join("obs_snapshot.json");
+        cf_obs::write_snapshot_file(&path).expect("write stats snapshot");
+        print!("{}", cf_obs::global().snapshot().to_json());
+        println!("stats snapshot written to {}", path.display());
+    }
 }
 
 fn run_experiment(name: &str, ctx: &ExperimentContext) -> ExperimentOutput {

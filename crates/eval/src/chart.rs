@@ -146,12 +146,7 @@ mod tests {
 
     #[test]
     fn multiple_series_get_distinct_glyphs() {
-        let chart = render_chart(
-            "two",
-            &[line("a", |x| x), line("b", |x| 10.0 - x)],
-            30,
-            8,
-        );
+        let chart = render_chart("two", &[line("a", |x| x), line("b", |x| 10.0 - x)], 30, 8);
         assert!(chart.contains('o') && chart.contains('*'));
         assert!(chart.contains("o a") && chart.contains("* b"));
     }

@@ -42,7 +42,11 @@ pub fn ablations(ctx: &ExperimentContext) -> ExperimentOutput {
     let sf = ctx.fit_baseline("SF", &split.train);
     let t_sf = time_predictions(sf.as_ref(), &split.holdout);
     let mae_sf = evaluate_mae(sf.as_ref(), &split.holdout);
-    table.push_row(vec!["global fusion (SF)".into(), fmt_mae(mae_sf), fmt_secs(t_sf)]);
+    table.push_row(vec![
+        "global fusion (SF)".into(),
+        fmt_mae(mae_sf),
+        fmt_secs(t_sf),
+    ]);
     notes.push(format!(
         "local vs global: CFSF MAE {:.3} vs SF {:.3}; the local matrix must not cost accuracy",
         mae_base, mae_sf
@@ -68,7 +72,11 @@ pub fn ablations(ctx: &ExperimentContext) -> ExperimentOutput {
     no_suir.clear_caches();
     let t_nd = time_predictions(&no_suir, &split.holdout);
     let mae_nd = evaluate_mae(&no_suir, &split.holdout);
-    table.push_row(vec!["delta = 0 (no SUIR')".into(), fmt_mae(mae_nd), fmt_secs(t_nd)]);
+    table.push_row(vec![
+        "delta = 0 (no SUIR')".into(),
+        fmt_mae(mae_nd),
+        fmt_secs(t_nd),
+    ]);
     notes.push(format!(
         "SUIR': with {:.3} vs without {:.3} (paper: small improvement from SUIR')",
         mae_base, mae_nd

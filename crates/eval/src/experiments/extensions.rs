@@ -5,7 +5,9 @@ use std::time::Instant;
 
 use cf_data::GivenN;
 use cf_matrix::{ItemId, UserId};
-use cf_temporal::{temporal_split, Decay, DecayMode, DriftConfig, TimeAwareSur, TimeAwareSurConfig};
+use cf_temporal::{
+    temporal_split, Decay, DecayMode, DriftConfig, TimeAwareSur, TimeAwareSurConfig,
+};
 use cfsf_core::{IncrementalCfsf, RefreshKind};
 
 use crate::ranking::evaluate_ranking;
@@ -124,7 +126,11 @@ pub fn temporal(ctx: &ExperimentContext) -> ExperimentOutput {
         let drift_only = mae_of(&|u| drifted.contains(&u));
         table.push_row(vec![
             label.into(),
-            if hl > 1e14 { "∞".into() } else { format!("{hl:.0}") },
+            if hl > 1e14 {
+                "∞".into()
+            } else {
+                format!("{hl:.0}")
+            },
             fmt_mae(all),
             fmt_mae(drift_only),
         ]);
@@ -141,7 +147,11 @@ pub fn temporal(ctx: &ExperimentContext) -> ExperimentOutput {
         best_decay.0,
         best_decay.2,
         plain.2,
-        if best_decay.2 < plain.2 { "helps" } else { "DOES NOT help" }
+        if best_decay.2 < plain.2 {
+            "helps"
+        } else {
+            "DOES NOT help"
+        }
     ));
 
     ExperimentOutput {
@@ -195,10 +205,7 @@ pub fn incremental(ctx: &ExperimentContext) -> ExperimentOutput {
         format!("{:.3}", t_fit.as_secs_f64()),
     ]);
     table.push_row(vec![
-        format!(
-            "partial refresh ({} GIS rows)",
-            stats.items_rebuilt
-        ),
+        format!("partial refresh ({} GIS rows)", stats.items_rebuilt),
         stats.merged.to_string(),
         format!("{:.3}", stats.elapsed.as_secs_f64()),
     ]);
@@ -309,14 +316,19 @@ pub fn variance(ctx: &ExperimentContext) -> ExperimentOutput {
         Scale::Paper => &[42, 43, 44],
         Scale::Quick => &[42, 43, 44],
     };
-    let mut per_method: Vec<(&str, Vec<f64>)> =
-        vec![("CFSF", Vec::new()), ("SUR", Vec::new()), ("SCBPCC", Vec::new())];
+    let mut per_method: Vec<(&str, Vec<f64>)> = vec![
+        ("CFSF", Vec::new()),
+        ("SUR", Vec::new()),
+        ("SCBPCC", Vec::new()),
+    ];
 
     for &seed in seeds {
         let run_ctx = ExperimentContext::new(ctx.scale, seed, ctx.threads);
         let split = run_ctx.split(run_ctx.largest_train(), GivenN::Given10);
         let cfsf = run_ctx.fit_cfsf(&split.train);
-        per_method[0].1.push(crate::metrics::evaluate_mae(&cfsf, &split.holdout));
+        per_method[0]
+            .1
+            .push(crate::metrics::evaluate_mae(&cfsf, &split.holdout));
         for (name, maes) in per_method.iter_mut().skip(1) {
             let model = run_ctx.fit_baseline(name, &split.train);
             maes.push(crate::metrics::evaluate_mae(model.as_ref(), &split.holdout));
@@ -436,7 +448,7 @@ mod tests {
             let mean: f64 = row[1].parse().unwrap();
             let sd: f64 = row[2].parse().unwrap();
             assert!(mean > 0.0 && mean < 2.0);
-            assert!(sd >= 0.0 && sd < 0.5);
+            assert!((0.0..0.5).contains(&sd));
         }
     }
 

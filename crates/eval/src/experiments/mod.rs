@@ -94,7 +94,11 @@ impl ExperimentContext {
                 TrainSize::Users(200),
                 TrainSize::Users(300),
             ],
-            Scale::Quick => vec![TrainSize::Users(60), TrainSize::Users(100), TrainSize::Users(140)],
+            Scale::Quick => vec![
+                TrainSize::Users(60),
+                TrainSize::Users(100),
+                TrainSize::Users(140),
+            ],
         }
     }
 
@@ -157,7 +161,13 @@ impl ExperimentContext {
             },
         };
         c.gis = GisConfig {
-            max_neighbors: Some(sweep_m_values(self.scale).last().copied().unwrap_or(100).max(c.m)),
+            max_neighbors: Some(
+                sweep_m_values(self.scale)
+                    .last()
+                    .copied()
+                    .unwrap_or(100)
+                    .max(c.m),
+            ),
             threads: self.threads,
             ..GisConfig::default()
         };

@@ -6,7 +6,6 @@
 //! grows linearly in testset size, and CFSF is a small multiple faster
 //! than SCBPCC (≈2.4× at the paper's largest point).
 
-
 use crate::chart::{render_chart, Series};
 use crate::table::{fmt_secs, Table};
 use crate::timing::time_predictions;
@@ -17,7 +16,13 @@ use super::{sweep_fractions, ExperimentContext, ExperimentOutput};
 pub fn fig5(ctx: &ExperimentContext) -> ExperimentOutput {
     let mut table = Table::new(
         "Fig. 5 — response time at Given20 (seconds)",
-        &["training set", "testset %", "holdout cells", "CFSF", "SCBPCC"],
+        &[
+            "training set",
+            "testset %",
+            "holdout cells",
+            "CFSF",
+            "SCBPCC",
+        ],
     );
     let mut notes = Vec::new();
     let mut charts = Vec::new();
@@ -53,10 +58,27 @@ pub fn fig5(ctx: &ExperimentContext) -> ExperimentOutput {
 
         if train == ctx.largest_train() {
             charts.push(render_chart(
-                &format!("Fig. 5 — response time vs holdout cells ({})", train.label()),
+                &format!(
+                    "Fig. 5 — response time vs holdout cells ({})",
+                    train.label()
+                ),
                 &[
-                    Series::new("CFSF", sizes.iter().copied().zip(cfsf_times.iter().copied()).collect()),
-                    Series::new("SCBPCC", sizes.iter().copied().zip(scb_times.iter().copied()).collect()),
+                    Series::new(
+                        "CFSF",
+                        sizes
+                            .iter()
+                            .copied()
+                            .zip(cfsf_times.iter().copied())
+                            .collect(),
+                    ),
+                    Series::new(
+                        "SCBPCC",
+                        sizes
+                            .iter()
+                            .copied()
+                            .zip(scb_times.iter().copied())
+                            .collect(),
+                    ),
                 ],
                 60,
                 14,
@@ -73,8 +95,8 @@ pub fn fig5(ctx: &ExperimentContext) -> ExperimentOutput {
             r_scb
         ));
         // Shape 2: CFSF faster than SCBPCC at the full testset.
-        let speedup = scb_times.last().expect("non-empty")
-            / cfsf_times.last().expect("non-empty").max(1e-9);
+        let speedup =
+            scb_times.last().expect("non-empty") / cfsf_times.last().expect("non-empty").max(1e-9);
         notes.push(format!(
             "{}: SCBPCC/CFSF time ratio at 100% = {:.1}x (paper: ~2.4x — CFSF faster)",
             train.label(),

@@ -70,11 +70,20 @@ fn sweep<T: AsF64 + std::fmt::Display>(
         .map(|(g, s)| {
             Series::new(
                 format!("Given{}", [5, 10, 20][g]),
-                values.iter().map(|v| v.as_f64()).zip(s.iter().copied()).collect(),
+                values
+                    .iter()
+                    .map(|v| v.as_f64())
+                    .zip(s.iter().copied())
+                    .collect(),
             )
         })
         .collect();
-    let chart = render_chart(&format!("{title} — MAE vs {param_name}"), &chart_series, 60, 14);
+    let chart = render_chart(
+        &format!("{title} — MAE vs {param_name}"),
+        &chart_series,
+        60,
+        14,
+    );
 
     let out = ExperimentOutput {
         id: id.into(),

@@ -10,7 +10,10 @@ use super::{ExperimentContext, ExperimentOutput};
 /// Table I — statistics of the dataset.
 pub fn table1(ctx: &ExperimentContext) -> ExperimentOutput {
     let stats = MatrixStats::compute(&ctx.dataset.matrix);
-    let mut t = Table::new("Table I — Statistics of the dataset", &["statistic", "value"]);
+    let mut t = Table::new(
+        "Table I — Statistics of the dataset",
+        &["statistic", "value"],
+    );
     t.push_row(vec!["No. of users".into(), stats.active_users.to_string()]);
     t.push_row(vec!["No. of items".into(), stats.active_items.to_string()]);
     t.push_row(vec![
@@ -69,7 +72,9 @@ fn mae_grid(ctx: &ExperimentContext, id: &str, title: &str, methods: &[&str]) ->
                 per_method[k + 1].push(evaluate(model.as_ref(), &split.holdout).mae);
             }
         }
-        let labels: Vec<&str> = std::iter::once("CFSF").chain(methods.iter().copied()).collect();
+        let labels: Vec<&str> = std::iter::once("CFSF")
+            .chain(methods.iter().copied())
+            .collect();
         for (k, label) in labels.iter().enumerate() {
             t.push_row(vec![
                 train.label(),

@@ -19,17 +19,16 @@ use super::{ExperimentContext, ExperimentOutput, Scale};
 /// reports the best few configurations.
 pub fn tune(ctx: &ExperimentContext) -> ExperimentOutput {
     type Grid<'a> = (&'a [usize], &'a [usize], &'a [f64], &'a [f64], &'a [f64]);
-    let (cs, ks, ws, lambdas, deltas): Grid<'_> =
-        match ctx.scale {
-            Scale::Paper => (
-                &[8, 12, 20, 30],
-                &[25, 40, 60],
-                &[0.35, 0.6, 0.9],
-                &[0.8, 1.0],
-                &[0.0, 0.1],
-            ),
-            Scale::Quick => (&[8, 16], &[15, 30], &[0.35, 0.7], &[0.8], &[0.1]),
-        };
+    let (cs, ks, ws, lambdas, deltas): Grid<'_> = match ctx.scale {
+        Scale::Paper => (
+            &[8, 12, 20, 30],
+            &[25, 40, 60],
+            &[0.35, 0.6, 0.9],
+            &[0.8, 1.0],
+            &[0.0, 0.1],
+        ),
+        Scale::Quick => (&[8, 16], &[15, 30], &[0.35, 0.7], &[0.8], &[0.1]),
+    };
 
     let mut table = Table::new(
         "Extension — CFSF grid search (Given10)",

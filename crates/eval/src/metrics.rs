@@ -4,7 +4,7 @@ use cf_data::HoldoutCell;
 use cf_matrix::Predictor;
 
 /// Result of scoring a predictor over a holdout set.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Evaluation {
     /// Mean absolute error (Eq. 15); lower is better.
     pub mae: f64,
@@ -85,8 +85,16 @@ mod tests {
 
     fn holdout() -> Vec<HoldoutCell> {
         vec![
-            HoldoutCell { user: UserId::new(0), item: ItemId::new(0), rating: 4.0 },
-            HoldoutCell { user: UserId::new(0), item: ItemId::new(1), rating: 2.0 },
+            HoldoutCell {
+                user: UserId::new(0),
+                item: ItemId::new(0),
+                rating: 4.0,
+            },
+            HoldoutCell {
+                user: UserId::new(0),
+                item: ItemId::new(1),
+                rating: 2.0,
+            },
         ]
     }
 

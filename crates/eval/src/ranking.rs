@@ -11,7 +11,7 @@ use cf_data::HoldoutCell;
 use cf_matrix::{ItemId, Predictor, UserId};
 
 /// Ranking-quality scores averaged over users.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankingEvaluation {
     /// Mean precision@N over evaluated users.
     pub precision: f64,
@@ -115,7 +115,11 @@ mod tests {
     impl Predictor for Oracle {
         fn predict(&self, _: UserId, item: ItemId) -> Option<f64> {
             // items with even id are "good"
-            Some(if item.raw().is_multiple_of(2) { 5.0 } else { 1.0 })
+            Some(if item.raw().is_multiple_of(2) {
+                5.0
+            } else {
+                1.0
+            })
         }
         fn name(&self) -> &'static str {
             "oracle"
@@ -125,7 +129,11 @@ mod tests {
     struct AntiOracle;
     impl Predictor for AntiOracle {
         fn predict(&self, _: UserId, item: ItemId) -> Option<f64> {
-            Some(if item.raw().is_multiple_of(2) { 1.0 } else { 5.0 })
+            Some(if item.raw().is_multiple_of(2) {
+                1.0
+            } else {
+                5.0
+            })
         }
         fn name(&self) -> &'static str {
             "anti"

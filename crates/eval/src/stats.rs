@@ -12,7 +12,7 @@ use cf_data::HoldoutCell;
 use cf_matrix::Predictor;
 
 /// Result of a paired t-test on per-cell absolute errors.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PairedTTest {
     /// Mean of (errors_a − errors_b); negative means `a` is better.
     pub mean_diff: f64,
@@ -33,10 +33,7 @@ impl PairedTTest {
 
 /// Per-cell absolute errors of a predictor over a holdout set (midpoint
 /// fallback on abstention, matching [`crate::evaluate`]).
-pub fn absolute_errors<P: Predictor + ?Sized>(
-    predictor: &P,
-    holdout: &[HoldoutCell],
-) -> Vec<f64> {
+pub fn absolute_errors<P: Predictor + ?Sized>(predictor: &P, holdout: &[HoldoutCell]) -> Vec<f64> {
     holdout
         .iter()
         .map(|cell| {
@@ -90,7 +87,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -120,8 +118,12 @@ mod tests {
     #[test]
     fn no_difference_is_not_significant() {
         // symmetric noise around zero difference
-        let a: Vec<f64> = (0..400).map(|i| 0.5 + 0.05 * (((i * 31) % 11) as f64 - 5.0)).collect();
-        let b: Vec<f64> = (0..400).map(|i| 0.5 + 0.05 * (((i * 17) % 11) as f64 - 5.0)).collect();
+        let a: Vec<f64> = (0..400)
+            .map(|i| 0.5 + 0.05 * (((i * 31) % 11) as f64 - 5.0))
+            .collect();
+        let b: Vec<f64> = (0..400)
+            .map(|i| 0.5 + 0.05 * (((i * 17) % 11) as f64 - 5.0))
+            .collect();
         let t = paired_t_test(&a, &b).unwrap();
         assert!(!t.significant_at(0.01), "p = {}", t.p_two_sided);
     }
@@ -151,8 +153,16 @@ mod tests {
             }
         }
         let holdout = vec![
-            HoldoutCell { user: UserId::new(0), item: ItemId::new(0), rating: 5.0 },
-            HoldoutCell { user: UserId::new(0), item: ItemId::new(1), rating: 3.0 },
+            HoldoutCell {
+                user: UserId::new(0),
+                item: ItemId::new(0),
+                rating: 5.0,
+            },
+            HoldoutCell {
+                user: UserId::new(0),
+                item: ItemId::new(1),
+                rating: 3.0,
+            },
         ];
         assert_eq!(absolute_errors(&Fixed, &holdout), vec![1.0, 1.0]);
     }

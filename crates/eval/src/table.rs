@@ -1,7 +1,7 @@
 //! Rendering of experiment outputs as markdown and CSV.
 
 /// A rectangular results table with named columns.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     /// Table title (e.g. "Table II — MAE for SIR, SUR and CFSF").
     pub title: String,

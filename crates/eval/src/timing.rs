@@ -10,10 +10,7 @@ use cf_matrix::Predictor;
 /// This is the paper's "response time" metric: how long the *online*
 /// phase takes to serve a whole testset. The offline phase (fitting) is
 /// deliberately excluded, matching §V-D.
-pub fn time_predictions<P: Predictor + ?Sized>(
-    predictor: &P,
-    holdout: &[HoldoutCell],
-) -> Duration {
+pub fn time_predictions<P: Predictor + ?Sized>(predictor: &P, holdout: &[HoldoutCell]) -> Duration {
     let start = Instant::now();
     for cell in holdout {
         // The value is consumed through a black box so the optimizer can't

@@ -133,20 +133,8 @@ impl MatrixBuilder {
             }
         }
 
-        let num_users = min_users.max(
-            deduped
-                .iter()
-                .map(|t| t.0.index() + 1)
-                .max()
-                .unwrap_or(0),
-        );
-        let num_items = min_items.max(
-            deduped
-                .iter()
-                .map(|t| t.1.index() + 1)
-                .max()
-                .unwrap_or(0),
-        );
+        let num_users = min_users.max(deduped.iter().map(|t| t.0.index() + 1).max().unwrap_or(0));
+        let num_items = min_items.max(deduped.iter().map(|t| t.1.index() + 1).max().unwrap_or(0));
         let nnz = deduped.len();
 
         // CSR (already in user-major sorted order).
@@ -256,14 +244,20 @@ mod tests {
     fn nan_rating_rejected() {
         let mut b = MatrixBuilder::new();
         b.push(UserId::new(0), ItemId::new(0), f64::NAN);
-        assert!(matches!(b.build(), Err(MatrixError::NonFiniteRating { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(MatrixError::NonFiniteRating { .. })
+        ));
     }
 
     #[test]
     fn out_of_scale_rejected() {
         let mut b = MatrixBuilder::new();
         b.push(UserId::new(0), ItemId::new(0), 6.0);
-        assert!(matches!(b.build(), Err(MatrixError::RatingOutOfScale { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(MatrixError::RatingOutOfScale { .. })
+        ));
     }
 
     #[test]
@@ -276,7 +270,10 @@ mod tests {
 
     #[test]
     fn empty_builder_errors() {
-        assert!(matches!(MatrixBuilder::new().build(), Err(MatrixError::Empty)));
+        assert!(matches!(
+            MatrixBuilder::new().build(),
+            Err(MatrixError::Empty)
+        ));
     }
 
     #[test]

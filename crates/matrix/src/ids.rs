@@ -11,15 +11,13 @@ use std::fmt;
 /// Identifier of a user (a row of the user-major matrix).
 ///
 /// Wraps a dense 0-based index. Construct with [`UserId::new`] or `from`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UserId(pub u32);
 
 /// Identifier of an item (a column of the user-major matrix).
 ///
 /// Wraps a dense 0-based index. Construct with [`ItemId::new`] or `from`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ItemId(pub u32);
 
 macro_rules! impl_id {

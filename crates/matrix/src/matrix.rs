@@ -177,8 +177,8 @@ impl RatingMatrix {
     /// evaluation protocol to carve ML_100/ML_200/ML_300 out of one dataset
     /// without renumbering anything.
     pub fn filter_users(&self, mut keep: impl FnMut(UserId) -> bool) -> RatingMatrix {
-        let mut b = crate::MatrixBuilder::with_dims(self.num_users, self.num_items)
-            .scale(self.scale);
+        let mut b =
+            crate::MatrixBuilder::with_dims(self.num_users, self.num_items).scale(self.scale);
         for u in self.users() {
             if keep(u) {
                 for (i, r) in self.user_ratings(u) {
@@ -199,14 +199,15 @@ impl RatingMatrix {
         let mut removed: Vec<(UserId, ItemId)> = cells.to_vec();
         removed.sort_unstable();
         removed.dedup();
-        let mut b = crate::MatrixBuilder::with_dims(self.num_users, self.num_items)
-            .scale(self.scale);
+        let mut b =
+            crate::MatrixBuilder::with_dims(self.num_users, self.num_items).scale(self.scale);
         for (u, i, r) in self.triplets() {
             if removed.binary_search(&(u, i)).is_err() {
                 b.push(u, i, r);
             }
         }
-        b.build().expect("removing cells from a valid matrix stays valid")
+        b.build()
+            .expect("removing cells from a valid matrix stays valid")
     }
 }
 

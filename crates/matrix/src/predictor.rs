@@ -4,7 +4,7 @@
 use crate::{ItemId, UserId};
 
 /// Inclusive rating scale (MovieLens uses 1..=5).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RatingScale {
     /// Smallest expressible rating.
     pub min: f64,

@@ -4,7 +4,7 @@ use crate::RatingMatrix;
 
 /// Summary statistics of a rating matrix, mirroring Table I
 /// ("Statistics of the datasets") of the CFSF paper.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatrixStats {
     /// Number of users with at least one rating.
     pub active_users: usize,
@@ -55,11 +55,8 @@ impl MatrixStats {
 
         let mut values: Vec<f64> = m.triplets().map(|t| t.2).collect();
         values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("ratings are finite"));
-        let distinct = values
-            .windows(2)
-            .filter(|w| w[0] != w[1])
-            .count()
-            + usize::from(!values.is_empty());
+        let distinct =
+            values.windows(2).filter(|w| w[0] != w[1]).count() + usize::from(!values.is_empty());
         let min_rating = values.first().copied().unwrap_or(0.0);
         let max_rating = values.last().copied().unwrap_or(0.0);
 
@@ -87,20 +84,36 @@ impl MatrixStats {
 
 impl std::fmt::Display for MatrixStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "No. of users                         {}", self.active_users)?;
-        writeln!(f, "No. of items                         {}", self.active_items)?;
+        writeln!(
+            f,
+            "No. of users                         {}",
+            self.active_users
+        )?;
+        writeln!(
+            f,
+            "No. of items                         {}",
+            self.active_items
+        )?;
         writeln!(
             f,
             "Average no. of rated items per user  {:.1}",
             self.avg_ratings_per_user
         )?;
-        writeln!(f, "Density of data                      {:.2}%", self.density * 100.0)?;
+        writeln!(
+            f,
+            "Density of data                      {:.2}%",
+            self.density * 100.0
+        )?;
         writeln!(
             f,
             "No. of distinct rating values        {}",
             self.distinct_rating_values
         )?;
-        writeln!(f, "No. of ratings                       {}", self.num_ratings)
+        writeln!(
+            f,
+            "No. of ratings                       {}",
+            self.num_ratings
+        )
     }
 }
 

@@ -1,0 +1,178 @@
+//! A tiny hand-rolled JSON writer.
+//!
+//! The workspace resolves dependencies offline, so `cf-obs` cannot pull in
+//! `serde_json`; snapshots only ever serialize a flat tree of maps, numbers
+//! and strings, which this covers in full. Output is pretty-printed with
+//! two-space indentation and `": "` key separators so snapshot files stay
+//! diffable in `results/`.
+
+/// Incremental pretty-printing JSON writer.
+///
+/// Usage is strictly sequential: `begin_object` / `key` / value /
+/// `end_object`, then [`Writer::finish`]. The writer tracks nesting depth
+/// and whether a comma is needed; it does not validate that the caller
+/// produces well-formed JSON beyond that.
+pub struct Writer {
+    out: String,
+    depth: usize,
+    /// True when the next `key`/value at this level must be preceded by a comma.
+    need_comma: bool,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer {
+            out: String::new(),
+            depth: 0,
+            need_comma: false,
+        }
+    }
+
+    fn indent(&mut self) {
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Opens a `{`. Valid at the top level or directly after a `key`.
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+        self.depth += 1;
+        self.need_comma = false;
+    }
+
+    /// Closes the innermost `{`.
+    pub fn end_object(&mut self) {
+        self.depth -= 1;
+        if self.need_comma {
+            // The object had at least one member; close on a fresh line.
+            self.out.push('\n');
+            self.indent();
+        }
+        self.out.push('}');
+        self.need_comma = true;
+    }
+
+    /// Writes `"key": ` (escaped), handling commas and newlines.
+    pub fn key(&mut self, k: &str) {
+        if self.need_comma {
+            self.out.push(',');
+        }
+        self.out.push('\n');
+        self.indent();
+        self.string_raw(k);
+        self.out.push_str(": ");
+        self.need_comma = false;
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn number_u64(&mut self, v: u64) {
+        self.out.push_str(&v.to_string());
+        self.need_comma = true;
+    }
+
+    /// Writes a signed integer value.
+    pub fn number_i64(&mut self, v: i64) {
+        self.out.push_str(&v.to_string());
+        self.need_comma = true;
+    }
+
+    /// Writes a float value; non-finite floats become `null` (JSON has no
+    /// NaN/Inf), and integral floats keep a `.0` so the type is stable.
+    pub fn number_f64(&mut self, v: f64) {
+        if v.is_finite() {
+            let s = format!("{v}");
+            self.out.push_str(&s);
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                self.out.push_str(".0");
+            }
+        } else {
+            self.out.push_str("null");
+        }
+        self.need_comma = true;
+    }
+
+    /// Writes a string value with escaping.
+    pub fn string(&mut self, v: &str) {
+        self.string_raw(v);
+        self.need_comma = true;
+    }
+
+    fn string_raw(&mut self, v: &str) {
+        self.out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Terminates the document with a trailing newline and returns it.
+    pub fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_nested_objects_with_escaping() {
+        let mut w = Writer::new();
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        w.key("a\"b");
+        w.number_u64(3);
+        w.key("neg");
+        w.number_i64(-7);
+        w.end_object();
+        w.key("mean");
+        w.number_f64(2.0);
+        w.key("note");
+        w.string("line1\nline2");
+        w.end_object();
+        let s = w.finish();
+        assert!(s.contains("\"a\\\"b\": 3"), "{s}");
+        assert!(s.contains("\"neg\": -7"), "{s}");
+        assert!(s.contains("\"mean\": 2.0"), "{s}");
+        assert!(s.contains("\"note\": \"line1\\nline2\""), "{s}");
+        assert!(s.ends_with("}\n"), "{s}");
+    }
+
+    #[test]
+    fn empty_object_is_compact() {
+        let mut w = Writer::new();
+        w.begin_object();
+        w.end_object();
+        assert_eq!(w.finish(), "{}\n");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = Writer::new();
+        w.begin_object();
+        w.key("bad");
+        w.number_f64(f64::NAN);
+        w.end_object();
+        assert!(w.finish().contains("\"bad\": null"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Concurrency guarantees: relaxed atomics lose nothing under contention,
+//! and snapshots taken after the dust settles are exact.
+
+use cf_obs::{global, Counter, Histogram};
+
+#[test]
+fn concurrent_counter_increments_sum_exactly() {
+    let c = Counter::new();
+    let threads = 8;
+    let per_thread = 50_000u64;
+    cf_parallel::par_map(threads, threads, |_| {
+        for _ in 0..per_thread {
+            c.inc();
+        }
+    });
+    assert_eq!(c.get(), threads as u64 * per_thread);
+}
+
+#[test]
+fn concurrent_histogram_records_lose_no_samples() {
+    let h = Histogram::new();
+    let threads = 8;
+    let per_thread = 20_000u64;
+    cf_parallel::par_map(threads, threads, |t| {
+        for k in 0..per_thread {
+            // Spread values across several octaves so many buckets contend.
+            h.record((t as u64 + 1) * 1000 + k % 997);
+        }
+    });
+    let s = h.snapshot();
+    assert_eq!(s.count, threads as u64 * per_thread);
+    assert_eq!(s.min, 1000);
+    assert_eq!(s.max, 8000 + 996);
+    for q in [s.p50, s.p95, s.p99] {
+        assert!(q >= s.min && q <= s.max, "quantile {q} outside [min, max]");
+    }
+}
+
+#[test]
+fn concurrent_macro_callers_share_one_registry_entry() {
+    let threads = 8;
+    let per_thread = 10_000u64;
+    cf_parallel::par_map(threads, threads, |_| {
+        for _ in 0..per_thread {
+            cf_obs::counter!("test.concurrent.hits").inc();
+        }
+    });
+    let snap = global().snapshot();
+    assert_eq!(
+        snap.counters["test.concurrent.hits"],
+        threads as u64 * per_thread
+    );
+}

@@ -1,0 +1,21 @@
+//! The global enable switch, exercised in its own process: lib unit tests
+//! run threads in parallel, and flipping the process-wide flag there
+//! would race every other recording test.
+
+use cf_obs::{set_enabled, Counter, Histogram};
+
+#[test]
+fn disabled_recording_is_a_noop_and_reenabling_restores_it() {
+    let h = Histogram::new();
+    let c = Counter::new();
+    set_enabled(false);
+    h.record(5);
+    c.inc();
+    assert_eq!(h.snapshot().count, 0);
+    assert_eq!(c.get(), 0);
+    set_enabled(true);
+    h.record(5);
+    c.inc();
+    assert_eq!(h.snapshot().count, 1);
+    assert_eq!(c.get(), 1);
+}

@@ -4,7 +4,7 @@
 //! runs K-means over user profiles; both are embarrassingly parallel. The
 //! allowed dependency set for this reproduction has no `rayon`, so this
 //! crate provides the small slice of it the workspace needs, built on
-//! `std::thread::scope` and a crossbeam channel:
+//! `std::thread::scope` and a `std::sync::mpsc` channel:
 //!
 //! - [`par_map`] — dynamically scheduled parallel map over an index range,
 //! - [`par_for_each_mut`] — statically chunked parallel mutation of a slice,
@@ -70,7 +70,7 @@ where
     let chunk = chunk_size_for(n, threads);
     let num_chunks = n.div_ceil(chunk);
     let next = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Vec<T>)>();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<T>)>();
 
     std::thread::scope(|s| {
         for _ in 0..threads {
@@ -211,7 +211,11 @@ mod tests {
     fn par_map_matches_sequential() {
         let seq: Vec<usize> = (0..1000).map(|i| i * 3 + 1).collect();
         for threads in [1, 2, 3, 8, 64] {
-            assert_eq!(par_map(1000, threads, |i| i * 3 + 1), seq, "threads={threads}");
+            assert_eq!(
+                par_map(1000, threads, |i| i * 3 + 1),
+                seq,
+                "threads={threads}"
+            );
         }
     }
 

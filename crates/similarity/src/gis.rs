@@ -119,16 +119,22 @@ impl Gis {
     /// into a dense user-indexed buffer, then every other item's column is
     /// streamed against it.
     pub fn build(m: &RatingMatrix, config: &GisConfig) -> Self {
+        cf_obs::time_scope!("offline.gis.build_ns");
         let q = m.num_items();
         let threads = cf_parallel::effective_threads(config.threads);
         let threshold = config.threshold;
         let cap = config.max_neighbors;
 
         let lists = par_map(q, threads, |a_idx| {
-            finalize_list(sims_for_item(m, ItemId::from(a_idx)), threshold, cap)
+            let t = std::time::Instant::now();
+            let list = finalize_list(sims_for_item(m, ItemId::from(a_idx)), threshold, cap);
+            cf_obs::histogram!("offline.gis.item_ns").record_duration(t.elapsed());
+            list
         });
 
-        Self { lists }
+        let gis = Self { lists };
+        cf_obs::counter!("offline.gis.pairs").add(gis.stored_pairs() as u64);
+        gis
     }
 
     /// Incrementally refreshes the similarity lists of the given items
@@ -143,6 +149,7 @@ impl Gis {
     /// resurrected without a full [`Gis::build`] — callers that need
     /// exactness after heavy churn should rebuild periodically.
     pub fn rebuild_items(&mut self, m: &RatingMatrix, items: &[ItemId], config: &GisConfig) {
+        cf_obs::time_scope!("offline.gis.rebuild_ns");
         let threads = cf_parallel::effective_threads(config.threads);
         let threshold = config.threshold;
         let cap = config.max_neighbors;
@@ -151,20 +158,26 @@ impl Gis {
             let a = items[k];
             (a, sims_for_item(m, a))
         });
+        cf_obs::counter!("offline.gis.items_rebuilt").add(fresh.len() as u64);
+
+        // Quick membership test for "is b itself also stale" — those rows
+        // get fully rebuilt below anyway. Loop-invariant: depends only on
+        // `items`, so it is built once, not once per stale item.
+        let stale_set: Vec<bool> = {
+            let mut v = vec![false; self.lists.len()];
+            for &i in items {
+                v[i.index()] = true;
+            }
+            v
+        };
+        // Scratch buffer reused across stale items; entries written for
+        // one item are reset before the next (cheaper than reallocating
+        // a Q-sized vec per item when `sims` is sparse).
+        let mut new_sim = vec![f64::NAN; self.lists.len()];
 
         for (a, sims) in fresh {
             // Patch the reverse direction first: every other item's view
             // of `a` changes to the recomputed similarity (or vanishes).
-            let stale_set: Vec<bool> = {
-                // quick membership test for "is b itself also stale" —
-                // those rows get fully rebuilt below anyway.
-                let mut v = vec![false; self.lists.len()];
-                for &i in items {
-                    v[i.index()] = true;
-                }
-                v
-            };
-            let mut new_sim = vec![f64::NAN; self.lists.len()];
             for &(b, s) in &sims {
                 new_sim[b.index()] = s;
             }
@@ -189,7 +202,11 @@ impl Gis {
                     }
                 }
             }
-            // Then replace `a`'s own list exactly.
+            // Reset the scratch entries this item touched, then replace
+            // `a`'s own list exactly.
+            for &(b, _) in &sims {
+                new_sim[b.index()] = f64::NAN;
+            }
             self.lists[a.index()] = finalize_list(sims, threshold, cap);
         }
     }
@@ -273,11 +290,14 @@ mod tests {
     #[test]
     fn gis_matches_pairwise_kernel() {
         let m = matrix();
-        let gis = Gis::build(&m, &GisConfig {
-            threshold: -1.0, // keep everything to compare against the kernel
-            max_neighbors: None,
-            threads: Some(2),
-        });
+        let gis = Gis::build(
+            &m,
+            &GisConfig {
+                threshold: -1.0, // keep everything to compare against the kernel
+                max_neighbors: None,
+                threads: Some(2),
+            },
+        );
         for a in m.items() {
             for b in m.items() {
                 if a == b {
@@ -331,11 +351,14 @@ mod tests {
 
     #[test]
     fn max_neighbors_caps_lists() {
-        let gis = Gis::build(&matrix(), &GisConfig {
-            threshold: -1.0,
-            max_neighbors: Some(2),
-            threads: Some(1),
-        });
+        let gis = Gis::build(
+            &matrix(),
+            &GisConfig {
+                threshold: -1.0,
+                max_neighbors: Some(2),
+                threads: Some(1),
+            },
+        );
         for i in 0..gis.num_items() {
             assert!(gis.neighbors(ItemId::from(i)).len() <= 2);
         }
@@ -344,8 +367,20 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let m = matrix();
-        let g1 = Gis::build(&m, &GisConfig { threads: Some(1), ..Default::default() });
-        let g4 = Gis::build(&m, &GisConfig { threads: Some(4), ..Default::default() });
+        let g1 = Gis::build(
+            &m,
+            &GisConfig {
+                threads: Some(1),
+                ..Default::default()
+            },
+        );
+        let g4 = Gis::build(
+            &m,
+            &GisConfig {
+                threads: Some(4),
+                ..Default::default()
+            },
+        );
         for i in m.items() {
             assert_eq!(g1.neighbors(i), g4.neighbors(i));
         }
@@ -360,11 +395,19 @@ mod tests {
         // new matrix: user 0 flips their rating of item 2
         let mut b = MatrixBuilder::new();
         for (u, i, r) in m_old.triplets() {
-            let r = if u == UserId::new(0) && i == ItemId::new(2) { 5.0 } else { r };
+            let r = if u == UserId::new(0) && i == ItemId::new(2) {
+                5.0
+            } else {
+                r
+            };
             b.push(u, i, r);
         }
         let m_new = b.build().unwrap();
-        let config = GisConfig { threshold: 0.0, max_neighbors: None, threads: Some(1) };
+        let config = GisConfig {
+            threshold: 0.0,
+            max_neighbors: None,
+            threads: Some(1),
+        };
 
         let mut incremental = Gis::build(&m_old, &config);
         // item 2 changed; items co-rated with it also shift (their sim to
@@ -415,7 +458,9 @@ mod tests {
     #[test]
     fn stored_pairs_counts_all_lists() {
         let gis = Gis::build(&matrix(), &GisConfig::default());
-        let total: usize = (0..5usize).map(|i| gis.neighbors(ItemId::from(i)).len()).sum();
+        let total: usize = (0..5usize)
+            .map(|i| gis.neighbors(ItemId::from(i)).len())
+            .sum();
         assert_eq!(gis.stored_pairs(), total);
         assert!(total > 0);
     }

@@ -152,7 +152,9 @@ pub fn spearman_user(m: &RatingMatrix, a: UserId, b: UserId) -> f64 {
     let (items_a, vals_a) = m.user_row(a);
     let (items_b, vals_b) = m.user_row(b);
     let mut pairs: Vec<(f64, f64)> = Vec::new();
-    for_each_corated(items_a, vals_a, items_b, vals_b, |ra, rb| pairs.push((ra, rb)));
+    for_each_corated(items_a, vals_a, items_b, vals_b, |ra, rb| {
+        pairs.push((ra, rb))
+    });
     spearman_of_pairs(&pairs)
 }
 
@@ -161,7 +163,9 @@ pub fn spearman_item(m: &RatingMatrix, a: ItemId, b: ItemId) -> f64 {
     let (users_a, vals_a) = m.item_col(a);
     let (users_b, vals_b) = m.item_col(b);
     let mut pairs: Vec<(f64, f64)> = Vec::new();
-    for_each_corated(users_a, vals_a, users_b, vals_b, |ra, rb| pairs.push((ra, rb)));
+    for_each_corated(users_a, vals_a, users_b, vals_b, |ra, rb| {
+        pairs.push((ra, rb))
+    });
     spearman_of_pairs(&pairs)
 }
 

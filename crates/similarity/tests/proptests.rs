@@ -1,9 +1,7 @@
 //! Property-based tests for the similarity kernels and the GIS.
 
 use cf_matrix::{ItemId, MatrixBuilder, RatingMatrix, UserId};
-use cf_similarity::{
-    adjusted_cosine, cosine, item_pcc, pair_weight, user_pcc, Gis, GisConfig,
-};
+use cf_similarity::{adjusted_cosine, cosine, item_pcc, pair_weight, user_pcc, Gis, GisConfig};
 use proptest::prelude::*;
 
 fn arb_matrix() -> impl Strategy<Value = RatingMatrix> {

@@ -63,8 +63,14 @@ impl DriftConfig {
     /// Generates the timestamped matrix plus, for testing, the set of
     /// drifted users.
     pub fn generate(&self) -> (TimestampedMatrix, Vec<UserId>) {
-        assert!(self.ratings_per_user <= self.num_items, "too many ratings per user");
-        assert!((0.0..=1.0).contains(&self.drift_fraction), "fraction in [0,1]");
+        assert!(
+            self.ratings_per_user <= self.num_items,
+            "too many ratings per user"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.drift_fraction),
+            "fraction in [0,1]"
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         let mut normal = NormalSampler::new();
 
@@ -104,9 +110,14 @@ impl DriftConfig {
             for (k, &item) in item_pool.iter().take(self.ratings_per_user).enumerate() {
                 // timeline position: k-th rating lands at a jittered slot
                 let slot = self.time_span * k as i64 / self.ratings_per_user as i64;
-                let jitter = rng.gen_range(0..=(self.time_span / self.ratings_per_user as i64).max(1));
+                let jitter =
+                    rng.gen_range(0..=(self.time_span / self.ratings_per_user as i64).max(1));
                 let t = (slot + jitter).min(self.time_span);
-                let group = if k < switch_at { group_early } else { group_late };
+                let group = if k < switch_at {
+                    group_early
+                } else {
+                    group_late
+                };
                 let signal = 3.0
                     + affinity[group][item_genres[item]]
                     + normal.sample(&mut rng, 0.0, self.noise_sd);
@@ -145,7 +156,10 @@ mod tests {
 
     #[test]
     fn zero_drift_fraction_drifts_nobody() {
-        let cfg = DriftConfig { drift_fraction: 0.0, ..Default::default() };
+        let cfg = DriftConfig {
+            drift_fraction: 0.0,
+            ..Default::default()
+        };
         let (_, drifted) = cfg.generate();
         assert!(drifted.is_empty());
     }
@@ -154,7 +168,10 @@ mod tests {
     fn drifted_users_change_their_behaviour_over_time() {
         // For a drifted user, the mean rating per genre in the early half
         // should differ from the late half more than for stable users.
-        let cfg = DriftConfig { noise_sd: 0.1, ..Default::default() };
+        let cfg = DriftConfig {
+            noise_sd: 0.1,
+            ..Default::default()
+        };
         let (m, drifted) = cfg.generate();
         let mid = (m.t_min() + m.t_max()) / 2;
         let behaviour_shift = |u: UserId| -> f64 {

@@ -29,7 +29,9 @@ mod protocol;
 
 pub use decay::Decay;
 pub use drift::DriftConfig;
-pub use loader::{load_timestamped, load_timestamped_reader, load_timestamped_str, TemporalLoadError};
+pub use loader::{
+    load_timestamped, load_timestamped_reader, load_timestamped_str, TemporalLoadError,
+};
 pub use matrix::TimestampedMatrix;
 pub use predictor::{DecayMode, TimeAwareSur, TimeAwareSurConfig};
 pub use protocol::{temporal_split, TemporalSplit};

@@ -133,7 +133,10 @@ mod tests {
         assert_eq!(t.t_min(), 50);
         assert_eq!(t.t_max(), 400);
         let row: Vec<_> = t.user_row_timed(UserId::new(1)).collect();
-        assert_eq!(row, vec![(ItemId::new(0), 3.0, 200), (ItemId::new(2), 2.0, 400)]);
+        assert_eq!(
+            row,
+            vec![(ItemId::new(0), 3.0, 200), (ItemId::new(2), 2.0, 400)]
+        );
     }
 
     #[test]

@@ -35,8 +35,7 @@ pub fn temporal_split(data: &TimestampedMatrix, train_fraction: f64) -> Temporal
             continue;
         }
         row.sort_by_key(|&(_, _, t)| t);
-        let cut = ((row.len() as f64 * train_fraction).ceil() as usize)
-            .clamp(1, row.len());
+        let cut = ((row.len() as f64 * train_fraction).ceil() as usize).clamp(1, row.len());
         for (k, (i, r, t)) in row.into_iter().enumerate() {
             if k < cut {
                 train_quads.push((u, i, r, t));
@@ -61,11 +60,7 @@ mod tests {
         let split = temporal_split(&data, 0.7);
         assert!(!split.holdout.is_empty());
         for u in split.train.matrix().users() {
-            let train_max = split
-                .train
-                .user_row_timed(u)
-                .map(|(_, _, t)| t)
-                .max();
+            let train_max = split.train.user_row_timed(u).map(|(_, _, t)| t).max();
             let holdout_min = split
                 .holdout
                 .iter()
@@ -85,7 +80,11 @@ mod tests {
         let m = data.matrix();
         for u in m.users() {
             let train_count = split.train.matrix().user_count(u);
-            let held = split.holdout.iter().filter(|&&(hu, _, _, _)| hu == u).count();
+            let held = split
+                .holdout
+                .iter()
+                .filter(|&&(hu, _, _, _)| hu == u)
+                .count();
             assert_eq!(train_count + held, m.user_count(u));
             assert!(train_count >= 1);
         }

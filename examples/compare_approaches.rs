@@ -8,8 +8,8 @@
 
 use std::time::Instant;
 
-use cfsf::prelude::*;
 use cf_matrix::Predictor;
+use cfsf::prelude::*;
 
 fn main() {
     // A mid-sized dataset so the memory-based baselines finish promptly.

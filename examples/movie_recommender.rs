@@ -6,8 +6,8 @@
 //! cargo run --release --example movie_recommender [user_id]
 //! ```
 
-use cfsf::prelude::*;
 use cf_matrix::ItemId;
+use cfsf::prelude::*;
 
 /// A thin "service" wrapper: the kind of façade an application would put
 /// in front of the model.
@@ -22,8 +22,18 @@ impl RecommenderService {
         // Synthetic "titles": genre + index, from the generator's ground
         // truth, so the output reads like a catalog.
         let genres = [
-            "Action", "Comedy", "Drama", "Sci-Fi", "Horror", "Romance", "Thriller", "Animation",
-            "Documentary", "Fantasy", "Crime", "Western",
+            "Action",
+            "Comedy",
+            "Drama",
+            "Sci-Fi",
+            "Horror",
+            "Romance",
+            "Thriller",
+            "Animation",
+            "Documentary",
+            "Fantasy",
+            "Crime",
+            "Western",
         ];
         let titles = match &dataset.item_genres {
             Some(gs) => gs

@@ -64,9 +64,7 @@ fn main() {
                 let mae = evaluate_mae(&model, &validation.holdout);
                 if mae < best.0 {
                     best = (mae, lambda, delta, w);
-                    println!(
-                        "  new best: MAE {mae:.4} at lambda={lambda} delta={delta} w={w}"
-                    );
+                    println!("  new best: MAE {mae:.4} at lambda={lambda} delta={delta} w={w}");
                 }
             }
         }

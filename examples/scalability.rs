@@ -7,8 +7,8 @@
 
 use std::time::Instant;
 
-use cfsf::prelude::*;
 use cf_matrix::Predictor;
+use cfsf::prelude::*;
 
 fn serve(model: &dyn Predictor, holdout: &[cfsf::data::HoldoutCell]) -> f64 {
     let t = Instant::now();

@@ -7,10 +7,10 @@
 //! cargo run --release --example temporal_drift
 //! ```
 
+use cf_matrix::Predictor;
 use cfsf::temporal::{
     temporal_split, Decay, DecayMode, DriftConfig, TimeAwareSur, TimeAwareSurConfig,
 };
-use cf_matrix::Predictor;
 
 fn main() {
     let cfg = DriftConfig {
@@ -49,7 +49,10 @@ fn main() {
         err / n.max(1) as f64
     };
 
-    println!("\n{:<22} {:>10} {:>16}", "half-life", "MAE (all)", "MAE (drifted)");
+    println!(
+        "\n{:<22} {:>10} {:>16}",
+        "half-life", "MAE (all)", "MAE (drifted)"
+    );
     for (label, half_life) in [
         ("no decay (plain SUR)", 1e15),
         ("full span", cfg.time_span as f64),

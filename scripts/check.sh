@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The repo's full local gate, offline-safe: formatting, lints, and the
+# tier-1 build+test cycle. CI runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test"
+cargo test --workspace -q --offline
+
+echo "All checks passed."

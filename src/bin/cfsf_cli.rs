@@ -13,12 +13,23 @@
 //! `<u.data>` is the GroupLens tab-separated rating format
 //! (`user item rating timestamp`, 1-based ids). `demo` runs the whole
 //! pipeline on a synthetic dataset so the tool works without a download.
+//!
+//! Every command additionally accepts `--stats` (dump runtime metrics —
+//! offline phase timings, online latency quantiles, cache hit rates — as
+//! JSON on stderr when the command finishes) and `--stats-out <path>`
+//! (write the same snapshot to a file, e.g. `results/obs_snapshot.json`).
 
-use cfsf::prelude::*;
 use cf_matrix::RatingMatrix;
+use cfsf::prelude::*;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Observability flags are global: strip them before dispatch so the
+    // subcommands' positional parsing never sees them.
+    let print_stats = take_flag(&mut args, "--stats");
+    let stats_out = take_flag_value(&mut args, "--stats-out");
+
     let Some(command) = args.first() else {
         usage("no command");
     };
@@ -32,6 +43,35 @@ fn main() {
         "--help" | "-h" => usage(""),
         other => usage(&format!("unknown command {other:?}")),
     }
+
+    if print_stats {
+        eprint!("{}", cf_obs::global().snapshot().to_json());
+    }
+    if let Some(path) = stats_out {
+        if let Err(e) = cf_obs::write_snapshot_file(&path) {
+            eprintln!("error: cannot write stats snapshot {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("stats snapshot written to {path}");
+    }
+}
+
+/// Removes a boolean flag from `args`, reporting whether it was present.
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != name);
+    args.len() != before
+}
+
+/// Removes `name VALUE` from `args`, returning the value.
+fn take_flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == name)?;
+    if pos + 1 >= args.len() {
+        usage(&format!("{name} needs a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
 }
 
 fn load(path: &str) -> Dataset {
@@ -52,7 +92,9 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 fn flag_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
     match flag(args, name) {
-        Some(v) => v.parse().unwrap_or_else(|_| usage(&format!("{name} needs a number"))),
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| usage(&format!("{name} needs a number"))),
         None => default,
     }
 }
@@ -77,8 +119,12 @@ fn cmd_evaluate(args: &[String]) {
     let given = flag_num(args, "--given", 10usize);
     let algo = flag(args, "--algo").unwrap_or_else(|| "cfsf".into());
 
-    let split = match Protocol::new(TrainSize::Users(train_users), GivenN::Custom(given), test_users)
-        .split(&dataset)
+    let split = match Protocol::new(
+        TrainSize::Users(train_users),
+        GivenN::Custom(given),
+        test_users,
+    )
+    .split(&dataset)
     {
         Ok(s) => s,
         Err(e) => {
@@ -122,7 +168,11 @@ fn cmd_recommend(args: &[String]) {
     let model = Cfsf::fit(&dataset.matrix, CfsfConfig::paper()).expect("valid config");
     println!("top-{n} recommendations for user {user}:");
     for (rank, (item, score)) in model.recommend_top_n(uid, n).into_iter().enumerate() {
-        println!("  {:>2}. item {:<6} predicted {score:.2}", rank + 1, item.raw() + 1);
+        println!(
+            "  {:>2}. item {:<6} predicted {score:.2}",
+            rank + 1,
+            item.raw() + 1
+        );
     }
 }
 
@@ -162,7 +212,10 @@ fn cmd_serve(args: &[String]) {
         eprintln!("error: cannot load {path}: {e}");
         std::process::exit(1);
     });
-    println!("model loaded in {:.2}s (no offline recompute)", t.elapsed().as_secs_f64());
+    println!(
+        "model loaded in {:.2}s (no offline recompute)",
+        t.elapsed().as_secs_f64()
+    );
     let uid = UserId::new(user.saturating_sub(1));
     if uid.index() >= model.matrix().num_users() {
         eprintln!("error: user {user} not in the model");
@@ -170,7 +223,11 @@ fn cmd_serve(args: &[String]) {
     }
     println!("top-{n} recommendations for user {user}:");
     for (rank, (item, score)) in model.recommend_top_n(uid, n).into_iter().enumerate() {
-        println!("  {:>2}. item {:<6} predicted {score:.2}", rank + 1, item.raw() + 1);
+        println!(
+            "  {:>2}. item {:<6} predicted {score:.2}",
+            rank + 1,
+            item.raw() + 1
+        );
     }
 }
 
@@ -212,7 +269,8 @@ fn usage(problem: &str) -> ! {
     eprintln!(
         "usage:\n  cfsf-cli stats <u.data>\n  cfsf-cli evaluate <u.data> [--algo NAME] \
          [--train-users N] [--test-users N] [--given N]\n  cfsf-cli recommend <u.data> --user ID [--n N]\n  cfsf-cli demo\n\
-         algorithms: cfsf, sur, sir, sf, emdp, scbpcc, am, pd"
+         algorithms: cfsf, sur, sir, sf, emdp, scbpcc, am, pd\n\
+         global flags: --stats (dump metrics JSON on stderr), --stats-out PATH (write metrics JSON to PATH)"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

@@ -1,8 +1,8 @@
 //! Degenerate-input and failure-injection tests: every algorithm must
 //! stay total, finite, and on-scale when the data carries no signal.
 
-use cfsf::prelude::*;
 use cf_matrix::{MatrixBuilder, Predictor, RatingMatrix};
+use cfsf::prelude::*;
 
 /// Every user rated every item with the same value: zero variance
 /// everywhere, every similarity undefined.
@@ -43,7 +43,18 @@ fn single_user_matrix() -> RatingMatrix {
 
 fn all_models(m: &RatingMatrix) -> Vec<Box<dyn Predictor>> {
     vec![
-        Box::new(Cfsf::fit(m, CfsfConfig { clusters: 2, k: 3, m: 3, ..CfsfConfig::paper() }).unwrap()),
+        Box::new(
+            Cfsf::fit(
+                m,
+                CfsfConfig {
+                    clusters: 2,
+                    k: 3,
+                    m: 3,
+                    ..CfsfConfig::paper()
+                },
+            )
+            .unwrap(),
+        ),
         Box::new(Sur::fit_default(m)),
         Box::new(Sir::fit_default(m)),
         Box::new(SimilarityFusion::fit_default(m)),
@@ -76,7 +87,16 @@ fn constant_ratings_never_produce_nan() {
     let m = constant_matrix();
     assert_total_and_on_scale(&m);
     // and the sensible answer is the constant itself
-    let cfsf = Cfsf::fit(&m, CfsfConfig { clusters: 2, k: 3, m: 3, ..CfsfConfig::paper() }).unwrap();
+    let cfsf = Cfsf::fit(
+        &m,
+        CfsfConfig {
+            clusters: 2,
+            k: 3,
+            m: 3,
+            ..CfsfConfig::paper()
+        },
+    )
+    .unwrap();
     let r = cfsf.predict(UserId::new(0), ItemId::new(7)).unwrap();
     assert!((r - 3.0).abs() < 1e-9, "got {r}");
 }
@@ -98,14 +118,41 @@ fn extreme_cfsf_parameters_stay_sane() {
     let d = SyntheticConfig::small().generate();
     let m = &d.matrix;
     for config in [
-        CfsfConfig { lambda: 0.0, delta: 0.0, ..CfsfConfig::small() },
-        CfsfConfig { lambda: 1.0, delta: 1.0, ..CfsfConfig::small() },
-        CfsfConfig { w: 0.999, ..CfsfConfig::small() },
-        CfsfConfig { w: 0.001, ..CfsfConfig::small() },
-        CfsfConfig { k: 1, m: 1, ..CfsfConfig::small() },
-        CfsfConfig { clusters: 1, ..CfsfConfig::small() },
-        CfsfConfig { clusters: 1000, ..CfsfConfig::small() },
-        CfsfConfig { candidate_factor: 1, ..CfsfConfig::small() },
+        CfsfConfig {
+            lambda: 0.0,
+            delta: 0.0,
+            ..CfsfConfig::small()
+        },
+        CfsfConfig {
+            lambda: 1.0,
+            delta: 1.0,
+            ..CfsfConfig::small()
+        },
+        CfsfConfig {
+            w: 0.999,
+            ..CfsfConfig::small()
+        },
+        CfsfConfig {
+            w: 0.001,
+            ..CfsfConfig::small()
+        },
+        CfsfConfig {
+            k: 1,
+            m: 1,
+            ..CfsfConfig::small()
+        },
+        CfsfConfig {
+            clusters: 1,
+            ..CfsfConfig::small()
+        },
+        CfsfConfig {
+            clusters: 1000,
+            ..CfsfConfig::small()
+        },
+        CfsfConfig {
+            candidate_factor: 1,
+            ..CfsfConfig::small()
+        },
     ] {
         let model = Cfsf::fit(m, config.clone()).unwrap();
         for u in (0..m.num_users()).step_by(19) {
@@ -181,8 +228,16 @@ fn protocol_with_minimal_populations() {
         .split(&d)
         .unwrap();
     assert!(!split.holdout.is_empty());
-    let model = Cfsf::fit(&split.train, CfsfConfig { clusters: 1, k: 1, m: 1, ..CfsfConfig::paper() })
-        .unwrap();
+    let model = Cfsf::fit(
+        &split.train,
+        CfsfConfig {
+            clusters: 1,
+            k: 1,
+            m: 1,
+            ..CfsfConfig::paper()
+        },
+    )
+    .unwrap();
     let eval = cfsf::eval::evaluate(&model, &split.holdout);
     assert!(eval.mae.is_finite());
 }
@@ -196,7 +251,16 @@ fn recommendations_on_a_user_who_rated_everything() {
     }
     b.push(UserId::new(2), ItemId::new(0), 5.0);
     let m = b.build().unwrap();
-    let model = Cfsf::fit(&m, CfsfConfig { clusters: 1, k: 2, m: 2, ..CfsfConfig::paper() }).unwrap();
+    let model = Cfsf::fit(
+        &m,
+        CfsfConfig {
+            clusters: 1,
+            k: 2,
+            m: 2,
+            ..CfsfConfig::paper()
+        },
+    )
+    .unwrap();
     // user 0 rated every item: nothing to recommend
     assert!(model.recommend_top_n(UserId::new(0), 5).is_empty());
     // user 2 rated one item: three candidates

@@ -40,7 +40,12 @@ fn full_pipeline_produces_sane_mae() {
     // On a 1–5 scale, anything near or above 1.0 means the model learned
     // nothing; the generator's structure supports far better.
     assert!(eval.mae < 0.95, "MAE {}", eval.mae);
-    assert!(eval.rmse >= eval.mae, "RMSE {} < MAE {}", eval.rmse, eval.mae);
+    assert!(
+        eval.rmse >= eval.mae,
+        "RMSE {} < MAE {}",
+        eval.rmse,
+        eval.mae
+    );
     assert!(eval.coverage > 0.99, "coverage {}", eval.coverage);
 }
 
@@ -128,8 +133,8 @@ fn movielens_roundtrip_preserves_model_input() {
     let data = dataset();
     let mut buf = Vec::new();
     cfsf::data::save_movielens(&data.matrix, &mut buf).unwrap();
-    let reloaded = cfsf::data::load_movielens_str(std::str::from_utf8(&buf).unwrap(), "rt")
-        .unwrap();
+    let reloaded =
+        cfsf::data::load_movielens_str(std::str::from_utf8(&buf).unwrap(), "rt").unwrap();
     assert_eq!(reloaded.matrix.num_ratings(), data.matrix.num_ratings());
     // identical MAE on an identical protocol proves the matrices agree
     let p = Protocol::new(TrainSize::Users(100), GivenN::Given5, 50);

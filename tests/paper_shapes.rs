@@ -65,7 +65,10 @@ fn fig3_k_sweep_has_interior_optimum_shape() {
         .collect();
     // the smallest K must not be the best: tiny neighborhoods starve
     let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert!(series[0] > min, "K sweep should improve past the smallest K");
+    assert!(
+        series[0] > min,
+        "K sweep should improve past the smallest K"
+    );
 }
 
 #[test]

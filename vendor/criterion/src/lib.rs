@@ -1,0 +1,440 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment resolves crates without network access, so the
+//! real `criterion` cannot be downloaded. This crate provides the subset
+//! of the 0.5 API the workspace's benches use — [`criterion_group!`],
+//! [`criterion_main!`], [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`Bencher::iter`]/[`Bencher::iter_with_setup`],
+//! [`BenchmarkId`], [`Throughput`] — backed by a simple wall-clock
+//! harness: warm up briefly, pick an iteration count that fills the
+//! measurement window, report mean/min/median ns per iteration (and
+//! elements/s when a throughput is set).
+//!
+//! Passing `--test` (as `cargo test --benches` does) or setting
+//! `CRITERION_TEST_MODE=1` runs every routine exactly once — smoke-test
+//! mode. `CRITERION_MEASURE_MS` / `CRITERION_WARMUP_MS` tune the windows.
+//! Results are printed to stdout; there are no plots, baselines, or
+//! statistical significance tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(var: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// Top-level harness state, one per process.
+pub struct Criterion {
+    test_mode: bool,
+    warmup: Duration,
+    measure: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = args.iter().any(|a| a == "--test")
+            || std::env::var("CRITERION_TEST_MODE").is_ok_and(|v| v == "1");
+        Self {
+            test_mode,
+            warmup: env_ms("CRITERION_WARMUP_MS", 60),
+            measure: env_ms("CRITERION_MEASURE_MS", 300),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (compatibility shim; argument
+    /// parsing already happens in [`Criterion::default`]).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().label();
+        run_one(self, &label, None, self.sample_size, f);
+        self
+    }
+}
+
+/// Throughput annotation: turns per-iteration time into a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`-style id.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("?"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measured samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the throughput annotation used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(self.criterion, &label, self.throughput, samples, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report lines are emitted eagerly; this is a
+    /// compatibility no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; routines register through
+/// [`Bencher::iter`] or [`Bencher::iter_with_setup`].
+pub struct Bencher<'a> {
+    harness: &'a HarnessConfig,
+    result: Option<Sample>,
+}
+
+struct HarnessConfig {
+    test_mode: bool,
+    warmup: Duration,
+    measure: Duration,
+    samples: usize,
+}
+
+struct Sample {
+    iters: u64,
+    mean_ns: f64,
+    min_ns: f64,
+    median_ns: f64,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine` over the harness's measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.harness.test_mode {
+            black_box(routine());
+            self.result = Some(Sample {
+                iters: 1,
+                mean_ns: 0.0,
+                min_ns: 0.0,
+                median_ns: 0.0,
+            });
+            return;
+        }
+        // Warmup while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.harness.warmup || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Split the measurement window into `samples` timed batches.
+        let samples = self.harness.samples.max(5);
+        let budget_ns = self.harness.measure.as_nanos() as f64;
+        let iters_per_sample = ((budget_ns / samples as f64) / est_ns).ceil().max(1.0) as u64;
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+            total_iters += iters_per_sample;
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        self.result = Some(Sample {
+            iters: total_iters,
+            mean_ns,
+            min_ns: per_iter[0],
+            median_ns: per_iter[per_iter.len() / 2],
+        });
+    }
+
+    /// Like [`Bencher::iter`], but re-creates an input with `setup`
+    /// before every call; only `routine` time is measured... approximately:
+    /// this harness times setup+routine batches and subtracts a timed
+    /// setup-only estimate, clamping at zero.
+    pub fn iter_with_setup<S, O, Setup, R>(&mut self, mut setup: Setup, mut routine: R)
+    where
+        Setup: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        if self.harness.test_mode {
+            black_box(routine(setup()));
+            self.result = Some(Sample {
+                iters: 1,
+                mean_ns: 0.0,
+                min_ns: 0.0,
+                median_ns: 0.0,
+            });
+            return;
+        }
+        // Estimate setup cost alone.
+        let t = Instant::now();
+        let mut setup_iters = 0u64;
+        while t.elapsed() < self.harness.warmup / 4 || setup_iters == 0 {
+            black_box(setup());
+            setup_iters += 1;
+        }
+        let setup_ns = t.elapsed().as_nanos() as f64 / setup_iters as f64;
+
+        self.iter(|| routine(setup()));
+        if let Some(s) = &mut self.result {
+            s.mean_ns = (s.mean_ns - setup_ns).max(0.0);
+            s.min_ns = (s.min_ns - setup_ns).max(0.0);
+            s.median_ns = (s.median_ns - setup_ns).max(0.0);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one<F>(
+    criterion: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let harness = HarnessConfig {
+        test_mode: criterion.test_mode,
+        warmup: criterion.warmup,
+        measure: criterion.measure,
+        samples,
+    };
+    let mut bencher = Bencher {
+        harness: &harness,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        None => println!("{label}: no routine registered"),
+        Some(s) if harness.test_mode => {
+            let _ = s;
+            println!("{label}: ok (test mode, 1 iteration)");
+        }
+        Some(s) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!(" thrpt: {:.0} elem/s", n as f64 * 1e9 / s.mean_ns)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!(" thrpt: {:.0} B/s", n as f64 * 1e9 / s.mean_ns)
+                }
+                None => String::new(),
+            };
+            println!(
+                "{label}: time: [min {} median {} mean {}] ({} iters){rate}",
+                format_ns(s.min_ns),
+                format_ns(s.median_ns),
+                format_ns(s.mean_ns),
+                s.iters,
+            );
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion {
+            test_mode: false,
+            warmup: Duration::from_millis(2),
+            measure: Duration::from_millis(10),
+            sample_size: 10,
+        }
+    }
+
+    #[test]
+    fn measures_a_cheap_routine() {
+        let mut c = fast_criterion();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(5);
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 5, "routine should have run many times, ran {ran}");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = fast_criterion();
+        c.test_mode = true;
+        let mut ran = 0u64;
+        c.bench_function("once", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(8).label(), "8");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+    }
+
+    #[test]
+    fn iter_with_setup_runs_setup_per_iteration() {
+        let mut c = fast_criterion();
+        c.test_mode = true;
+        let mut setups = 0u64;
+        c.bench_function("setup", |b| {
+            b.iter_with_setup(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+            )
+        });
+        assert_eq!(setups, 1);
+    }
+}

@@ -1,0 +1,499 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment resolves crates without network access, so the
+//! real `proptest` cannot be downloaded. This crate re-implements the
+//! subset of its API the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! - [`Strategy`](strategy::Strategy) with `prop_map`, implemented for
+//!   integer/float ranges and tuples,
+//! - [`collection::btree_map`] / [`collection::vec`] and [`option::of`].
+//!
+//! Semantics match proptest's: each test body runs for `cases` random
+//! inputs; a failed `prop_assert*` fails the test with the offending
+//! inputs' case number and seed; `prop_assume!` discards the case.
+//! **Shrinking is not implemented** — a failure reports the raw case.
+//! Case generation is deterministic per (test, case index) so CI failures
+//! reproduce locally; set `PROPTEST_SEED` to explore different streams,
+//! and `PROPTEST_CASES` to override the per-test case count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike the real proptest there is no value tree / shrinking: a
+    /// strategy is just a seeded generator.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            // Closed interval: the measure-zero endpoint is included by
+            // sampling over the half-open range and relying on rounding;
+            // nudge a tiny fraction of draws onto the exact bounds so
+            // boundary behavior actually gets exercised.
+            match rng.gen_range(0u32..100) {
+                0 => *self.start(),
+                1 => *self.end(),
+                _ => rng.gen_range(*self.start()..*self.end()),
+            }
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident/$idx:tt),+),)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy!(
+        (A / 0),
+        (A / 0, B / 1),
+        (A / 0, B / 1, C / 2),
+        (A / 0, B / 1, C / 2, D / 3),
+        (A / 0, B / 1, C / 2, D / 3, E / 4),
+        (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5),
+    );
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy returned by [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    /// Generates `BTreeMap`s with `size.start..size.end` *attempted*
+    /// insertions (duplicate keys collapse, exactly as in real proptest).
+    pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            let mut out = BTreeMap::new();
+            for _ in 0..n {
+                out.insert(self.keys.generate(rng), self.values.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Strategies for `Option`.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    /// Generates `None` about a quarter of the time, `Some(inner)`
+    /// otherwise — the real crate's default weighting.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration and the execution loop behind [`proptest!`].
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum number of `prop_assume!` rejections tolerated before
+        /// the test errors out as too narrow.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases, other settings default.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(64);
+            Self {
+                cases,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    /// Outcome of one case body. `Err` carries the failure message;
+    /// [`ASSUME_REJECTED`] marks a `prop_assume!` discard.
+    pub type CaseResult = Result<(), String>;
+
+    /// Sentinel message distinguishing an assumption failure from an
+    /// assertion failure.
+    pub const ASSUME_REJECTED: &str = "\u{1}__proptest_assume_rejected__";
+
+    /// Drives one property test: runs `body` on freshly seeded RNGs until
+    /// `config.cases` cases pass. Panics (failing the `#[test]`) on the
+    /// first assertion failure, reporting the case and seed.
+    pub fn run(test_name: &str, config: &Config, body: impl Fn(&mut StdRng) -> CaseResult) {
+        let base_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0x5EED_CF5F_u64);
+        // Mix the test name in so sibling tests explore different streams.
+        let name_tag = test_name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
+
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case = 0u64;
+        while passed < config.cases {
+            let seed = base_seed ^ name_tag ^ case.wrapping_mul(0x9E3779B97F4A7C15);
+            let mut rng = StdRng::seed_from_u64(seed);
+            match body(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(msg) if msg == ASSUME_REJECTED => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "{test_name}: too many prop_assume! rejections \
+                         ({rejected}); the property is vacuous"
+                    );
+                }
+                Err(msg) => panic!(
+                    "{test_name}: property failed at case {case} \
+                     (PROPTEST_SEED={base_seed}, case seed {seed:#x})\n{msg}"
+                ),
+            }
+            case += 1;
+        }
+    }
+}
+
+/// The glob-importable surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Supports the same surface syntax as the real
+/// crate for simple argument patterns:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn holds(x in 0u32..10, y in 0.0f64..=1.0) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config); $($rest)*);
+    };
+    (@run ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            $crate::test_runner::run(stringify!($name), &config, |__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __proptest_rng);)+
+                $body
+                Ok(())
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body; failure fails the
+/// case (with the optional formatted message) instead of unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                format!($($fmt)+), file!(), line!()
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}` ({}:{})",
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: `left != right`, both `{:?}` ({}:{})",
+                l,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Discards the current case when `cond` is false, drawing a fresh one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(String::from($crate::test_runner::ASSUME_REJECTED));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..10, y in -5i64..=5, f in 0.25f64..=0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..=0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(pair in (0u32..4, 0u32..4).prop_map(|(a, b)| a * 10 + b)) {
+            prop_assert!(pair <= 33);
+            prop_assert_eq!(pair % 10, pair - pair / 10 * 10);
+        }
+
+        #[test]
+        fn assume_discards(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_attribute_is_honored(_x in 0u32..2) {
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn btree_map_strategy_sizes_and_option() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let strat = crate::collection::btree_map(0u32..50, 0.0f64..1.0, 10..20);
+        let mut nones = 0;
+        for _ in 0..50 {
+            let m = strat.generate(&mut rng);
+            assert!(m.len() <= 20);
+            assert!(m.keys().all(|&k| k < 50));
+            let o = crate::option::of(0u32..5).generate(&mut rng);
+            if o.is_none() {
+                nones += 1;
+            }
+        }
+        assert!(nones > 0, "option::of never produced None");
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_case_info() {
+        crate::test_runner::run(
+            "always_fails",
+            &crate::test_runner::Config::with_cases(3),
+            |_rng| Err(String::from("nope")),
+        );
+    }
+}
