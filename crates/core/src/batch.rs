@@ -64,14 +64,7 @@ impl Cfsf {
             }
             self.predict(user, item).map(|r| (item, r))
         });
-        let mut scored: Vec<(ItemId, f64)> = scored.into_iter().flatten().collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("predictions are finite")
-                .then(a.0.cmp(&b.0))
-        });
-        scored.truncate(n);
-        scored
+        crate::topk::top_k_by_score(n, scored.into_iter().flatten())
     }
 }
 

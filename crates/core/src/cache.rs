@@ -1,0 +1,224 @@
+//! Sharded, capacity-bounded cache for per-user neighbor selections.
+//!
+//! The online phase caches each user's top-`K` like-minded-user selection
+//! ("caching intermediate results", §V-D). A single global
+//! `RwLock<HashMap>` serializes every cold miss across all serving
+//! threads and grows without bound; this cache shards by user id so
+//! concurrent `predict_batch` traffic touches disjoint locks, and bounds
+//! memory with per-shard second-chance (clock) eviction so the footprint
+//! stays fixed at millions of users.
+//!
+//! Sharding is by `user.index() % SHARDS`: user ids are dense row indices,
+//! so consecutive users — the common batch layout — spread perfectly
+//! evenly. Each shard holds `capacity / SHARDS` slots in a clock ring; a
+//! hit sets the slot's reference bit (an atomic, so read locks suffice),
+//! and an insert into a full shard advances the clock hand, giving each
+//! recently-referenced entry a second chance before evicting.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+use cf_matrix::UserId;
+
+/// A cached selection: the user's top-`K` like-minded users.
+pub(crate) type Selection = Arc<Vec<(UserId, f64)>>;
+
+/// Number of shards. A small power of two: enough to keep a typical
+/// thread pool off each other's locks, few enough that per-shard capacity
+/// stays meaningful for small caches.
+const SHARDS: usize = 16;
+
+/// Default total capacity (entries across all shards). At the paper's
+/// `K = 25` a full cache is ~a few hundred MB at this bound — bounded no
+/// matter how many millions of distinct users a serving process sees.
+pub(crate) const DEFAULT_CAPACITY: usize = 1 << 20;
+
+struct Slot {
+    user: UserId,
+    value: Selection,
+    /// Second-chance reference bit; set on hit under the shard read lock.
+    referenced: AtomicBool,
+}
+
+#[derive(Default)]
+struct Shard {
+    /// user → index into `slots`.
+    map: HashMap<UserId, usize>,
+    slots: Vec<Slot>,
+    /// Clock hand for second-chance eviction.
+    hand: usize,
+}
+
+/// The sharded neighbor cache. All methods take `&self`; interior
+/// mutability is per-shard.
+pub(crate) struct ShardedCache {
+    shards: Vec<RwLock<Shard>>,
+    shard_capacity: usize,
+}
+
+impl ShardedCache {
+    /// A cache bounded at (roughly) `capacity` entries, rounded up to a
+    /// multiple of the shard count.
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
+            shard_capacity: capacity.div_ceil(SHARDS).max(1),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, user: UserId) -> &RwLock<Shard> {
+        &self.shards[user.index() % SHARDS]
+    }
+
+    /// Looks up a cached selection, marking it recently used.
+    pub(crate) fn get(&self, user: UserId) -> Option<Selection> {
+        let shard = self.shard(user).read().expect("cache lock poisoned");
+        let &slot = shard.map.get(&user)?;
+        let s = &shard.slots[slot];
+        s.referenced.store(true, Ordering::Relaxed);
+        Some(Arc::clone(&s.value))
+    }
+
+    /// Inserts a computed selection, returning the cached `Arc`. When a
+    /// racing thread inserted the same user first, the incumbent wins and
+    /// is returned — all racers end up sharing one allocation, so a
+    /// selection is never silently replaced ("no lost updates").
+    pub(crate) fn insert(&self, user: UserId, value: Selection) -> Selection {
+        let mut shard = self.shard(user).write().expect("cache lock poisoned");
+        if let Some(&slot) = shard.map.get(&user) {
+            let s = &shard.slots[slot];
+            s.referenced.store(true, Ordering::Relaxed);
+            return Arc::clone(&s.value);
+        }
+        let slot = if shard.slots.len() < self.shard_capacity {
+            shard.slots.push(Slot {
+                user,
+                value: Arc::clone(&value),
+                referenced: AtomicBool::new(false),
+            });
+            shard.slots.len() - 1
+        } else {
+            // Second chance: clear reference bits until an unreferenced
+            // victim turns up. Terminates within two laps.
+            let victim = loop {
+                let hand = shard.hand;
+                shard.hand = (hand + 1) % shard.slots.len();
+                let s = &shard.slots[hand];
+                if s.referenced.swap(false, Ordering::Relaxed) {
+                    continue;
+                }
+                break hand;
+            };
+            let old = shard.slots[victim].user;
+            shard.map.remove(&old);
+            shard.slots[victim] = Slot {
+                user,
+                value: Arc::clone(&value),
+                referenced: AtomicBool::new(false),
+            };
+            victim
+        };
+        shard.map.insert(user, slot);
+        value
+    }
+
+    /// Number of cached selections across all shards.
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache lock poisoned").map.len())
+            .sum()
+    }
+
+    /// Total entry bound (never exceeded by [`Self::len`]).
+    pub(crate) fn capacity(&self) -> usize {
+        self.shard_capacity * SHARDS
+    }
+
+    /// Drops every cached selection.
+    pub(crate) fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.write().expect("cache lock poisoned");
+            s.map.clear();
+            s.slots.clear();
+            s.hand = 0;
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .field("shards", &SHARDS)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(u: u32) -> Selection {
+        Arc::new(vec![(UserId::new(u), 1.0)])
+    }
+
+    #[test]
+    fn insert_then_get_shares_the_arc() {
+        let c = ShardedCache::new(64);
+        let v = c.insert(UserId::new(3), sel(3));
+        let hit = c.get(UserId::new(3)).expect("cached");
+        assert!(Arc::ptr_eq(&v, &hit));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn racing_insert_keeps_the_incumbent() {
+        let c = ShardedCache::new(64);
+        let first = c.insert(UserId::new(5), sel(5));
+        let second = c.insert(UserId::new(5), sel(99));
+        assert!(Arc::ptr_eq(&first, &second), "incumbent must win");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_a_hard_bound_and_misses_still_serve() {
+        let c = ShardedCache::new(32);
+        for u in 0..500u32 {
+            c.insert(UserId::new(u), sel(u));
+        }
+        assert!(c.len() <= c.capacity(), "{} > {}", c.len(), c.capacity());
+        // Every user remains insertable/fetchable after heavy eviction.
+        let v = c.insert(UserId::new(1000), sel(1000));
+        assert!(Arc::ptr_eq(&v, &c.get(UserId::new(1000)).unwrap()));
+    }
+
+    #[test]
+    fn second_chance_prefers_evicting_unreferenced_entries() {
+        // One shard gets 2 slots (capacity 32 / 16 shards); users 0, 16,
+        // 32 share shard 0. Touch user 0, insert user 32: user 16 (never
+        // referenced since insert) must be the victim.
+        let c = ShardedCache::new(32);
+        c.insert(UserId::new(0), sel(0));
+        c.insert(UserId::new(16), sel(16));
+        assert!(c.get(UserId::new(0)).is_some()); // sets the ref bit
+        c.insert(UserId::new(32), sel(32));
+        assert!(c.get(UserId::new(0)).is_some(), "referenced entry kept");
+        assert!(c.get(UserId::new(16)).is_none(), "unreferenced evicted");
+        assert!(c.get(UserId::new(32)).is_some());
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let c = ShardedCache::new(64);
+        for u in 0..40u32 {
+            c.insert(UserId::new(u), sel(u));
+        }
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert!(c.get(UserId::new(7)).is_none());
+    }
+}

@@ -209,6 +209,8 @@ impl IncrementalCfsf {
         } else {
             DenseRatings::from_sparse(merged)
         };
+        model.planes = cf_matrix::WeightPlanes::from_dense(&model.dense, model.config.w);
+        model.strips = crate::strips::ItemStrips::build(&model.gis, model.config.m);
         model.smoothed = smoothed;
         model.icluster = icluster;
         model.matrix = merged.clone();

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod cache;
 mod config;
 mod error;
 mod explain;
@@ -46,6 +47,8 @@ mod incremental;
 mod model;
 mod online;
 mod persist;
+mod strips;
+mod topk;
 
 pub use config::CfsfConfig;
 pub use error::CfsfError;

@@ -1,17 +1,11 @@
 //! The fitted CFSF model: offline phase and `Predictor` implementation.
 
-use std::collections::HashMap;
-use std::sync::Arc;
-
 use cf_cluster::{ClusterAssignment, ICluster, KMeansConfig, Smoothed, Smoother};
-use cf_matrix::{DenseRatings, ItemId, Predictor, RatingMatrix, UserId};
+use cf_matrix::{DenseRatings, ItemId, Predictor, RatingMatrix, UserId, WeightPlanes};
 use cf_similarity::Gis;
-use std::sync::RwLock;
 
+use crate::cache::ShardedCache;
 use crate::{CfsfConfig, CfsfError};
-
-/// Per-user cached top-K like-minded-user selections.
-type NeighborCache = RwLock<HashMap<UserId, Arc<Vec<(UserId, f64)>>>>;
 
 /// Summary of what the offline phase built; useful for reports and tests.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,7 +39,13 @@ pub struct Cfsf {
     /// Dense ratings the online phase reads: the smoothed matrix, or the
     /// raw sparse ratings densified when `use_smoothing` is off.
     pub(crate) dense: DenseRatings,
-    pub(crate) neighbor_cache: NeighborCache,
+    /// Fused per-cell weight planes over `dense` (ε and provenance folded
+    /// at fit time) — what the serving fast path actually reads.
+    pub(crate) planes: WeightPlanes,
+    /// Per-item GIS top-`M` lists flattened into structure-of-arrays
+    /// strips at fit time for the online kernels.
+    pub(crate) strips: crate::strips::ItemStrips,
+    pub(crate) neighbor_cache: ShardedCache,
 }
 
 impl std::fmt::Debug for Cfsf {
@@ -55,14 +55,7 @@ impl std::fmt::Debug for Cfsf {
             .field("items", &self.matrix.num_items())
             .field("clusters", &self.clusters.k())
             .field("gis_pairs", &self.gis.stored_pairs())
-            .field(
-                "cached_users",
-                &self
-                    .neighbor_cache
-                    .read()
-                    .expect("cache lock poisoned")
-                    .len(),
-            )
+            .field("cached_users", &self.neighbor_cache.len())
             .finish_non_exhaustive()
     }
 }
@@ -107,6 +100,8 @@ impl Cfsf {
         } else {
             DenseRatings::from_sparse(matrix)
         };
+        let planes = WeightPlanes::from_dense(&dense, config.w);
+        let strips = crate::strips::ItemStrips::build(&gis, config.m);
 
         Ok(Self {
             config,
@@ -116,7 +111,9 @@ impl Cfsf {
             smoothed,
             icluster,
             dense,
-            neighbor_cache: RwLock::new(HashMap::new()),
+            planes,
+            strips,
+            neighbor_cache: ShardedCache::new(crate::cache::DEFAULT_CAPACITY),
         })
     }
 
@@ -154,10 +151,25 @@ impl Cfsf {
     /// Drops all cached per-user neighbor selections (used by benchmarks
     /// that must measure cold-path latency).
     pub fn clear_caches(&self) {
-        self.neighbor_cache
-            .write()
-            .expect("cache lock poisoned")
-            .clear();
+        self.neighbor_cache.clear();
+    }
+
+    /// Number of users with a cached neighbor selection.
+    pub fn neighbor_cache_len(&self) -> usize {
+        self.neighbor_cache.len()
+    }
+
+    /// The neighbor cache's entry bound ([`Self::neighbor_cache_len`]
+    /// never exceeds it).
+    pub fn neighbor_cache_capacity(&self) -> usize {
+        self.neighbor_cache.capacity()
+    }
+
+    /// Replaces the neighbor cache with an empty one bounded at (roughly)
+    /// `capacity` entries. Serving processes facing more distinct users
+    /// than the default bound can trade memory for hit rate here.
+    pub fn set_neighbor_cache_capacity(&mut self, capacity: usize) {
+        self.neighbor_cache = ShardedCache::new(capacity);
     }
 
     /// Builds a new model with a modified configuration, reusing the
@@ -189,6 +201,8 @@ impl Cfsf {
         } else {
             DenseRatings::from_sparse(&self.matrix)
         };
+        let planes = WeightPlanes::from_dense(&dense, config.w);
+        let strips = crate::strips::ItemStrips::build(&self.gis, config.m);
         Ok(Self {
             config,
             matrix: self.matrix.clone(),
@@ -197,7 +211,9 @@ impl Cfsf {
             smoothed: self.smoothed.clone(),
             icluster: self.icluster.clone(),
             dense,
-            neighbor_cache: RwLock::new(HashMap::new()),
+            planes,
+            strips,
+            neighbor_cache: ShardedCache::new(crate::cache::DEFAULT_CAPACITY),
         })
     }
 
@@ -205,19 +221,13 @@ impl Cfsf {
     /// as `(item, predicted rating)`, best first. Ties break toward the
     /// lower item id.
     pub fn recommend_top_n(&self, user: UserId, n: usize) -> Vec<(ItemId, f64)> {
-        let mut scored: Vec<(ItemId, f64)> = self
-            .matrix
-            .items()
-            .filter(|&i| !self.matrix.is_rated(user, i))
-            .filter_map(|i| self.predict(user, i).map(|r| (i, r)))
-            .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("predictions are finite")
-                .then(a.0.cmp(&b.0))
-        });
-        scored.truncate(n);
-        scored
+        crate::topk::top_k_by_score(
+            n,
+            self.matrix
+                .items()
+                .filter(|&i| !self.matrix.is_rated(user, i))
+                .filter_map(|i| self.predict(user, i).map(|r| (i, r))),
+        )
     }
 }
 

@@ -1,10 +1,24 @@
 //! The online phase: local `M × K` matrix construction and the three
 //! estimators `SIR'`, `SUR'`, `SUIR'` of Eq. 12.
+//!
+//! Two implementations live here:
+//!
+//! - the **serving fast path** ([`Cfsf::predict_with_breakdown`]): reads
+//!   the fused [`cf_matrix::WeightPlanes`] (ε and provenance folded at fit
+//!   time) and runs the Eq. 12 sums as branch-free multiply-accumulate —
+//!   no per-cell `is_nan` test, no provenance-bit extraction, and pair
+//!   weights via a vectorizable reciprocal-square-root strip instead of
+//!   per-cell `sqrt` + `div`;
+//! - the **reference path** ([`Cfsf::predict_with_breakdown_ref`]): the
+//!   original per-cell loops over the dense matrix. It is the ground
+//!   truth the fast kernels are property-tested against (≤ 1e-9) and the
+//!   baseline the throughput benchmark measures speedups from.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use cf_matrix::{ItemId, UserId};
-use cf_similarity::{pair_weight, smoothing_weight, weighted_user_pcc};
+use cf_similarity::{pair_weight, smoothing_weight, weighted_user_pcc_planes};
 
 use crate::{fuse, Cfsf};
 
@@ -30,31 +44,60 @@ pub struct PredictionBreakdown {
     pub k_used: usize,
 }
 
+/// Per-thread request scratch: the Eq. 13 pair-weight strip for one
+/// neighbor row (recomputed per neighbor). Reused across requests so the
+/// hot path never allocates; the similar-item strips themselves are
+/// precomputed per item at fit time ([`crate::strips::ItemStrips`]).
+#[derive(Default)]
+struct Scratch {
+    pw: Vec<f64>,
+}
+
+/// `1/√y` to ≤ 2.6e-12 relative error, without touching the divider/sqrt
+/// unit: the classic bit-shift initial guess (≤ 3.42e-2 relative error)
+/// refined by two order-3 Householder steps, `x ← x·(1 + ½e + ⅜e²)` with
+/// `e = 1 − y·x²`. Each step cubes the error (`δ' ≈ 2.5·δ³`, so
+/// 3.4e-2 → 1.0e-4 → 2.5e-12), which leaves a ~400× margin against the
+/// fast path's 1e-9 equivalence budget. Five fused mul-adds per step on
+/// finite positive input, so LLVM vectorizes a strip of these where
+/// `sqrt` + `div` would serialize on the divider — the pair-weight loop
+/// is exactly such a strip.
+#[inline]
+fn rsqrt(y: f64) -> f64 {
+    let mut x = f64::from_bits(0x5FE6_EB50_C7B5_37A9u64.wrapping_sub(y.to_bits() >> 1));
+    for _ in 0..2 {
+        let s = y * x;
+        let e = (-s).mul_add(x, 1.0);
+        let t = 0.375f64.mul_add(e, 0.5);
+        let u = x * e;
+        x = u.mul_add(t, x);
+    }
+    x
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
 impl Cfsf {
     /// Selects the top `K` like-minded users for `user` (Eq. 10/11),
     /// walking the iCluster ranking to build the candidate pool. Results
-    /// are cached per user: selection is independent of the active item.
+    /// are cached per user in a sharded, capacity-bounded cache:
+    /// selection is independent of the active item.
     pub fn top_k_users(&self, user: UserId) -> Arc<Vec<(UserId, f64)>> {
-        if let Some(hit) = self
-            .neighbor_cache
-            .read()
-            .expect("cache lock poisoned")
-            .get(&user)
-        {
+        if let Some(hit) = self.neighbor_cache.get(user) {
             cf_obs::counter!("online.neighbor_cache.hit").inc();
-            return Arc::clone(hit);
+            return hit;
         }
         cf_obs::counter!("online.neighbor_cache.miss").inc();
-        let computed = Arc::new(self.select_top_k(user));
         self.neighbor_cache
-            .write()
-            .expect("cache lock poisoned")
-            .entry(user)
-            .or_insert_with(|| Arc::clone(&computed))
-            .clone()
+            .insert(user, Arc::new(self.select_top_k(user)))
     }
 
     fn select_top_k(&self, user: UserId) -> Vec<(UserId, f64)> {
+        // Selection is cold-path work; it gets its own histogram so
+        // `online.predict_ns` reflects steady-state serving latency.
+        cf_obs::time_scope!("online.select_ns");
         let (items, vals) = self.matrix.user_row(user);
         if items.is_empty() {
             return Vec::new();
@@ -82,32 +125,119 @@ impl Cfsf {
             }
         }
 
-        // Rank candidates with the smoothing-aware weighted PCC (Eq. 10).
+        // Rank candidates with the smoothing-aware weighted PCC (Eq. 10)
+        // over the fused planes, keeping the top K via bounded partial
+        // selection instead of a full sort.
         let mean_a = self.matrix.user_mean(user);
-        let mut scored: Vec<(UserId, f64)> = candidates
-            .into_iter()
-            .filter_map(|cand| {
-                let s = weighted_user_pcc(
+        crate::topk::top_k_by_score(
+            self.config.k,
+            candidates.into_iter().filter_map(|cand| {
+                let s = weighted_user_pcc_planes(
                     items,
                     vals,
                     mean_a,
-                    &self.dense,
+                    &self.planes,
                     cand,
                     self.matrix.user_mean(cand),
-                    self.config.w,
                 );
                 // Negatively correlated or signal-free users are never
                 // "like-minded"; Eq. 12's denominators assume positive sims.
                 (s > 0.0).then_some((cand, s))
-            })
-            .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("similarities are finite")
-                .then(a.0.cmp(&b.0))
-        });
-        scored.truncate(self.config.k);
-        scored
+            }),
+        )
+    }
+
+    /// The fast Eq. 12 kernels over the fused weight planes and the
+    /// precomputed per-item strips. Returns `(sir, sur, suir, m_used)`.
+    fn local_estimators(
+        &self,
+        user: UserId,
+        item: ItemId,
+        top_users: &[(UserId, f64)],
+    ) -> (Option<f64>, Option<f64>, Option<f64>, usize) {
+        let planes = &self.planes;
+        let (idx, sim, sim2) = self.strips.get(item);
+        let m = idx.len();
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+
+            // --- SIR': the active user's (smoothed) ratings on similar
+            // items, read straight off the user's plane row. Absent cells
+            // carry exact-zero weights, so the loop is branch-free;
+            // `m_used` sums the presence plane instead of testing `is_nan`.
+            let row_b = planes.pair_row(user);
+            let present_b = planes.present_row(user);
+            let mut sir_num = 0.0;
+            let mut sir_den = 0.0;
+            let mut m_used = 0.0;
+            for (&s, &c) in sim.iter().zip(idx) {
+                let [w, wr] = row_b[c as usize];
+                sir_num += s * wr;
+                sir_den += s * w;
+                m_used += present_b[c as usize];
+            }
+            let sir = (sir_den > f64::EPSILON).then(|| sir_num / sir_den);
+
+            // --- SUR': like-minded users' (smoothed) ratings on the
+            // active item, mean-centered per user: `w·(r − mean)` becomes
+            // `w·r − w·mean` straight off the planes.
+            let mean_b = self.matrix.user_mean(user);
+            let mut sur_num = 0.0;
+            let mut sur_den = 0.0;
+            for &(u_t, sim_t) in top_users {
+                let (w, wr) = planes.pair(u_t, item);
+                sur_num += sim_t * (wr - w * self.matrix.user_mean(u_t));
+                sur_den += sim_t * w;
+            }
+            let sur = (sur_den > f64::EPSILON).then(|| mean_b + sur_num / sur_den);
+
+            // --- SUIR': Eq. 12/13, one neighbor row at a time. Phase one
+            // fills the pair-weight strip `ss·st·rsqrt(ss² + st²)` — pure
+            // mul/add over contiguous memory, so it vectorizes where the
+            // `sqrt` + `div` form serializes on the divider unit. Phase
+            // two multiply-accumulates the neighbor's `[w, w·r]` cells
+            // read scattered, straight off the plane row: gathering them
+            // into a dense block first was measured *slower* — the copy
+            // cost as much as the whole reference kernel. Four
+            // independent accumulator lanes keep the add chains from
+            // serializing.
+            scratch.pw.clear();
+            scratch.pw.resize(m, 0.0);
+            let mut suir_num = 0.0;
+            let mut suir_den = 0.0;
+            for &(u_t, sim_t) in top_users {
+                let tt = sim_t * sim_t;
+                for ((pw, &ss), &s2) in scratch.pw.iter_mut().zip(sim).zip(sim2) {
+                    // Eq. 13 pair weight; `.max(0.0)` plays the role of
+                    // the reference kernel's `pw <= 0` skip. `s2 + tt` is
+                    // strictly positive (selection keeps only `sim_t > 0`),
+                    // so `rsqrt` never sees zero.
+                    *pw = (ss * sim_t * rsqrt(s2 + tt)).max(0.0);
+                }
+                let row = planes.pair_row(u_t);
+                let mut num = [0.0f64; 4];
+                let mut den = [0.0f64; 4];
+                let mut pw4 = scratch.pw.chunks_exact(4);
+                let mut ix4 = idx.chunks_exact(4);
+                for (p, cx) in (&mut pw4).zip(&mut ix4) {
+                    for l in 0..4 {
+                        let [w, wr] = row[cx[l] as usize];
+                        num[l] = p[l].mul_add(wr, num[l]);
+                        den[l] = p[l].mul_add(w, den[l]);
+                    }
+                }
+                for (p, &c) in pw4.remainder().iter().zip(ix4.remainder()) {
+                    let [w, wr] = row[c as usize];
+                    num[0] = p.mul_add(wr, num[0]);
+                    den[0] = p.mul_add(w, den[0]);
+                }
+                suir_num += (num[0] + num[1]) + (num[2] + num[3]);
+                suir_den += (den[0] + den[1]) + (den[2] + den[3]);
+            }
+            let suir = (suir_den > f64::EPSILON).then(|| suir_num / suir_den);
+
+            (sir, sur, suir, m_used as usize)
+        })
     }
 
     /// Runs the full online phase for `(user, item)` and reports every
@@ -118,9 +248,83 @@ impl Cfsf {
         user: UserId,
         item: ItemId,
     ) -> Option<PredictionBreakdown> {
-        cf_obs::time_scope!("online.predict_ns");
         if user.index() >= self.matrix.num_users() || item.index() >= self.matrix.num_items() {
+            // Not a served prediction: excluded from `online.predict_ns`
+            // so the latency histogram reflects real serving work.
             cf_obs::counter!("online.no_signal").inc();
+            return None;
+        }
+        // Neighbor selection happens (and is timed) before the predict
+        // span starts: cold selection work lands in `online.select_ns`,
+        // not in the serving-latency histogram.
+        let top_users = self.top_k_users(user);
+        cf_obs::time_scope!("online.predict_ns");
+        let scale = self.matrix.scale();
+
+        let (sir, sur, suir, m_used) = self.local_estimators(user, item, &top_users);
+        let mean_b = self.matrix.user_mean(user);
+
+        let fused = fuse(sir, sur, suir, self.config.lambda, self.config.delta);
+        let (fused, used_fallback) = match fused {
+            Some(v) => (v, false),
+            None => {
+                // No local evidence at all. The smoothed matrix still
+                // imputes every cell; without smoothing, fall back to the
+                // user's mean if they have a profile.
+                if self.config.use_smoothing {
+                    match self.smoothed.dense.get(user, item) {
+                        Some(v) => (v, true),
+                        None => {
+                            cf_obs::counter!("online.no_signal").inc();
+                            return None;
+                        }
+                    }
+                } else if self.matrix.user_count(user) > 0 {
+                    (mean_b, true)
+                } else {
+                    cf_obs::counter!("online.no_signal").inc();
+                    return None;
+                }
+            }
+        };
+
+        cf_obs::counter!("online.predictions").inc();
+        // `add(0)` still registers the metric, so a snapshot always carries
+        // these names even for runs where the event never fires — absent
+        // vs zero would be ambiguous to dashboards diffing runs.
+        cf_obs::counter!("online.fallback").add(used_fallback as u64);
+        cf_obs::counter!("online.estimator.sir").add(sir.is_some() as u64);
+        cf_obs::counter!("online.estimator.sur").add(sur.is_some() as u64);
+        cf_obs::counter!("online.estimator.suir").add(suir.is_some() as u64);
+        cf_obs::histogram!("online.m_used").record(m_used as u64);
+        cf_obs::histogram!("online.k_used").record(top_users.len() as u64);
+
+        Some(PredictionBreakdown {
+            sir,
+            sur,
+            suir,
+            fused: scale.clamp(fused),
+            used_fallback,
+            m_used,
+            k_used: top_users.len(),
+        })
+    }
+
+    /// The pre-fast-path online phase: per-cell loops over the dense
+    /// matrix with `is_nan` tests and provenance-bit extraction on every
+    /// kernel iteration.
+    ///
+    /// Kept as the ground truth for the kernel-equivalence property tests
+    /// (the fast path must match it to ≤ 1e-9) and as the baseline the
+    /// `online_throughput` benchmark measures speedups against. Shares
+    /// [`Cfsf::top_k_users`] with the fast path so both paths predict
+    /// from the identical local matrix.
+    pub fn predict_with_breakdown_ref(
+        &self,
+        user: UserId,
+        item: ItemId,
+    ) -> Option<PredictionBreakdown> {
+        if user.index() >= self.matrix.num_users() || item.index() >= self.matrix.num_items() {
             return None;
         }
         let scale = self.matrix.scale();
@@ -188,36 +392,15 @@ impl Cfsf {
         let (fused, used_fallback) = match fused {
             Some(v) => (v, false),
             None => {
-                // No local evidence at all. The smoothed matrix still
-                // imputes every cell; without smoothing, fall back to the
-                // user's mean if they have a profile.
                 if self.config.use_smoothing {
-                    match self.smoothed.dense.get(user, item) {
-                        Some(v) => (v, true),
-                        None => {
-                            cf_obs::counter!("online.no_signal").inc();
-                            return None;
-                        }
-                    }
+                    (self.smoothed.dense.get(user, item)?, true)
                 } else if self.matrix.user_count(user) > 0 {
                     (mean_b, true)
                 } else {
-                    cf_obs::counter!("online.no_signal").inc();
                     return None;
                 }
             }
         };
-
-        cf_obs::counter!("online.predictions").inc();
-        // `add(0)` still registers the metric, so a snapshot always carries
-        // these names even for runs where the event never fires — absent
-        // vs zero would be ambiguous to dashboards diffing runs.
-        cf_obs::counter!("online.fallback").add(used_fallback as u64);
-        cf_obs::counter!("online.estimator.sir").add(sir.is_some() as u64);
-        cf_obs::counter!("online.estimator.sur").add(sur.is_some() as u64);
-        cf_obs::counter!("online.estimator.suir").add(suir.is_some() as u64);
-        cf_obs::histogram!("online.m_used").record(m_used as u64);
-        cf_obs::histogram!("online.k_used").record(top_users.len() as u64);
 
         Some(PredictionBreakdown {
             sir,
@@ -287,6 +470,29 @@ mod tests {
             }
         }
         assert!(checked > 20, "expected plenty of non-fallback predictions");
+    }
+
+    #[test]
+    fn fast_path_matches_reference_path() {
+        let m = model();
+        let mut compared = 0;
+        for u in 0..20usize {
+            for i in (0..120usize).step_by(7) {
+                let fast = m.predict_with_breakdown(UserId::from(u), ItemId::from(i));
+                let refr = m.predict_with_breakdown_ref(UserId::from(u), ItemId::from(i));
+                match (fast, refr) {
+                    (Some(f), Some(r)) => {
+                        assert!((f.fused - r.fused).abs() <= 1e-9, "({u},{i})");
+                        assert_eq!(f.m_used, r.m_used, "({u},{i})");
+                        assert_eq!(f.used_fallback, r.used_fallback, "({u},{i})");
+                        compared += 1;
+                    }
+                    (None, None) => {}
+                    (f, r) => panic!("availability mismatch at ({u},{i}): {f:?} vs {r:?}"),
+                }
+            }
+        }
+        assert!(compared > 100);
     }
 
     #[test]

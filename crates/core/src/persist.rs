@@ -25,10 +25,10 @@
 use std::io::{self, Read, Write};
 
 use cf_cluster::{ClusterAssignment, ICluster, Smoother};
-use cf_matrix::{DenseRatings, ItemId, MatrixBuilder, RatingScale, UserId};
+use cf_matrix::{DenseRatings, ItemId, MatrixBuilder, RatingScale, UserId, WeightPlanes};
 use cf_similarity::Gis;
-use std::sync::RwLock;
 
+use crate::cache::ShardedCache;
 use crate::{Cfsf, CfsfConfig, CfsfError};
 
 const MAGIC: &[u8; 4] = b"CFSF";
@@ -320,6 +320,8 @@ impl Cfsf {
         } else {
             DenseRatings::from_sparse(&matrix)
         };
+        let planes = WeightPlanes::from_dense(&dense, config.w);
+        let strips = crate::strips::ItemStrips::build(&gis, config.m);
 
         Ok(Self {
             config,
@@ -329,7 +331,9 @@ impl Cfsf {
             smoothed,
             icluster,
             dense,
-            neighbor_cache: RwLock::new(std::collections::HashMap::new()),
+            planes,
+            strips,
+            neighbor_cache: ShardedCache::new(crate::cache::DEFAULT_CAPACITY),
         })
     }
 

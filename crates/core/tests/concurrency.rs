@@ -52,3 +52,67 @@ fn concurrent_top_k_users_across_distinct_users_is_consistent() {
         assert_eq!(**got, *expect, "user {u}");
     }
 }
+
+#[test]
+fn neighbor_cache_capacity_is_a_hard_bound_under_concurrency() {
+    // Shrink the cache far below the user population, then hammer every
+    // user from many threads: the entry count must never exceed the bound,
+    // and every selection served must still be correct.
+    let mut m = model();
+    m.set_neighbor_cache_capacity(16);
+    let users = m.matrix().num_users(); // 80 users >> 16-ish entries
+
+    for _ in 0..5 {
+        let served: Vec<Arc<Vec<(UserId, f64)>>> =
+            cf_parallel::par_map(users, 8, |u| m.top_k_users(UserId::from(u)));
+        assert!(
+            m.neighbor_cache_len() <= m.neighbor_cache_capacity(),
+            "{} entries > bound {}",
+            m.neighbor_cache_len(),
+            m.neighbor_cache_capacity()
+        );
+        // Evictions must never corrupt what gets served.
+        let quiet = model();
+        for (u, got) in served.iter().enumerate() {
+            assert_eq!(**got, *quiet.top_k_users(UserId::from(u)), "user {u}");
+        }
+    }
+}
+
+#[test]
+fn repeat_hits_within_capacity_share_the_arc() {
+    // With the whole population inside the bound, a second wave of lookups
+    // must be pure cache hits: pointer-equal Arcs, no recomputation.
+    let m = model();
+    let users = 24;
+    let first: Vec<Arc<Vec<(UserId, f64)>>> =
+        cf_parallel::par_map(users, 8, |u| m.top_k_users(UserId::from(u)));
+    let second: Vec<Arc<Vec<(UserId, f64)>>> =
+        cf_parallel::par_map(users, 8, |u| m.top_k_users(UserId::from(u)));
+    for u in 0..users {
+        assert!(
+            Arc::ptr_eq(&first[u], &second[u]),
+            "user {u} was recomputed despite fitting in capacity"
+        );
+    }
+    assert_eq!(m.neighbor_cache_len(), users);
+}
+
+#[test]
+fn mixed_predict_traffic_under_tiny_cache_matches_serial() {
+    // End-to-end: concurrent predict_batch with constant eviction churn
+    // must still equal the serial answers.
+    let mut m = model();
+    m.set_neighbor_cache_capacity(16);
+    let reqs: Vec<(UserId, cf_matrix::ItemId)> = (0..400)
+        .map(|k| (UserId::new(k % 80), cf_matrix::ItemId::new((k * 11) % 120)))
+        .collect();
+    let serial: Vec<Option<f64>> = {
+        use cf_matrix::Predictor;
+        reqs.iter().map(|&(u, i)| m.predict(u, i)).collect()
+    };
+    for threads in [2, 8] {
+        m.clear_caches();
+        assert_eq!(m.predict_batch(&reqs, Some(threads)), serial, "t={threads}");
+    }
+}

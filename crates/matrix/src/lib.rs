@@ -10,6 +10,8 @@
 //!   deduplicates, sorts, and validates triplets,
 //! - [`DenseRatings`] — a dense user×item matrix with an "originally rated"
 //!   bitset; used for cluster-smoothed ratings (Eq. 7 of the paper),
+//! - [`WeightPlanes`] — the serving fast path's fused `[w, w·r]` planes,
+//!   folding the Eq. 11 smoothing weight into contiguous dense storage,
 //! - [`Predictor`] — the trait every CF algorithm in this workspace
 //!   implements, plus rating-scale clamping helpers,
 //! - [`stats`] — dataset statistics as reported in Table I of the paper.
@@ -27,6 +29,7 @@ mod dense;
 mod error;
 mod ids;
 mod matrix;
+mod planes;
 mod predictor;
 pub mod stats;
 
@@ -35,5 +38,6 @@ pub use dense::DenseRatings;
 pub use error::MatrixError;
 pub use ids::{ItemId, UserId};
 pub use matrix::RatingMatrix;
+pub use planes::WeightPlanes;
 pub use predictor::{clamp_rating, Predictor, RatingScale};
 pub use stats::MatrixStats;

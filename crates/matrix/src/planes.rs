@@ -1,0 +1,155 @@
+//! Fused weight planes — the serving fast path's memory layout.
+//!
+//! The online kernels (Eq. 10–13) weigh every cell by `w = ε` (original
+//! rating) or `w = 1 − ε` (smoothed rating) and then multiply by the
+//! rating itself. Doing that per request means a provenance-bitmap
+//! extraction, an `is_nan` branch, and a select on every kernel
+//! iteration. Post-smoothing the matrix is *complete* and ε is fixed for
+//! the lifetime of a fitted model, so all of it can be folded once at fit
+//! time into two dense planes:
+//!
+//! - `w(u, i)`  — the Eq. 11 weight, `0.0` where the cell is absent,
+//! - `w·r(u, i)` — the weight times the rating, `0.0` where absent.
+//!
+//! Absent cells contribute exact zeros to every weighted sum, so the
+//! kernels lose their per-cell branches entirely and become straight-line
+//! multiply-accumulate over contiguous memory. A third plane stores
+//! presence as `1.0`/`0.0` so overlap counts (`n`, `m_used`) stay exact
+//! without reintroducing a branch — summing at most a few thousand ones
+//! is exact in `f64`.
+//!
+//! `w` and `w·r` are interleaved per cell (`[w, w·r]` pairs) so a gather
+//! touches one cache line per cell instead of two.
+
+use crate::{DenseRatings, ItemId, UserId};
+
+/// Dense per-cell `[w, w·r]` pairs plus a presence plane, with ε folded
+/// in. Built once per fitted model (and rebuilt when the dense ratings or
+/// ε change); read-only on the serving path.
+#[derive(Debug, Clone)]
+pub struct WeightPlanes {
+    num_users: usize,
+    num_items: usize,
+    /// `[w, w·r]` per cell; `u * num_items + i`. Stored as fixed-size
+    /// pairs so one (bounds-checked) index yields both values.
+    pairs: Vec<[f64; 2]>,
+    /// `1.0` where the cell holds a value, `0.0` where absent.
+    present: Vec<f64>,
+}
+
+impl WeightPlanes {
+    /// Folds the dense ratings and their provenance bitmap into weight
+    /// planes under the Eq. 11 weight `ε` (original) / `1 − ε` (smoothed).
+    pub fn from_dense(dense: &DenseRatings, epsilon: f64) -> Self {
+        let (p, q) = (dense.num_users(), dense.num_items());
+        let mut pairs = vec![[0.0; 2]; p * q];
+        let mut present = vec![0.0; p * q];
+        for ui in 0..p {
+            let u = UserId::from(ui);
+            let row = dense.row(u);
+            let base = ui * q;
+            for (ii, &r) in row.iter().enumerate() {
+                if r.is_nan() {
+                    continue;
+                }
+                let w = if dense.is_original(u, ItemId::from(ii)) {
+                    epsilon
+                } else {
+                    1.0 - epsilon
+                };
+                pairs[base + ii] = [w, w * r];
+                present[base + ii] = 1.0;
+            }
+        }
+        Self {
+            num_users: p,
+            num_items: q,
+            pairs,
+            present,
+        }
+    }
+
+    /// Number of user rows.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of item columns.
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// The `[w, w·r]` row of user `u`: `num_items` cells, cell `i` at
+    /// index `i`.
+    #[inline]
+    pub fn pair_row(&self, u: UserId) -> &[[f64; 2]] {
+        let lo = u.index() * self.num_items;
+        &self.pairs[lo..lo + self.num_items]
+    }
+
+    /// The presence row of user `u` (`1.0` present / `0.0` absent).
+    #[inline]
+    pub fn present_row(&self, u: UserId) -> &[f64] {
+        let lo = u.index() * self.num_items;
+        &self.present[lo..lo + self.num_items]
+    }
+
+    /// The `(w, w·r)` pair of one cell (`(0.0, 0.0)` where absent).
+    #[inline]
+    pub fn pair(&self, u: UserId, i: ItemId) -> (f64, f64) {
+        debug_assert!(u.index() < self.num_users && i.index() < self.num_items);
+        let [w, wr] = self.pairs[u.index() * self.num_items + i.index()];
+        (w, wr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense() -> DenseRatings {
+        let mut d = DenseRatings::new(2, 3);
+        d.set_original(UserId::new(0), ItemId::new(0), 4.0);
+        d.set_smoothed(UserId::new(0), ItemId::new(2), 2.5);
+        d.set_original(UserId::new(1), ItemId::new(1), 1.0);
+        d
+    }
+
+    #[test]
+    fn planes_fold_epsilon_and_provenance() {
+        let p = WeightPlanes::from_dense(&dense(), 0.35);
+        // original rating: w = ε
+        assert_eq!(p.pair(UserId::new(0), ItemId::new(0)), (0.35, 0.35 * 4.0));
+        // smoothed rating: w = 1 − ε
+        let (w, wr) = p.pair(UserId::new(0), ItemId::new(2));
+        assert!((w - 0.65).abs() < 1e-12 && (wr - 0.65 * 2.5).abs() < 1e-12);
+        // absent cell: exact zeros
+        assert_eq!(p.pair(UserId::new(0), ItemId::new(1)), (0.0, 0.0));
+        assert_eq!(p.pair(UserId::new(1), ItemId::new(0)), (0.0, 0.0));
+    }
+
+    #[test]
+    fn presence_plane_tracks_cells_not_weights() {
+        // ε = 1 zeroes the weight of smoothed cells; presence must still
+        // distinguish "absent" from "present with zero weight".
+        let p = WeightPlanes::from_dense(&dense(), 1.0);
+        let row0 = p.present_row(UserId::new(0));
+        assert_eq!(row0, &[1.0, 0.0, 1.0]);
+        assert_eq!(p.pair(UserId::new(0), ItemId::new(2)), (0.0, 0.0));
+        assert_eq!(p.present_row(UserId::new(1)), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn rows_are_contiguous_views() {
+        let p = WeightPlanes::from_dense(&dense(), 0.35);
+        assert_eq!(p.num_users(), 2);
+        assert_eq!(p.num_items(), 3);
+        let row = p.pair_row(UserId::new(1));
+        assert_eq!(row.len(), 3);
+        assert_eq!(row[1], [0.35, 0.35]);
+        let (w, wr) = p.pair(UserId::new(1), ItemId::new(1));
+        assert_eq!((w, wr), (0.35, 0.35));
+    }
+}

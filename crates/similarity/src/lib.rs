@@ -26,4 +26,4 @@ pub use kernels::{
     adjusted_cosine, cosine, item_overlap, item_pcc, significance_weight, spearman_item,
     spearman_user, user_pcc, MIN_OVERLAP,
 };
-pub use weighted::{pair_weight, smoothing_weight, weighted_user_pcc};
+pub use weighted::{pair_weight, smoothing_weight, weighted_user_pcc, weighted_user_pcc_planes};

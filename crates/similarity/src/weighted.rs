@@ -1,6 +1,6 @@
 //! Smoothing-aware similarity: Eq. 10/11 and the pair weight of Eq. 13.
 
-use cf_matrix::{DenseRatings, ItemId, UserId};
+use cf_matrix::{DenseRatings, ItemId, UserId, WeightPlanes};
 
 /// The weighting coefficient `w` of Eq. 11: an original rating counts with
 /// weight `ε`, a smoothed (imputed) rating with `1 − ε`.
@@ -62,6 +62,46 @@ pub fn weighted_user_pcc(
         n += 1;
     }
     if n < crate::MIN_OVERLAP || norm_c <= 0.0 || norm_a <= 0.0 {
+        return 0.0;
+    }
+    (dot / (norm_c.sqrt() * norm_a.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// The serving-fast-path variant of [`weighted_user_pcc`], reading fused
+/// [`WeightPlanes`] instead of the dense matrix + provenance bitmap.
+///
+/// ε is already folded into the planes, and absent cells carry exact-zero
+/// weights, so the per-item loop is branch-free: no `is_nan` test, no bit
+/// extraction, no weight select. The weighted deviation is computed as
+/// `w·r − w·mean` (two rounded products) instead of `w·(r − mean)`, so
+/// results match the naive kernel to ≤ 1e-9 rather than bit-exactly; the
+/// overlap count `n` uses the presence plane and stays exact.
+pub fn weighted_user_pcc_planes(
+    active_items: &[ItemId],
+    active_vals: &[f64],
+    active_mean: f64,
+    planes: &WeightPlanes,
+    candidate: UserId,
+    candidate_mean: f64,
+) -> f64 {
+    let pairs = planes.pair_row(candidate);
+    let present = planes.present_row(candidate);
+    let mut dot = 0.0;
+    let mut norm_c = 0.0;
+    let mut norm_a = 0.0;
+    let mut n = 0.0;
+    for (&item, &ra) in active_items.iter().zip(active_vals) {
+        let c = item.index();
+        let [w, wr] = pairs[c];
+        let p = present[c];
+        let wdc = wr - w * candidate_mean;
+        let da = ra - active_mean;
+        dot += wdc * da;
+        norm_c += wdc * wdc;
+        norm_a += p * (da * da);
+        n += p;
+    }
+    if (n as usize) < crate::MIN_OVERLAP || norm_c <= 0.0 || norm_a <= 0.0 {
         return 0.0;
     }
     (dot / (norm_c.sqrt() * norm_a.sqrt())).clamp(-1.0, 1.0)
@@ -189,6 +229,41 @@ mod tests {
         // item 2 absent for candidate
         let s = weighted_user_pcc(&items, &vals, 3.0, &d, UserId::new(0), 3.0, 0.35);
         assert!(s > 0.9);
+    }
+
+    #[test]
+    fn planes_variant_matches_naive_on_fixture() {
+        let (items, vals, d) = fixture();
+        for eps in [0.0, 0.35, 1.0] {
+            let planes = WeightPlanes::from_dense(&d, eps);
+            let naive = weighted_user_pcc(&items, &vals, 3.0, &d, UserId::new(0), 3.0, eps);
+            let fused = weighted_user_pcc_planes(&items, &vals, 3.0, &planes, UserId::new(0), 3.0);
+            assert!(
+                (naive - fused).abs() < 1e-9,
+                "eps={eps}: naive={naive}, fused={fused}"
+            );
+        }
+    }
+
+    #[test]
+    fn planes_variant_skips_absent_candidate_cells() {
+        let items = vec![ItemId::new(0), ItemId::new(1), ItemId::new(2)];
+        let vals = vec![5.0, 1.0, 3.0];
+        let mut d = DenseRatings::new(1, 3);
+        d.set_original(UserId::new(0), ItemId::new(0), 5.0);
+        d.set_original(UserId::new(0), ItemId::new(1), 1.0);
+        // item 2 absent for candidate: must not count toward the overlap
+        let planes = WeightPlanes::from_dense(&d, 0.35);
+        let s = weighted_user_pcc_planes(&items, &vals, 3.0, &planes, UserId::new(0), 3.0);
+        assert!(s > 0.9);
+        // a single present cell is below MIN_OVERLAP
+        let mut one = DenseRatings::new(1, 3);
+        one.set_original(UserId::new(0), ItemId::new(0), 5.0);
+        let planes = WeightPlanes::from_dense(&one, 0.35);
+        assert_eq!(
+            weighted_user_pcc_planes(&items, &vals, 3.0, &planes, UserId::new(0), 3.0),
+            0.0
+        );
     }
 
     #[test]

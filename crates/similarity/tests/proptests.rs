@@ -1,7 +1,10 @@
 //! Property-based tests for the similarity kernels and the GIS.
 
-use cf_matrix::{ItemId, MatrixBuilder, RatingMatrix, UserId};
-use cf_similarity::{adjusted_cosine, cosine, item_pcc, pair_weight, user_pcc, Gis, GisConfig};
+use cf_matrix::{DenseRatings, ItemId, MatrixBuilder, RatingMatrix, UserId, WeightPlanes};
+use cf_similarity::{
+    adjusted_cosine, cosine, item_pcc, pair_weight, user_pcc, weighted_user_pcc,
+    weighted_user_pcc_planes, Gis, GisConfig,
+};
 use proptest::prelude::*;
 
 fn arb_matrix() -> impl Strategy<Value = RatingMatrix> {
@@ -70,6 +73,45 @@ proptest! {
         let g4 = Gis::build(&m, &cfg4);
         for i in m.items() {
             prop_assert_eq!(g1.neighbors(i), g4.neighbors(i));
+        }
+    }
+
+    #[test]
+    fn fused_plane_pcc_matches_naive_kernel(m in arb_matrix(), smooth_seed in 0u64..4) {
+        // Densify with a mix of original and pseudo-smoothed cells, then
+        // compare the fused-plane kernel against the naive one for every
+        // user pair across the ε extremes and the paper default.
+        let mut dense = DenseRatings::from_sparse(&m);
+        for u in 0..m.num_users() {
+            for i in 0..m.num_items() {
+                let (u, i) = (UserId::from(u), ItemId::from(i));
+                if dense.get(u, i).is_none()
+                    && !(u.index() + i.index() + smooth_seed as usize).is_multiple_of(3)
+                {
+                    dense.set_smoothed(u, i, 1.0 + ((u.index() * 7 + i.index() * 13) % 40) as f64 / 10.0);
+                }
+            }
+        }
+        for eps in [0.0, 0.35, 1.0] {
+            let planes = WeightPlanes::from_dense(&dense, eps);
+            for a in 0..m.num_users().min(6) {
+                let active = UserId::from(a);
+                let (items, vals) = m.user_row(active);
+                if items.is_empty() {
+                    continue;
+                }
+                let mean_a = m.user_mean(active);
+                for c in 0..m.num_users().min(10) {
+                    let cand = UserId::from(c);
+                    let mean_c = m.user_mean(cand);
+                    let naive = weighted_user_pcc(items, vals, mean_a, &dense, cand, mean_c, eps);
+                    let fused = weighted_user_pcc_planes(items, vals, mean_a, &planes, cand, mean_c);
+                    prop_assert!(
+                        (naive - fused).abs() <= 1e-9,
+                        "eps={}, a={}, c={}: naive={}, fused={}", eps, a, c, naive, fused
+                    );
+                }
+            }
         }
     }
 

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds and runs the online-serving throughput benchmark, writing the
+# machine-readable report (BENCH_online.json by default, at repo root).
+#
+# Usage:
+#   scripts/bench.sh            # full windows, tracked report
+#   scripts/bench.sh --quick    # short windows (CI smoke)
+#   scripts/bench.sh --out P    # write the report to P instead
+#
+# The committed BENCH_online.json is produced by a full run on an
+# otherwise idle machine; quick mode is for smoke-testing that the
+# benchmark itself still works, not for comparing numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p cfsf-bench --bin online_throughput
+exec ./target/release/online_throughput "$@"

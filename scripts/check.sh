@@ -16,4 +16,10 @@ cargo build --release --offline
 echo "==> tier-1: cargo test"
 cargo test --workspace -q --offline
 
+# Non-gating: smoke the throughput benchmark (quick windows) so a broken
+# bench binary is caught here, without making noisy perf numbers a gate.
+echo "==> bench smoke (non-gating)"
+./scripts/bench.sh --quick --out target/BENCH_online.smoke.json \
+  || echo "WARNING: bench smoke failed (non-gating)"
+
 echo "All checks passed."
