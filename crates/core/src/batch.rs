@@ -33,14 +33,29 @@ impl Cfsf {
         users.sort_unstable();
         users.dedup();
         users.retain(|u| u.index() < self.matrix.num_users());
-        cf_parallel::par_map(users.len(), threads, |k| {
+        // Warming is best-effort: a panicking selection only costs the
+        // warm-up (the per-request path retries, degraded if need be).
+        cf_parallel::par_map_isolated(users.len(), threads, |k| {
             self.top_k_users(users[k]);
         });
 
-        cf_parallel::par_map(requests.len(), threads, |k| {
+        let out = cf_parallel::par_map_isolated(requests.len(), threads, |k| {
+            #[cfg(feature = "faultinject")]
+            cf_faultinject::maybe_panic("batch.worker_panic");
             let (u, i) = requests[k];
             self.predict(u, i)
-        })
+        });
+        // A worker that panicked (outer None) answers that one request
+        // with "no prediction" instead of taking down the whole batch.
+        out.into_iter()
+            .map(|r| match r {
+                Some(p) => p,
+                None => {
+                    cf_obs::counter!("online.batch.request_panic").inc();
+                    None
+                }
+            })
+            .collect()
     }
 
     /// Scores every unrated item for `user` in parallel and returns the
@@ -57,18 +72,31 @@ impl Cfsf {
         // Warm the user's selection once, outside the parallel region.
         self.top_k_users(user);
         let q = self.matrix.num_items();
-        let scored: Vec<Option<(ItemId, f64)>> = cf_parallel::par_map(q, threads, |i| {
-            let item = ItemId::from(i);
-            if self.matrix.is_rated(user, item) {
-                return None;
+        let scored: Vec<Option<Option<(ItemId, f64)>>> =
+            cf_parallel::par_map_isolated(q, threads, |i| {
+                #[cfg(feature = "faultinject")]
+                cf_faultinject::maybe_panic("recommend.item_panic");
+                let item = ItemId::from(i);
+                if self.matrix.is_rated(user, item) {
+                    return None;
+                }
+                self.predict(user, item).map(|r| (item, r))
+            });
+        // A panicking item scorer (outer None) drops that one candidate
+        // from the ranking; the rest of the catalog still competes.
+        let survivors = scored.into_iter().filter_map(|r| match r {
+            Some(s) => s,
+            None => {
+                cf_obs::counter!("online.recommend.item_panic").inc();
+                None
             }
-            self.predict(user, item).map(|r| (item, r))
         });
-        crate::topk::top_k_by_score(n, scored.into_iter().flatten())
+        crate::topk::top_k_by_score(n, survivors)
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::CfsfConfig;

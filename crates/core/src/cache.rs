@@ -72,9 +72,35 @@ impl ShardedCache {
         &self.shards[user.index() % SHARDS]
     }
 
+    /// Recovers a shard whose lock was poisoned by a panicking holder:
+    /// clears the poison flag and resets the shard to empty. The cache is
+    /// pure derived state, so dropping one shard's entries costs a few
+    /// re-selections — strictly better than every later request on the
+    /// shard panicking on `expect`.
+    fn reset_poisoned(lock: &RwLock<Shard>) {
+        cf_obs::counter!("cache.poison_reset").inc();
+        lock.clear_poison();
+        let mut s = lock
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        s.map.clear();
+        s.slots.clear();
+        s.hand = 0;
+    }
+
     /// Looks up a cached selection, marking it recently used.
     pub(crate) fn get(&self, user: UserId) -> Option<Selection> {
-        let shard = self.shard(user).read().expect("cache lock poisoned");
+        let lock = self.shard(user);
+        let shard = match lock.read() {
+            Ok(g) => g,
+            Err(p) => {
+                // Poisoned shard: release the poisoned guard, then reset
+                // it and report a miss.
+                drop(p);
+                Self::reset_poisoned(lock);
+                return None;
+            }
+        };
         let &slot = shard.map.get(&user)?;
         let s = &shard.slots[slot];
         s.referenced.store(true, Ordering::Relaxed);
@@ -86,7 +112,22 @@ impl ShardedCache {
     /// is returned — all racers end up sharing one allocation, so a
     /// selection is never silently replaced ("no lost updates").
     pub(crate) fn insert(&self, user: UserId, value: Selection) -> Selection {
-        let mut shard = self.shard(user).write().expect("cache lock poisoned");
+        let lock = self.shard(user);
+        let mut shard = match lock.write() {
+            Ok(g) => g,
+            Err(p) => {
+                drop(p); // release the poisoned guard before resetting
+                Self::reset_poisoned(lock);
+                match lock.write() {
+                    Ok(g) => g,
+                    // A second poisoning between reset and re-acquire:
+                    // the shard was just emptied, the guard is usable.
+                    Err(p) => p.into_inner(),
+                }
+            }
+        };
+        #[cfg(feature = "faultinject")]
+        cf_faultinject::maybe_panic("cache.poison");
         if let Some(&slot) = shard.map.get(&user) {
             let s = &shard.slots[slot];
             s.referenced.store(true, Ordering::Relaxed);
@@ -128,7 +169,14 @@ impl ShardedCache {
     pub(crate) fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("cache lock poisoned").map.len())
+            .map(|s| match s.read() {
+                Ok(g) => g.map.len(),
+                Err(p) => {
+                    drop(p); // release the poisoned guard before resetting
+                    Self::reset_poisoned(s);
+                    0
+                }
+            })
             .sum()
     }
 
@@ -137,10 +185,18 @@ impl ShardedCache {
         self.shard_capacity * SHARDS
     }
 
-    /// Drops every cached selection.
+    /// Drops every cached selection. A poisoned shard is recovered on the
+    /// way through — clearing is exactly the reset anyway.
     pub(crate) fn clear(&self) {
         for shard in &self.shards {
-            let mut s = shard.write().expect("cache lock poisoned");
+            let mut s = match shard.write() {
+                Ok(g) => g,
+                Err(p) => {
+                    cf_obs::counter!("cache.poison_reset").inc();
+                    shard.clear_poison();
+                    p.into_inner()
+                }
+            };
             s.map.clear();
             s.slots.clear();
             s.hand = 0;
@@ -159,11 +215,52 @@ impl std::fmt::Debug for ShardedCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
     fn sel(u: u32) -> Selection {
         Arc::new(vec![(UserId::new(u), 1.0)])
+    }
+
+    /// Panics while holding a shard's write lock, leaving it poisoned.
+    fn poison_shard(c: &ShardedCache, shard: usize) {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = c.shards[shard].write().unwrap();
+            panic!("poison the shard");
+        }));
+        assert!(r.is_err());
+        assert!(c.shards[shard].is_poisoned());
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_on_get() {
+        let c = ShardedCache::new(64);
+        c.insert(UserId::new(0), sel(0));
+        c.insert(UserId::new(1), sel(1)); // different shard, must survive
+        poison_shard(&c, 0);
+        // First touch reports a miss and resets the shard.
+        assert!(c.get(UserId::new(0)).is_none());
+        assert!(!c.shards[0].is_poisoned());
+        // The shard serves again; other shards were never affected.
+        let v = c.insert(UserId::new(0), sel(0));
+        assert!(Arc::ptr_eq(&v, &c.get(UserId::new(0)).unwrap()));
+        assert!(c.get(UserId::new(1)).is_some());
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_on_insert_len_and_clear() {
+        let c = ShardedCache::new(64);
+        poison_shard(&c, 0);
+        let v = c.insert(UserId::new(16), sel(16));
+        assert!(Arc::ptr_eq(&v, &c.get(UserId::new(16)).unwrap()));
+
+        poison_shard(&c, 1);
+        assert_eq!(c.len(), 1); // poisoned shard counts as empty
+        poison_shard(&c, 2);
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert!((0..3).all(|s| !c.shards[s].is_poisoned()));
     }
 
     #[test]

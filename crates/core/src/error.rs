@@ -14,6 +14,12 @@ pub enum CfsfError {
     },
     /// The training matrix has no ratings.
     EmptyTrainingMatrix,
+    /// An incremental refresh failed before committing; the model still
+    /// serves its pre-refresh state and the pending ratings are intact.
+    RefreshFailed {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for CfsfError {
@@ -23,6 +29,12 @@ impl fmt::Display for CfsfError {
                 write!(f, "invalid parameter {name}: {message}")
             }
             Self::EmptyTrainingMatrix => write!(f, "training matrix has no ratings"),
+            Self::RefreshFailed { message } => {
+                write!(
+                    f,
+                    "incremental refresh aborted (model unchanged): {message}"
+                )
+            }
         }
     }
 }
@@ -43,5 +55,14 @@ mod tests {
         assert!(CfsfError::EmptyTrainingMatrix
             .to_string()
             .contains("no ratings"));
+    }
+
+    #[test]
+    fn refresh_failure_promises_an_unchanged_model() {
+        let e = CfsfError::RefreshFailed {
+            message: "injected".into(),
+        };
+        assert!(e.to_string().contains("model unchanged"), "{e}");
+        assert!(e.to_string().contains("injected"), "{e}");
     }
 }

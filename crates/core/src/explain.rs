@@ -85,12 +85,7 @@ impl Cfsf {
                 e.weight /= sir_den;
             }
         }
-        item_evidence.sort_by(|a, b| {
-            b.weight
-                .partial_cmp(&a.weight)
-                .expect("weights are finite")
-                .then(a.item.cmp(&b.item))
-        });
+        item_evidence.sort_by(|a, b| b.weight.total_cmp(&a.weight).then(a.item.cmp(&b.item)));
 
         // Reconstruct the SUR' terms.
         let mut user_evidence: Vec<UserEvidence> = Vec::new();
@@ -115,12 +110,7 @@ impl Cfsf {
                 e.weight /= sur_den;
             }
         }
-        user_evidence.sort_by(|a, b| {
-            b.weight
-                .partial_cmp(&a.weight)
-                .expect("weights are finite")
-                .then(a.user.cmp(&b.user))
-        });
+        user_evidence.sort_by(|a, b| b.weight.total_cmp(&a.weight).then(a.user.cmp(&b.user)));
 
         Some(Explanation {
             breakdown,
@@ -131,6 +121,7 @@ impl Cfsf {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::CfsfConfig;

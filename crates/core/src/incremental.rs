@@ -117,6 +117,12 @@ impl IncrementalCfsf {
     /// [`RefreshKind::Partial`] unless accumulated churn since the last
     /// full refit exceeds [`Self::full_refit_fraction`] of the matrix.
     /// No-op (partial, 0 merged) when nothing is pending.
+    ///
+    /// The refresh is **transactional**: every rebuilt structure is
+    /// staged off to the side and committed with plain field moves only
+    /// after all fallible work succeeded. On `Err`, the model still
+    /// serves its pre-refresh state and the pending ratings remain
+    /// queued, so the refresh can simply be retried.
     pub fn refresh(&mut self) -> Result<RefreshStats, CfsfError> {
         let start = Instant::now();
         if self.pending.is_empty() {
@@ -128,14 +134,16 @@ impl IncrementalCfsf {
             });
         }
 
-        let merged_matrix = self.merged_matrix();
+        let merged_matrix = self.abortable(Self::merged_matrix)?;
         let merged = self.pending.len();
-        self.churn_since_full += merged;
-        let escalate = self.churn_since_full as f64
-            > self.full_refit_fraction * merged_matrix.num_ratings() as f64;
+        // Churn is committed only when the refresh itself commits — an
+        // aborted refresh must not inch the escalation policy forward.
+        let would_be_churn = self.churn_since_full + merged;
+        let escalate =
+            would_be_churn as f64 > self.full_refit_fraction * merged_matrix.num_ratings() as f64;
 
         let stats = if escalate {
-            self.model = Cfsf::fit(&merged_matrix, self.model.config().clone())?;
+            self.abortable(|s| s.full_refresh(&merged_matrix))?;
             self.churn_since_full = 0;
             cf_obs::counter!("incremental.refresh.full").inc();
             RefreshStats {
@@ -146,7 +154,8 @@ impl IncrementalCfsf {
             }
         } else {
             let items: Vec<ItemId> = self.stale_items.iter().copied().collect();
-            self.partial_refresh(&merged_matrix, &items);
+            self.abortable(|s| s.partial_refresh(&merged_matrix, &items))?;
+            self.churn_since_full = would_be_churn;
             cf_obs::counter!("incremental.refresh.partial").inc();
             cf_obs::counter!("incremental.items_rebuilt").add(items.len() as u64);
             RefreshStats {
@@ -162,12 +171,13 @@ impl IncrementalCfsf {
         Ok(stats)
     }
 
-    /// Forces a full refit regardless of churn.
+    /// Forces a full refit regardless of churn. Transactional like
+    /// [`Self::refresh`].
     pub fn rebuild(&mut self) -> Result<RefreshStats, CfsfError> {
         let start = Instant::now();
         let merged = self.pending.len();
-        let matrix = self.merged_matrix();
-        self.model = Cfsf::fit(&matrix, self.model.config().clone())?;
+        let matrix = self.abortable(Self::merged_matrix)?;
+        self.abortable(|s| s.full_refresh(&matrix))?;
         self.pending.clear();
         self.stale_items.clear();
         self.churn_since_full = 0;
@@ -179,7 +189,17 @@ impl IncrementalCfsf {
         })
     }
 
-    fn merged_matrix(&self) -> RatingMatrix {
+    /// Runs one fallible refresh stage, counting aborts.
+    fn abortable<T>(
+        &mut self,
+        stage: impl FnOnce(&mut Self) -> Result<T, CfsfError>,
+    ) -> Result<T, CfsfError> {
+        stage(self).inspect_err(|_| {
+            cf_obs::counter!("incremental.refresh.aborted").inc();
+        })
+    }
+
+    fn merged_matrix(&mut self) -> Result<RatingMatrix, CfsfError> {
         let old = self.model.matrix();
         let mut b = MatrixBuilder::with_dims(old.num_users(), old.num_items()).scale(old.scale());
         b.reserve(old.num_ratings() + self.pending.len());
@@ -189,32 +209,72 @@ impl IncrementalCfsf {
         for &(u, i, r) in &self.pending {
             b.push(u, i, r);
         }
-        b.build().expect("merging validated ratings stays valid")
+        // `add_rating` validated every pending rating, so this only fails
+        // if the matrix itself was corrupted — degrade to an error, keep
+        // serving the old model.
+        b.build().map_err(|e| CfsfError::RefreshFailed {
+            message: format!("merged matrix failed validation: {e}"),
+        })
     }
 
-    /// GIS patch + re-smooth + re-rank with the existing clusters.
-    fn partial_refresh(&mut self, merged: &RatingMatrix, items: &[ItemId]) {
+    /// Full refit, staged: the new model is built completely before the
+    /// old one is replaced.
+    fn full_refresh(&mut self, merged: &RatingMatrix) -> Result<(), CfsfError> {
+        let new_model = Cfsf::fit(merged, self.model.config().clone())?;
+        #[cfg(feature = "faultinject")]
+        if cf_faultinject::fires("incremental.midrefresh") {
+            return Err(CfsfError::RefreshFailed {
+                message: "injected fault before commit".into(),
+            });
+        }
+        self.model = new_model;
+        Ok(())
+    }
+
+    /// GIS patch + re-smooth + re-rank with the existing clusters. All
+    /// rebuilt structures are staged into locals; the commit below the
+    /// fault point is pure field moves, so a failure anywhere above it
+    /// leaves the served model untouched.
+    fn partial_refresh(
+        &mut self,
+        merged: &RatingMatrix,
+        items: &[ItemId],
+    ) -> Result<(), CfsfError> {
         let model = &mut self.model;
         let mut gis_config = model.config.gis.clone();
         if let Some(cap) = gis_config.max_neighbors {
             gis_config.max_neighbors = Some(cap.max(model.config.m));
         }
         gis_config.threads = gis_config.threads.or(model.config.threads);
-        model.gis.rebuild_items(merged, items, &gis_config);
+        let mut gis = model.gis.clone();
+        gis.rebuild_items(merged, items, &gis_config);
 
         let smoothed = Smoother::smooth(merged, &model.clusters, model.config.threads);
         let icluster = ICluster::build(merged, &smoothed, model.config.threads);
-        model.dense = if model.config.use_smoothing {
+        let dense = if model.config.use_smoothing {
             smoothed.dense.clone()
         } else {
             DenseRatings::from_sparse(merged)
         };
-        model.planes = cf_matrix::WeightPlanes::from_dense(&model.dense, model.config.w);
-        model.strips = crate::strips::ItemStrips::build(&model.gis, model.config.m);
+        let planes = cf_matrix::WeightPlanes::from_dense(&dense, model.config.w);
+        let strips = crate::strips::ItemStrips::build(&gis, model.config.m);
+        #[cfg(feature = "faultinject")]
+        if cf_faultinject::fires("incremental.midrefresh") {
+            return Err(CfsfError::RefreshFailed {
+                message: "injected fault before commit".into(),
+            });
+        }
+
+        // Commit — infallible from here on.
+        model.gis = gis;
+        model.dense = dense;
+        model.planes = planes;
+        model.strips = strips;
         model.smoothed = smoothed;
         model.icluster = icluster;
         model.matrix = merged.clone();
         model.clear_caches();
+        Ok(())
     }
 }
 
@@ -229,6 +289,7 @@ impl Predictor for IncrementalCfsf {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::CfsfConfig;

@@ -36,10 +36,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod batch;
 mod cache;
 mod config;
+mod degrade;
 mod error;
 mod explain;
 mod fusion;
@@ -51,10 +53,11 @@ mod strips;
 mod topk;
 
 pub use config::CfsfConfig;
+pub use degrade::DegradeLevel;
 pub use error::CfsfError;
 pub use explain::{Explanation, ItemEvidence, UserEvidence};
 pub use fusion::{fuse, FusionWeights};
 pub use incremental::{IncrementalCfsf, RefreshKind, RefreshStats};
 pub use model::{Cfsf, OfflineSummary};
 pub use online::PredictionBreakdown;
-pub use persist::PersistError;
+pub use persist::{PersistError, RecoveryReport};

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use cf_matrix::{ItemId, UserId};
 use cf_similarity::{pair_weight, smoothing_weight, weighted_user_pcc_planes};
 
-use crate::{fuse, Cfsf};
+use crate::{fuse, Cfsf, DegradeLevel};
 
 /// A prediction together with its Eq. 12 components — what the local
 /// `M × K` matrix produced before fusion. Exposed for tests, ablations,
@@ -36,8 +36,11 @@ pub struct PredictionBreakdown {
     /// The fused prediction (Eq. 14), clamped to the rating scale.
     pub fused: f64,
     /// True when no estimator was available and the model fell back to
-    /// the smoothed cell value / user mean.
+    /// the smoothed cell value / user mean / global mean — equivalent to
+    /// [`DegradeLevel::is_fallback`] on [`Self::level`].
     pub used_fallback: bool,
+    /// The degradation-ladder rung this prediction was served from.
+    pub level: DegradeLevel,
     /// Similar items that actually contributed to `SIR'`.
     pub m_used: usize,
     /// Like-minded users selected for the local matrix.
@@ -90,11 +93,28 @@ impl Cfsf {
             return hit;
         }
         cf_obs::counter!("online.neighbor_cache.miss").inc();
-        self.neighbor_cache
-            .insert(user, Arc::new(self.select_top_k(user)))
+        // Selection is isolated: a panic inside it (corrupt similarity
+        // state, injected fault) degrades this request to an empty
+        // neighbor list — the ladder below the estimators still serves —
+        // and is NOT cached, so the next request retries selection.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.select_top_k(user))) {
+            Ok(selection) => self.neighbor_cache.insert(user, Arc::new(selection)),
+            Err(_) => {
+                cf_obs::counter!("online.select_panic").inc();
+                Arc::new(Vec::new())
+            }
+        }
     }
 
     fn select_top_k(&self, user: UserId) -> Vec<(UserId, f64)> {
+        #[cfg(feature = "faultinject")]
+        {
+            if cf_faultinject::fires("online.empty_neighbors") {
+                cf_obs::counter!("online.injected.empty_neighbors").inc();
+                return Vec::new();
+            }
+            cf_faultinject::maybe_panic("online.select_panic");
+        }
         // Selection is cold-path work; it gets its own histogram so
         // `online.predict_ns` reflects steady-state serving latency.
         cf_obs::time_scope!("online.select_ns");
@@ -156,7 +176,9 @@ impl Cfsf {
         top_users: &[(UserId, f64)],
     ) -> (Option<f64>, Option<f64>, Option<f64>, usize) {
         let planes = &self.planes;
-        let (idx, sim, sim2) = self.strips.get(item);
+        // A missing strip (id/structure disagreement mid-degradation)
+        // contributes nothing: SIR'/SUIR' come out None, SUR' survives.
+        let (idx, sim, sim2) = self.strips.try_get(item).unwrap_or((&[], &[], &[]));
         let m = idx.len();
         SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
@@ -240,9 +262,69 @@ impl Cfsf {
         })
     }
 
+    /// Fuses whatever estimators survived sanitization and, when none
+    /// did, walks the remaining rungs of the degradation ladder. Both the
+    /// fast path and the reference path call this, so they degrade
+    /// identically. Returns the sanitized estimators, the (unclamped)
+    /// prediction and the rung it came from; an in-range request always
+    /// gets a value — the global-mean rung cannot be missing.
+    #[allow(clippy::type_complexity)]
+    fn fuse_with_ladder(
+        &self,
+        user: UserId,
+        item: ItemId,
+        sir: Option<f64>,
+        sur: Option<f64>,
+        suir: Option<f64>,
+    ) -> (Option<f64>, Option<f64>, Option<f64>, f64, DegradeLevel) {
+        // A non-finite estimator (corrupt plane cell, injected NaN) must
+        // not reach fusion: one NaN term would poison the whole fused
+        // value. Drop it — the ladder absorbs the loss.
+        fn sanitize(v: Option<f64>) -> Option<f64> {
+            match v {
+                Some(x) if x.is_finite() => Some(x),
+                Some(_) => {
+                    cf_obs::counter!("online.degrade.nonfinite_estimator").inc();
+                    None
+                }
+                None => None,
+            }
+        }
+        let (sir, sur, suir) = (sanitize(sir), sanitize(sur), sanitize(suir));
+        let available = [sir, sur, suir].iter().flatten().count();
+
+        if let Some(v) = fuse(sir, sur, suir, self.config.lambda, self.config.delta) {
+            return (sir, sur, suir, v, DegradeLevel::from_available(available));
+        }
+        // No estimator at all: step below Eq. 14. The smoothed matrix
+        // imputes every cell when smoothing is on (Eq. 7–8); below that,
+        // per-user and global means always exist for a non-empty matrix.
+        let smoothed_cell = self
+            .config
+            .use_smoothing
+            .then(|| self.smoothed.dense.get(user, item))
+            .flatten()
+            .filter(|v| v.is_finite());
+        if let Some(v) = smoothed_cell {
+            return (sir, sur, suir, v, DegradeLevel::ClusterSmoothed);
+        }
+        let mean_b = self.matrix.user_mean(user);
+        if self.matrix.user_count(user) > 0 && mean_b.is_finite() {
+            return (sir, sur, suir, mean_b, DegradeLevel::UserMean);
+        }
+        (
+            sir,
+            sur,
+            suir,
+            self.matrix.global_mean(),
+            DegradeLevel::GlobalMean,
+        )
+    }
+
     /// Runs the full online phase for `(user, item)` and reports every
-    /// component. Returns `None` only when the model has no signal at all
-    /// (no estimator, no smoothed cell, and an empty user profile).
+    /// component. Returns `None` only for out-of-range ids; every
+    /// in-range request is served from *some* rung of the degradation
+    /// ladder (see [`DegradeLevel`]), bottoming out at the global mean.
     pub fn predict_with_breakdown(
         &self,
         user: UserId,
@@ -262,31 +344,12 @@ impl Cfsf {
         let scale = self.matrix.scale();
 
         let (sir, sur, suir, m_used) = self.local_estimators(user, item, &top_users);
-        let mean_b = self.matrix.user_mean(user);
+        #[cfg(feature = "faultinject")]
+        let sir = sir.map(|v| cf_faultinject::corrupt_f64("online.nan_estimator", v));
 
-        let fused = fuse(sir, sur, suir, self.config.lambda, self.config.delta);
-        let (fused, used_fallback) = match fused {
-            Some(v) => (v, false),
-            None => {
-                // No local evidence at all. The smoothed matrix still
-                // imputes every cell; without smoothing, fall back to the
-                // user's mean if they have a profile.
-                if self.config.use_smoothing {
-                    match self.smoothed.dense.get(user, item) {
-                        Some(v) => (v, true),
-                        None => {
-                            cf_obs::counter!("online.no_signal").inc();
-                            return None;
-                        }
-                    }
-                } else if self.matrix.user_count(user) > 0 {
-                    (mean_b, true)
-                } else {
-                    cf_obs::counter!("online.no_signal").inc();
-                    return None;
-                }
-            }
-        };
+        let (sir, sur, suir, fused, level) = self.fuse_with_ladder(user, item, sir, sur, suir);
+        let used_fallback = level.is_fallback();
+        level.record();
 
         cf_obs::counter!("online.predictions").inc();
         // `add(0)` still registers the metric, so a snapshot always carries
@@ -305,6 +368,7 @@ impl Cfsf {
             suir,
             fused: scale.clamp(fused),
             used_fallback,
+            level,
             m_used,
             k_used: top_users.len(),
         })
@@ -388,26 +452,15 @@ impl Cfsf {
         }
         let suir = (suir_den > f64::EPSILON).then(|| suir_num / suir_den);
 
-        let fused = fuse(sir, sur, suir, self.config.lambda, self.config.delta);
-        let (fused, used_fallback) = match fused {
-            Some(v) => (v, false),
-            None => {
-                if self.config.use_smoothing {
-                    (self.smoothed.dense.get(user, item)?, true)
-                } else if self.matrix.user_count(user) > 0 {
-                    (mean_b, true)
-                } else {
-                    return None;
-                }
-            }
-        };
+        let (sir, sur, suir, fused, level) = self.fuse_with_ladder(user, item, sir, sur, suir);
 
         Some(PredictionBreakdown {
             sir,
             sur,
             suir,
             fused: scale.clamp(fused),
-            used_fallback,
+            used_fallback: level.is_fallback(),
+            level,
             m_used,
             k_used: top_users.len(),
         })
@@ -415,6 +468,7 @@ impl Cfsf {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::CfsfConfig;
@@ -513,6 +567,73 @@ mod tests {
         let m = model();
         assert!(m.predict(UserId::new(10_000), ItemId::new(0)).is_none());
         assert!(m.predict(UserId::new(0), ItemId::new(10_000)).is_none());
+    }
+
+    #[test]
+    fn every_in_range_request_is_served_from_some_rung() {
+        let m = model();
+        for u in 0..80usize {
+            for i in (0..120usize).step_by(17) {
+                let b = m
+                    .predict_with_breakdown(UserId::from(u), ItemId::from(i))
+                    .expect("in-range requests always land on a ladder rung");
+                assert!(b.fused.is_finite());
+                assert!((1.0..=5.0).contains(&b.fused), "({u},{i}) -> {}", b.fused);
+            }
+        }
+    }
+
+    #[test]
+    fn reported_level_is_consistent_with_the_breakdown() {
+        let m = model();
+        for u in 0..30usize {
+            for i in (0..120usize).step_by(7) {
+                let Some(b) = m.predict_with_breakdown(UserId::from(u), ItemId::from(i)) else {
+                    continue;
+                };
+                let available = [b.sir, b.sur, b.suir].iter().flatten().count();
+                assert_eq!(b.used_fallback, b.level.is_fallback(), "({u},{i})");
+                match b.level {
+                    DegradeLevel::Full => assert_eq!(available, 3),
+                    DegradeLevel::PartialFusion => assert_eq!(available, 2),
+                    DegradeLevel::SingleEstimator => assert_eq!(available, 1),
+                    _ => assert_eq!(available, 0, "({u},{i})"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_without_smoothing_bottoms_out_at_means_not_none() {
+        let d = SyntheticConfig::small().generate();
+        let mut cfg = CfsfConfig::small();
+        cfg.use_smoothing = false;
+        let m = Cfsf::fit(&d.matrix, cfg).unwrap();
+        for u in (0..80usize).step_by(5) {
+            for i in (0..120usize).step_by(11) {
+                let b = m
+                    .predict_with_breakdown(UserId::from(u), ItemId::from(i))
+                    .expect("ladder serves even without smoothing");
+                assert!((1.0..=5.0).contains(&b.fused));
+                assert_ne!(
+                    b.level,
+                    DegradeLevel::ClusterSmoothed,
+                    "smoothing is off: the smoothed rung must be skipped"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_paths_report_the_same_level() {
+        let m = model();
+        for u in (0..40usize).step_by(3) {
+            for i in (0..120usize).step_by(13) {
+                let fast = m.predict_with_breakdown(UserId::from(u), ItemId::from(i));
+                let refr = m.predict_with_breakdown_ref(UserId::from(u), ItemId::from(i));
+                assert_eq!(fast.map(|b| b.level), refr.map(|b| b.level), "({u},{i})");
+            }
+        }
     }
 
     #[test]

@@ -8,39 +8,60 @@
 //! passes that take milliseconds and would dominate the file size if
 //! stored (`P×Q` doubles).
 //!
-//! Format: little-endian, sectioned, versioned:
+//! Format (version 2): little-endian, checksummed sections:
 //!
 //! ```text
 //! magic "CFSF"  | u32 version
-//! config        | clusters, k, m, candidate_factor, kmeans_iterations: u64
+//! 4 × section   | u32 tag | u64 len | payload (len bytes) | u32 crc32
+//! ```
+//!
+//! Section payloads, in tag order:
+//!
+//! ```text
+//! config (1)    | clusters, k, m, candidate_factor, kmeans_iterations: u64
 //!               | lambda, delta, w, gis.threshold: f64
 //!               | gis.max_neighbors: u64 (u64::MAX = none)
 //!               | seed: u64 | use_smoothing: u8
-//! matrix        | num_users, num_items, nnz: u64 | scale min,max: f64
+//! matrix (2)    | num_users, num_items, nnz: u64 | scale min,max: f64
 //!               | nnz × (user u32, item u32, rating f64)
-//! gis           | num_items × [len u64, len × (item u32, sim f64)]
-//! clusters      | k, iterations: u64 | converged u8 | P × u32
+//! gis (3)       | num_items × [len u64, len × (item u32, sim f64)]
+//! clusters (4)  | k, iterations: u64 | converged u8 | P × u32
 //! ```
+//!
+//! The per-section CRC32 turns silent bit rot into a detected fault, and
+//! the section boundaries make half the file *recoverable*: the GIS and
+//! cluster sections are pure derivations of the stored matrix, so
+//! [`Cfsf::load_with_recovery`] rebuilds a corrupt one from the (intact)
+//! matrix section instead of refusing to load — the same computation
+//! [`Cfsf::fit`] runs, so the recovered model predicts identically.
+//! Version 1 streams (unchecksummed, same payloads laid end to end)
+//! still load.
 
 use std::io::{self, Read, Write};
 
-use cf_cluster::{ClusterAssignment, ICluster, Smoother};
-use cf_matrix::{DenseRatings, ItemId, MatrixBuilder, RatingScale, UserId, WeightPlanes};
+use cf_cluster::{ClusterAssignment, ICluster, KMeans, KMeansConfig, Smoother};
+use cf_matrix::{DenseRatings, ItemId, MatrixBuilder, RatingMatrix, RatingScale, UserId};
 use cf_similarity::Gis;
 
 use crate::cache::ShardedCache;
 use crate::{Cfsf, CfsfConfig, CfsfError};
 
 const MAGIC: &[u8; 4] = b"CFSF";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const V1: u32 = 1;
+
+const TAG_CONFIG: u32 = 1;
+const TAG_MATRIX: u32 = 2;
+const TAG_GIS: u32 = 3;
+const TAG_CLUSTERS: u32 = 4;
 
 /// Errors from loading a persisted model.
 #[derive(Debug)]
 pub enum PersistError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// The stream is not a CFSF model, has the wrong version, or is
-    /// internally inconsistent.
+    /// The stream is not a CFSF model, has the wrong version, fails a
+    /// section checksum, or is internally inconsistent.
     Format(String),
     /// The stored configuration or matrix failed validation.
     Invalid(CfsfError),
@@ -68,6 +89,57 @@ impl From<CfsfError> for PersistError {
     fn from(e: CfsfError) -> Self {
         Self::Invalid(e)
     }
+}
+
+/// What [`Cfsf::load_with_recovery`] had to rebuild. Both flags `false`
+/// means the stream was intact and the load equals a strict [`Cfsf::load`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The GIS section failed its checksum (or parse) and was rebuilt
+    /// from the stored matrix.
+    pub gis_rebuilt: bool,
+    /// The cluster section failed its checksum (or parse) and the
+    /// K-means assignment was recomputed from the stored matrix.
+    pub clusters_rebuilt: bool,
+}
+
+impl RecoveryReport {
+    /// `true` when anything had to be rebuilt.
+    pub fn any(&self) -> bool {
+        self.gis_rebuilt || self.clusters_rebuilt
+    }
+}
+
+// --- crc32 (IEEE, the zlib/PNG polynomial) -----------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFF_u32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
 }
 
 // --- primitive codecs -------------------------------------------------
@@ -126,59 +198,284 @@ fn get_usize<R: Read>(r: &mut R, what: &str, limit: u64) -> Result<usize, Persis
 /// rather than trigger a giant allocation.
 const LIMIT: u64 = 1 << 32;
 
+// --- section payload encoders ------------------------------------------
+
+fn encode_config(c: &CfsfConfig) -> io::Result<Vec<u8>> {
+    let mut w = Vec::new();
+    put_u64(&mut w, c.clusters as u64)?;
+    put_u64(&mut w, c.k as u64)?;
+    put_u64(&mut w, c.m as u64)?;
+    put_u64(&mut w, c.candidate_factor as u64)?;
+    put_u64(&mut w, c.kmeans_iterations as u64)?;
+    put_f64(&mut w, c.lambda)?;
+    put_f64(&mut w, c.delta)?;
+    put_f64(&mut w, c.w)?;
+    put_f64(&mut w, c.gis.threshold)?;
+    put_u64(&mut w, c.gis.max_neighbors.map_or(u64::MAX, |n| n as u64))?;
+    put_u64(&mut w, c.seed)?;
+    put_u8(&mut w, u8::from(c.use_smoothing))?;
+    Ok(w)
+}
+
+fn encode_matrix(m: &RatingMatrix) -> io::Result<Vec<u8>> {
+    let mut w = Vec::new();
+    put_u64(&mut w, m.num_users() as u64)?;
+    put_u64(&mut w, m.num_items() as u64)?;
+    put_u64(&mut w, m.num_ratings() as u64)?;
+    put_f64(&mut w, m.scale().min)?;
+    put_f64(&mut w, m.scale().max)?;
+    for (u, i, r) in m.triplets() {
+        put_u32(&mut w, u.raw())?;
+        put_u32(&mut w, i.raw())?;
+        put_f64(&mut w, r)?;
+    }
+    Ok(w)
+}
+
+fn encode_gis(gis: &Gis, m: &RatingMatrix) -> io::Result<Vec<u8>> {
+    let mut w = Vec::new();
+    for item in m.items() {
+        let list = gis.neighbors(item);
+        put_u64(&mut w, list.len() as u64)?;
+        for &(i, s) in list {
+            put_u32(&mut w, i.raw())?;
+            put_f64(&mut w, s)?;
+        }
+    }
+    Ok(w)
+}
+
+fn encode_clusters(clusters: &ClusterAssignment) -> io::Result<Vec<u8>> {
+    let mut w = Vec::new();
+    put_u64(&mut w, clusters.k() as u64)?;
+    put_u64(&mut w, clusters.iterations as u64)?;
+    put_u8(&mut w, u8::from(clusters.converged))?;
+    for &c in clusters.assignment() {
+        put_u32(&mut w, c)?;
+    }
+    Ok(w)
+}
+
+// --- section payload decoders ------------------------------------------
+
+fn decode_config<R: Read>(r: &mut R) -> Result<CfsfConfig, PersistError> {
+    let clusters = get_usize(r, "clusters", LIMIT)?;
+    let k = get_usize(r, "k", LIMIT)?;
+    let m_param = get_usize(r, "m", LIMIT)?;
+    let candidate_factor = get_usize(r, "candidate_factor", LIMIT)?;
+    let kmeans_iterations = get_usize(r, "kmeans_iterations", LIMIT)?;
+    let lambda = get_f64(r)?;
+    let delta = get_f64(r)?;
+    let w_param = get_f64(r)?;
+    let gis_threshold = get_f64(r)?;
+    let cap_raw = get_u64(r)?;
+    let seed = get_u64(r)?;
+    let use_smoothing = get_u8(r)? != 0;
+    let config = CfsfConfig {
+        clusters,
+        lambda,
+        delta,
+        k,
+        m: m_param,
+        w: w_param,
+        candidate_factor,
+        gis: cf_similarity::GisConfig {
+            threshold: gis_threshold,
+            max_neighbors: (cap_raw != u64::MAX).then_some(cap_raw as usize),
+            threads: None,
+        },
+        kmeans_iterations,
+        seed,
+        threads: None,
+        use_smoothing,
+    };
+    config.validate()?;
+    Ok(config)
+}
+
+fn decode_matrix<R: Read>(r: &mut R) -> Result<RatingMatrix, PersistError> {
+    let num_users = get_usize(r, "num_users", LIMIT)?;
+    let num_items = get_usize(r, "num_items", LIMIT)?;
+    let nnz = get_usize(r, "nnz", LIMIT)?;
+    if nnz == 0 {
+        return Err(PersistError::Format(
+            "matrix section stores no ratings".into(),
+        ));
+    }
+    let scale_min = get_f64(r)?;
+    let scale_max = get_f64(r)?;
+    if !(scale_min.is_finite() && scale_max.is_finite() && scale_min < scale_max) {
+        return Err(PersistError::Format(format!(
+            "invalid scale [{scale_min}, {scale_max}]"
+        )));
+    }
+    let mut b = MatrixBuilder::with_dims(num_users, num_items)
+        .scale(RatingScale::new(scale_min, scale_max));
+    b.reserve(nnz);
+    for _ in 0..nnz {
+        let u = get_u32(r)?;
+        let i = get_u32(r)?;
+        let rating = get_f64(r)?;
+        b.push(UserId::new(u), ItemId::new(i), rating);
+    }
+    let matrix = b
+        .build()
+        .map_err(|e| PersistError::Format(format!("matrix section: {e}")))?;
+    if matrix.num_users() != num_users || matrix.num_items() != num_items {
+        return Err(PersistError::Format(
+            "matrix dimensions disagree with stored triplets".into(),
+        ));
+    }
+    Ok(matrix)
+}
+
+fn decode_gis<R: Read>(r: &mut R, num_items: usize) -> Result<Gis, PersistError> {
+    let mut lists = Vec::with_capacity(num_items);
+    for item in 0..num_items {
+        let len = get_usize(r, "gis list length", LIMIT)?;
+        let mut list = Vec::with_capacity(len.min(num_items));
+        for _ in 0..len {
+            let i = get_u32(r)?;
+            if i as usize >= num_items {
+                return Err(PersistError::Format(format!(
+                    "gis list of item {item} references item {i} out of range"
+                )));
+            }
+            let s = get_f64(r)?;
+            if !s.is_finite() {
+                return Err(PersistError::Format(format!(
+                    "non-finite similarity in gis list of item {item}"
+                )));
+            }
+            list.push((ItemId::new(i), s));
+        }
+        if !list.windows(2).all(|p: &[(ItemId, f64)]| p[0].1 >= p[1].1) {
+            return Err(PersistError::Format(format!(
+                "gis list of item {item} is not sorted descending"
+            )));
+        }
+        lists.push(list);
+    }
+    Ok(Gis::from_lists(lists))
+}
+
+fn decode_clusters<R: Read>(
+    r: &mut R,
+    num_users: usize,
+) -> Result<ClusterAssignment, PersistError> {
+    let stored_k = get_usize(r, "cluster count", LIMIT)?;
+    let iterations = get_usize(r, "kmeans iterations run", LIMIT)?;
+    let converged = get_u8(r)? != 0;
+    let mut assignment = Vec::with_capacity(num_users);
+    for ui in 0..num_users {
+        let c = get_u32(r)?;
+        if c as usize >= stored_k {
+            return Err(PersistError::Format(format!(
+                "user {ui} assigned to cluster {c} >= {stored_k}"
+            )));
+        }
+        assignment.push(c);
+    }
+    Ok(ClusterAssignment::from_assignment(
+        assignment, stored_k, iterations, converged,
+    ))
+}
+
+// --- section framing ----------------------------------------------------
+
+fn write_section<W: Write>(w: &mut W, tag: u32, payload: &[u8]) -> io::Result<()> {
+    put_u32(w, tag)?;
+    put_u64(w, payload.len() as u64)?;
+    w.write_all(payload)?;
+    put_u32(w, crc32(payload))
+}
+
+/// Reads one `tag | len | payload | crc` frame, verifying tag and
+/// checksum. The payload is read through `take`, so a corrupt length
+/// fails on short read instead of provoking a giant allocation.
+fn read_section<R: Read>(r: &mut R, tag: u32, what: &str) -> Result<Vec<u8>, PersistError> {
+    let stored_tag = get_u32(r)?;
+    if stored_tag != tag {
+        return Err(PersistError::Format(format!(
+            "expected {what} section (tag {tag}), found tag {stored_tag}"
+        )));
+    }
+    let len = get_u64(r)?;
+    if len > LIMIT {
+        return Err(PersistError::Format(format!(
+            "{what} section length {len} exceeds sanity limit {LIMIT}"
+        )));
+    }
+    let mut payload = Vec::new();
+    let n = r.take(len).read_to_end(&mut payload)?;
+    if n as u64 != len {
+        return Err(PersistError::Format(format!(
+            "{what} section truncated: {n} of {len} bytes"
+        )));
+    }
+    let stored_crc = get_u32(r)?;
+    let actual = crc32(&payload);
+    if stored_crc != actual {
+        return Err(PersistError::Format(format!(
+            "{what} section checksum mismatch (stored {stored_crc:#010x}, computed {actual:#010x})"
+        )));
+    }
+    Ok(payload)
+}
+
+/// Decodes a whole section payload, rejecting trailing garbage — a
+/// payload that checksums clean but decodes short is still corrupt.
+fn decode_section<'p, T>(
+    payload: &'p [u8],
+    what: &str,
+    decode: impl FnOnce(&mut &'p [u8]) -> Result<T, PersistError>,
+) -> Result<T, PersistError> {
+    let mut r = payload;
+    let value = decode(&mut r)?;
+    if !r.is_empty() {
+        return Err(PersistError::Format(format!(
+            "{what} section has {} trailing bytes",
+            r.len()
+        )));
+    }
+    Ok(value)
+}
+
+// --- rebuilding recoverable sections ------------------------------------
+
+/// The exact GIS [`Cfsf::fit`] would build for this config and matrix.
+fn rebuild_gis(config: &CfsfConfig, matrix: &RatingMatrix) -> Gis {
+    let mut gis_config = config.gis.clone();
+    if let Some(cap) = gis_config.max_neighbors {
+        gis_config.max_neighbors = Some(cap.max(config.m));
+    }
+    Gis::build(matrix, &gis_config)
+}
+
+/// The exact K-means assignment [`Cfsf::fit`] would build — seeded, so
+/// the recovered assignment matches what the file would have stored.
+fn rebuild_clusters(config: &CfsfConfig, matrix: &RatingMatrix) -> ClusterAssignment {
+    let kmeans = KMeansConfig {
+        k: config.clusters,
+        max_iterations: config.kmeans_iterations,
+        seed: config.seed,
+        ..Default::default()
+    };
+    KMeans::fit(matrix, &kmeans)
+}
+
 // --- model codec -------------------------------------------------------
 
 impl Cfsf {
-    /// Serializes the model. See the module docs for the format.
+    /// Serializes the model in the current (checksummed) format. See the
+    /// module docs.
     pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
         w.write_all(MAGIC)?;
         put_u32(&mut w, VERSION)?;
-
-        // config
-        let c = &self.config;
-        put_u64(&mut w, c.clusters as u64)?;
-        put_u64(&mut w, c.k as u64)?;
-        put_u64(&mut w, c.m as u64)?;
-        put_u64(&mut w, c.candidate_factor as u64)?;
-        put_u64(&mut w, c.kmeans_iterations as u64)?;
-        put_f64(&mut w, c.lambda)?;
-        put_f64(&mut w, c.delta)?;
-        put_f64(&mut w, c.w)?;
-        put_f64(&mut w, c.gis.threshold)?;
-        put_u64(&mut w, c.gis.max_neighbors.map_or(u64::MAX, |n| n as u64))?;
-        put_u64(&mut w, c.seed)?;
-        put_u8(&mut w, u8::from(c.use_smoothing))?;
-
-        // matrix
-        let m = &self.matrix;
-        put_u64(&mut w, m.num_users() as u64)?;
-        put_u64(&mut w, m.num_items() as u64)?;
-        put_u64(&mut w, m.num_ratings() as u64)?;
-        put_f64(&mut w, m.scale().min)?;
-        put_f64(&mut w, m.scale().max)?;
-        for (u, i, r) in m.triplets() {
-            put_u32(&mut w, u.raw())?;
-            put_u32(&mut w, i.raw())?;
-            put_f64(&mut w, r)?;
-        }
-
-        // gis
-        for item in m.items() {
-            let list = self.gis.neighbors(item);
-            put_u64(&mut w, list.len() as u64)?;
-            for &(i, s) in list {
-                put_u32(&mut w, i.raw())?;
-                put_f64(&mut w, s)?;
-            }
-        }
-
-        // clusters
-        put_u64(&mut w, self.clusters.k() as u64)?;
-        put_u64(&mut w, self.clusters.iterations as u64)?;
-        put_u8(&mut w, u8::from(self.clusters.converged))?;
-        for &c in self.clusters.assignment() {
-            put_u32(&mut w, c)?;
-        }
+        write_section(&mut w, TAG_CONFIG, &encode_config(&self.config)?)?;
+        write_section(&mut w, TAG_MATRIX, &encode_matrix(&self.matrix)?)?;
+        write_section(&mut w, TAG_GIS, &encode_gis(&self.gis, &self.matrix)?)?;
+        write_section(&mut w, TAG_CLUSTERS, &encode_clusters(&self.clusters)?)?;
         w.flush()
     }
 
@@ -188,131 +485,28 @@ impl Cfsf {
         self.save(io::BufWriter::new(f))
     }
 
-    /// Deserializes a model saved by [`Cfsf::save`], recomputing the
-    /// smoothing/iCluster/dense structures. Predictions of the loaded
-    /// model are bit-identical to the original's.
-    pub fn load<R: Read>(mut r: R) -> Result<Self, PersistError> {
-        let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(PersistError::Format("bad magic (not a CFSF model)".into()));
-        }
-        let version = get_u32(&mut r)?;
-        if version != VERSION {
-            return Err(PersistError::Format(format!(
-                "unsupported version {version} (this build reads {VERSION})"
-            )));
-        }
+    /// Writes the legacy unchecksummed version-1 stream — kept only so
+    /// the compatibility tests can exercise the V1 load path.
+    #[cfg(test)]
+    pub(crate) fn save_v1<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        put_u32(&mut w, V1)?;
+        w.write_all(&encode_config(&self.config)?)?;
+        w.write_all(&encode_matrix(&self.matrix)?)?;
+        w.write_all(&encode_gis(&self.gis, &self.matrix)?)?;
+        w.write_all(&encode_clusters(&self.clusters)?)?;
+        w.flush()
+    }
 
-        // config
-        let clusters = get_usize(&mut r, "clusters", LIMIT)?;
-        let k = get_usize(&mut r, "k", LIMIT)?;
-        let m_param = get_usize(&mut r, "m", LIMIT)?;
-        let candidate_factor = get_usize(&mut r, "candidate_factor", LIMIT)?;
-        let kmeans_iterations = get_usize(&mut r, "kmeans_iterations", LIMIT)?;
-        let lambda = get_f64(&mut r)?;
-        let delta = get_f64(&mut r)?;
-        let w_param = get_f64(&mut r)?;
-        let gis_threshold = get_f64(&mut r)?;
-        let cap_raw = get_u64(&mut r)?;
-        let seed = get_u64(&mut r)?;
-        let use_smoothing = get_u8(&mut r)? != 0;
-        let config = CfsfConfig {
-            clusters,
-            lambda,
-            delta,
-            k,
-            m: m_param,
-            w: w_param,
-            candidate_factor,
-            gis: cf_similarity::GisConfig {
-                threshold: gis_threshold,
-                max_neighbors: (cap_raw != u64::MAX).then_some(cap_raw as usize),
-                threads: None,
-            },
-            kmeans_iterations,
-            seed,
-            threads: None,
-            use_smoothing,
-        };
-        config.validate()?;
-
-        // matrix
-        let num_users = get_usize(&mut r, "num_users", LIMIT)?;
-        let num_items = get_usize(&mut r, "num_items", LIMIT)?;
-        let nnz = get_usize(&mut r, "nnz", LIMIT)?;
-        let scale_min = get_f64(&mut r)?;
-        let scale_max = get_f64(&mut r)?;
-        if !(scale_min.is_finite() && scale_max.is_finite() && scale_min < scale_max) {
-            return Err(PersistError::Format(format!(
-                "invalid scale [{scale_min}, {scale_max}]"
-            )));
-        }
-        let mut b = MatrixBuilder::with_dims(num_users, num_items)
-            .scale(RatingScale::new(scale_min, scale_max));
-        b.reserve(nnz);
-        for _ in 0..nnz {
-            let u = get_u32(&mut r)?;
-            let i = get_u32(&mut r)?;
-            let rating = get_f64(&mut r)?;
-            b.push(UserId::new(u), ItemId::new(i), rating);
-        }
-        let matrix = b
-            .build()
-            .map_err(|e| PersistError::Format(format!("matrix section: {e}")))?;
-        if matrix.num_users() != num_users || matrix.num_items() != num_items {
-            return Err(PersistError::Format(
-                "matrix dimensions disagree with stored triplets".into(),
-            ));
-        }
-
-        // gis
-        let mut lists = Vec::with_capacity(num_items);
-        for item in 0..num_items {
-            let len = get_usize(&mut r, "gis list length", LIMIT)?;
-            let mut list = Vec::with_capacity(len);
-            for _ in 0..len {
-                let i = get_u32(&mut r)?;
-                if i as usize >= num_items {
-                    return Err(PersistError::Format(format!(
-                        "gis list of item {item} references item {i} out of range"
-                    )));
-                }
-                let s = get_f64(&mut r)?;
-                if !s.is_finite() {
-                    return Err(PersistError::Format(format!(
-                        "non-finite similarity in gis list of item {item}"
-                    )));
-                }
-                list.push((ItemId::new(i), s));
-            }
-            if !list.windows(2).all(|p: &[(ItemId, f64)]| p[0].1 >= p[1].1) {
-                return Err(PersistError::Format(format!(
-                    "gis list of item {item} is not sorted descending"
-                )));
-            }
-            lists.push(list);
-        }
-        let gis = Gis::from_lists(lists);
-
-        // clusters
-        let stored_k = get_usize(&mut r, "cluster count", LIMIT)?;
-        let iterations = get_usize(&mut r, "kmeans iterations run", LIMIT)?;
-        let converged = get_u8(&mut r)? != 0;
-        let mut assignment = Vec::with_capacity(num_users);
-        for ui in 0..num_users {
-            let c = get_u32(&mut r)?;
-            if c as usize >= stored_k {
-                return Err(PersistError::Format(format!(
-                    "user {ui} assigned to cluster {c} >= {stored_k}"
-                )));
-            }
-            assignment.push(c);
-        }
-        let clusters =
-            ClusterAssignment::from_assignment(assignment, stored_k, iterations, converged);
-
-        // Recompute the cheap linear passes.
+    /// Reassembles a servable model from its four persisted structures,
+    /// recomputing the cheap linear passes (smoothing, iCluster, dense
+    /// store, weight planes, item strips).
+    fn assemble(
+        config: CfsfConfig,
+        matrix: RatingMatrix,
+        gis: Gis,
+        clusters: ClusterAssignment,
+    ) -> Self {
         let smoothed = Smoother::smooth(&matrix, &clusters, None);
         let icluster = ICluster::build(&matrix, &smoothed, None);
         let dense = if config.use_smoothing {
@@ -320,10 +514,9 @@ impl Cfsf {
         } else {
             DenseRatings::from_sparse(&matrix)
         };
-        let planes = WeightPlanes::from_dense(&dense, config.w);
+        let planes = cf_matrix::WeightPlanes::from_dense(&dense, config.w);
         let strips = crate::strips::ItemStrips::build(&gis, config.m);
-
-        Ok(Self {
+        Self {
             config,
             matrix,
             gis,
@@ -334,7 +527,83 @@ impl Cfsf {
             planes,
             strips,
             neighbor_cache: ShardedCache::new(crate::cache::DEFAULT_CAPACITY),
-        })
+        }
+    }
+
+    /// Deserializes a model saved by [`Cfsf::save`] (or a legacy V1
+    /// stream), verifying every section checksum. Predictions of the
+    /// loaded model are bit-identical to the original's. Any corruption
+    /// is an error here; see [`Cfsf::load_with_recovery`] for the
+    /// rebuild-what-can-be-rebuilt policy.
+    pub fn load<R: Read>(mut r: R) -> Result<Self, PersistError> {
+        match read_header(&mut r)? {
+            V1 => load_v1(&mut r),
+            _ => {
+                let config = decode_section(
+                    &read_section(&mut r, TAG_CONFIG, "config")?,
+                    "config",
+                    decode_config,
+                )?;
+                let matrix = decode_section(
+                    &read_section(&mut r, TAG_MATRIX, "matrix")?,
+                    "matrix",
+                    decode_matrix,
+                )?;
+                let gis = decode_section(&read_section(&mut r, TAG_GIS, "gis")?, "gis", |r| {
+                    decode_gis(r, matrix.num_items())
+                })?;
+                let clusters = decode_section(
+                    &read_section(&mut r, TAG_CLUSTERS, "clusters")?,
+                    "clusters",
+                    |r| decode_clusters(r, matrix.num_users()),
+                )?;
+                Ok(Self::assemble(config, matrix, gis, clusters))
+            }
+        }
+    }
+
+    /// Loads a checksummed stream, rebuilding what a checksum failure
+    /// allows: the GIS and cluster sections are derivations of the stored
+    /// matrix, so when one of them is corrupt it is recomputed exactly as
+    /// [`Cfsf::fit`] would (seeded K-means, so deterministically) instead
+    /// of failing the load. The config and matrix sections are ground
+    /// truth — corruption there is unrecoverable and errors like
+    /// [`Cfsf::load`]. Legacy V1 streams carry no checksums; they load
+    /// strictly with an empty report.
+    pub fn load_with_recovery<R: Read>(mut r: R) -> Result<(Self, RecoveryReport), PersistError> {
+        if read_header(&mut r)? == V1 {
+            return Ok((load_v1(&mut r)?, RecoveryReport::default()));
+        }
+        let config = decode_section(
+            &read_section(&mut r, TAG_CONFIG, "config")?,
+            "config",
+            decode_config,
+        )?;
+        let matrix = decode_section(
+            &read_section(&mut r, TAG_MATRIX, "matrix")?,
+            "matrix",
+            decode_matrix,
+        )?;
+        let mut report = RecoveryReport::default();
+        // A corrupt length field desyncs the stream, so a failed GIS read
+        // usually takes the cluster section down with it — both rebuild.
+        let gis = read_section(&mut r, TAG_GIS, "gis")
+            .and_then(|p| decode_section(&p, "gis", |r| decode_gis(r, matrix.num_items())))
+            .unwrap_or_else(|_| {
+                cf_obs::counter!("persist.recovered.gis").inc();
+                report.gis_rebuilt = true;
+                rebuild_gis(&config, &matrix)
+            });
+        let clusters = read_section(&mut r, TAG_CLUSTERS, "clusters")
+            .and_then(|p| {
+                decode_section(&p, "clusters", |r| decode_clusters(r, matrix.num_users()))
+            })
+            .unwrap_or_else(|_| {
+                cf_obs::counter!("persist.recovered.clusters").inc();
+                report.clusters_rebuilt = true;
+                rebuild_clusters(&config, &matrix)
+            });
+        Ok((Self::assemble(config, matrix, gis, clusters), report))
     }
 
     /// Loads from a file.
@@ -342,9 +611,44 @@ impl Cfsf {
         let f = std::fs::File::open(path)?;
         Self::load(io::BufReader::new(f))
     }
+
+    /// Loads from a file with the [`Cfsf::load_with_recovery`] policy.
+    pub fn load_from_file_with_recovery(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        let f = std::fs::File::open(path)?;
+        Self::load_with_recovery(io::BufReader::new(f))
+    }
+}
+
+/// Checks the magic and returns the stream version (V1 or VERSION).
+fn read_header<R: Read>(r: &mut R) -> Result<u32, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::Format("bad magic (not a CFSF model)".into()));
+    }
+    let version = get_u32(r)?;
+    if version != VERSION && version != V1 {
+        return Err(PersistError::Format(format!(
+            "unsupported version {version} (this build reads {V1} and {VERSION})"
+        )));
+    }
+    Ok(version)
+}
+
+/// The legacy sequential-stream decode: the same payloads as V2, laid
+/// end to end with no framing or checksums.
+fn load_v1<R: Read>(r: &mut R) -> Result<Cfsf, PersistError> {
+    let config = decode_config(r)?;
+    let matrix = decode_matrix(r)?;
+    let gis = decode_gis(r, matrix.num_items())?;
+    let clusters = decode_clusters(r, matrix.num_users())?;
+    Ok(Cfsf::assemble(config, matrix, gis, clusters))
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use cf_data::SyntheticConfig;
@@ -355,21 +659,36 @@ mod tests {
         Cfsf::fit(&d.matrix, CfsfConfig::small()).unwrap()
     }
 
+    fn assert_predictions_match(a: &Cfsf, b: &Cfsf) {
+        for u in (0..80usize).step_by(7) {
+            for i in (0..120usize).step_by(11) {
+                assert_eq!(
+                    a.predict(UserId::from(u), ItemId::from(i)),
+                    b.predict(UserId::from(u), ItemId::from(i)),
+                    "({u},{i})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
     #[test]
     fn roundtrip_preserves_predictions_exactly() {
         let original = model();
         let mut buf = Vec::new();
         original.save(&mut buf).unwrap();
         let loaded = Cfsf::load(buf.as_slice()).unwrap();
-        for u in (0..80usize).step_by(7) {
-            for i in (0..120usize).step_by(11) {
-                assert_eq!(
-                    original.predict(UserId::from(u), ItemId::from(i)),
-                    loaded.predict(UserId::from(u), ItemId::from(i)),
-                    "({u},{i})"
-                );
-            }
-        }
+        assert_predictions_match(&original, &loaded);
         assert_eq!(
             loaded.offline_summary().clusters,
             original.offline_summary().clusters
@@ -392,6 +711,21 @@ mod tests {
         assert_eq!(a.seed, b.seed);
         assert_eq!(a.use_smoothing, b.use_smoothing);
         assert_eq!(a.gis.max_neighbors, b.gis.max_neighbors);
+    }
+
+    #[test]
+    fn legacy_v1_streams_still_load() {
+        let original = model();
+        let mut v1 = Vec::new();
+        original.save_v1(&mut v1).unwrap();
+        let loaded = Cfsf::load(v1.as_slice()).unwrap();
+        assert_predictions_match(&original, &loaded);
+
+        // And through the recovery entry point, with an empty report.
+        let (recovered, report) = Cfsf::load_with_recovery(v1.as_slice()).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        assert!(!report.any());
+        assert_predictions_match(&original, &recovered);
     }
 
     #[test]
@@ -419,15 +753,80 @@ mod tests {
     }
 
     #[test]
-    fn rejects_corrupt_cluster_ids() {
+    fn checksums_catch_single_bit_flips_in_every_section() {
+        let original = model();
+        let mut clean = Vec::new();
+        original.save(&mut clean).unwrap();
+        // One offset inside each section's payload (header is 8 bytes,
+        // each section starts with a 12-byte frame header).
+        for off in [20usize, 200, clean.len() / 2, clean.len() - 40] {
+            let mut buf = clean.clone();
+            buf[off] ^= 0x01;
+            let e = Cfsf::load(buf.as_slice()).unwrap_err();
+            assert!(
+                matches!(e, PersistError::Format(_) | PersistError::Io(_)),
+                "flip at {off}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_rebuilds_a_corrupt_gis_section() {
         let original = model();
         let mut buf = Vec::new();
         original.save(&mut buf).unwrap();
-        // cluster assignment u32s are the last 80×4 bytes
-        let off = buf.len() - 2;
-        buf[off] = 0xFF;
+        // Locate the GIS section: skip header + config + matrix frames.
+        let gis_payload_start = {
+            let mut pos = 8usize; // magic + version
+            for _ in 0..2 {
+                let len = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().unwrap()) as usize;
+                pos += 12 + len + 4;
+            }
+            pos + 12
+        };
+        buf[gis_payload_start + 9] ^= 0xFF;
+
+        // Strict load refuses...
+        let e = Cfsf::load(buf.as_slice()).unwrap_err();
+        assert!(e.to_string().contains("gis"), "{e}");
+        // ...recovery rebuilds and predicts identically to the original.
+        let (recovered, report) = Cfsf::load_with_recovery(buf.as_slice()).unwrap();
+        assert!(report.gis_rebuilt);
+        assert!(!report.clusters_rebuilt);
+        assert!(report.any());
+        assert_predictions_match(&original, &recovered);
+    }
+
+    #[test]
+    fn recovery_rebuilds_a_corrupt_cluster_section() {
+        let original = model();
+        let mut buf = Vec::new();
+        original.save(&mut buf).unwrap();
+        // The cluster assignment u32s sit at the tail, before the final crc.
+        let off = buf.len() - 6;
+        buf[off] ^= 0xFF;
+
         let e = Cfsf::load(buf.as_slice()).unwrap_err();
         assert!(matches!(e, PersistError::Format(_)), "{e}");
+        let (recovered, report) = Cfsf::load_with_recovery(buf.as_slice()).unwrap();
+        assert!(report.clusters_rebuilt);
+        assert!(!report.gis_rebuilt);
+        assert_predictions_match(&original, &recovered);
+    }
+
+    #[test]
+    fn recovery_refuses_corrupt_config_or_matrix() {
+        let original = model();
+        let mut clean = Vec::new();
+        original.save(&mut clean).unwrap();
+        for off in [20usize, 120] {
+            let mut buf = clean.clone();
+            buf[off] ^= 0x10;
+            assert!(
+                Cfsf::load_with_recovery(buf.as_slice()).is_err(),
+                "flip at {off} must be unrecoverable"
+            );
+        }
     }
 
     #[test]
@@ -438,9 +837,15 @@ mod tests {
         let original = model();
         original.save_to_file(&path).unwrap();
         let loaded = Cfsf::load_from_file(&path).unwrap();
+        let (recovered, report) = Cfsf::load_from_file_with_recovery(&path).unwrap();
+        assert!(!report.any());
         assert_eq!(
             original.predict(UserId::new(1), ItemId::new(2)),
             loaded.predict(UserId::new(1), ItemId::new(2))
+        );
+        assert_eq!(
+            original.predict(UserId::new(1), ItemId::new(2)),
+            recovered.predict(UserId::new(1), ItemId::new(2))
         );
         std::fs::remove_file(&path).ok();
     }

@@ -14,7 +14,7 @@ use cf_matrix::ItemId;
 use cf_similarity::Gis;
 
 /// Flattened top-`M` similar-item strips for every item, indexed by
-/// [`ItemStrips::get`]. Rebuilt whenever the GIS or `M` changes.
+/// [`ItemStrips::try_get`]. Rebuilt whenever the GIS or `M` changes.
 #[derive(Debug, Clone)]
 pub(crate) struct ItemStrips {
     /// Strip boundaries: item `i` owns `offsets[i]..offsets[i + 1]`.
@@ -53,16 +53,19 @@ impl ItemStrips {
     }
 
     /// The `(indices, similarities, squared similarities)` strips of
-    /// `item`, each of the same length (≤ `M`).
+    /// `item`, each of the same length (≤ `M`), or `None` when `item` is
+    /// outside the strips — serving degrades instead of panicking when an
+    /// id and the fitted structures disagree.
     #[inline]
-    pub(crate) fn get(&self, item: ItemId) -> (&[u32], &[f64], &[f64]) {
-        let lo = self.offsets[item.index()] as usize;
-        let hi = self.offsets[item.index() + 1] as usize;
-        (&self.idx[lo..hi], &self.sim[lo..hi], &self.sim2[lo..hi])
+    pub(crate) fn try_get(&self, item: ItemId) -> Option<(&[u32], &[f64], &[f64])> {
+        let lo = *self.offsets.get(item.index())? as usize;
+        let hi = *self.offsets.get(item.index() + 1)? as usize;
+        Some((&self.idx[lo..hi], &self.sim[lo..hi], &self.sim2[lo..hi]))
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use cf_matrix::{ItemId, MatrixBuilder, UserId};
@@ -87,7 +90,7 @@ mod tests {
             let strips = ItemStrips::build(&g, m);
             for i in 0..g.num_items() {
                 let item = ItemId::from(i);
-                let (idx, sim, sim2) = strips.get(item);
+                let (idx, sim, sim2) = strips.try_get(item).unwrap();
                 let list = g.top_m(item, m);
                 assert_eq!(idx.len(), list.len());
                 assert_eq!(sim.len(), list.len());
@@ -99,5 +102,13 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn out_of_range_items_degrade_to_none() {
+        let strips = ItemStrips::build(&gis(), 3);
+        assert!(strips.try_get(ItemId::new(4)).is_some());
+        assert!(strips.try_get(ItemId::new(5)).is_none());
+        assert!(strips.try_get(ItemId::new(9999)).is_none());
     }
 }

@@ -28,8 +28,7 @@ impl<T: Ord> Ord for Worst<T> {
         // element `truncate(k)` would have dropped.
         other
             .1
-            .partial_cmp(&self.1)
-            .expect("scores are finite")
+            .total_cmp(&self.1)
             .then_with(|| self.0.cmp(&other.0))
     }
 }
@@ -51,7 +50,9 @@ where
         if heap.len() < k {
             heap.push(Worst(id, score));
         } else {
-            let worst = heap.peek().expect("heap is at capacity k > 0");
+            let Some(worst) = heap.peek() else {
+                unreachable!("heap is at capacity k > 0");
+            };
             let beats = score > worst.1 || (score == worst.1 && id < worst.0);
             if beats {
                 heap.pop();
@@ -60,15 +61,12 @@ where
         }
     }
     let mut out: Vec<(T, f64)> = heap.into_iter().map(|Worst(id, s)| (id, s)).collect();
-    out.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("scores are finite")
-            .then(a.0.cmp(&b.0))
-    });
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     out
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,502 @@
+//! Deterministic fault-injection ("chaos") suite for the serving path.
+//!
+//! Run with `cargo test -p cfsf-core --features faultinject --test chaos`.
+//! Every scenario arms one or more seeded `cf-faultinject` points,
+//! exercises the public API, and asserts the three resilience
+//! invariants:
+//!
+//! 1. no injected fault escapes as a panic from a public entry point,
+//! 2. every prediction that is served is finite and inside the rating
+//!    scale, and
+//! 3. the observability counters move consistently with what was
+//!    injected (faults are visible, not silent).
+//!
+//! Scenarios share one global registry and one silenced panic hook, so
+//! they serialize on a mutex and disarm everything on scope exit — a
+//! failing scenario cannot poison its neighbors.
+
+#![cfg(feature = "faultinject")]
+
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use cf_faultinject as fi;
+use cf_matrix::{ItemId, Predictor, UserId};
+use cfsf_core::{Cfsf, CfsfConfig, DegradeLevel, IncrementalCfsf};
+
+// --- scenario scaffolding ----------------------------------------------
+
+static FAULTS: Mutex<()> = Mutex::new(());
+
+/// Serializes a scenario against the global injection registry, silences
+/// the panic hook (several scenarios *expect* caught panics), and
+/// guarantees `disarm_all` on exit even when the scenario fails.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+struct Scope {
+    _lock: MutexGuard<'static, ()>,
+    prev_hook: Option<PanicHook>,
+}
+
+fn scope() -> Scope {
+    let lock = FAULTS.lock().unwrap_or_else(PoisonError::into_inner);
+    fi::disarm_all();
+    let prev = std::panic::take_hook();
+    if std::env::var("CHAOS_LOUD").is_err() {
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+    Scope {
+        _lock: lock,
+        prev_hook: Some(prev),
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        fi::disarm_all();
+        // Restoring the hook from a panicking thread aborts the process;
+        // a failed scenario keeps the quiet hook, which is harmless.
+        if !std::thread::panicking() {
+            if let Some(hook) = self.prev_hook.take() {
+                std::panic::set_hook(hook);
+            }
+        }
+    }
+}
+
+fn model() -> &'static Cfsf {
+    static MODEL: OnceLock<Cfsf> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let d = cf_data::SyntheticConfig::small().generate();
+        Cfsf::fit(&d.matrix, CfsfConfig::small()).unwrap()
+    })
+}
+
+fn fresh_model() -> Cfsf {
+    let d = cf_data::SyntheticConfig::small().generate();
+    Cfsf::fit(&d.matrix, CfsfConfig::small()).unwrap()
+}
+
+fn saved() -> Vec<u8> {
+    let mut buf = Vec::new();
+    model().save(&mut buf).unwrap();
+    buf
+}
+
+fn counter(name: &str) -> u64 {
+    cf_obs::global()
+        .snapshot()
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+/// Byte range of the `n`-th (0-based) section payload in a V2 stream.
+fn section_payload(buf: &[u8], n: usize) -> std::ops::Range<usize> {
+    let mut pos = 8; // magic + version
+    for _ in 0..n {
+        let len = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        pos += 12 + len + 4;
+    }
+    let len = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().unwrap()) as usize;
+    pos + 12..pos + 12 + len
+}
+
+fn assert_in_scale(m: &Cfsf, p: f64) {
+    let scale = m.matrix().scale();
+    assert!(p.is_finite(), "prediction {p} not finite");
+    assert!(
+        (scale.min..=scale.max).contains(&p),
+        "prediction {p} outside [{}, {}]",
+        scale.min,
+        scale.max
+    );
+}
+
+fn requests() -> Vec<(UserId, ItemId)> {
+    (0..300)
+        .map(|k| (UserId::new(k % 80), ItemId::new((k * 7) % 120)))
+        .collect()
+}
+
+// --- scenario 1–3: persistence I/O faults -------------------------------
+
+#[test]
+fn save_io_errors_surface_as_errors() {
+    let _s = scope();
+    for fail_at in [0usize, 5, 64, 4096] {
+        let mut w = fi::FailingWriter::new(Vec::new(), fail_at);
+        let e = model().save(&mut w);
+        assert!(e.is_err(), "write failing at byte {fail_at} must error");
+    }
+}
+
+#[test]
+fn load_io_errors_surface_as_errors() {
+    let _s = scope();
+    let buf = saved();
+    for fail_at in [0usize, 6, 16, 200, buf.len() - 10] {
+        let r = Cfsf::load(fi::FailingReader::new(buf.as_slice(), fail_at));
+        assert!(r.is_err(), "read failing at byte {fail_at} must error");
+        // The recovery path may rebuild what the matrix allows but must
+        // never panic; a failure before the matrix section is an error.
+        let rec = Cfsf::load_with_recovery(fi::FailingReader::new(buf.as_slice(), fail_at));
+        if fail_at < 200 {
+            assert!(rec.is_err(), "fail at {fail_at} precedes the matrix");
+        }
+    }
+}
+
+#[test]
+fn truncation_at_any_depth_is_an_error_not_a_panic() {
+    let _s = scope();
+    let buf = saved();
+    for cut in [
+        0usize,
+        3,
+        8,
+        12,
+        20,
+        100,
+        buf.len() / 3,
+        buf.len() / 2,
+        buf.len() - 1,
+    ] {
+        let r = Cfsf::load(fi::TruncatedReader::new(buf.as_slice(), cut));
+        assert!(r.is_err(), "cut at {cut} must error under strict load");
+        // Recovery on a tail truncation may legitimately succeed by
+        // rebuilding; whatever it returns must serve sound predictions.
+        if let Ok((m, report)) =
+            Cfsf::load_with_recovery(fi::TruncatedReader::new(buf.as_slice(), cut))
+        {
+            assert!(
+                report.any(),
+                "a truncated load can only succeed by rebuilding"
+            );
+            let p = m.predict(UserId::new(3), ItemId::new(7)).unwrap();
+            assert_in_scale(&m, p);
+        }
+    }
+}
+
+// --- scenario 4–6: bit rot in each section ------------------------------
+
+#[test]
+fn matrix_corruption_is_unrecoverable() {
+    let _s = scope();
+    let mut buf = saved();
+    let matrix = section_payload(&buf, 1);
+    buf[matrix.start + matrix.len() / 2] ^= 0x40;
+    assert!(Cfsf::load(buf.as_slice()).is_err());
+    assert!(
+        Cfsf::load_with_recovery(buf.as_slice()).is_err(),
+        "the matrix is ground truth; recovery must refuse to invent it"
+    );
+}
+
+#[test]
+fn gis_corruption_recovers_with_identical_predictions() {
+    let _s = scope();
+    let mut buf = saved();
+    let gis = section_payload(&buf, 2);
+    let before = counter("persist.recovered.gis");
+    buf[gis.start + 17] ^= 0xFF;
+    assert!(Cfsf::load(buf.as_slice()).is_err());
+    let (m, report) = Cfsf::load_with_recovery(buf.as_slice()).unwrap();
+    assert!(report.gis_rebuilt && !report.clusters_rebuilt);
+    assert_eq!(counter("persist.recovered.gis"), before + 1);
+    for (u, i) in requests().into_iter().step_by(29) {
+        assert_eq!(m.predict(u, i), model().predict(u, i), "({u:?},{i:?})");
+    }
+}
+
+#[test]
+fn cluster_corruption_recovers_with_identical_predictions() {
+    let _s = scope();
+    let mut buf = saved();
+    let clusters = section_payload(&buf, 3);
+    let before = counter("persist.recovered.clusters");
+    buf[clusters.end - 2] ^= 0xFF;
+    assert!(Cfsf::load(buf.as_slice()).is_err());
+    let (m, report) = Cfsf::load_with_recovery(buf.as_slice()).unwrap();
+    assert!(report.clusters_rebuilt && !report.gis_rebuilt);
+    assert_eq!(counter("persist.recovered.clusters"), before + 1);
+    for (u, i) in requests().into_iter().step_by(29) {
+        assert_eq!(m.predict(u, i), model().predict(u, i), "({u:?},{i:?})");
+    }
+}
+
+// --- scenario 7: poisoned input data ------------------------------------
+
+#[test]
+fn garbage_input_rows_are_quarantined_not_fatal() {
+    let _s = scope();
+    // A clean dataset rendered to u.data text, then vandalized.
+    let d = cf_data::SyntheticConfig::small().generate();
+    let mut text = Vec::new();
+    cf_data::save_movielens(&d.matrix, &mut text).unwrap();
+    let mut text = String::from_utf8(text).unwrap();
+    text.push_str("1 1 NaN\n"); // non-finite rating
+    text.push_str("2 2 999\n"); // out of scale
+    text.push_str("3 potato 4\n"); // unparsable item
+    text.push_str("4 4\n"); // missing rating
+    text.push_str("0 5 3\n"); // 0 id in 1-based format
+
+    let (vandalized, report) = cf_data::load_movielens_str_lenient(&text, "chaos").unwrap();
+    assert!(report.malformed_lines >= 3);
+    assert!(report.quarantine.non_finite >= 1);
+    assert!(report.quarantine.out_of_scale >= 1);
+    assert!(!report.is_clean());
+
+    // The surviving data still fits and serves sound predictions.
+    let m = Cfsf::fit(&vandalized.matrix, CfsfConfig::small()).unwrap();
+    for (u, i) in requests().into_iter().step_by(17) {
+        if let Some(p) = m.predict(u, i) {
+            assert_in_scale(&m, p);
+        }
+    }
+}
+
+// --- scenario 8–10: online-phase faults ---------------------------------
+
+#[test]
+fn injected_empty_neighbor_selection_degrades_gracefully() {
+    let _s = scope();
+    let m = model();
+    let (user, item) = (UserId::new(11), ItemId::new(23));
+    m.clear_caches();
+    let baseline = m.predict_with_breakdown(user, item).unwrap();
+
+    fi::arm("online.empty_neighbors", fi::Policy::Always);
+    m.clear_caches();
+    let degraded = m.predict_with_breakdown(user, item).unwrap();
+    assert!(fi::fired_count("online.empty_neighbors") > 0);
+    assert_in_scale(m, degraded.fused);
+    // No neighbors means no SUR'/SUIR': at most one estimator remains.
+    assert!(
+        degraded.level >= DegradeLevel::SingleEstimator,
+        "level {:?} should reflect the missing neighbors",
+        degraded.level
+    );
+    assert_eq!(degraded.k_used, 0);
+
+    // Disarm: the degraded (empty) selection must not have been cached.
+    fi::disarm("online.empty_neighbors");
+    m.clear_caches();
+    let healed = m.predict_with_breakdown(user, item).unwrap();
+    assert_eq!(healed.fused, baseline.fused);
+    assert_eq!(healed.level, baseline.level);
+}
+
+#[test]
+fn injected_nan_estimator_is_dropped_not_served() {
+    let _s = scope();
+    let m = model();
+    m.clear_caches();
+    // A pair whose baseline SIR' exists, so the corruption has a target.
+    let (user, item, baseline) = requests()
+        .into_iter()
+        .find_map(|(u, i)| {
+            let b = m.predict_with_breakdown(u, i)?;
+            b.sir.is_some().then_some((u, i, b))
+        })
+        .expect("some pair must have an SIR'");
+
+    let dropped_before = counter("online.degrade.nonfinite_estimator");
+    fi::arm("online.nan_estimator", fi::Policy::Always);
+    let degraded = m.predict_with_breakdown(user, item).unwrap();
+    assert_eq!(degraded.sir, None, "NaN estimator must be quarantined");
+    assert_in_scale(m, degraded.fused);
+    assert!(counter("online.degrade.nonfinite_estimator") > dropped_before);
+    assert!(
+        degraded.level > baseline.level,
+        "losing an estimator must step down the ladder ({:?} -> {:?})",
+        baseline.level,
+        degraded.level
+    );
+}
+
+#[test]
+fn select_panic_degrades_then_recovers() {
+    let _s = scope();
+    let m = model();
+    let (user, item) = (UserId::new(29), ItemId::new(31));
+    m.clear_caches();
+    let baseline = m.predict(user, item).unwrap();
+
+    let panics_before = counter("online.select_panic");
+    fi::arm("online.select_panic", fi::Policy::Once);
+    m.clear_caches();
+    // The panic is caught inside the selection; the request is served
+    // from whatever rungs need no neighbors.
+    let degraded = m.predict(user, item).unwrap();
+    assert_in_scale(m, degraded);
+    assert_eq!(counter("online.select_panic"), panics_before + 1);
+
+    // The empty selection was not cached, so the very next request
+    // recomputes and serves full quality again.
+    let healed = m.predict(user, item).unwrap();
+    assert_eq!(healed, baseline);
+}
+
+// --- scenario 11: cache poisoning --------------------------------------
+
+#[test]
+fn cache_poisoning_heals_itself() {
+    let _s = scope();
+    let m = model();
+    let reqs = requests();
+    m.clear_caches();
+    let baseline: Vec<Option<f64>> = reqs.iter().map(|&(u, i)| m.predict(u, i)).collect();
+
+    let resets_before = counter("cache.poison_reset");
+    fi::arm("cache.poison", fi::Policy::Once);
+    m.clear_caches();
+    // The injected panic fires inside a cache insert while the shard
+    // write lock is held, poisoning the shard; the worker is isolated.
+    let out = m.predict_batch(&reqs, Some(2));
+    assert!(fi::fired_count("cache.poison") == 1);
+    assert!(
+        counter("cache.poison_reset") > resets_before,
+        "the poisoned shard must have been reset, not left fatal"
+    );
+    // After self-healing, serial serving matches the baseline exactly.
+    let after: Vec<Option<f64>> = reqs.iter().map(|&(u, i)| m.predict(u, i)).collect();
+    assert_eq!(after, baseline);
+    // And the batch answered every request it could (all in-range here).
+    assert!(out.iter().filter(|p| p.is_some()).count() >= reqs.len() - 1);
+}
+
+// --- scenario 12–13: worker panics in batch paths -----------------------
+
+#[test]
+fn batch_worker_panic_answers_none_for_that_request_only() {
+    let _s = scope();
+    let m = model();
+    let reqs = requests();
+    m.clear_caches();
+    let baseline: Vec<Option<f64>> = reqs.iter().map(|&(u, i)| m.predict(u, i)).collect();
+
+    let panics_before = counter("online.batch.request_panic");
+    fi::arm("batch.worker_panic", fi::Policy::Nth(5));
+    // One worker thread makes evaluation order = request order.
+    let out = m.predict_batch(&reqs, Some(1));
+    assert_eq!(out[4], None, "the 5th request's worker panicked");
+    assert_eq!(counter("online.batch.request_panic"), panics_before + 1);
+    for (k, (got, want)) in out.iter().zip(&baseline).enumerate() {
+        if k != 4 {
+            assert_eq!(got, want, "request {k} must be unaffected");
+        }
+    }
+}
+
+#[test]
+fn recommendation_survives_item_scorer_panics() {
+    let _s = scope();
+    let m = model();
+    let user = UserId::new(7);
+    m.clear_caches();
+    // Full serial ranking, minus the item whose scorer will panic.
+    let expected: Vec<(ItemId, f64)> = m
+        .recommend_top_n(user, m.matrix().num_items())
+        .into_iter()
+        .filter(|&(i, _)| i != ItemId::new(2))
+        .take(5)
+        .collect();
+
+    let panics_before = counter("online.recommend.item_panic");
+    fi::arm("recommend.item_panic", fi::Policy::Nth(3));
+    let got = m.recommend_top_n_parallel(user, 5, Some(1));
+    assert_eq!(counter("online.recommend.item_panic"), panics_before + 1);
+    assert_eq!(got, expected, "only the panicked candidate may drop out");
+}
+
+// --- scenario 14: faults mid-refresh ------------------------------------
+
+#[test]
+fn mid_refresh_fault_leaves_model_unchanged_and_retryable() {
+    let _s = scope();
+    let mut inc = IncrementalCfsf::new(fresh_model());
+    let probes: Vec<(UserId, ItemId)> = (0..10)
+        .map(|k| (UserId::new(k * 7 % 80), ItemId::new(k * 13 % 120)))
+        .collect();
+    let baseline: Vec<Option<f64>> = probes
+        .iter()
+        .map(|&(u, i)| inc.model().predict(u, i))
+        .collect();
+
+    // Two cells the training matrix does not cover yet.
+    let mut unrated = (0..80u32)
+        .flat_map(|u| (0..120u32).map(move |i| (u, i)))
+        .filter(|&(u, i)| {
+            inc.model()
+                .matrix()
+                .get(UserId::new(u), ItemId::new(i))
+                .is_none()
+        });
+    let (u1, i1) = unrated.next().unwrap();
+    let (u2, i2) = unrated.next().unwrap();
+    drop(unrated);
+    inc.add_rating(UserId::new(u1), ItemId::new(i1), 4.0)
+        .unwrap();
+    inc.add_rating(UserId::new(u2), ItemId::new(i2), 2.0)
+        .unwrap();
+    let pending = inc.pending();
+    assert!(pending > 0);
+
+    fi::arm("incremental.midrefresh", fi::Policy::Always);
+    let e = inc.refresh();
+    assert!(e.is_err(), "injected mid-refresh fault must abort");
+    // Transactional: the served model is untouched, the delta retained.
+    let after: Vec<Option<f64>> = probes
+        .iter()
+        .map(|&(u, i)| inc.model().predict(u, i))
+        .collect();
+    assert_eq!(after, baseline, "aborted refresh must not mutate the model");
+    assert_eq!(
+        inc.pending(),
+        pending,
+        "aborted refresh must keep the delta"
+    );
+
+    // Once the fault clears, the same refresh succeeds.
+    fi::disarm("incremental.midrefresh");
+    inc.refresh().unwrap();
+    assert_eq!(inc.pending(), 0);
+    assert_eq!(
+        inc.model().matrix().get(UserId::new(u1), ItemId::new(i1)),
+        Some(4.0)
+    );
+}
+
+// --- scenario 15: probabilistic chaos soak ------------------------------
+
+#[test]
+fn probabilistic_chaos_soak_serves_only_sound_predictions() {
+    let _s = scope();
+    let m = model();
+    fi::arm_seeded("online.empty_neighbors", fi::Policy::Probability(0.25), 11);
+    fi::arm_seeded("online.nan_estimator", fi::Policy::Probability(0.25), 12);
+    fi::arm_seeded("batch.worker_panic", fi::Policy::Probability(0.02), 13);
+    fi::arm_seeded("cache.poison", fi::Policy::Probability(0.02), 14);
+
+    m.clear_caches();
+    let reqs = requests();
+    let out = m.predict_batch(&reqs, Some(4));
+    // Under a storm of faults: no escaped panic (we got here), and every
+    // answer that was served is finite and inside the rating scale.
+    for p in out.iter().flatten() {
+        assert_in_scale(m, *p);
+    }
+    assert!(
+        fi::fired_count("online.empty_neighbors") + fi::fired_count("online.nan_estimator") > 0,
+        "the soak must actually have injected faults"
+    );
+
+    // Disarm and the same model serves clean full-quality traffic again.
+    fi::disarm_all();
+    m.clear_caches();
+    let healed = m.predict_batch(&reqs, Some(4));
+    let serial: Vec<Option<f64>> = reqs.iter().map(|&(u, i)| m.predict(u, i)).collect();
+    assert_eq!(healed, serial);
+}

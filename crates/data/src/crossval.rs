@@ -75,7 +75,9 @@ pub fn k_fold_splits(dataset: &Dataset, k: usize, given: GivenN, seed: u64) -> V
             holdout.sort_unstable_by_key(|c| (c.user, c.item));
             Split {
                 label: format!("fold{fold}/{}", given.label()),
-                train: b.build().expect("folding a valid dataset stays valid"),
+                train: b
+                    .build()
+                    .unwrap_or_else(|e| unreachable!("folding a valid dataset stays valid: {e}")),
                 holdout,
                 train_users: m.num_users() - users.len() / k,
                 test_start: 0, // folds interleave users; no contiguous range

@@ -18,6 +18,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod crossval;
 mod dataset;
@@ -28,7 +29,10 @@ mod synthetic;
 
 pub use crossval::k_fold_splits;
 pub use dataset::Dataset;
-pub use loader::{load_movielens, load_movielens_str, save_movielens, LoadError};
+pub use loader::{
+    load_movielens, load_movielens_lenient, load_movielens_str, load_movielens_str_lenient,
+    save_movielens, LoadError, LoadReport,
+};
 pub use protocol::{GivenN, HoldoutCell, Protocol, ProtocolError, Split, TrainSize};
 pub use rng::NormalSampler;
 pub use synthetic::SyntheticConfig;

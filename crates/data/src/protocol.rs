@@ -229,7 +229,9 @@ impl Protocol {
         // Deterministic holdout order regardless of shuffling.
         holdout.sort_unstable_by_key(|c| (c.user, c.item));
 
-        let train = b.build().expect("split of a valid dataset is valid");
+        let train = b
+            .build()
+            .unwrap_or_else(|e| unreachable!("split of a valid dataset is valid: {e}"));
         Ok(Split {
             label: format!("{}/{}", self.train.label(), self.given.label()),
             train,
@@ -264,6 +266,7 @@ impl Split {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::SyntheticConfig;

@@ -224,7 +224,9 @@ impl SyntheticConfig {
             }
         }
 
-        let matrix: RatingMatrix = b.build().expect("generator always produces ratings");
+        let matrix: RatingMatrix = b
+            .build()
+            .unwrap_or_else(|e| unreachable!("generator always produces valid ratings: {e}"));
         Dataset {
             name: format!(
                 "synthetic-movielens-{}x{}-seed{}",
@@ -238,6 +240,7 @@ impl SyntheticConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -2,6 +2,35 @@
 
 use crate::{ItemId, MatrixError, RatingMatrix, RatingScale, UserId};
 
+/// Counts of triplets dropped by [`MatrixBuilder::build_quarantined`].
+///
+/// Strict [`MatrixBuilder::build`] turns the first invalid triplet into an
+/// error; the quarantining build instead skips invalid input and accounts
+/// for every dropped triplet here, so ingestion survives a corrupt upstream
+/// feed without silently poisoning PCC or the weight planes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Triplets whose rating was NaN or ±∞.
+    pub non_finite: usize,
+    /// Triplets whose rating fell outside the declared [`RatingScale`].
+    pub out_of_scale: usize,
+    /// Repeated `(user, item)` cells with a different rating; the first
+    /// occurrence (in push order) is kept, later conflicts are dropped.
+    pub conflicting: usize,
+}
+
+impl QuarantineReport {
+    /// Total number of quarantined triplets.
+    pub fn total(&self) -> usize {
+        self.non_finite + self.out_of_scale + self.conflicting
+    }
+
+    /// `true` when nothing was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+}
+
 /// Accumulates rating triplets and freezes them into a [`RatingMatrix`].
 ///
 /// The builder accepts triplets in any order, deduplicates exact repeats,
@@ -83,7 +112,62 @@ impl MatrixBuilder {
         self.triplets.is_empty()
     }
 
+    /// Like [`build`](Self::build), but quarantines invalid triplets
+    /// instead of failing on them: non-finite ratings, out-of-scale
+    /// ratings, and conflicting duplicates (first push wins) are dropped
+    /// and counted in the returned [`QuarantineReport`].
+    ///
+    /// Errors only when the surviving triplets cannot form a matrix at all
+    /// ([`MatrixError::Empty`] with no fixed dimensions).
+    pub fn build_quarantined(self) -> Result<(RatingMatrix, QuarantineReport), MatrixError> {
+        let MatrixBuilder {
+            triplets,
+            min_users,
+            min_items,
+            scale,
+        } = self;
+
+        let mut report = QuarantineReport::default();
+        // Stable sort: for conflicting duplicates "first pushed wins", and
+        // an unstable sort would make the winner arbitrary.
+        let mut indexed: Vec<(usize, (UserId, ItemId, f64))> =
+            triplets.into_iter().enumerate().collect();
+        indexed.sort_by_key(|&(pos, (u, i, _))| (u, i, pos));
+
+        let mut clean = MatrixBuilder::with_dims(min_users, min_items).scale(scale);
+        let mut last_kept: Option<(UserId, ItemId)> = None;
+        for (_, (u, i, r)) in indexed {
+            if !r.is_finite() {
+                report.non_finite += 1;
+                continue;
+            }
+            if !scale.contains(r) {
+                report.out_of_scale += 1;
+                continue;
+            }
+            if last_kept == Some((u, i)) {
+                // Exact repeats collapse silently in `build`; only count a
+                // genuine conflict. We cannot compare against the dropped
+                // rating here, so compare against the kept one via push
+                // order: `clean` still holds it as its last triplet.
+                if clean.triplets.last().map(|t| t.2) != Some(r) {
+                    report.conflicting += 1;
+                }
+                continue;
+            }
+            last_kept = Some((u, i));
+            clean.push(u, i, r);
+        }
+        let matrix = clean.build()?;
+        Ok((matrix, report))
+    }
+
     /// Validates, sorts, deduplicates, and assembles the matrix.
+    ///
+    /// With no triplets the build fails with [`MatrixError::Empty`] —
+    /// unless dimensions were fixed via [`with_dims`](Self::with_dims), in
+    /// which case an all-unrated matrix is a legitimate value (its global
+    /// mean is the scale midpoint).
     pub fn build(self) -> Result<RatingMatrix, MatrixError> {
         let MatrixBuilder {
             mut triplets,
@@ -110,7 +194,7 @@ impl MatrixBuilder {
                 });
             }
         }
-        if triplets.is_empty() {
+        if triplets.is_empty() && (min_users == 0 || min_items == 0) {
             return Err(MatrixError::Empty);
         }
 
@@ -168,7 +252,11 @@ impl MatrixBuilder {
         }
 
         let total: f64 = user_vals.iter().sum();
-        let global_mean = total / nnz as f64;
+        let global_mean = if nnz == 0 {
+            scale.midpoint()
+        } else {
+            total / nnz as f64
+        };
 
         let mut user_means = vec![global_mean; num_users];
         for u in 0..num_users {
@@ -205,6 +293,7 @@ impl MatrixBuilder {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -283,6 +372,70 @@ mod tests {
         let m = b.build().unwrap();
         assert_eq!(m.num_users(), 10);
         assert_eq!(m.num_items(), 20);
+    }
+
+    #[test]
+    fn empty_build_with_fixed_dims_yields_empty_matrix() {
+        let m = MatrixBuilder::with_dims(3, 4).build().unwrap();
+        assert_eq!(m.num_users(), 3);
+        assert_eq!(m.num_items(), 4);
+        assert_eq!(m.num_ratings(), 0);
+        assert_eq!(m.global_mean(), 3.0);
+        assert_eq!(m.get(UserId::new(0), ItemId::new(0)), None);
+    }
+
+    #[test]
+    fn empty_build_with_zero_dims_still_errors() {
+        assert!(matches!(
+            MatrixBuilder::with_dims(0, 4).build(),
+            Err(MatrixError::Empty)
+        ));
+    }
+
+    #[test]
+    fn quarantined_build_drops_and_counts_bad_triplets() {
+        let mut b = MatrixBuilder::new();
+        b.push(UserId::new(0), ItemId::new(0), 4.0);
+        b.push(UserId::new(0), ItemId::new(1), f64::NAN);
+        b.push(UserId::new(0), ItemId::new(2), f64::INFINITY);
+        b.push(UserId::new(1), ItemId::new(0), 9.0);
+        b.push(UserId::new(1), ItemId::new(1), 2.0);
+        b.push(UserId::new(1), ItemId::new(1), 5.0); // conflicts, first wins
+        b.push(UserId::new(1), ItemId::new(1), 2.0); // exact repeat, silent
+        let (m, report) = b.build_quarantined().unwrap();
+        assert_eq!(report.non_finite, 2);
+        assert_eq!(report.out_of_scale, 1);
+        assert_eq!(report.conflicting, 1);
+        assert_eq!(report.total(), 4);
+        assert!(!report.is_clean());
+        assert_eq!(m.num_ratings(), 2);
+        assert_eq!(m.get(UserId::new(1), ItemId::new(1)), Some(2.0));
+    }
+
+    #[test]
+    fn quarantined_build_is_clean_for_valid_input() {
+        let mut b = MatrixBuilder::new();
+        b.push(UserId::new(0), ItemId::new(0), 4.0);
+        b.push(UserId::new(1), ItemId::new(1), 2.0);
+        let (m, report) = b.build_quarantined().unwrap();
+        assert!(report.is_clean());
+        assert_eq!(m.num_ratings(), 2);
+    }
+
+    #[test]
+    fn quarantined_build_of_all_bad_input_without_dims_errors() {
+        let mut b = MatrixBuilder::new();
+        b.push(UserId::new(0), ItemId::new(0), f64::NAN);
+        assert!(matches!(b.build_quarantined(), Err(MatrixError::Empty)));
+    }
+
+    #[test]
+    fn quarantined_build_of_all_bad_input_with_dims_survives() {
+        let mut b = MatrixBuilder::with_dims(2, 2);
+        b.push(UserId::new(0), ItemId::new(0), f64::NAN);
+        let (m, report) = b.build_quarantined().unwrap();
+        assert_eq!(m.num_ratings(), 0);
+        assert_eq!(report.non_finite, 1);
     }
 
     #[test]

@@ -115,6 +115,7 @@ impl DenseRatings {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::MatrixBuilder;

@@ -54,7 +54,10 @@ macro_rules! impl_id {
             /// outside this crate's design envelope.
             #[inline]
             fn from(v: usize) -> Self {
-                Self(u32::try_from(v).expect("index exceeds u32 range"))
+                match u32::try_from(v) {
+                    Ok(raw) => Self(raw),
+                    Err(_) => panic!("index {v} exceeds u32 range"),
+                }
             }
         }
 

@@ -23,6 +23,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod builder;
 mod dense;
@@ -33,7 +34,7 @@ mod planes;
 mod predictor;
 pub mod stats;
 
-pub use builder::MatrixBuilder;
+pub use builder::{MatrixBuilder, QuarantineReport};
 pub use dense::DenseRatings;
 pub use error::MatrixError;
 pub use ids::{ItemId, UserId};

@@ -186,10 +186,10 @@ impl RatingMatrix {
                 }
             }
         }
-        // Filtering a valid matrix cannot introduce conflicts; Empty can
-        // only occur if the predicate drops everything, which callers treat
-        // as a logic error.
-        b.build().expect("filtering a valid matrix stays valid")
+        // Filtering a valid matrix cannot introduce conflicts, and the
+        // fixed dimensions make an all-dropped result a legal empty matrix.
+        b.build()
+            .unwrap_or_else(|e| unreachable!("filtering a valid matrix stays valid: {e}"))
     }
 
     /// Builds a new matrix with the given cells removed (each cell at most
@@ -207,11 +207,12 @@ impl RatingMatrix {
             }
         }
         b.build()
-            .expect("removing cells from a valid matrix stays valid")
+            .unwrap_or_else(|e| unreachable!("removing cells from a valid matrix stays valid: {e}"))
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::MatrixBuilder;

@@ -54,7 +54,7 @@ impl MatrixStats {
         let active_items = m.items().filter(|&i| m.item_count(i) > 0).count();
 
         let mut values: Vec<f64> = m.triplets().map(|t| t.2).collect();
-        values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("ratings are finite"));
+        values.sort_unstable_by(f64::total_cmp);
         let distinct =
             values.windows(2).filter(|w| w[0] != w[1]).count() + usize::from(!values.is_empty());
         let min_rating = values.first().copied().unwrap_or(0.0);
@@ -118,6 +118,7 @@ impl std::fmt::Display for MatrixStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::{ItemId, MatrixBuilder, UserId};

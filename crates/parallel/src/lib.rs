@@ -7,6 +7,9 @@
 //! `std::thread::scope` and a `std::sync::mpsc` channel:
 //!
 //! - [`par_map`] — dynamically scheduled parallel map over an index range,
+//! - [`par_map_isolated`] — like [`par_map`], but a panic in one item is
+//!   caught and yields `None` for that item alone (request isolation for
+//!   serving paths),
 //! - [`par_for_each_mut`] — statically chunked parallel mutation of a slice,
 //! - [`par_reduce`] — parallel map + associative fold,
 //! - [`join`] — run two closures on two threads,
@@ -101,6 +104,36 @@ where
             out.extend(p.expect("worker panicked before finishing its chunk"));
         }
         out
+    })
+}
+
+/// Like [`par_map`], but isolates per-item panics: a panic while
+/// computing `f(i)` is caught with `catch_unwind` and surfaces as `None`
+/// in slot `i`; every other item still produces its value. This is the
+/// serving-path variant — one poisoned request must degrade that request,
+/// not take down the batch (let alone the process).
+///
+/// `f` is wrapped in `AssertUnwindSafe`: it is shared by reference across
+/// workers, so a panic cannot leave *this* function's state torn, and any
+/// interior-mutable state the closure touches is the caller's contract —
+/// the intended callers are read-only prediction closures over a fitted
+/// model (whose caches recover from poisoning on their own).
+///
+/// ```
+/// let out = cf_parallel::par_map_isolated(4, 2, |i| {
+///     if i == 2 { panic!("bad row") }
+///     i * 10
+/// });
+/// assert_eq!(out, vec![Some(0), Some(10), None, Some(30)]);
+/// ```
+pub fn par_map_isolated<T, F>(n: usize, threads: usize, f: F) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let f = &f;
+    par_map(n, threads, move |i| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).ok()
     })
 }
 
@@ -242,6 +275,32 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn par_map_isolated_turns_panics_into_none() {
+        for threads in [1, 4] {
+            let out = par_map_isolated(100, threads, |i| {
+                if i % 30 == 7 {
+                    panic!("poisoned row {i}");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), 100);
+            for (i, v) in out.iter().enumerate() {
+                if i % 30 == 7 {
+                    assert!(v.is_none(), "panicked item {i} must be None");
+                } else {
+                    assert_eq!(*v, Some(i * 2), "item {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_isolated_without_panics_matches_par_map() {
+        let a = par_map_isolated(257, 4, |i| i + 1);
+        assert!(a.iter().enumerate().all(|(i, v)| *v == Some(i + 1)));
     }
 
     #[test]

@@ -16,6 +16,15 @@ cargo build --release --offline
 echo "==> tier-1: cargo test"
 cargo test --workspace -q --offline
 
+# Chaos job: the deterministic fault-injection suite. The faultinject
+# feature compiles the injection points into cfsf-core, so this runs as
+# its own pass (and lints the gated code the default pass never sees).
+echo "==> chaos: clippy with fault injection (deny warnings)"
+cargo clippy -p cfsf-core --features faultinject --all-targets --offline -- -D warnings
+
+echo "==> chaos: fault-injection suite"
+cargo test -p cfsf-core --features faultinject -q --offline
+
 # Non-gating: smoke the throughput benchmark (quick windows) so a broken
 # bench binary is caught here, without making noisy perf numbers a gate.
 echo "==> bench smoke (non-gating)"
