@@ -78,10 +78,64 @@ fn obs_record_calls(c: &mut Criterion) {
                 });
             },
         );
+        group.bench_with_input(BenchmarkId::new("span_timer", label), &enabled, |b, &on| {
+            cf_obs::set_enabled(on);
+            b.iter(|| {
+                for _ in 0..1000 {
+                    cf_obs::time_scope!("bench.obs.span_ns");
+                    black_box(());
+                }
+            });
+        });
     }
     cf_obs::set_enabled(true);
     group.finish();
 }
 
-criterion_group!(benches, obs_overhead, obs_record_calls);
+fn obs_trace_calls(c: &mut Criterion) {
+    // The request-tracing primitives across their three cost regimes:
+    // registry disabled (inert guard), enabled but not head-sampled (the
+    // common case — a TLS counter, two timestamps, no spans), and
+    // head-sampled (full span capture).
+    let mut group = c.benchmark_group("obs/trace_call");
+    let outcome = || cf_obs::trace::Outcome {
+        level: "full",
+        fallback: false,
+        k_used: 25,
+        m_used: 95,
+        fused: 3.7,
+    };
+    let request = || {
+        let req = cf_obs::trace::begin_request(7, 42);
+        {
+            let _a = cf_obs::trace::span("neighbor_lookup");
+        }
+        {
+            let _b = cf_obs::trace::span("estimator.suir");
+        }
+        req.finish(outcome());
+    };
+    for (label, enabled, every) in [
+        ("disabled", false, 64u32),
+        ("unsampled", true, u32::MAX),
+        ("sampled", true, 1),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            cf_obs::set_enabled(enabled);
+            cf_obs::trace::set_head_sample_every(every);
+            cf_obs::trace::clear();
+            b.iter(|| {
+                for _ in 0..1000 {
+                    request();
+                }
+            });
+        });
+    }
+    cf_obs::set_enabled(true);
+    cf_obs::trace::set_head_sample_every(64);
+    cf_obs::trace::clear();
+    group.finish();
+}
+
+criterion_group!(benches, obs_overhead, obs_record_calls, obs_trace_calls);
 criterion_main!(benches);

@@ -21,13 +21,19 @@
 //! Usage:
 //!
 //! ```text
-//! online_throughput [--quick] [--out PATH]
+//! online_throughput [--quick] [--out PATH] [--compare PATH]
 //! ```
 //!
 //! `--quick` (or `BENCH_MODE=quick`) shrinks warmup/measure windows for
 //! CI smoke runs; the committed report uses the default full windows.
 //! Request patterns are fixed arithmetic sequences, so runs are
 //! reproducible bar machine noise.
+//!
+//! `--compare PATH` diffs this run against a committed report (e.g.
+//! `BENCH_online.json`) and prints a `BENCH REGRESSION WARNING` for any
+//! measurement more than 10% below it. The check never fails the run —
+//! CI machines are noisy — it exists so the trajectory is visible in the
+//! logs instead of silently drifting.
 
 use std::time::{Duration, Instant};
 
@@ -81,6 +87,67 @@ fn json_entry(m: &Measurement) -> String {
     )
 }
 
+/// Pulls `"name": { "predictions_per_sec": <value>` out of a committed
+/// report by string scanning — the report format is produced above, so a
+/// full JSON parser (which the workspace deliberately lacks) is overkill.
+fn committed_rate(report: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\"");
+    let after_key = &report[report.find(&key)? + key.len()..];
+    let field = "\"predictions_per_sec\":";
+    let after_field = &after_key[after_key.find(field)? + field.len()..];
+    let number: String = after_field
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    number.parse().ok()
+}
+
+/// Non-gating regression check against a committed report. Prints a
+/// warning per regressed measurement; never exits nonzero.
+fn compare_against(results: &[Measurement], committed_path: &str) {
+    let committed = match std::fs::read_to_string(committed_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("  bench-compare: cannot read {committed_path}: {e} (skipping)");
+            return;
+        }
+    };
+    eprintln!("  comparing against {committed_path} (warn threshold: >10% below committed)");
+    let mut regressions = 0u32;
+    for m in results {
+        let Some(want) = committed_rate(&committed, m.name) else {
+            eprintln!("  bench-compare: {:<28} not in committed report", m.name);
+            continue;
+        };
+        let ratio = m.predictions_per_sec / want;
+        if ratio < 0.90 {
+            regressions += 1;
+            eprintln!(
+                "  BENCH REGRESSION WARNING: {:<28} {:>12.0} vs committed {:>12.0} ({:+.1}%)",
+                m.name,
+                m.predictions_per_sec,
+                want,
+                (ratio - 1.0) * 100.0
+            );
+        } else {
+            eprintln!(
+                "  bench-compare: {:<28} {:>12.0} vs committed {:>12.0} ({:+.1}%) ok",
+                m.name,
+                m.predictions_per_sec,
+                want,
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "  bench-compare: {regressions} measurement(s) regressed >10% — non-gating, \
+             investigate before trusting the committed numbers"
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick")
@@ -93,6 +160,11 @@ fn main() {
         .and_then(|p| args.get(p + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_online.json".to_string());
+    let compare_path = args
+        .iter()
+        .position(|a| a == "--compare")
+        .and_then(|p| args.get(p + 1))
+        .cloned();
     let windows = if quick {
         Windows {
             warmup: Duration::from_millis(80),
@@ -273,5 +345,8 @@ fn main() {
     );
     std::fs::write(&out_path, &json).expect("write bench report");
     eprintln!("  wrote {out_path}");
+    if let Some(committed) = compare_path {
+        compare_against(&results, &committed);
+    }
     println!("{json}");
 }

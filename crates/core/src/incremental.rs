@@ -103,6 +103,13 @@ impl IncrementalCfsf {
                 message: format!("cell ({user:?}, {item:?}) is already rated"),
             });
         }
+        // A freshly observed rating is ground truth for a cell the model
+        // could already predict: feed |prediction − rating| into the
+        // rolling online-MAE window so quality drift is visible on the
+        // telemetry endpoint before the next refresh folds the rating in.
+        if let Some(pred) = self.model.predict(user, item) {
+            cf_obs::quality::observe_prediction_error((pred - rating).abs());
+        }
         self.pending.push((user, item, rating));
         self.stale_items.insert(item);
         Ok(())

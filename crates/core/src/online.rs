@@ -101,6 +101,9 @@ impl Cfsf {
             Ok(selection) => self.neighbor_cache.insert(user, Arc::new(selection)),
             Err(_) => {
                 cf_obs::counter!("online.select_panic").inc();
+                // Anomaly-note the active trace so the caught panic is
+                // tail-kept and visible on /traces, not just a counter.
+                cf_obs::trace::note("online.select_panic");
                 Arc::new(Vec::new())
             }
         }
@@ -118,6 +121,7 @@ impl Cfsf {
         // Selection is cold-path work; it gets its own histogram so
         // `online.predict_ns` reflects steady-state serving latency.
         cf_obs::time_scope!("online.select_ns");
+        let _trace_span = cf_obs::trace::span("select");
         let (items, vals) = self.matrix.user_row(user);
         if items.is_empty() {
             return Vec::new();
@@ -187,6 +191,7 @@ impl Cfsf {
             // items, read straight off the user's plane row. Absent cells
             // carry exact-zero weights, so the loop is branch-free;
             // `m_used` sums the presence plane instead of testing `is_nan`.
+            let sir_span = cf_obs::trace::span("estimator.sir");
             let row_b = planes.pair_row(user);
             let present_b = planes.present_row(user);
             let mut sir_num = 0.0;
@@ -199,10 +204,12 @@ impl Cfsf {
                 m_used += present_b[c as usize];
             }
             let sir = (sir_den > f64::EPSILON).then(|| sir_num / sir_den);
+            drop(sir_span);
 
             // --- SUR': like-minded users' (smoothed) ratings on the
             // active item, mean-centered per user: `w·(r − mean)` becomes
             // `w·r − w·mean` straight off the planes.
+            let sur_span = cf_obs::trace::span("estimator.sur");
             let mean_b = self.matrix.user_mean(user);
             let mut sur_num = 0.0;
             let mut sur_den = 0.0;
@@ -212,7 +219,9 @@ impl Cfsf {
                 sur_den += sim_t * w;
             }
             let sur = (sur_den > f64::EPSILON).then(|| mean_b + sur_num / sur_den);
+            drop(sur_span);
 
+            let suir_span = cf_obs::trace::span("estimator.suir");
             // --- SUIR': Eq. 12/13, one neighbor row at a time. Phase one
             // fills the pair-weight strip `ss·st·rsqrt(ss² + st²)` — pure
             // mul/add over contiguous memory, so it vectorizes where the
@@ -257,6 +266,7 @@ impl Cfsf {
                 suir_den += (den[0] + den[1]) + (den[2] + den[3]);
             }
             let suir = (suir_den > f64::EPSILON).then(|| suir_num / suir_den);
+            drop(suir_span);
 
             (sir, sur, suir, m_used as usize)
         })
@@ -336,10 +346,18 @@ impl Cfsf {
             cf_obs::counter!("online.no_signal").inc();
             return None;
         }
+        // Request-scoped trace: covers the whole serve (neighbor lookup
+        // included), head+tail sampled — see cf_obs::trace. When the
+        // request is not head-sampled the span() calls below are one TLS
+        // flag read each.
+        let trace_req = cf_obs::trace::begin_request(user.raw(), item.raw());
         // Neighbor selection happens (and is timed) before the predict
         // span starts: cold selection work lands in `online.select_ns`,
         // not in the serving-latency histogram.
-        let top_users = self.top_k_users(user);
+        let top_users = {
+            let _lookup = cf_obs::trace::span("neighbor_lookup");
+            self.top_k_users(user)
+        };
         cf_obs::time_scope!("online.predict_ns");
         let scale = self.matrix.scale();
 
@@ -347,9 +365,18 @@ impl Cfsf {
         #[cfg(feature = "faultinject")]
         let sir = sir.map(|v| cf_faultinject::corrupt_f64("online.nan_estimator", v));
 
+        let fuse_span = cf_obs::trace::span("fuse");
         let (sir, sur, suir, fused, level) = self.fuse_with_ladder(user, item, sir, sur, suir);
+        drop(fuse_span);
         let used_fallback = level.is_fallback();
         level.record();
+        trace_req.finish(cf_obs::trace::Outcome {
+            level: level.as_str(),
+            fallback: used_fallback,
+            k_used: top_users.len() as u32,
+            m_used: m_used as u32,
+            fused: scale.clamp(fused),
+        });
 
         cf_obs::counter!("online.predictions").inc();
         // `add(0)` still registers the metric, so a snapshot always carries

@@ -469,7 +469,45 @@ fn mid_refresh_fault_leaves_model_unchanged_and_retryable() {
     );
 }
 
-// --- scenario 15: probabilistic chaos soak ------------------------------
+// --- scenario 15: tracing under faults ----------------------------------
+
+#[test]
+fn panic_isolated_degraded_request_is_trace_captured() {
+    let _s = scope();
+    let m = model();
+    cf_obs::trace::clear();
+    let (user, item) = (UserId::new(37), ItemId::new(41));
+
+    // The injected selection panic is caught inside top_k_users; the
+    // request is served degraded AND its trace must be tail-kept (the
+    // anomaly note forces retention regardless of head sampling).
+    fi::arm("online.select_panic", fi::Policy::Once);
+    m.clear_caches();
+    let b = m.predict_with_breakdown(user, item).unwrap();
+    assert!(fi::fired_count("online.select_panic") > 0);
+    assert_in_scale(m, b.fused);
+    assert!(
+        b.level > DegradeLevel::Full,
+        "a request with no neighbors cannot be served at full quality"
+    );
+
+    let dump = cf_obs::trace::snapshot();
+    let t = dump
+        .degraded
+        .iter()
+        .find(|t| t.user == user.raw() && t.item == item.raw())
+        .expect("the panic-isolated request must have a captured trace");
+    assert!(
+        t.notes.contains(&"online.select_panic"),
+        "the caught panic must be noted on the trace: {t:?}"
+    );
+    assert!(t.why & cf_obs::trace::keep::NOTE != 0);
+    assert_eq!(t.level, b.level.as_str());
+    assert_eq!(t.k_used, 0, "selection panicked: no neighbors were used");
+    cf_obs::trace::clear();
+}
+
+// --- scenario 16: probabilistic chaos soak ------------------------------
 
 #[test]
 fn probabilistic_chaos_soak_serves_only_sound_predictions() {

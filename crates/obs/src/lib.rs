@@ -44,6 +44,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub mod json;
+pub mod prom;
+pub mod quality;
+pub mod serve;
+pub mod trace;
 
 // --------------------------------------------------------------------------
 // Global enable switch
@@ -331,15 +335,19 @@ impl Histogram {
 /// [`time_scope!`] macro.
 pub struct SpanTimer {
     hist: Arc<Histogram>,
-    start: Instant,
+    /// `None` when the registry was disabled at construction: a disabled
+    /// timer never reads the clock, so the whole guard costs one relaxed
+    /// load at creation and one branch at drop.
+    start: Option<Instant>,
 }
 
 impl SpanTimer {
-    /// Starts a timer feeding `hist` on drop.
+    /// Starts a timer feeding `hist` on drop. When metrics are disabled
+    /// the guard is inert — no `Instant::now()` on either end.
     pub fn new(hist: Arc<Histogram>) -> Self {
         Self {
             hist,
-            start: Instant::now(),
+            start: enabled().then(Instant::now),
         }
     }
 
@@ -349,7 +357,9 @@ impl SpanTimer {
 
 impl Drop for SpanTimer {
     fn drop(&mut self) {
-        self.hist.record_duration(self.start.elapsed());
+        if let Some(start) = self.start {
+            self.hist.record_duration(start.elapsed());
+        }
     }
 }
 

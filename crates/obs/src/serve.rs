@@ -1,0 +1,256 @@
+//! Std-only live telemetry endpoint (`std::net::TcpListener`, no deps).
+//!
+//! [`MetricsServer::bind`] spawns one background thread that serves
+//! `GET` requests:
+//!
+//! - `/metrics` — Prometheus text format ([`crate::prom`]), derived
+//!   gauges refreshed just before rendering,
+//! - `/stats.json` — the existing JSON snapshot, dotted names intact,
+//! - `/traces` — the captured slow / degraded / head-sampled traces as
+//!   indented span trees ([`crate::trace::render`]),
+//! - `/` — a plain-text index of the above.
+//!
+//! The listener runs nonblocking with a short sleep so the server can
+//! notice the stop flag; dropping the handle shuts the thread down and
+//! joins it. One connection is served at a time — this is an operator
+//! scrape endpoint (Prometheus polls every few seconds), not a serving
+//! path, so simplicity beats concurrency here.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long the accept loop sleeps between polls of the stop flag.
+const POLL: Duration = Duration::from_millis(25);
+/// Per-connection read/write timeout — a stalled scraper must not wedge
+/// the server thread.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+/// Request lines beyond this are rejected outright.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Handle to a running telemetry server; dropping it stops the thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9898"`; port `0` picks a free one
+    /// — read it back via [`local_addr`](Self::local_addr)) and starts
+    /// serving in a background thread.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("cf-obs-serve".into())
+            .spawn(move || accept_loop(listener, &stop_flag))?;
+        Ok(Self {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The actually-bound address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the server thread to stop and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // One slow or malformed client must not take the
+                // endpoint down; errors are counted, not propagated.
+                if serve_connection(stream).is_err() {
+                    crate::counter!("obs.serve.conn_errors").inc();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => {
+                crate::counter!("obs.serve.accept_errors").inc();
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+
+    // Read until the end of the request head (headers are ignored).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > MAX_REQUEST_BYTES {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (status, content_type, body) = route(method, path);
+    crate::counter!("obs.serve.requests").inc();
+
+    let head_only = method == "HEAD";
+    let mut response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    if !head_only {
+        response.push_str(&body);
+    }
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
+    if method != "GET" && method != "HEAD" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".into(),
+        );
+    }
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => {
+            crate::quality::refresh_derived_gauges();
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                crate::prom::render_prometheus(&crate::global().snapshot()),
+            )
+        }
+        "/stats.json" => {
+            crate::quality::refresh_derived_gauges();
+            (
+                "200 OK",
+                "application/json; charset=utf-8",
+                crate::global().snapshot().to_json(),
+            )
+        }
+        "/traces" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            crate::trace::render_current(),
+        ),
+        "/" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "cfsf telemetry\n\n/metrics     Prometheus text format\n/stats.json  JSON snapshot\n/traces      captured request traces\n"
+                .into(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".into(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .expect("write");
+        let mut reader = std::io::BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).expect("status line");
+        let mut line = String::new();
+        let mut content_len = 0usize;
+        loop {
+            line.clear();
+            reader.read_line(&mut line).expect("header");
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some(v) = trimmed
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .and_then(|v| v.parse().ok())
+            {
+                content_len = v;
+            }
+        }
+        let mut body = vec![0u8; content_len];
+        reader.read_exact(&mut body).expect("body");
+        (
+            status.trim().to_string(),
+            String::from_utf8(body).expect("utf8"),
+        )
+    }
+
+    #[test]
+    fn serves_metrics_stats_and_traces() {
+        crate::counter!("serve_test.counter").add(5);
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("cfsf_serve_test_counter_total 5"), "{body}");
+
+        let (status, body) = get(addr, "/stats.json");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"serve_test.counter\": 5"), "{body}");
+
+        let (status, _body) = get(addr, "/traces");
+        assert!(status.contains("200"), "{status}");
+
+        let (status, _) = get(addr, "/nope");
+        assert!(status.contains("404"), "{status}");
+
+        server.shutdown();
+    }
+}

@@ -1,0 +1,816 @@
+//! cf-trace — request-scoped tracing with head + tail sampling.
+//!
+//! Aggregate counters and histograms (the rest of this crate) answer *how
+//! much* and *how slow on average*; this module answers *which request*
+//! and *why*. Each online prediction opens a trace ([`begin_request`]),
+//! hot-path stages record spans into a **per-thread buffer**
+//! ([`span`]), and [`RequestGuard::finish`] decides whether the completed
+//! trace is merged into the bounded global rings:
+//!
+//! - **head sampling** — every `N`-th request per thread
+//!   ([`set_head_sample_every`], default 64) keeps its full span tree in
+//!   the *recent* ring, giving a steady trickle of representative traces;
+//! - **tail sampling** — regardless of the head decision, a request that
+//!   lands in the slowest-seen reservoir, was served from the
+//!   degradation ladder's fallback region, or carries an anomaly note
+//!   (e.g. a caught panic) is always kept. Tail-kept requests that were
+//!   not head-sampled have no span detail (spans are only recorded for
+//!   sampled requests, to keep the non-sampled hot path at two
+//!   timestamps), but carry the full request attribution: user, item,
+//!   degrade rung, `K`/`M` used, total latency, notes.
+//!
+//! Every finished request also records into the `online.request_ns`
+//! histogram, and every *kept* trace registers an exemplar — (value,
+//! trace id) keyed by the value's octave — so a p99 bucket on the
+//! `/metrics` endpoint links to a concrete captured trace
+//! ([`exemplars`]).
+//!
+//! All storage is bounded: the recent ring, slow reservoir and degraded
+//! ring have fixed capacities ([`RECENT_CAP`], [`SLOW_CAP`],
+//! [`DEGRADED_CAP`]); the slow reservoir's admission threshold is the
+//! reservoir minimum once full (an atomic, checked lock-free), so in
+//! steady state only genuinely slow requests touch a lock.
+//!
+//! Disabled behavior: [`crate::set_enabled`]`(false)` or a sample rate of
+//! 0 makes [`begin_request`] return an inert guard — no timestamps, no
+//! TLS writes beyond one flag read, nothing recorded.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Bound of the head-sampled *recent* ring.
+pub const RECENT_CAP: usize = 64;
+/// Bound of the slowest-seen reservoir.
+pub const SLOW_CAP: usize = 32;
+/// Bound of the degraded/anomaly ring.
+pub const DEGRADED_CAP: usize = 32;
+/// Cap on notes per trace (anomalies are rare; a runaway loop must not
+/// grow the thread buffer unboundedly).
+const NOTES_CAP: usize = 8;
+
+/// Histogram name request totals are recorded into and exemplars are
+/// attached to.
+pub const REQUEST_HISTOGRAM: &str = "online.request_ns";
+
+// --------------------------------------------------------------------------
+// Configuration
+// --------------------------------------------------------------------------
+
+/// Head-sample every N-th request per thread; 0 disables tracing.
+static HEAD_EVERY: AtomicU32 = AtomicU32::new(64);
+/// Admission bar for the slow reservoir: the reservoir's minimum total
+/// once full, else 0 (admit everything until full).
+static SLOW_ADMIT_NS: AtomicU64 = AtomicU64::new(0);
+/// Monotone trace-id source (ids are allocated only for kept traces).
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Sets the head-sampling rate: every `n`-th request per thread captures
+/// a full span tree. `1` samples everything (tests, debugging), `0`
+/// disables tracing entirely (tail sampling included).
+pub fn set_head_sample_every(n: u32) {
+    HEAD_EVERY.store(n, Ordering::Relaxed);
+}
+
+/// The current head-sampling rate (see [`set_head_sample_every`]).
+pub fn head_sample_every() -> u32 {
+    HEAD_EVERY.load(Ordering::Relaxed)
+}
+
+// --------------------------------------------------------------------------
+// Captured traces
+// --------------------------------------------------------------------------
+
+/// One completed span inside a captured trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Stage name, e.g. `"select"` or `"estimator.suir"`.
+    pub name: &'static str,
+    /// Offset from the trace's start, nanoseconds.
+    pub start_ns: u64,
+    /// Span duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth below the request root (root children are 0).
+    pub depth: u8,
+}
+
+/// Why a trace was kept (bit flags; several can apply).
+pub mod keep {
+    /// Head-sampled (every N-th request).
+    pub const HEAD: u8 = 1;
+    /// Admitted to the slowest-seen reservoir.
+    pub const SLOW: u8 = 2;
+    /// Served from the degradation ladder's fallback region.
+    pub const DEGRADED: u8 = 4;
+    /// Carried an anomaly note (caught panic, injected fault, abandon).
+    pub const NOTE: u8 = 8;
+}
+
+/// A captured request trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Unique id (allocated at keep time; what exemplars reference).
+    pub id: u64,
+    /// Raw user id of the request.
+    pub user: u32,
+    /// Raw item id of the request.
+    pub item: u32,
+    /// End-to-end request latency in nanoseconds.
+    pub total_ns: u64,
+    /// Degradation-ladder rung the prediction was served from.
+    pub level: &'static str,
+    /// True when `level` is in the ladder's fallback region.
+    pub fallback: bool,
+    /// Like-minded users used.
+    pub k_used: u32,
+    /// Similar items used.
+    pub m_used: u32,
+    /// The served (clamped) prediction.
+    pub fused: f64,
+    /// Anomaly notes recorded during the request.
+    pub notes: Vec<&'static str>,
+    /// Span tree (empty for tail-kept traces that were not head-sampled).
+    pub spans: Vec<SpanRec>,
+    /// [`keep`] flags explaining why this trace survived.
+    pub why: u8,
+}
+
+impl Trace {
+    /// Human-readable keep reasons, e.g. `"head+slow"`.
+    pub fn why_str(&self) -> String {
+        let mut parts = Vec::new();
+        if self.why & keep::HEAD != 0 {
+            parts.push("head");
+        }
+        if self.why & keep::SLOW != 0 {
+            parts.push("slow");
+        }
+        if self.why & keep::DEGRADED != 0 {
+            parts.push("degraded");
+        }
+        if self.why & keep::NOTE != 0 {
+            parts.push("note");
+        }
+        parts.join("+")
+    }
+}
+
+/// Point-in-time view of the global trace rings.
+#[derive(Debug, Clone, Default)]
+pub struct TraceDump {
+    /// Slowest requests seen, slowest first.
+    pub slow: Vec<Arc<Trace>>,
+    /// Most recent degraded / anomalous requests, newest first.
+    pub degraded: Vec<Arc<Trace>>,
+    /// Most recent head-sampled requests, newest first.
+    pub recent: Vec<Arc<Trace>>,
+}
+
+impl TraceDump {
+    /// True when no ring holds any trace.
+    pub fn is_empty(&self) -> bool {
+        self.slow.is_empty() && self.degraded.is_empty() && self.recent.is_empty()
+    }
+}
+
+/// An exemplar: a concrete captured trace standing in for a histogram
+/// value region (keyed by octave = `floor(log2(value))`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The sampled value (nanoseconds for latency histograms).
+    pub value: u64,
+    /// Id of the captured trace ([`Trace::id`]).
+    pub trace_id: u64,
+}
+
+#[derive(Default)]
+struct Sink {
+    recent: VecDeque<Arc<Trace>>,
+    /// Unordered; admission keeps it the `SLOW_CAP` slowest.
+    slow: Vec<Arc<Trace>>,
+    degraded: VecDeque<Arc<Trace>>,
+    /// metric name → octave → exemplar.
+    exemplars: BTreeMap<String, BTreeMap<u8, Exemplar>>,
+}
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Sink::default()))
+}
+
+fn lock_sink() -> std::sync::MutexGuard<'static, Sink> {
+    // The sink is derived telemetry; a poisoning panic elsewhere must not
+    // cascade, so recover the data as-is.
+    sink()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Snapshot of the trace rings for rendering or assertions.
+pub fn snapshot() -> TraceDump {
+    let s = lock_sink();
+    let mut slow: Vec<Arc<Trace>> = s.slow.clone();
+    slow.sort_by_key(|t| std::cmp::Reverse(t.total_ns));
+    TraceDump {
+        slow,
+        degraded: s.degraded.iter().rev().cloned().collect(),
+        recent: s.recent.iter().rev().cloned().collect(),
+    }
+}
+
+/// Current exemplars as `(metric, octave, exemplar)` triples.
+pub fn exemplars() -> Vec<(String, u8, Exemplar)> {
+    let s = lock_sink();
+    s.exemplars
+        .iter()
+        .flat_map(|(m, octaves)| octaves.iter().map(move |(&o, &e)| (m.clone(), o, e)))
+        .collect()
+}
+
+/// Attaches an exemplar to `metric` for `value`'s octave. Called
+/// automatically for kept traces; public so other subsystems can link
+/// their own histograms to trace ids.
+pub fn record_exemplar(metric: &str, value: u64, trace_id: u64) {
+    let octave = 63 - value.max(1).leading_zeros();
+    let mut s = lock_sink();
+    if !s.exemplars.contains_key(metric) && s.exemplars.len() >= 32 {
+        return; // bound the per-metric map against name explosions
+    }
+    s.exemplars
+        .entry(metric.to_string())
+        .or_default()
+        .insert(octave as u8, Exemplar { value, trace_id });
+}
+
+/// Empties every ring, the exemplar store and the slow-admission bar
+/// (tests; operators via registry reset keep traces).
+pub fn clear() {
+    let mut s = lock_sink();
+    s.recent.clear();
+    s.slow.clear();
+    s.degraded.clear();
+    s.exemplars.clear();
+    drop(s);
+    SLOW_ADMIT_NS.store(0, Ordering::Relaxed);
+}
+
+// --------------------------------------------------------------------------
+// Per-thread request state
+// --------------------------------------------------------------------------
+
+/// Thread state: 0 = no active trace, 1 = active coarse (tail-only),
+/// 2 = active and head-sampled (spans recorded).
+const IDLE: u8 = 0;
+const COARSE: u8 = 1;
+const SAMPLED: u8 = 2;
+
+struct Detail {
+    start: Option<Instant>,
+    user: u32,
+    item: u32,
+    depth: u8,
+    spans: Vec<SpanRec>,
+    notes: Vec<&'static str>,
+}
+
+impl Default for Detail {
+    fn default() -> Self {
+        Self {
+            start: None,
+            user: 0,
+            item: 0,
+            depth: 0,
+            spans: Vec::with_capacity(16),
+            notes: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    static STATE: Cell<u8> = const { Cell::new(IDLE) };
+    static HEAD_CTR: Cell<u32> = const { Cell::new(0) };
+    static DETAIL: RefCell<Detail> = RefCell::new(Detail::default());
+}
+
+/// Guard for one request's trace. Obtain via [`begin_request`]; close
+/// with [`RequestGuard::finish`]. Dropping without finishing (panic
+/// unwinding through the request) records an `"abandoned"` note and
+/// finishes with an unknown outcome, so escaped panics stay visible.
+pub struct RequestGuard {
+    armed: bool,
+}
+
+/// What the request produced, reported at [`RequestGuard::finish`].
+#[derive(Debug, Clone, Copy)]
+pub struct Outcome {
+    /// Degradation-ladder rung name (stable snake_case).
+    pub level: &'static str,
+    /// True when served from the ladder's fallback region.
+    pub fallback: bool,
+    /// Like-minded users used.
+    pub k_used: u32,
+    /// Similar items used.
+    pub m_used: u32,
+    /// The served (clamped) prediction.
+    pub fused: f64,
+}
+
+/// Opens a request trace on this thread. One request per thread at a
+/// time: serving code paths never nest predictions, and a nested call
+/// would simply restart the thread's buffer.
+#[inline]
+pub fn begin_request(user: u32, item: u32) -> RequestGuard {
+    let every = HEAD_EVERY.load(Ordering::Relaxed);
+    if every == 0 || !crate::enabled() {
+        return RequestGuard { armed: false };
+    }
+    let sampled = HEAD_CTR.with(|c| {
+        let n = c.get().wrapping_add(1);
+        c.set(n);
+        n % every == 0
+    });
+    DETAIL.with(|d| {
+        let d = &mut *d.borrow_mut();
+        d.start = Some(Instant::now());
+        d.user = user;
+        d.item = item;
+        d.depth = 0;
+        d.spans.clear();
+        d.notes.clear();
+    });
+    STATE.set(if sampled { SAMPLED } else { COARSE });
+    RequestGuard { armed: true }
+}
+
+/// RAII guard for one stage of the active request. No-op (one TLS flag
+/// read) when the request is not head-sampled or no trace is active.
+pub struct SpanGuard {
+    name: &'static str,
+    start_ns: u64,
+    depth: u8,
+    active: bool,
+}
+
+/// Opens a span named `name` under the active trace, closing at drop.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if STATE.get() != SAMPLED {
+        return SpanGuard {
+            name,
+            start_ns: 0,
+            depth: 0,
+            active: false,
+        };
+    }
+    DETAIL.with(|d| {
+        let d = &mut *d.borrow_mut();
+        let start_ns = d
+            .start
+            .map(|s| s.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        let depth = d.depth;
+        d.depth = d.depth.saturating_add(1);
+        SpanGuard {
+            name,
+            start_ns,
+            depth,
+            active: true,
+        }
+    })
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        DETAIL.with(|d| {
+            let d = &mut *d.borrow_mut();
+            let end_ns = d
+                .start
+                .map(|s| s.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+                .unwrap_or(self.start_ns);
+            d.depth = d.depth.saturating_sub(1);
+            // Bound the span buffer: a pathological loop of spans must not
+            // grow a thread buffer without limit.
+            if d.spans.len() < 256 {
+                d.spans.push(SpanRec {
+                    name: self.name,
+                    start_ns: self.start_ns,
+                    dur_ns: end_ns.saturating_sub(self.start_ns),
+                    depth: self.depth,
+                });
+            }
+        });
+    }
+}
+
+/// Records an anomaly note (caught panic, injected fault) on the active
+/// trace. A noted request is always tail-kept. No-op without an active
+/// trace.
+pub fn note(tag: &'static str) {
+    if STATE.get() == IDLE {
+        return;
+    }
+    DETAIL.with(|d| {
+        let d = &mut *d.borrow_mut();
+        if d.notes.len() < NOTES_CAP && !d.notes.contains(&tag) {
+            d.notes.push(tag);
+        }
+    });
+}
+
+impl RequestGuard {
+    /// Closes the trace with the request's outcome, recording the total
+    /// into [`REQUEST_HISTOGRAM`] and deciding head/tail retention.
+    pub fn finish(mut self, outcome: Outcome) {
+        if self.armed {
+            self.armed = false;
+            complete(&outcome);
+        }
+    }
+}
+
+impl Drop for RequestGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            // Unwound out of the request: keep it visible.
+            note("abandoned");
+            complete(&Outcome {
+                level: "unknown",
+                fallback: false,
+                k_used: 0,
+                m_used: 0,
+                fused: f64::NAN,
+            });
+        }
+    }
+}
+
+fn complete(outcome: &Outcome) {
+    let sampled = STATE.get() == SAMPLED;
+    STATE.set(IDLE);
+    let (total_ns, user, item, spans, notes) = DETAIL.with(|d| {
+        let d = &mut *d.borrow_mut();
+        let total = d
+            .start
+            .take()
+            .map(|s| s.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        (
+            total,
+            d.user,
+            d.item,
+            std::mem::take(&mut d.spans),
+            std::mem::take(&mut d.notes),
+        )
+    });
+    crate::histogram!(REQUEST_HISTOGRAM).record(total_ns);
+
+    let mut why = 0u8;
+    if sampled {
+        why |= keep::HEAD;
+    }
+    if total_ns >= SLOW_ADMIT_NS.load(Ordering::Relaxed) {
+        why |= keep::SLOW;
+    }
+    if outcome.fallback {
+        why |= keep::DEGRADED;
+    }
+    if !notes.is_empty() {
+        why |= keep::NOTE;
+    }
+    if why == 0 {
+        // Return the span buffer's capacity to the thread for reuse.
+        DETAIL.with(|d| {
+            let d = &mut *d.borrow_mut();
+            if d.spans.capacity() < spans.capacity() {
+                d.spans = spans;
+                d.spans.clear();
+            }
+        });
+        return;
+    }
+
+    let trace = Arc::new(Trace {
+        id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+        user,
+        item,
+        total_ns,
+        level: outcome.level,
+        fallback: outcome.fallback,
+        k_used: outcome.k_used,
+        m_used: outcome.m_used,
+        fused: outcome.fused,
+        notes,
+        spans,
+        why,
+    });
+
+    let mut s = lock_sink();
+    if why & keep::HEAD != 0 {
+        crate::counter!("trace.captured.head").inc();
+        if s.recent.len() >= RECENT_CAP {
+            s.recent.pop_front();
+        }
+        s.recent.push_back(Arc::clone(&trace));
+    }
+    if why & keep::SLOW != 0 {
+        // Re-check under the lock: the admission bar may have moved.
+        if s.slow.len() < SLOW_CAP {
+            s.slow.push(Arc::clone(&trace));
+            crate::counter!("trace.captured.slow").inc();
+        } else {
+            let (min_idx, min_ns) = s
+                .slow
+                .iter()
+                .enumerate()
+                .map(|(k, t)| (k, t.total_ns))
+                .min_by_key(|&(_, ns)| ns)
+                .unwrap_or((0, 0));
+            if trace.total_ns > min_ns {
+                s.slow[min_idx] = Arc::clone(&trace);
+                crate::counter!("trace.captured.slow").inc();
+            }
+        }
+        if s.slow.len() >= SLOW_CAP {
+            let new_min = s.slow.iter().map(|t| t.total_ns).min().unwrap_or(0);
+            SLOW_ADMIT_NS.store(new_min.saturating_add(1), Ordering::Relaxed);
+        }
+    }
+    if why & (keep::DEGRADED | keep::NOTE) != 0 {
+        crate::counter!("trace.captured.degraded").inc();
+        if s.degraded.len() >= DEGRADED_CAP {
+            s.degraded.pop_front();
+        }
+        s.degraded.push_back(Arc::clone(&trace));
+    }
+    drop(s);
+    record_exemplar(REQUEST_HISTOGRAM, total_ns, trace.id);
+}
+
+// --------------------------------------------------------------------------
+// Rendering
+// --------------------------------------------------------------------------
+
+fn render_trace(out: &mut String, t: &Trace) {
+    use std::fmt::Write;
+    let _ = writeln!(
+        out,
+        "trace {} [{}] user={} item={} level={} fused={:.2} k_used={} m_used={} total={}ns",
+        t.id,
+        t.why_str(),
+        t.user,
+        t.item,
+        t.level,
+        t.fused,
+        t.k_used,
+        t.m_used,
+        t.total_ns
+    );
+    if !t.notes.is_empty() {
+        let _ = writeln!(out, "  notes: {}", t.notes.join(", "));
+    }
+    let mut spans = t.spans.clone();
+    spans.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(a.depth.cmp(&b.depth)));
+    for s in &spans {
+        let _ = writeln!(
+            out,
+            "  {}{:<24} {:>10}ns  @{}ns",
+            "  ".repeat(s.depth as usize),
+            s.name,
+            s.dur_ns,
+            s.start_ns
+        );
+    }
+}
+
+fn render_section(out: &mut String, title: &str, traces: &[Arc<Trace>]) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "== {title} ({}) ==", traces.len());
+    for t in traces {
+        render_trace(out, t);
+    }
+    out.push('\n');
+}
+
+/// Renders the given dump as indented span trees (the `/traces` endpoint
+/// and `cfsf-cli trace dump` payload).
+pub fn render(dump: &TraceDump) -> String {
+    let mut out = String::new();
+    render_section(&mut out, "slowest", &dump.slow);
+    render_section(&mut out, "degraded / anomalous", &dump.degraded);
+    render_section(&mut out, "recent (head-sampled)", &dump.recent);
+    out
+}
+
+/// Convenience: render the current global rings.
+pub fn render_current() -> String {
+    render(&snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// Trace tests share process-global rings; serialize them.
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        let g = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        clear();
+        set_head_sample_every(64);
+        g
+    }
+
+    #[test]
+    fn sampled_request_captures_span_tree() {
+        let _g = locked();
+        set_head_sample_every(1);
+        let req = begin_request(7, 42);
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        req.finish(Outcome {
+            level: "full",
+            fallback: false,
+            k_used: 25,
+            m_used: 95,
+            fused: 4.2,
+        });
+        let dump = snapshot();
+        assert_eq!(dump.recent.len(), 1);
+        let t = &dump.recent[0];
+        assert_eq!(t.user, 7);
+        assert_eq!(t.item, 42);
+        assert!(t.why & keep::HEAD != 0);
+        assert_eq!(t.spans.len(), 2);
+        // Completion order is inner-first; depths identify the nesting.
+        assert_eq!(t.spans[0].name, "inner");
+        assert_eq!(t.spans[0].depth, 1);
+        assert_eq!(t.spans[1].name, "outer");
+        assert_eq!(t.spans[1].depth, 0);
+        assert!(t.spans[1].dur_ns >= t.spans[0].dur_ns);
+    }
+
+    #[test]
+    fn degraded_request_is_tail_kept_without_head_sampling() {
+        let _g = locked();
+        set_head_sample_every(u32::MAX); // head effectively never fires
+        let req = begin_request(3, 9);
+        req.finish(Outcome {
+            level: "global_mean",
+            fallback: true,
+            k_used: 0,
+            m_used: 0,
+            fused: 3.1,
+        });
+        let dump = snapshot();
+        assert!(dump.recent.is_empty());
+        assert_eq!(dump.degraded.len(), 1);
+        assert_eq!(dump.degraded[0].level, "global_mean");
+        assert!(dump.degraded[0].spans.is_empty(), "coarse capture only");
+        assert!(dump.degraded[0].why & keep::DEGRADED != 0);
+    }
+
+    #[test]
+    fn noted_request_is_always_kept() {
+        let _g = locked();
+        set_head_sample_every(u32::MAX);
+        let req = begin_request(1, 1);
+        note("select_panic");
+        note("select_panic"); // deduped
+        req.finish(Outcome {
+            level: "single_estimator",
+            fallback: false,
+            k_used: 0,
+            m_used: 4,
+            fused: 2.0,
+        });
+        let dump = snapshot();
+        assert_eq!(dump.degraded.len(), 1);
+        assert_eq!(dump.degraded[0].notes, vec!["select_panic"]);
+        assert!(dump.degraded[0].why & keep::NOTE != 0);
+    }
+
+    #[test]
+    fn abandoned_request_surfaces_via_drop() {
+        let _g = locked();
+        set_head_sample_every(u32::MAX);
+        {
+            let _req = begin_request(5, 6);
+            // dropped without finish (simulates an unwinding panic)
+        }
+        let dump = snapshot();
+        assert_eq!(dump.degraded.len(), 1);
+        assert!(dump.degraded[0].notes.contains(&"abandoned"));
+        assert_eq!(dump.degraded[0].level, "unknown");
+    }
+
+    #[test]
+    fn slow_reservoir_is_bounded_and_keeps_the_slowest() {
+        let _g = locked();
+        set_head_sample_every(u32::MAX);
+        // Fill well past the bound; each is "slow" until the bar rises.
+        for k in 0..(SLOW_CAP * 4) {
+            let req = begin_request(k as u32, 0);
+            // Make later requests genuinely slower so they displace.
+            std::hint::black_box((0..(k * 50)).sum::<usize>());
+            req.finish(Outcome {
+                level: "full",
+                fallback: false,
+                k_used: 1,
+                m_used: 1,
+                fused: 1.0,
+            });
+        }
+        let dump = snapshot();
+        assert!(dump.slow.len() <= SLOW_CAP);
+        assert!(!dump.slow.is_empty());
+        // Sorted slowest-first.
+        assert!(dump.slow.windows(2).all(|w| w[0].total_ns >= w[1].total_ns));
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        let _g = locked();
+        set_head_sample_every(1);
+        crate::set_enabled(false);
+        let req = begin_request(1, 2);
+        {
+            let _s = span("anything");
+        }
+        note("ignored");
+        req.finish(Outcome {
+            level: "full",
+            fallback: true, // would otherwise be tail-kept
+            k_used: 0,
+            m_used: 0,
+            fused: 1.0,
+        });
+        crate::set_enabled(true);
+        assert!(snapshot().is_empty(), "disabled registry must stay silent");
+
+        set_head_sample_every(0);
+        let req = begin_request(1, 2);
+        req.finish(Outcome {
+            level: "full",
+            fallback: true,
+            k_used: 0,
+            m_used: 0,
+            fused: 1.0,
+        });
+        assert!(snapshot().is_empty(), "rate 0 must disable tracing");
+    }
+
+    #[test]
+    fn kept_trace_registers_an_exemplar() {
+        let _g = locked();
+        set_head_sample_every(1);
+        let req = begin_request(11, 13);
+        req.finish(Outcome {
+            level: "full",
+            fallback: false,
+            k_used: 2,
+            m_used: 3,
+            fused: 4.0,
+        });
+        let ex = exemplars();
+        assert!(
+            ex.iter()
+                .any(|(m, _, e)| m == REQUEST_HISTOGRAM && e.trace_id > 0),
+            "exemplar must link the request histogram to a trace id: {ex:?}"
+        );
+        let dump = snapshot();
+        let ids: Vec<u64> = dump.recent.iter().map(|t| t.id).collect();
+        assert!(ex.iter().any(|(_, _, e)| ids.contains(&e.trace_id)));
+    }
+
+    #[test]
+    fn render_shows_tree_and_attributes() {
+        let _g = locked();
+        set_head_sample_every(1);
+        let req = begin_request(17, 23);
+        {
+            let _a = span("neighbor_lookup");
+        }
+        req.finish(Outcome {
+            level: "partial_fusion",
+            fallback: false,
+            k_used: 10,
+            m_used: 20,
+            fused: 3.5,
+        });
+        let text = render_current();
+        assert!(text.contains("user=17"), "{text}");
+        assert!(text.contains("level=partial_fusion"), "{text}");
+        assert!(text.contains("neighbor_lookup"), "{text}");
+        assert!(text.contains("== slowest"), "{text}");
+    }
+}

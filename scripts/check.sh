@@ -27,8 +27,12 @@ cargo test -p cfsf-core --features faultinject -q --offline
 
 # Non-gating: smoke the throughput benchmark (quick windows) so a broken
 # bench binary is caught here, without making noisy perf numbers a gate.
-echo "==> bench smoke (non-gating)"
+# --compare prints a BENCH REGRESSION WARNING for any measurement >10%
+# below the committed BENCH_online.json, so the perf trajectory shows up
+# in every check/CI log without noisy quick-mode numbers gating merges.
+echo "==> bench smoke + regression compare (non-gating)"
 ./scripts/bench.sh --quick --out target/BENCH_online.smoke.json \
+    --compare BENCH_online.json \
   || echo "WARNING: bench smoke failed (non-gating)"
 
 echo "All checks passed."

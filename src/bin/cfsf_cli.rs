@@ -18,6 +18,19 @@
 //! offline phase timings, online latency quantiles, cache hit rates — as
 //! JSON on stderr when the command finishes) and `--stats-out <path>`
 //! (write the same snapshot to a file, e.g. `results/obs_snapshot.json`).
+//!
+//! Telemetry flags (also global):
+//!
+//! - `--serve-metrics <addr>` — bind a live endpoint (e.g.
+//!   `127.0.0.1:9898`, port `0` picks a free one) serving `/metrics`
+//!   (Prometheus text), `/stats.json` and `/traces`, then keep serving
+//!   after the command finishes until the process is killed;
+//! - `--traces` — print the captured trace reservoirs on stderr when the
+//!   command finishes;
+//! - `--trace-sample-every N` — head-sample every N-th prediction
+//!   (default 64; 0 disables tracing);
+//! - `trace dump [--demo]` — print the reservoirs without HTTP, for
+//!   headless/CI debugging (`--demo` runs a synthetic workload first).
 
 use cf_matrix::RatingMatrix;
 use cfsf::prelude::*;
@@ -29,6 +42,24 @@ fn main() {
     // subcommands' positional parsing never sees them.
     let print_stats = take_flag(&mut args, "--stats");
     let stats_out = take_flag_value(&mut args, "--stats-out");
+    let print_traces = take_flag(&mut args, "--traces");
+    let serve_metrics = take_flag_value(&mut args, "--serve-metrics");
+    if let Some(every) = take_flag_value(&mut args, "--trace-sample-every") {
+        let n: u32 = every
+            .parse()
+            .unwrap_or_else(|_| usage("--trace-sample-every needs a number"));
+        cf_obs::trace::set_head_sample_every(n);
+    }
+
+    // Bind before the command runs so scrapes see the offline phase live.
+    let server = serve_metrics.map(|addr| {
+        let server = cf_obs::serve::MetricsServer::bind(addr.as_str()).unwrap_or_else(|e| {
+            eprintln!("error: cannot bind telemetry endpoint {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("telemetry endpoint on http://{}/", server.local_addr());
+        server
+    });
 
     let Some(command) = args.first() else {
         usage("no command");
@@ -39,20 +70,67 @@ fn main() {
         "recommend" => cmd_recommend(&args[1..]),
         "train" => cmd_train(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         "demo" => cmd_demo(),
         "--help" | "-h" => usage(""),
         other => usage(&format!("unknown command {other:?}")),
     }
 
     if print_stats {
+        cf_obs::quality::refresh_derived_gauges();
         eprint!("{}", cf_obs::global().snapshot().to_json());
     }
     if let Some(path) = stats_out {
+        cf_obs::quality::refresh_derived_gauges();
         if let Err(e) = cf_obs::write_snapshot_file(&path) {
             eprintln!("error: cannot write stats snapshot {path}: {e}");
             std::process::exit(1);
         }
         eprintln!("stats snapshot written to {path}");
+    }
+    if print_traces {
+        eprint!("{}", cf_obs::trace::render_current());
+    }
+    if let Some(server) = server {
+        // Keep scraping available after the command's own work is done;
+        // the process is ended by the operator (SIGINT/SIGKILL).
+        eprintln!(
+            "command finished; still serving telemetry on http://{}/ (ctrl-c to exit)",
+            server.local_addr()
+        );
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+}
+
+/// `trace dump [--demo]` — print the captured trace reservoirs. With
+/// `--demo`, run a synthetic workload first so the rings have content
+/// (useful in CI and for trying the feature without a dataset).
+fn cmd_trace(args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("dump") => {
+            if args.iter().any(|a| a == "--demo") {
+                cf_obs::trace::set_head_sample_every(8);
+                let dataset = SyntheticConfig::small().generate();
+                let model = Cfsf::fit(&dataset.matrix, CfsfConfig::small()).expect("valid config");
+                for u in 0..dataset.matrix.num_users() {
+                    for i in (0..dataset.matrix.num_items()).step_by(7) {
+                        let _ = model.predict_with_breakdown(UserId::from(u), ItemId::from(i));
+                    }
+                }
+            }
+            let dump = cf_obs::trace::snapshot();
+            if dump.is_empty() {
+                println!(
+                    "no traces captured (run with --demo for a synthetic workload, \
+                     or lower --trace-sample-every)"
+                );
+            } else {
+                print!("{}", cf_obs::trace::render(&dump));
+            }
+        }
+        _ => usage("trace needs a subcommand: trace dump [--demo]"),
     }
 }
 
@@ -270,7 +348,10 @@ fn usage(problem: &str) -> ! {
         "usage:\n  cfsf-cli stats <u.data>\n  cfsf-cli evaluate <u.data> [--algo NAME] \
          [--train-users N] [--test-users N] [--given N]\n  cfsf-cli recommend <u.data> --user ID [--n N]\n  cfsf-cli demo\n\
          algorithms: cfsf, sur, sir, sf, emdp, scbpcc, am, pd\n\
-         global flags: --stats (dump metrics JSON on stderr), --stats-out PATH (write metrics JSON to PATH)"
+         global flags: --stats (dump metrics JSON on stderr), --stats-out PATH (write metrics JSON to PATH),\n\
+                       --serve-metrics ADDR (live /metrics, /stats.json, /traces endpoint),\n\
+                       --traces (dump captured traces on stderr), --trace-sample-every N (default 64, 0 = off)\n\
+         telemetry:    cfsf-cli trace dump [--demo] (print the slow/degraded trace reservoirs)"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

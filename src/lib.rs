@@ -25,6 +25,7 @@ pub use cf_cluster as cluster;
 pub use cf_data as data;
 pub use cf_eval as eval;
 pub use cf_matrix as matrix;
+pub use cf_obs as obs;
 pub use cf_parallel as parallel;
 pub use cf_similarity as similarity;
 pub use cf_temporal as temporal;
