@@ -1,0 +1,185 @@
+//! `cfsf-analyze` — runs the repo lint engine and the loom-lite model
+//! checks; the CI gate for both.
+//!
+//! ```text
+//! cfsf-analyze [--deny-warnings] [--no-models] [--no-lint]
+//!              [--list-rules] [--replay <model> <c0,c1,...>] [--root <dir>]
+//! ```
+//!
+//! Exit status: `0` when clean; `1` on any model failure, suppression /
+//! allowlist error, or (with `--deny-warnings`) any unsuppressed lint
+//! diagnostic.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cf_analysis::lint::{self, rules};
+use cf_analysis::models;
+
+struct Args {
+    deny_warnings: bool,
+    run_lint: bool,
+    run_models: bool,
+    list_rules: bool,
+    replay: Option<(String, Vec<usize>)>,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny_warnings: false,
+        run_lint: true,
+        run_models: true,
+        list_rules: false,
+        replay: None,
+        root: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny-warnings" => args.deny_warnings = true,
+            "--no-models" => args.run_models = false,
+            "--no-lint" => args.run_lint = false,
+            "--list-rules" => args.list_rules = true,
+            "--replay" => {
+                let model = it.next().ok_or("--replay needs <model> <schedule>")?;
+                let sched = it.next().ok_or("--replay needs <model> <schedule>")?;
+                let script = sched
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| e.to_string()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                args.replay = Some((model, script));
+            }
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a path")?));
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks up from the cwd to the workspace root (the directory holding
+/// both `Cargo.toml` and `crates/`).
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cfsf-analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list_rules {
+        for r in rules::RULES {
+            println!("{:<18} {}", r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some((model, script)) = &args.replay {
+        println!("replaying {model} under schedule {script:?}");
+        return match models::replay_builtin(model, script.clone()) {
+            None => {
+                eprintln!(
+                    "cfsf-analyze: unknown model '{model}' (known: {})",
+                    models::BUILTIN_MODELS.join(", ")
+                );
+                ExitCode::FAILURE
+            }
+            Some(report) => match report.failure {
+                Some(f) => {
+                    println!("reproduced: {}", f.message);
+                    println!("{}", f.replay_instructions(model));
+                    ExitCode::FAILURE
+                }
+                None => {
+                    println!("schedule ran clean ({} execution(s))", report.executions);
+                    ExitCode::SUCCESS
+                }
+            },
+        };
+    }
+
+    let mut failed = false;
+
+    if args.run_lint {
+        let root = args.root.clone().or_else(find_root);
+        let Some(root) = root else {
+            eprintln!("cfsf-analyze: cannot locate workspace root (use --root)");
+            return ExitCode::FAILURE;
+        };
+        let report = lint::run_lint(&root);
+        println!(
+            "lint: scanned {} files — {} diagnostic(s), {} suppressed, {} error(s)",
+            report.files_scanned,
+            report.diagnostics.len(),
+            report.suppressed.len(),
+            report.errors.len()
+        );
+        for d in &report.errors {
+            println!("error: {d}");
+        }
+        for d in &report.diagnostics {
+            println!("warning: {d}");
+        }
+        for d in &report.suppressed {
+            println!("note: suppressed {d}");
+        }
+        for s in &report.unused_suppressions {
+            println!(
+                "note: unused suppression of `{}` at {}:{}",
+                s.rule, s.path, s.line
+            );
+        }
+        if !report.errors.is_empty() {
+            failed = true;
+        }
+        if args.deny_warnings && !report.diagnostics.is_empty() {
+            failed = true;
+        }
+    }
+
+    if args.run_models {
+        for (name, report) in models::run_builtin_models() {
+            match &report.failure {
+                None => {
+                    println!(
+                        "model {name}: ok — {} execution(s){}{}",
+                        report.executions,
+                        if report.pruned > 0 {
+                            format!(", {} pruned", report.pruned)
+                        } else {
+                            String::new()
+                        },
+                        if report.complete { " (exhaustive)" } else { "" }
+                    );
+                }
+                Some(f) => {
+                    println!("model {name}: FAILED — {}", f.message);
+                    println!("{}", f.replay_instructions(name));
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,31 @@
+//! cf-analysis — repo-aware static analysis for the CFSF workspace.
+//!
+//! Two subsystems, both runnable through the `cfsf-analyze` binary and
+//! gated in `scripts/check.sh` / CI:
+//!
+//! 1. **Lint engine** ([`lint`]) — a lightweight token/line-level
+//!    scanner (no external parser; vendor nothing) enforcing
+//!    repo-specific rules clippy cannot express: panic-free production
+//!    code with an auditable allowlist, no clock reads on hot paths
+//!    outside the `cf_obs` enabled-gate, no raw float equality outside
+//!    the epsilon helpers, no bare `std::sync` locks where the
+//!    poison-recovering wrappers are mandated, obs counter/test pairing,
+//!    and no `AssertUnwindSafe` over closures capturing `&mut`. Inline
+//!    `allow(<rule>)` suppression comments (see [`lint`]) are honored,
+//!    counted, and reported; unknown rule ids in one are hard errors.
+//!
+//! 2. **loom-lite model checker** ([`sched`], [`llsync`], [`models`]) —
+//!    a deterministic scheduler exploring thread interleavings
+//!    (exhaustive DFS, seeded random, exact replay) over the production
+//!    concurrent cores, which are generic over [`cf_obs::sync::Shim`]:
+//!    the sharded second-chance cache, the slow-trace reservoir, and the
+//!    poisoned-shard reset all run the *same code* in production and
+//!    under the checker.
+
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod llsync;
+pub mod models;
+pub mod sched;
+pub mod toylock;

@@ -1,0 +1,606 @@
+//! The repo-aware lint engine: a lightweight, comment/string-aware
+//! line scanner with project-specific rules.
+//!
+//! No external parser: each `.rs` file is split into lines whose code,
+//! comment, and string-literal parts are separated by a small state
+//! machine ([`scan_file`]), with `#[cfg(test)]` regions and `tests/` /
+//! `benches/` paths tracked so rules can scope themselves to production
+//! code. Rules ([`rules`]) emit `file:line` diagnostics with stable rule
+//! ids.
+//!
+//! Two escape hatches, both auditable:
+//!
+//! - **inline suppressions** — an `allow(<rule-id>)` comment (tagged
+//!   with the tool name, see [`render_suppression`]) on the
+//!   diagnostic's line or the line above suppresses it; every use is
+//!   counted and reported, and an unknown rule id is a hard error;
+//! - **the allowlist file** — `analysis-allow.txt` at the repo root
+//!   lists `rule-id path-prefix` pairs for whole files/subtrees that are
+//!   exempt (e.g. the model checker's own scheduler, which is allowed
+//!   to panic). This replaces the old ad-hoc per-crate clippy argument
+//!   lists with one reviewed file.
+
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Name of the allowlist file at the repo root.
+pub const ALLOWLIST_FILE: &str = "analysis-allow.txt";
+
+/// A single finding, attached to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule id (see [`rules::RULES`]).
+    pub rule: &'static str,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One source line, decomposed by the scanner.
+#[derive(Debug, Clone, Default)]
+pub struct ScannedLine {
+    /// Code with comments removed and string/char literal *contents*
+    /// blanked (delimiters kept), so token rules never match inside
+    /// either.
+    pub code: String,
+    /// The comment text on this line (line or block), if any.
+    pub comment: String,
+    /// True when the line is inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// A scanned file: decomposed lines plus extracted string literals.
+#[derive(Debug, Clone)]
+pub struct FileScan {
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// True when the whole file is test/bench scope (`tests/`,
+    /// `benches/`, or a `build.rs`).
+    pub file_is_test: bool,
+    /// Decomposed lines, index 0 = line 1.
+    pub lines: Vec<ScannedLine>,
+    /// `(line, literal)` for every normal string literal.
+    pub strings: Vec<(usize, String)>,
+}
+
+/// A parsed inline suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The suppressed rule id (validated against [`rules::RULES`]).
+    pub rule: String,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line the suppression comment is on.
+    pub line: usize,
+}
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed findings (these gate).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced by an inline suppression (reported, not fatal).
+    pub suppressed: Vec<Diagnostic>,
+    /// Suppression comments that silenced nothing (reported, not fatal).
+    pub unused_suppressions: Vec<Suppression>,
+    /// Hard errors: malformed/unknown-rule suppressions (always gate).
+    pub errors: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when nothing gates: no unsuppressed findings and no errors.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty() && self.errors.is_empty()
+    }
+}
+
+// --------------------------------------------------------------------------
+// Scanner
+// --------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum LexState {
+    Normal,
+    Str,
+    RawStr(usize),
+    BlockComment(usize),
+}
+
+/// Scans one file's source text into lines, comments, and literals.
+/// `rel_path` must use forward slashes.
+pub fn scan_file(rel_path: &str, text: &str) -> FileScan {
+    let file_is_test = rel_path.contains("tests/")
+        || rel_path.contains("benches/")
+        || rel_path.ends_with("build.rs");
+
+    let mut lines: Vec<ScannedLine> = Vec::new();
+    let mut strings: Vec<(usize, String)> = Vec::new();
+    let mut state = LexState::Normal;
+    let mut cur_literal = String::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                LexState::Normal => match c {
+                    '/' if next == Some('/') => {
+                        comment.push_str(&raw[byte_at(raw, i)..]);
+                        break;
+                    }
+                    '/' if next == Some('*') => {
+                        state = LexState::BlockComment(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        code.push('"');
+                        state = LexState::Str;
+                        cur_literal.clear();
+                        i += 1;
+                    }
+                    'r' if next == Some('"') || next == Some('#') => {
+                        // Possible raw string: r"..." or r#"..."#.
+                        let mut hashes = 0usize;
+                        let mut j = i + 1;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            code.push('r');
+                            code.push('"');
+                            state = LexState::RawStr(hashes);
+                            cur_literal.clear();
+                            i = j + 1;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a char literal closes
+                        // within a few chars ('x', '\n', '\u{..}').
+                        if next == Some('\\') {
+                            // Escaped char literal: consume to closing '.
+                            code.push('\'');
+                            i += 2;
+                            while i < chars.len() && chars[i] != '\'' {
+                                i += 1;
+                            }
+                            code.push('\'');
+                            i += 1;
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            code.push('\'');
+                            code.push(' ');
+                            code.push('\'');
+                            i += 3;
+                        } else {
+                            // Lifetime: keep as-is.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                LexState::Str => match c {
+                    '\\' => {
+                        cur_literal.push(c);
+                        if let Some(n) = next {
+                            cur_literal.push(n);
+                        }
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    }
+                    '"' => {
+                        code.push('"');
+                        strings.push((idx + 1, std::mem::take(&mut cur_literal)));
+                        state = LexState::Normal;
+                        i += 1;
+                    }
+                    _ => {
+                        cur_literal.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                },
+                LexState::RawStr(h) => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..h {
+                            if chars.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            code.push('"');
+                            strings.push((idx + 1, std::mem::take(&mut cur_literal)));
+                            state = LexState::Normal;
+                            i += 1 + h;
+                            continue;
+                        }
+                    }
+                    cur_literal.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+                LexState::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        if depth == 1 {
+                            state = LexState::Normal;
+                        } else {
+                            state = LexState::BlockComment(depth - 1);
+                        }
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = LexState::BlockComment(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // A string or raw string continuing past the line end keeps its
+        // state; add the newline to the literal.
+        if matches!(state, LexState::Str | LexState::RawStr(_)) {
+            cur_literal.push('\n');
+        }
+        lines.push(ScannedLine {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+
+    mark_test_regions(&mut lines, file_is_test);
+    FileScan {
+        path: rel_path.to_string(),
+        file_is_test,
+        lines,
+        strings,
+    }
+}
+
+fn byte_at(s: &str, char_idx: usize) -> usize {
+    s.char_indices()
+        .nth(char_idx)
+        .map(|(b, _)| b)
+        .unwrap_or(s.len())
+}
+
+/// Marks lines inside `#[cfg(test)] mod … { … }` regions (and the whole
+/// file when it is test scope). Brace counting runs on the blanked code,
+/// so braces in strings/comments don't confuse it.
+fn mark_test_regions(lines: &mut [ScannedLine], file_is_test: bool) {
+    if file_is_test {
+        for l in lines.iter_mut() {
+            l.in_test = true;
+        }
+        return;
+    }
+    let mut i = 0usize;
+    while i < lines.len() {
+        let code = lines[i].code.trim().to_string();
+        if code.starts_with("#[cfg(test)") || code.starts_with("#[cfg(all(test") {
+            // Find the opening brace of the item this attribute covers,
+            // then consume until its matching close.
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                lines[j].in_test = true;
+                for c in lines[j].code.clone().chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        ';' if !opened && depth == 0 => {
+                            // e.g. `#[cfg(test)] use …;` — single item.
+                            opened = true;
+                            depth = 0;
+                        }
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            // `#[test]` fns outside a cfg(test) mod (rare inline form).
+            if code.starts_with("#[test]") {
+                let mut depth = 0i32;
+                let mut opened = false;
+                let mut j = i;
+                while j < lines.len() {
+                    lines[j].in_test = true;
+                    for c in lines[j].code.clone().chars() {
+                        match c {
+                            '{' => {
+                                depth += 1;
+                                opened = true;
+                            }
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    if opened && depth <= 0 {
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Suppressions
+// --------------------------------------------------------------------------
+
+/// Parses every inline `allow(...)` suppression in a scanned file.
+/// Malformed or unknown-rule suppressions become hard-error diagnostics.
+pub fn parse_suppressions(scan: &FileScan) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut found = Vec::new();
+    let mut errors = Vec::new();
+    for (i, l) in scan.lines.iter().enumerate() {
+        let Some(pos) = l.comment.find("cf-analysis:") else {
+            continue;
+        };
+        let rest = l.comment[pos + "cf-analysis:".len()..].trim_start();
+        let line = i + 1;
+        let Some(args) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.split_once(')'))
+            .map(|(inside, _)| inside)
+        else {
+            errors.push(Diagnostic {
+                rule: "bad-suppression",
+                path: scan.path.clone(),
+                line,
+                message: format!(
+                    "malformed suppression '{}' (expected `cf-analysis: allow(<rule-id>)`)",
+                    rest.trim_end()
+                ),
+            });
+            continue;
+        };
+        for id in args.split(',') {
+            let id = id.trim();
+            if id.is_empty() {
+                errors.push(Diagnostic {
+                    rule: "bad-suppression",
+                    path: scan.path.clone(),
+                    line,
+                    message: "empty rule id in suppression".to_string(),
+                });
+                continue;
+            }
+            if !rules::RULES.iter().any(|r| r.id == id) {
+                errors.push(Diagnostic {
+                    rule: "bad-suppression",
+                    path: scan.path.clone(),
+                    line,
+                    message: format!(
+                        "unknown rule id '{id}' in suppression (known: {})",
+                        rules::RULES
+                            .iter()
+                            .map(|r| r.id)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+                continue;
+            }
+            found.push(Suppression {
+                rule: id.to_string(),
+                path: scan.path.clone(),
+                line,
+            });
+        }
+    }
+    (found, errors)
+}
+
+/// Renders a suppression back to its canonical comment form
+/// (round-trip partner of [`parse_suppressions`]).
+pub fn render_suppression(rules: &[&str]) -> String {
+    format!("// cf-analysis: allow({})", rules.join(", "))
+}
+
+// --------------------------------------------------------------------------
+// Allowlist
+// --------------------------------------------------------------------------
+
+/// The parsed allowlist: rule id → exempt path prefixes.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    entries: BTreeMap<String, Vec<String>>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text (`rule-id path-prefix` per line, `#`
+    /// comments). Unknown rule ids are errors so stale entries surface.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(prefix)) = (parts.next(), parts.next()) else {
+                return Err(format!(
+                    "{ALLOWLIST_FILE}:{}: expected `rule-id path-prefix`, got '{line}'",
+                    n + 1
+                ));
+            };
+            if !rules::RULES.iter().any(|r| r.id == rule) {
+                return Err(format!(
+                    "{ALLOWLIST_FILE}:{}: unknown rule id '{rule}'",
+                    n + 1
+                ));
+            }
+            entries
+                .entry(rule.to_string())
+                .or_default()
+                .push(prefix.to_string());
+        }
+        Ok(Self { entries })
+    }
+
+    /// True when `path` is exempt from `rule`.
+    pub fn allows(&self, rule: &str, path: &str) -> bool {
+        self.entries
+            .get(rule)
+            .is_some_and(|ps| ps.iter().any(|p| path.starts_with(p.as_str())))
+    }
+}
+
+// --------------------------------------------------------------------------
+// Driver
+// --------------------------------------------------------------------------
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(|e| e.path());
+    for e in entries {
+        let path = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == ".git" || name == ".claude" {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Runs the full lint over the repo rooted at `root`.
+pub fn run_lint(root: &Path) -> LintReport {
+    let allowlist = match std::fs::read_to_string(root.join(ALLOWLIST_FILE)) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                return LintReport {
+                    errors: vec![Diagnostic {
+                        rule: "bad-allowlist",
+                        path: ALLOWLIST_FILE.to_string(),
+                        line: 0,
+                        message: e,
+                    }],
+                    ..LintReport::default()
+                }
+            }
+        },
+        Err(_) => Allowlist::default(),
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+
+    let mut scans = Vec::with_capacity(files.len());
+    for f in &files {
+        let Ok(text) = std::fs::read_to_string(f) else {
+            continue;
+        };
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        scans.push(scan_file(&rel, &text));
+    }
+    lint_scans(&scans, &allowlist)
+}
+
+/// Runs every rule over pre-scanned files (unit-test entry point).
+pub fn lint_scans(scans: &[FileScan], allowlist: &Allowlist) -> LintReport {
+    let mut report = LintReport {
+        files_scanned: scans.len(),
+        ..LintReport::default()
+    };
+
+    let mut suppressions: Vec<Suppression> = Vec::new();
+    for scan in scans {
+        let (s, errs) = parse_suppressions(scan);
+        suppressions.extend(s);
+        report.errors.extend(errs);
+    }
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for scan in scans {
+        rules::check_file(scan, &mut raw);
+    }
+    rules::check_counter_pairing(scans, &mut raw);
+
+    let mut used = vec![false; suppressions.len()];
+    for d in raw {
+        if allowlist.allows(d.rule, &d.path) {
+            continue;
+        }
+        let hit = suppressions.iter().enumerate().find(|(_, s)| {
+            s.rule == d.rule && s.path == d.path && (s.line == d.line || s.line + 1 == d.line)
+        });
+        match hit {
+            Some((i, _)) => {
+                used[i] = true;
+                report.suppressed.push(d);
+            }
+            None => report.diagnostics.push(d),
+        }
+    }
+    for (i, s) in suppressions.into_iter().enumerate() {
+        if !used[i] {
+            report.unused_suppressions.push(s);
+        }
+    }
+    report.diagnostics.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
+    report
+}

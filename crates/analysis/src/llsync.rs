@@ -1,0 +1,519 @@
+//! Scheduler-instrumented implementations of the [`cf_obs::sync`] shim
+//! traits.
+//!
+//! [`LLShim`] is the model checker's counterpart of
+//! [`cf_obs::sync::StdShim`]: every operation on its primitives is a
+//! *yield point* where the calling thread parks and the
+//! [`crate::sched`] scheduler decides who runs next. Lock acquisition
+//! goes through a scheduler-side resource table, so a contended acquire
+//! parks the thread as `Blocked` (excluded from the ready set) instead
+//! of spinning — the schedule tree stays finite for blocking code.
+//!
+//! The protected data itself lives in ordinary `std::sync` locks inside
+//! each primitive. The scheduler guarantees exclusivity before a guard
+//! is taken, so those inner locks are uncontended at claim time; they
+//! exist to hand out real `Deref` guards with the right lifetimes.
+//!
+//! Operations performed without a scheduler context — during
+//! [`crate::sched::Model::make_state`], in `check()` after all threads
+//! joined, or from [`crate::sched::Model::state_hash`] (atomics only) —
+//! **free-pass**: they touch the data directly without scheduling.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use cf_obs::sync::{Poisoned, Shim, ShimAtomicBool, ShimAtomicU64, ShimMutex, ShimRwLock};
+
+use crate::sched::{AbortToken, CtxState, ExecCtx, Status, HARNESS};
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<ExecCtx>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Installs (or clears) this thread's scheduler context. The scheduler
+/// calls this for the harness and each worker; user code never needs to.
+pub(crate) fn set_current(ctx: Option<(Arc<ExecCtx>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+fn current() -> Option<(Arc<ExecCtx>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// The scheduler context an operation should run under: `None` means
+/// free-pass (no scheduling).
+fn sched_ctx() -> Option<(Arc<ExecCtx>, usize)> {
+    match current() {
+        Some((_, HARNESS)) | None => None,
+        some => some,
+    }
+}
+
+/// One scheduling yield: parks the calling worker until it is granted
+/// the next slice.
+fn yield_now(ctx: &ExecCtx, tid: usize) {
+    ctx.park(tid, Status::Ready);
+}
+
+/// Parks the calling worker as blocked on `rid`, consuming (and
+/// returning) the state guard. Returns once the scheduler grants a
+/// slice again (after a release promoted the thread to ready).
+fn park_blocked<'a>(
+    ctx: &'a ExecCtx,
+    tid: usize,
+    rid: usize,
+    mut st: std::sync::MutexGuard<'a, CtxState>,
+) -> std::sync::MutexGuard<'a, CtxState> {
+    st.status[tid] = Status::Blocked(rid);
+    st.active = None;
+    ctx.cv.notify_all();
+    while st.active != Some(tid) {
+        if st.aborted {
+            drop(st);
+            std::panic::panic_any(AbortToken);
+        }
+        st = ctx
+            .cv
+            .wait(st)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    let p = &mut st.progress[tid];
+    *p = p.saturating_add(1);
+    st
+}
+
+/// Claims exclusive ownership of `rid` for `tid`, parking while it is
+/// held by anyone else. One yield happens before the first attempt.
+fn acquire_exclusive(ctx: &ExecCtx, tid: usize, rid: usize) {
+    yield_now(ctx, tid);
+    let mut st = ctx.lock();
+    loop {
+        let r = &mut st.resources[rid];
+        if r.writer.is_none() && r.readers == 0 {
+            r.writer = Some(tid);
+            return;
+        }
+        st = park_blocked(ctx, tid, rid, st);
+    }
+}
+
+fn release_exclusive(ctx: &ExecCtx, rid: usize) {
+    let mut st = ctx.lock();
+    st.resources[rid].writer = None;
+    ExecCtx::promote_blocked(&mut st, rid);
+}
+
+/// Claims shared ownership of `rid` for `tid` (blocks on a writer).
+fn acquire_shared(ctx: &ExecCtx, tid: usize, rid: usize) {
+    yield_now(ctx, tid);
+    let mut st = ctx.lock();
+    loop {
+        let r = &mut st.resources[rid];
+        if r.writer.is_none() {
+            r.readers += 1;
+            return;
+        }
+        st = park_blocked(ctx, tid, rid, st);
+    }
+}
+
+fn release_shared(ctx: &ExecCtx, rid: usize) {
+    let mut st = ctx.lock();
+    let r = &mut st.resources[rid];
+    r.readers = r.readers.saturating_sub(1);
+    if r.readers == 0 {
+        ExecCtx::promote_blocked(&mut st, rid);
+    }
+}
+
+/// The model checker's [`Shim`]: schedule-instrumented primitives.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LLShim;
+
+// --------------------------------------------------------------------------
+// Atomics
+// --------------------------------------------------------------------------
+
+/// Schedule-instrumented atomic `bool` (one yield per operation;
+/// sequentially consistent by construction).
+pub struct LLAtomicBool {
+    val: std::sync::Mutex<bool>,
+}
+
+impl LLAtomicBool {
+    fn with<R>(&self, f: impl FnOnce(&mut bool) -> R) -> R {
+        if let Some((ctx, tid)) = sched_ctx() {
+            yield_now(&ctx, tid);
+        }
+        let mut v = self
+            .val
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut v)
+    }
+}
+
+impl ShimAtomicBool for LLAtomicBool {
+    fn new(v: bool) -> Self {
+        Self {
+            val: std::sync::Mutex::new(v),
+        }
+    }
+    fn load(&self) -> bool {
+        self.with(|v| *v)
+    }
+    fn store(&self, v: bool) {
+        self.with(|x| *x = v)
+    }
+    fn swap(&self, v: bool) -> bool {
+        self.with(|x| std::mem::replace(x, v))
+    }
+}
+
+/// Schedule-instrumented atomic `u64`.
+pub struct LLAtomicU64 {
+    val: std::sync::Mutex<u64>,
+}
+
+impl LLAtomicU64 {
+    fn with<R>(&self, f: impl FnOnce(&mut u64) -> R) -> R {
+        if let Some((ctx, tid)) = sched_ctx() {
+            yield_now(&ctx, tid);
+        }
+        let mut v = self
+            .val
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut v)
+    }
+}
+
+impl ShimAtomicU64 for LLAtomicU64 {
+    fn new(v: u64) -> Self {
+        Self {
+            val: std::sync::Mutex::new(v),
+        }
+    }
+    fn load(&self) -> u64 {
+        self.with(|v| *v)
+    }
+    fn store(&self, v: u64) {
+        self.with(|x| *x = v)
+    }
+    fn fetch_add(&self, v: u64) -> u64 {
+        self.with(|x| {
+            let old = *x;
+            *x = x.wrapping_add(v);
+            old
+        })
+    }
+}
+
+// --------------------------------------------------------------------------
+// Mutex
+// --------------------------------------------------------------------------
+
+/// Schedule-instrumented mutex. Matches [`cf_obs::sync::RecoverMutex`]'s
+/// contract: `lock_recover` never observes poison (model-thread panics
+/// abort the whole execution instead).
+pub struct LLMutex<T> {
+    ctx: Option<Arc<ExecCtx>>,
+    rid: usize,
+    data: std::sync::Mutex<T>,
+}
+
+/// Guard for [`LLMutex`]; releases the scheduler resource on drop.
+pub struct LLMutexGuard<'a, T> {
+    lock: &'a LLMutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    scheduled: bool,
+}
+
+impl<T> Deref for LLMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> DerefMut for LLMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for LLMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None; // release the data lock first
+        if self.scheduled {
+            if let Some(ctx) = &self.lock.ctx {
+                release_exclusive(ctx, self.lock.rid);
+            }
+        }
+    }
+}
+
+impl<T: Send + 'static> ShimMutex<T> for LLMutex<T> {
+    type Guard<'a>
+        = LLMutexGuard<'a, T>
+    where
+        T: 'a;
+
+    fn new(value: T) -> Self {
+        let (ctx, rid) = match current() {
+            Some((ctx, _)) => {
+                let rid = ctx.alloc_resource();
+                (Some(ctx), rid)
+            }
+            None => (None, 0),
+        };
+        Self {
+            ctx,
+            rid,
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn lock_recover(&self) -> Self::Guard<'_> {
+        let scheduled = match (sched_ctx(), &self.ctx) {
+            (Some((_, tid)), Some(ctx)) => {
+                acquire_exclusive(ctx, tid, self.rid);
+                true
+            }
+            _ => false,
+        };
+        let inner = if scheduled {
+            // The scheduler granted exclusivity; the data lock is free.
+            self.data
+                .try_lock()
+                .unwrap_or_else(|_| unreachable!("scheduler-granted mutex contended"))
+        } else {
+            self.data
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        };
+        LLMutexGuard {
+            lock: self,
+            inner: Some(inner),
+            scheduled,
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// RwLock
+// --------------------------------------------------------------------------
+
+/// Schedule-instrumented reader-writer lock with the full poison
+/// protocol of [`cf_obs::sync::ShimRwLock`].
+pub struct LLRwLock<T> {
+    ctx: Option<Arc<ExecCtx>>,
+    rid: usize,
+    data: std::sync::RwLock<T>,
+}
+
+impl<T> LLRwLock<T> {
+    fn set_poisoned(&self, poisoned: bool) {
+        if let Some(ctx) = &self.ctx {
+            ctx.lock().resources[self.rid].poisoned = poisoned;
+        }
+    }
+
+    fn poisoned_flag(&self) -> bool {
+        match &self.ctx {
+            Some(ctx) => ctx.lock().resources[self.rid].poisoned,
+            None => false,
+        }
+    }
+}
+
+/// Shared guard for [`LLRwLock`].
+pub struct LLReadGuard<'a, T> {
+    lock: &'a LLRwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    scheduled: bool,
+}
+
+impl<T> Deref for LLReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> Drop for LLReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if self.scheduled {
+            if let Some(ctx) = &self.lock.ctx {
+                release_shared(ctx, self.lock.rid);
+            }
+        }
+    }
+}
+
+/// Exclusive guard for [`LLRwLock`]. Dropping it while panicking
+/// poisons the lock, exactly like `std`.
+pub struct LLWriteGuard<'a, T> {
+    lock: &'a LLRwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    scheduled: bool,
+}
+
+impl<T> Deref for LLWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> DerefMut for LLWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for LLWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if std::thread::panicking() {
+            self.lock.set_poisoned(true);
+        }
+        if self.scheduled {
+            if let Some(ctx) = &self.lock.ctx {
+                release_exclusive(ctx, self.lock.rid);
+            }
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static> LLRwLock<T> {
+    fn claim_shared(&self) -> LLReadGuard<'_, T> {
+        let scheduled = match (sched_ctx(), &self.ctx) {
+            (Some((_, tid)), Some(ctx)) => {
+                acquire_shared(ctx, tid, self.rid);
+                true
+            }
+            _ => false,
+        };
+        let inner = if scheduled {
+            self.data
+                .try_read()
+                .unwrap_or_else(|_| unreachable!("scheduler-granted shared lock contended"))
+        } else {
+            self.data
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        };
+        LLReadGuard {
+            lock: self,
+            inner: Some(inner),
+            scheduled,
+        }
+    }
+
+    fn claim_exclusive(&self) -> LLWriteGuard<'_, T> {
+        let scheduled = match (sched_ctx(), &self.ctx) {
+            (Some((_, tid)), Some(ctx)) => {
+                acquire_exclusive(ctx, tid, self.rid);
+                true
+            }
+            _ => false,
+        };
+        let inner = if scheduled {
+            self.data
+                .try_write()
+                .unwrap_or_else(|_| unreachable!("scheduler-granted exclusive lock contended"))
+        } else {
+            self.data
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        };
+        LLWriteGuard {
+            lock: self,
+            inner: Some(inner),
+            scheduled,
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static> ShimRwLock<T> for LLRwLock<T> {
+    type ReadGuard<'a>
+        = LLReadGuard<'a, T>
+    where
+        T: 'a;
+    type WriteGuard<'a>
+        = LLWriteGuard<'a, T>
+    where
+        T: 'a;
+
+    fn new(value: T) -> Self {
+        let (ctx, rid) = match current() {
+            Some((ctx, _)) => {
+                let rid = ctx.alloc_resource();
+                (Some(ctx), rid)
+            }
+            None => (None, 0),
+        };
+        Self {
+            ctx,
+            rid,
+            data: std::sync::RwLock::new(value),
+        }
+    }
+
+    fn read(&self) -> Result<Self::ReadGuard<'_>, Poisoned> {
+        // Acquire first, then report poison (matching std: a poisoned
+        // read still waits for the lock; our contract then drops the
+        // guard and reports).
+        let g = self.claim_shared();
+        if self.poisoned_flag() {
+            drop(g);
+            return Err(Poisoned);
+        }
+        Ok(g)
+    }
+
+    fn write(&self) -> Result<Self::WriteGuard<'_>, Poisoned> {
+        let g = self.claim_exclusive();
+        if self.poisoned_flag() {
+            drop(g);
+            return Err(Poisoned);
+        }
+        Ok(g)
+    }
+
+    fn write_recover(&self) -> Self::WriteGuard<'_> {
+        self.claim_exclusive()
+    }
+
+    fn clear_poison(&self) {
+        if let Some((ctx, tid)) = sched_ctx() {
+            yield_now(&ctx, tid);
+        }
+        self.set_poisoned(false);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        if let Some((ctx, tid)) = sched_ctx() {
+            yield_now(&ctx, tid);
+        }
+        self.poisoned_flag()
+    }
+
+    fn poison(&self) {
+        // Exactly what a panicking writer does: acquire exclusively,
+        // mark poisoned, release.
+        let g = self.claim_exclusive();
+        self.set_poisoned(true);
+        drop(g);
+    }
+}
+
+impl Shim for LLShim {
+    type AtomicBool = LLAtomicBool;
+    type AtomicU64 = LLAtomicU64;
+    type Mutex<T: Send + 'static> = LLMutex<T>;
+    type RwLock<T: Send + Sync + 'static> = LLRwLock<T>;
+}

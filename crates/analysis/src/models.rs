@@ -1,0 +1,277 @@
+//! Model-checked ports of the repo's riskiest concurrent structures.
+//!
+//! Each model instantiates the **production core** — not a copy — with
+//! the scheduler-instrumented [`crate::llsync::LLShim`] primitives and
+//! asserts its invariants over every explored interleaving:
+//!
+//! - [`CacheInsertEvictModel`] — `cfsf_core::cache::ShardedCacheCore`
+//!   under racing inserts into one full shard: capacity is a hard bound,
+//!   the map↔slot structure stays intact, and a hit never returns a
+//!   value nobody inserted for that key;
+//! - [`ReservoirAdmissionModel`] — `cf_obs::reservoir::SlowReservoir`
+//!   under racing admissions: bounded size, the maximum admitted key
+//!   always survives, and the admission bar ends consistent with the
+//!   held set;
+//! - [`PoisonResetModel`] — the poisoned-shard self-reset racing a
+//!   writer: when the poison fully precedes the insert, the reset must
+//!   not silently drop the concurrent writer's entry, and the insert
+//!   never panics.
+//!
+//! [`run_builtin_models`] runs all three exhaustively (the CI gate).
+
+use cf_obs::reservoir::SlowReservoir;
+use cf_obs::sync::ShimAtomicU64;
+use cfsf_core::cache::ShardedCacheCore;
+
+use crate::llsync::{LLAtomicU64, LLShim};
+use crate::sched::{Explorer, Mode, Model, Report};
+
+// --------------------------------------------------------------------------
+// Model A: sharded cache insert / evict
+// --------------------------------------------------------------------------
+
+/// Three threads insert distinct keys into a single 2-slot shard (every
+/// insert past the second evicts), each re-reading its own key.
+pub struct CacheInsertEvictModel;
+
+/// Shared state of [`CacheInsertEvictModel`].
+pub struct CacheState {
+    cache: ShardedCacheCore<LLShim, u32>,
+}
+
+impl Model for CacheInsertEvictModel {
+    type State = CacheState;
+
+    fn name(&self) -> &'static str {
+        "cache-insert-evict"
+    }
+
+    fn threads(&self) -> usize {
+        3
+    }
+
+    fn make_state(&self) -> CacheState {
+        CacheState {
+            // One shard, two slots: three racing inserts force the
+            // second-chance eviction path under contention.
+            cache: ShardedCacheCore::new(1, 2),
+        }
+    }
+
+    fn run_thread(&self, tid: usize, st: &CacheState) {
+        let key = tid as u32;
+        let value = 100 + key;
+        let stored = st.cache.insert(key, value);
+        assert_eq!(stored, value, "insert must return this key's value");
+        if let Some(v) = st.cache.get(key) {
+            // The entry may have been evicted (miss is fine), but a hit
+            // must never surface a value inserted for a different key.
+            assert_eq!(v, value, "hit for key {key} returned foreign value {v}");
+        }
+    }
+
+    fn check(&self, st: &CacheState) -> Result<(), String> {
+        st.cache.integrity()?;
+        let len = st.cache.len();
+        if len > st.cache.capacity() {
+            return Err(format!(
+                "len {len} exceeds capacity {}",
+                st.cache.capacity()
+            ));
+        }
+        // Three inserts into two slots always end exactly full.
+        if len != 2 {
+            return Err(format!(
+                "expected exactly 2 entries after 3 inserts, got {len}"
+            ));
+        }
+        for key in 0..3u32 {
+            if let Some(v) = st.cache.get(key) {
+                if v != 100 + key {
+                    return Err(format!("key {key} holds foreign value {v}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------------------
+// Model B: slow-reservoir admission
+// --------------------------------------------------------------------------
+
+/// Three threads race distinct keys through the lock-free admission bar
+/// into a capacity-2 reservoir.
+pub struct ReservoirAdmissionModel;
+
+/// Shared state of [`ReservoirAdmissionModel`].
+pub struct ReservoirState {
+    res: SlowReservoir<LLShim, u32>,
+}
+
+impl Model for ReservoirAdmissionModel {
+    type State = ReservoirState;
+
+    fn name(&self) -> &'static str {
+        "reservoir-admission"
+    }
+
+    fn threads(&self) -> usize {
+        3
+    }
+
+    fn make_state(&self) -> ReservoirState {
+        ReservoirState {
+            res: SlowReservoir::new(2),
+        }
+    }
+
+    fn run_thread(&self, tid: usize, st: &ReservoirState) {
+        // Distinct "latencies": 10, 20, 30.
+        let key = (tid as u64 + 1) * 10;
+        // The production call pattern: lock-free pre-check, then admit.
+        if st.res.should_admit(key) {
+            st.res.admit(key, key as u32);
+        }
+    }
+
+    fn check(&self, st: &ReservoirState) -> Result<(), String> {
+        let snap = st.res.snapshot_sorted();
+        if snap.len() > 2 {
+            return Err(format!("reservoir holds {} > capacity 2", snap.len()));
+        }
+        if snap.len() != 2 {
+            return Err(format!(
+                "three admissions into capacity 2 must end full, got {}",
+                snap.len()
+            ));
+        }
+        // The maximum key always passes every bar it can observe (the
+        // bar never exceeds min+1 <= 21 <= 30), so it must survive.
+        if snap[0].0 != 30 {
+            return Err(format!(
+                "maximum key 30 displaced; slowest held is {}",
+                snap[0].0
+            ));
+        }
+        // Bar consistency: full reservoir => bar == final minimum + 1.
+        let min = snap.iter().map(|&(k, _)| k).min().unwrap_or(0);
+        if st.res.bar() != min + 1 {
+            return Err(format!("bar {} inconsistent with min {min}", st.res.bar()));
+        }
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------------------
+// Model C: poisoned-shard reset vs concurrent writer
+// --------------------------------------------------------------------------
+
+/// One thread poisons the shard (as a panicking writer would) while
+/// another inserts; a logical clock orders the two completions so the
+/// final check can assert the happened-before case exactly.
+pub struct PoisonResetModel;
+
+/// Shared state of [`PoisonResetModel`].
+pub struct PoisonState {
+    cache: ShardedCacheCore<LLShim, u32>,
+    clock: LLAtomicU64,
+    /// Clock stamp *after* `poison_shard` returned (0 = not yet).
+    poison_done: LLAtomicU64,
+    /// Clock stamp *before* the insert began (0 = not yet).
+    insert_start: LLAtomicU64,
+}
+
+impl Model for PoisonResetModel {
+    type State = PoisonState;
+
+    fn name(&self) -> &'static str {
+        "poison-reset"
+    }
+
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn make_state(&self) -> PoisonState {
+        let cache = ShardedCacheCore::new(1, 4);
+        // Pre-existing entries the reset is allowed to drop.
+        cache.insert(1, 101);
+        cache.insert(2, 102);
+        PoisonState {
+            cache,
+            clock: ShimAtomicU64::new(1),
+            poison_done: ShimAtomicU64::new(0),
+            insert_start: ShimAtomicU64::new(0),
+        }
+    }
+
+    fn run_thread(&self, tid: usize, st: &PoisonState) {
+        if tid == 0 {
+            st.cache.poison_shard(0);
+            let stamp = st.clock.fetch_add(1);
+            st.poison_done.store(stamp);
+        } else {
+            let stamp = st.clock.fetch_add(1);
+            st.insert_start.store(stamp);
+            // Must never panic, poisoned or not.
+            let stored = st.cache.insert(5, 105);
+            assert_eq!(stored, 105, "insert through a reset must keep its value");
+        }
+    }
+
+    fn check(&self, st: &PoisonState) -> Result<(), String> {
+        st.cache.integrity()?;
+        let p = st.poison_done.load();
+        let i = st.insert_start.load();
+        if p == 0 || i == 0 {
+            return Err("both threads must have stamped the clock".into());
+        }
+        if p < i {
+            // The poison fully completed before the insert began: the
+            // insert observed the poison, ran the reset, and re-inserted
+            // into the fresh shard. The reset must not have dropped it.
+            match st.cache.get(5) {
+                Some(105) => {}
+                other => {
+                    return Err(format!(
+                        "poison happened-before insert, but key 5 is {other:?} \
+                         (reset silently dropped a concurrent writer's entry)"
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------------------
+// Registry
+// --------------------------------------------------------------------------
+
+/// Names of the built-in models, in the order [`run_builtin_models`]
+/// runs them.
+pub const BUILTIN_MODELS: [&str; 3] = ["cache-insert-evict", "reservoir-admission", "poison-reset"];
+
+/// Runs every built-in model exhaustively, returning `(name, report)`
+/// pairs. This is what `cfsf-analyze` gates CI on.
+pub fn run_builtin_models() -> Vec<(&'static str, Report)> {
+    let explorer = Explorer::new(Mode::Exhaustive).with_max_steps(5_000);
+    vec![
+        ("cache-insert-evict", explorer.run(CacheInsertEvictModel)),
+        ("reservoir-admission", explorer.run(ReservoirAdmissionModel)),
+        ("poison-reset", explorer.run(PoisonResetModel)),
+    ]
+}
+
+/// Re-runs one built-in model under an explicit schedule (the binary's
+/// `--replay` flag). Returns `None` for an unknown model name.
+pub fn replay_builtin(name: &str, script: Vec<usize>) -> Option<Report> {
+    let explorer = Explorer::new(Mode::Replay { script }).with_max_steps(5_000);
+    match name {
+        "cache-insert-evict" => Some(explorer.run(CacheInsertEvictModel)),
+        "reservoir-admission" => Some(explorer.run(ReservoirAdmissionModel)),
+        "poison-reset" => Some(explorer.run(PoisonResetModel)),
+        _ => None,
+    }
+}

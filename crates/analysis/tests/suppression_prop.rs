@@ -1,0 +1,82 @@
+//! Property tests for the suppression comment grammar: rendering a set
+//! of rule ids and re-scanning the file must round-trip exactly, and
+//! unknown rule ids must always surface as hard errors.
+
+use cf_analysis::lint::rules::RULES;
+use cf_analysis::lint::{parse_suppressions, render_suppression, scan_file};
+use proptest::prelude::*;
+
+proptest! {
+    /// render → scan → parse is the identity on known rule ids,
+    /// wherever the comment lands in the file and whatever code
+    /// surrounds it.
+    #[test]
+    fn suppression_round_trips(
+        idxs in proptest::collection::vec(0usize..RULES.len(), 1..4),
+        pad_before in 0usize..4,
+        trailing in proptest::option::of(0usize..RULES.len()),
+    ) {
+        // Dedupe while keeping order (duplicate ids in one comment are
+        // legal and parse once each; keep the oracle simple).
+        let mut ids: Vec<&str> = Vec::new();
+        for i in idxs {
+            if !ids.contains(&RULES[i].id) {
+                ids.push(RULES[i].id);
+            }
+        }
+        let comment = render_suppression(&ids);
+
+        let mut src = String::new();
+        for _ in 0..pad_before {
+            src.push_str("fn pad() {}\n");
+        }
+        src.push_str(&comment);
+        src.push('\n');
+        // Same-line form on a code line, optionally.
+        if let Some(t) = trailing {
+            src.push_str(&format!("let x = 1; {}\n", render_suppression(&[RULES[t].id])));
+        }
+
+        let scan = scan_file("crates/core/src/x.rs", &src);
+        let (found, errors) = parse_suppressions(&scan);
+        prop_assert!(errors.is_empty(), "round-trip produced errors: {errors:?}");
+
+        let standalone: Vec<&str> = found
+            .iter()
+            .filter(|s| s.line == pad_before + 1)
+            .map(|s| s.rule.as_str())
+            .collect();
+        prop_assert_eq!(standalone, ids);
+        if let Some(t) = trailing {
+            let inline: Vec<&str> = found
+                .iter()
+                .filter(|s| s.line == pad_before + 2)
+                .map(|s| s.rule.as_str())
+                .collect();
+            prop_assert_eq!(inline, vec![RULES[t].id]);
+        }
+    }
+
+    /// Any id not in the catalog is a hard error, never silently
+    /// accepted — mixed known/unknown comments still error.
+    #[test]
+    fn unknown_rule_ids_are_hard_errors(
+        n in 0u32..1_000_000,
+        known in proptest::option::of(0usize..RULES.len()),
+    ) {
+        let bogus = format!("nope-{n}");
+        prop_assume!(!RULES.iter().any(|r| r.id == bogus));
+        let ids: Vec<&str> = match known {
+            Some(k) => vec![RULES[k].id, &bogus],
+            None => vec![&bogus],
+        };
+        let src = format!("{}\nfn f() {{}}\n", render_suppression(&ids));
+        let scan = scan_file("crates/core/src/x.rs", &src);
+        let (found, errors) = parse_suppressions(&scan);
+        prop_assert_eq!(errors.len(), 1);
+        prop_assert_eq!(errors[0].rule, "bad-suppression");
+        prop_assert!(errors[0].message.contains(&bogus));
+        // The known id (if any) still parses alongside the error.
+        prop_assert_eq!(found.len(), usize::from(known.is_some()));
+    }
+}

@@ -40,6 +40,11 @@ pub struct KMeansConfig {
     pub init: KMeansInit,
     /// Worker threads (`None` = auto).
     pub threads: Option<usize>,
+    /// Centroid-drift convergence tolerance: the fit also stops once no
+    /// centroid mean moved by more than `tol` between rounds, even if a
+    /// few boundary users are still flip-flopping between equidistant
+    /// clusters (exact assignment stability always converges too).
+    pub tol: f64,
 }
 
 impl Default for KMeansConfig {
@@ -50,6 +55,7 @@ impl Default for KMeansConfig {
             seed: 42,
             init: KMeansInit::Random,
             threads: None,
+            tol: 1e-9,
         }
     }
 }
@@ -303,8 +309,22 @@ impl KMeans {
                     }
                 }
             }
+            let prev_means: Vec<f64> = centroids.iter().map(|c| c.mean).collect();
             centroids = par_map(k, threads, |c| Centroid::from_members(m, &members[c]));
             cf_obs::histogram!("offline.kmeans.iter_ns").record_duration(iter_start.elapsed());
+            // Tolerance-based convergence: when every centroid mean is
+            // numerically stationary the clustering has settled even if
+            // boundary ties keep a user oscillating. NaN drift (a still-
+            // empty centroid) compares false and keeps iterating.
+            let drift = centroids
+                .iter()
+                .zip(&prev_means)
+                .map(|(c, &prev)| (c.mean - prev).abs())
+                .fold(0.0_f64, f64::max);
+            if drift <= config.tol {
+                converged = true;
+                break;
+            }
         }
 
         cf_obs::histogram!("offline.kmeans.iterations").record(iterations as u64);
@@ -558,6 +578,7 @@ mod tests {
                     seed,
                     max_iterations: 20,
                     threads: Some(2),
+                    tol: 1e-9,
                 },
             );
             // converged 2-cluster solutions on this data separate the blocks

@@ -39,7 +39,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod batch;
-mod cache;
+pub mod cache;
 mod config;
 mod degrade;
 mod error;

@@ -97,6 +97,10 @@ impl Cfsf {
         // state, injected fault) degrades this request to an empty
         // neighbor list — the ladder below the estimators still serves —
         // and is NOT cached, so the next request retries selection.
+        // Unwind safety: the closure captures only `&self` and the Copy
+        // user id — no `&mut` (the `unwind-safe-mut` lint enforces this
+        // shape) — and the partial result is dropped, so nothing can
+        // observe half-built selection state.
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.select_top_k(user))) {
             Ok(selection) => self.neighbor_cache.insert(user, Arc::new(selection)),
             Err(_) => {

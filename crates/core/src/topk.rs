@@ -50,10 +50,9 @@ where
         if heap.len() < k {
             heap.push(Worst(id, score));
         } else {
-            let Some(worst) = heap.peek() else {
-                unreachable!("heap is at capacity k > 0");
-            };
-            let beats = score > worst.1 || (score == worst.1 && id < worst.0);
+            let beats = heap
+                .peek()
+                .is_some_and(|worst| score > worst.1 || (score == worst.1 && id < worst.0));
             if beats {
                 heap.pop();
                 heap.push(Worst(id, score));

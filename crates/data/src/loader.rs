@@ -197,7 +197,7 @@ pub fn save_movielens<W: Write>(m: &RatingMatrix, mut out: W) -> std::io::Result
     for (u, i, r) in m.triplets() {
         // Integer ratings print without a decimal point, matching the
         // original file format.
-        if r.fract() == 0.0 {
+        if cf_matrix::approx_zero(r.fract()) {
             writeln!(buf, "{}\t{}\t{}\t0", u.raw() + 1, i.raw() + 1, r as i64)?;
         } else {
             writeln!(buf, "{}\t{}\t{}\t0", u.raw() + 1, i.raw() + 1, r)?;

@@ -14,7 +14,9 @@
 //!   folding the Eq. 11 smoothing weight into contiguous dense storage,
 //! - [`Predictor`] — the trait every CF algorithm in this workspace
 //!   implements, plus rating-scale clamping helpers,
-//! - [`stats`] — dataset statistics as reported in Table I of the paper.
+//! - [`stats`] — dataset statistics as reported in Table I of the paper,
+//! - [`approx`] — the sanctioned float-comparison helpers (the
+//!   `float-eq` lint forbids raw float `==` elsewhere).
 //!
 //! The matrix is deliberately immutable after build: every algorithm in the
 //! paper (CFSF and all baselines) trains on a frozen snapshot, and
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod approx;
 mod builder;
 mod dense;
 mod error;
@@ -34,6 +37,7 @@ mod planes;
 mod predictor;
 pub mod stats;
 
+pub use approx::{approx_eq, approx_eq_eps, approx_zero, DEFAULT_EPS};
 pub use builder::{MatrixBuilder, QuarantineReport};
 pub use dense::DenseRatings;
 pub use error::MatrixError;

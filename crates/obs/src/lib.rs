@@ -40,13 +40,17 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use crate::sync::RecoverMutex;
 use std::time::{Duration, Instant};
 
 pub mod json;
 pub mod prom;
 pub mod quality;
+pub mod reservoir;
 pub mod serve;
+pub mod sync;
 pub mod trace;
 
 // --------------------------------------------------------------------------
@@ -372,9 +376,9 @@ impl Drop for SpanTimer {
 /// call site (the [`counter!`]-family macros do this automatically).
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
-    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
-    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    counters: RecoverMutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: RecoverMutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RecoverMutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
 /// Everything a [`Registry`] held at one point in time.
@@ -396,7 +400,7 @@ impl Registry {
 
     /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().expect("obs registry poisoned");
+        let mut map = self.counters.lock();
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Counter::new())),
@@ -405,7 +409,7 @@ impl Registry {
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().expect("obs registry poisoned");
+        let mut map = self.gauges.lock();
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Gauge::new())),
@@ -414,7 +418,7 @@ impl Registry {
 
     /// The histogram named `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().expect("obs registry poisoned");
+        let mut map = self.histograms.lock();
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Histogram::new())),
@@ -429,23 +433,13 @@ impl Registry {
     /// Zeroes every registered metric *in place* — existing handles (and
     /// the macros' cached ones) stay valid.
     pub fn reset(&self) {
-        for c in self
-            .counters
-            .lock()
-            .expect("obs registry poisoned")
-            .values()
-        {
+        for c in self.counters.lock().values() {
             c.reset();
         }
-        for g in self.gauges.lock().expect("obs registry poisoned").values() {
+        for g in self.gauges.lock().values() {
             g.reset();
         }
-        for h in self
-            .histograms
-            .lock()
-            .expect("obs registry poisoned")
-            .values()
-        {
+        for h in self.histograms.lock().values() {
             h.reset();
         }
     }
@@ -456,21 +450,18 @@ impl Registry {
             counters: self
                 .counters
                 .lock()
-                .expect("obs registry poisoned")
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             gauges: self
                 .gauges
                 .lock()
-                .expect("obs registry poisoned")
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             histograms: self
                 .histograms
                 .lock()
-                .expect("obs registry poisoned")
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),

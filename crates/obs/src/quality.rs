@@ -17,14 +17,16 @@
 //!   gauges are always coherent with the counters next to them.
 
 use std::collections::VecDeque;
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
+
+use crate::sync::RecoverMutex;
 
 /// Number of recent observations the MAE window holds.
 pub const WINDOW: usize = 256;
 
-fn window() -> &'static Mutex<VecDeque<f64>> {
-    static W: OnceLock<Mutex<VecDeque<f64>>> = OnceLock::new();
-    W.get_or_init(|| Mutex::new(VecDeque::with_capacity(WINDOW)))
+fn window() -> &'static RecoverMutex<VecDeque<f64>> {
+    static W: OnceLock<RecoverMutex<VecDeque<f64>>> = OnceLock::new();
+    W.get_or_init(|| RecoverMutex::new(VecDeque::with_capacity(WINDOW)))
 }
 
 /// Feeds one |prediction − observed rating| into the rolling window and
@@ -41,9 +43,7 @@ pub fn observe_prediction_error(abs_err: f64) {
     }
     crate::counter!("online.quality.observed").inc();
     let mae = {
-        let mut w = window()
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut w = window().lock();
         if w.len() >= WINDOW {
             w.pop_front();
         }
@@ -55,18 +55,12 @@ pub fn observe_prediction_error(abs_err: f64) {
 
 /// Observations currently in the MAE window (tests / diagnostics).
 pub fn window_len() -> usize {
-    window()
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .len()
+    window().lock().len()
 }
 
 /// Empties the MAE window (tests).
 pub fn clear_window() {
-    window()
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .clear();
+    window().lock().clear();
 }
 
 fn per_mille(part: u64, whole: u64) -> i64 {

@@ -1,0 +1,241 @@
+//! Schedulable cores for the trace tail-sampling storage: a bounded FIFO
+//! ring and the slowest-seen reservoir with its lock-free admission bar.
+//!
+//! [`crate::trace`] used to hold this logic inline in its sink; it now
+//! lives here, generic over the [`crate::sync::Shim`] family, so the
+//! `cf-analysis` loom-lite model checker can run the *same* admission
+//! logic under exhaustive interleaving exploration while production
+//! instantiates it with [`crate::sync::StdShim`] at zero cost.
+//!
+//! Invariants the model checker asserts (and production relies on):
+//!
+//! - the reservoir never holds more than its capacity;
+//! - once admitted, the maximum-keyed entry is never displaced by a
+//!   smaller one (the slowest trace seen survives);
+//! - the admission bar is monotone non-decreasing, so the lock-free
+//!   pre-check ([`SlowReservoir::should_admit`]) may admit stale values
+//!   but never *rejects* a value the under-lock re-check would keep.
+
+use crate::sync::{Shim, ShimAtomicU64, ShimMutex};
+use std::collections::VecDeque;
+
+/// A bounded FIFO ring: pushing at capacity evicts the oldest entry.
+/// Plain data — callers provide the locking (the trace sink holds its
+/// rings under one mutex; models wrap it in a scheduler-instrumented
+/// one).
+#[derive(Debug, Clone)]
+pub struct BoundedRing<T> {
+    cap: usize,
+    items: VecDeque<T>,
+}
+
+impl<T> BoundedRing<T> {
+    /// A fresh empty ring bounded to `cap` entries (`cap >= 1` enforced).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            items: VecDeque::with_capacity(cap.max(1)),
+        }
+    }
+
+    /// Appends `value`, evicting the oldest entry when full. Returns the
+    /// evicted entry, if any.
+    pub fn push(&mut self, value: T) -> Option<T> {
+        let evicted = if self.items.len() >= self.cap {
+            self.items.pop_front()
+        } else {
+            None
+        };
+        self.items.push_back(value);
+        evicted
+    }
+
+    /// Entries currently held, oldest first.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no entry is held.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+struct SlowInner<T> {
+    /// Unordered; admission keeps it the `cap` largest-keyed entries.
+    items: Vec<(u64, T)>,
+}
+
+/// The slowest-seen reservoir: a bounded set keeping the entries with the
+/// largest keys (request latencies), guarded by a lock-free admission bar
+/// so in steady state only genuinely slow requests touch the lock.
+///
+/// The bar is the reservoir minimum plus one once full, else 0: a value
+/// below the bar cannot displace anything, so [`Self::should_admit`]
+/// rejects it without locking. The bar may lag (a racing admit can raise
+/// the true minimum before the store lands), which only causes spurious
+/// lock attempts — [`Self::admit`] re-checks under the lock.
+pub struct SlowReservoir<S: Shim, T: Send + 'static> {
+    cap: usize,
+    bar: S::AtomicU64,
+    inner: S::Mutex<SlowInner<T>>,
+}
+
+impl<S: Shim, T: Send + 'static> SlowReservoir<S, T> {
+    /// A fresh empty reservoir bounded to `cap` entries (`cap >= 1`
+    /// enforced).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            bar: S::AtomicU64::new(0),
+            inner: S::Mutex::new(SlowInner { items: Vec::new() }),
+        }
+    }
+
+    /// Lock-free pre-check: could `key` be admitted right now? `true` may
+    /// be stale (the bar rises concurrently); `false` is authoritative
+    /// because the bar is monotone.
+    pub fn should_admit(&self, key: u64) -> bool {
+        key >= self.bar.load()
+    }
+
+    /// Admits `(key, value)` if it belongs among the `cap` largest,
+    /// displacing the current minimum when full. Returns `true` when the
+    /// value was stored. Raises the admission bar to `min + 1` whenever
+    /// the reservoir is full on exit.
+    pub fn admit(&self, key: u64, value: T) -> bool {
+        let mut inner = self.inner.lock_recover();
+        let stored = if inner.items.len() < self.cap {
+            inner.items.push((key, value));
+            true
+        } else {
+            // Re-check under the lock: the bar may have moved since the
+            // caller's `should_admit`.
+            let (min_idx, min_key) = inner
+                .items
+                .iter()
+                .enumerate()
+                .map(|(i, (k, _))| (i, *k))
+                .min_by_key(|&(_, k)| k)
+                .unwrap_or((0, 0));
+            if key > min_key {
+                inner.items[min_idx] = (key, value);
+                true
+            } else {
+                false
+            }
+        };
+        if inner.items.len() >= self.cap {
+            let new_min = inner.items.iter().map(|(k, _)| *k).min().unwrap_or(0);
+            self.bar.store(new_min.saturating_add(1));
+        }
+        stored
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock_recover().items.len()
+    }
+
+    /// True when no entry is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The current admission bar (diagnostics / model assertions).
+    pub fn bar(&self) -> u64 {
+        self.bar.load()
+    }
+
+    /// Removes every entry and resets the admission bar.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock_recover();
+        inner.items.clear();
+        self.bar.store(0);
+    }
+
+    /// Snapshot of the held entries where `T: Clone`, largest key first.
+    pub fn snapshot_sorted(&self) -> Vec<(u64, T)>
+    where
+        T: Clone,
+    {
+        let mut items = self.inner.lock_recover().items.clone();
+        items.sort_by_key(|&(k, _)| std::cmp::Reverse(k));
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::StdShim;
+
+    #[test]
+    fn bounded_ring_evicts_oldest() {
+        let mut r = BoundedRing::new(3);
+        assert!(r.is_empty());
+        assert_eq!(r.push(1), None);
+        assert_eq!(r.push(2), None);
+        assert_eq!(r.push(3), None);
+        assert_eq!(r.push(4), Some(1), "oldest entry must be evicted");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn reservoir_keeps_the_largest_and_raises_the_bar() {
+        let r: SlowReservoir<StdShim, &'static str> = SlowReservoir::new(2);
+        assert!(r.should_admit(0), "empty reservoir admits everything");
+        assert!(r.admit(10, "a"));
+        assert!(r.admit(30, "b"));
+        // Full: bar is min + 1 = 11; a value of 10 is pre-rejected.
+        assert_eq!(r.bar(), 11);
+        assert!(!r.should_admit(10));
+        assert!(!r.admit(5, "c"), "below-min value must not displace");
+        assert!(r.admit(20, "d"), "above-min value displaces the min");
+        assert_eq!(r.bar(), 21);
+        let snap = r.snapshot_sorted();
+        assert_eq!(snap[0], (30, "b"), "maximum entry must survive");
+        assert_eq!(snap[1], (20, "d"));
+        assert_eq!(r.len(), 2);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.bar(), 0);
+    }
+
+    #[test]
+    fn bar_is_monotone_under_interleaved_admissions() {
+        let r: SlowReservoir<StdShim, u32> = SlowReservoir::new(2);
+        let mut last_bar = 0;
+        for key in [5, 1, 9, 3, 12, 12, 2, 40] {
+            if r.should_admit(key) {
+                r.admit(key, 0);
+            }
+            assert!(r.bar() >= last_bar, "bar must never decrease");
+            last_bar = r.bar();
+        }
+        assert_eq!(r.snapshot_sorted()[0].0, 40);
+    }
+}

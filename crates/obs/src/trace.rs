@@ -36,10 +36,13 @@
 //! TLS writes beyond one flag read, nothing recorded.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+use crate::reservoir::{BoundedRing, SlowReservoir};
+use crate::sync::{RecoverMutex, StdShim};
 
 /// Bound of the head-sampled *recent* ring.
 pub const RECENT_CAP: usize = 64;
@@ -61,9 +64,6 @@ pub const REQUEST_HISTOGRAM: &str = "online.request_ns";
 
 /// Head-sample every N-th request per thread; 0 disables tracing.
 static HEAD_EVERY: AtomicU32 = AtomicU32::new(64);
-/// Admission bar for the slow reservoir: the reservoir's minimum total
-/// once full, else 0 (admit everything until full).
-static SLOW_ADMIT_NS: AtomicU64 = AtomicU64::new(0);
 /// Monotone trace-id source (ids are allocated only for kept traces).
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -185,34 +185,46 @@ pub struct Exemplar {
     pub trace_id: u64,
 }
 
-#[derive(Default)]
 struct Sink {
-    recent: VecDeque<Arc<Trace>>,
-    /// Unordered; admission keeps it the `SLOW_CAP` slowest.
-    slow: Vec<Arc<Trace>>,
-    degraded: VecDeque<Arc<Trace>>,
+    recent: BoundedRing<Arc<Trace>>,
+    degraded: BoundedRing<Arc<Trace>>,
     /// metric name → octave → exemplar.
     exemplars: BTreeMap<String, BTreeMap<u8, Exemplar>>,
 }
 
-fn sink() -> &'static Mutex<Sink> {
-    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
-    SINK.get_or_init(|| Mutex::new(Sink::default()))
+fn sink() -> &'static RecoverMutex<Sink> {
+    static SINK: OnceLock<RecoverMutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        RecoverMutex::new(Sink {
+            recent: BoundedRing::new(RECENT_CAP),
+            degraded: BoundedRing::new(DEGRADED_CAP),
+            exemplars: BTreeMap::new(),
+        })
+    })
+}
+
+/// The slowest-seen reservoir. Its admission logic (lock-free bar +
+/// under-lock re-check) lives in [`crate::reservoir::SlowReservoir`] —
+/// the same core the `cf-analysis` model checker explores exhaustively.
+fn slow_reservoir() -> &'static SlowReservoir<StdShim, Arc<Trace>> {
+    static SLOW: OnceLock<SlowReservoir<StdShim, Arc<Trace>>> = OnceLock::new();
+    SLOW.get_or_init(|| SlowReservoir::new(SLOW_CAP))
 }
 
 fn lock_sink() -> std::sync::MutexGuard<'static, Sink> {
     // The sink is derived telemetry; a poisoning panic elsewhere must not
     // cascade, so recover the data as-is.
-    sink()
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    sink().lock()
 }
 
 /// Snapshot of the trace rings for rendering or assertions.
 pub fn snapshot() -> TraceDump {
+    let slow = slow_reservoir()
+        .snapshot_sorted()
+        .into_iter()
+        .map(|(_, t)| t)
+        .collect();
     let s = lock_sink();
-    let mut slow: Vec<Arc<Trace>> = s.slow.clone();
-    slow.sort_by_key(|t| std::cmp::Reverse(t.total_ns));
     TraceDump {
         slow,
         degraded: s.degraded.iter().rev().cloned().collect(),
@@ -249,11 +261,11 @@ pub fn record_exemplar(metric: &str, value: u64, trace_id: u64) {
 pub fn clear() {
     let mut s = lock_sink();
     s.recent.clear();
-    s.slow.clear();
     s.degraded.clear();
     s.exemplars.clear();
     drop(s);
-    SLOW_ADMIT_NS.store(0, Ordering::Relaxed);
+    // Also resets the admission bar.
+    slow_reservoir().clear();
 }
 
 // --------------------------------------------------------------------------
@@ -473,7 +485,7 @@ fn complete(outcome: &Outcome) {
     if sampled {
         why |= keep::HEAD;
     }
-    if total_ns >= SLOW_ADMIT_NS.load(Ordering::Relaxed) {
+    if slow_reservoir().should_admit(total_ns) {
         why |= keep::SLOW;
     }
     if outcome.fallback {
@@ -509,43 +521,22 @@ fn complete(outcome: &Outcome) {
         why,
     });
 
+    if why & keep::SLOW != 0 {
+        // The reservoir re-checks under its own lock (the admission bar
+        // may have moved since `should_admit`); the counter tracks
+        // traces actually stored.
+        if slow_reservoir().admit(total_ns, Arc::clone(&trace)) {
+            crate::counter!("trace.captured.slow").inc();
+        }
+    }
     let mut s = lock_sink();
     if why & keep::HEAD != 0 {
         crate::counter!("trace.captured.head").inc();
-        if s.recent.len() >= RECENT_CAP {
-            s.recent.pop_front();
-        }
-        s.recent.push_back(Arc::clone(&trace));
-    }
-    if why & keep::SLOW != 0 {
-        // Re-check under the lock: the admission bar may have moved.
-        if s.slow.len() < SLOW_CAP {
-            s.slow.push(Arc::clone(&trace));
-            crate::counter!("trace.captured.slow").inc();
-        } else {
-            let (min_idx, min_ns) = s
-                .slow
-                .iter()
-                .enumerate()
-                .map(|(k, t)| (k, t.total_ns))
-                .min_by_key(|&(_, ns)| ns)
-                .unwrap_or((0, 0));
-            if trace.total_ns > min_ns {
-                s.slow[min_idx] = Arc::clone(&trace);
-                crate::counter!("trace.captured.slow").inc();
-            }
-        }
-        if s.slow.len() >= SLOW_CAP {
-            let new_min = s.slow.iter().map(|t| t.total_ns).min().unwrap_or(0);
-            SLOW_ADMIT_NS.store(new_min.saturating_add(1), Ordering::Relaxed);
-        }
+        s.recent.push(Arc::clone(&trace));
     }
     if why & (keep::DEGRADED | keep::NOTE) != 0 {
         crate::counter!("trace.captured.degraded").inc();
-        if s.degraded.len() >= DEGRADED_CAP {
-            s.degraded.pop_front();
-        }
-        s.degraded.push_back(Arc::clone(&trace));
+        s.degraded.push(Arc::clone(&trace));
     }
     drop(s);
     record_exemplar(REQUEST_HISTOGRAM, total_ns, trace.id);

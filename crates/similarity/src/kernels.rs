@@ -173,12 +173,12 @@ pub fn spearman_item(m: &RatingMatrix, a: ItemId, b: ItemId) -> f64 {
 fn average_ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&x, &y| values[x].partial_cmp(&values[y]).expect("finite ratings"));
+    order.sort_by(|&x, &y| values[x].total_cmp(&values[y]));
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {
         let mut j = i;
-        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+        while j + 1 < n && cf_matrix::approx_eq(values[order[j + 1]], values[order[i]]) {
             j += 1;
         }
         // positions i..=j share the same value: average rank

@@ -16,6 +16,14 @@ cargo build --release --offline
 echo "==> tier-1: cargo test"
 cargo test --workspace -q --offline
 
+# Analysis gate: the repo lint engine (panic-free serving path, hot-path
+# clock gating, float-eq, bare sync primitives, counter pairing, unwind
+# captures) plus the loom-lite model checker running the cache /
+# reservoir / poison-reset models exhaustively. Zero unsuppressed
+# diagnostics and all models green, or the gate fails.
+echo "==> cfsf-analyze (lint + concurrency models, deny warnings)"
+cargo run -q -p cf-analysis --bin cfsf-analyze --offline -- --deny-warnings
+
 # Chaos job: the deterministic fault-injection suite. The faultinject
 # feature compiles the injection points into cfsf-core, so this runs as
 # its own pass (and lints the gated code the default pass never sees).
