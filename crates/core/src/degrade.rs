@@ -71,11 +71,41 @@ impl DegradeLevel {
         )
     }
 
+    /// Stable single-byte code for the wire protocol (`cf-serve` ships
+    /// the rung inside prediction frames). Best rung is `0`; codes are
+    /// append-only so old routers understand new shards.
+    pub fn code(self) -> u8 {
+        match self {
+            Self::Full => 0,
+            Self::PartialFusion => 1,
+            Self::SingleEstimator => 2,
+            Self::ClusterSmoothed => 3,
+            Self::UserMean => 4,
+            Self::GlobalMean => 5,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code); `None` for bytes no rung owns.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Self::Full,
+            1 => Self::PartialFusion,
+            2 => Self::SingleEstimator,
+            3 => Self::ClusterSmoothed,
+            4 => Self::UserMean,
+            5 => Self::GlobalMean,
+            _ => return None,
+        })
+    }
+
     /// Bumps this rung's `online.degrade.*` counter. The `counter!` macro
     /// caches its handle per call site, so each rung needs its own
     /// literal-name call — a single dynamic-name site would bind every
-    /// rung to whichever fired first.
-    pub(crate) fn record(self) {
+    /// rung to whichever fired first. Public because the remote serving
+    /// tier (`cf-serve`'s router) steps down the same ladder when a shard
+    /// is unreachable, and its fallback answers must land in the same
+    /// counters operators already alarm on.
+    pub fn record(self) {
         match self {
             Self::Full => cf_obs::counter!("online.degrade.full").inc(),
             Self::PartialFusion => cf_obs::counter!("online.degrade.partial_fusion").inc(),
@@ -131,5 +161,21 @@ mod tests {
     fn names_are_stable_and_displayed() {
         assert_eq!(DegradeLevel::Full.as_str(), "full");
         assert_eq!(DegradeLevel::GlobalMean.to_string(), "global_mean");
+    }
+
+    #[test]
+    fn wire_codes_round_trip_and_reject_unknown_bytes() {
+        for level in [
+            DegradeLevel::Full,
+            DegradeLevel::PartialFusion,
+            DegradeLevel::SingleEstimator,
+            DegradeLevel::ClusterSmoothed,
+            DegradeLevel::UserMean,
+            DegradeLevel::GlobalMean,
+        ] {
+            assert_eq!(DegradeLevel::from_code(level.code()), Some(level));
+        }
+        assert_eq!(DegradeLevel::from_code(6), None);
+        assert_eq!(DegradeLevel::from_code(255), None);
     }
 }

@@ -50,7 +50,7 @@ mod model;
 mod online;
 mod persist;
 mod strips;
-mod topk;
+pub mod topk;
 
 pub use config::CfsfConfig;
 pub use degrade::DegradeLevel;
@@ -60,4 +60,4 @@ pub use fusion::{fuse, FusionWeights};
 pub use incremental::{IncrementalCfsf, RefreshKind, RefreshStats};
 pub use model::{Cfsf, OfflineSummary};
 pub use online::PredictionBreakdown;
-pub use persist::{PersistError, RecoveryReport};
+pub use persist::{crc32, PersistError, RecoveryReport};

@@ -221,10 +221,28 @@ impl Cfsf {
     /// as `(item, predicted rating)`, best first. Ties break toward the
     /// lower item id.
     pub fn recommend_top_n(&self, user: UserId, n: usize) -> Vec<(ItemId, f64)> {
+        self.recommend_top_n_in_range(user, n, 0..u32::MAX)
+    }
+
+    /// [`recommend_top_n`](Self::recommend_top_n) restricted to the item
+    /// stripe `items` (end clamped to the item count). This is the
+    /// scatter-gather primitive for sharded serving: each shard scores
+    /// one stripe, and merging the per-stripe results with
+    /// [`crate::topk::top_k_by_score`] reproduces the single-process
+    /// answer bit for bit — any global top-`n` item is necessarily in
+    /// its own stripe's top-`n`.
+    pub fn recommend_top_n_in_range(
+        &self,
+        user: UserId,
+        n: usize,
+        items: std::ops::Range<u32>,
+    ) -> Vec<(ItemId, f64)> {
+        let end = items.end.min(self.matrix.num_items() as u32);
+        let start = items.start.min(end);
         crate::topk::top_k_by_score(
             n,
-            self.matrix
-                .items()
+            (start..end)
+                .map(ItemId::new)
                 .filter(|&i| !self.matrix.is_rated(user, i))
                 .filter_map(|i| self.predict(user, i).map(|r| (i, r))),
         )
@@ -333,6 +351,36 @@ mod tests {
             assert!((1.0..=5.0).contains(&r));
         }
         assert!(recs.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    /// The scatter-gather identity sharded serving relies on: merging
+    /// per-stripe `recommend_top_n_in_range` results with the same
+    /// comparator reproduces the full recommend bit for bit, for any
+    /// stripe count (including stripes that don't divide evenly).
+    #[test]
+    fn striped_recommend_merges_bit_for_bit() {
+        let d = data();
+        let model = Cfsf::fit(&d.matrix, CfsfConfig::small()).unwrap();
+        let items = d.matrix.num_items() as u32;
+        for u in [0usize, 3, 17] {
+            let user = UserId::from(u);
+            let n = 10;
+            let full = model.recommend_top_n(user, n);
+            for stripes in [1u32, 2, 3, 5] {
+                let mut candidates = Vec::new();
+                for s in 0..stripes {
+                    let start = s * items / stripes;
+                    let end = (s + 1) * items / stripes;
+                    candidates.extend(model.recommend_top_n_in_range(user, n, start..end));
+                }
+                let merged = crate::topk::top_k_by_score(n, candidates);
+                assert_eq!(full.len(), merged.len(), "stripes={stripes}");
+                for (a, b) in full.iter().zip(&merged) {
+                    assert_eq!(a.0, b.0, "stripes={stripes}");
+                    assert_eq!(a.1.to_bits(), b.1.to_bits(), "stripes={stripes}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -134,7 +134,10 @@ const fn crc32_table() -> [u32; 256] {
 
 static CRC32_TABLE: [u32; 256] = crc32_table();
 
-fn crc32(data: &[u8]) -> u32 {
+/// IEEE CRC32 (the zlib/PNG polynomial) over `data`. Public because the
+/// persistence sections and the `cf-serve` wire frames checksum with the
+/// same function — one implementation, one set of test vectors.
+pub fn crc32(data: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFF_u32;
     for &b in data {
         c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);

@@ -37,7 +37,11 @@ impl<T: Ord> Ord for Worst<T> {
 /// ascending id) — the exact order the serving path's former
 /// `sort_by` + `truncate(k)` produced, deterministically and regardless
 /// of input order (ids are assumed unique). Scores must be finite.
-pub(crate) fn top_k_by_score<T, I>(k: usize, scored: I) -> Vec<(T, f64)>
+///
+/// Public because the sharded serving tier's scatter-gather merge must
+/// rank with *exactly* this comparator: the global top-`k` of the union
+/// of per-stripe top-`k`s is then bit-for-bit the single-process answer.
+pub fn top_k_by_score<T, I>(k: usize, scored: I) -> Vec<(T, f64)>
 where
     T: Copy + Ord,
     I: IntoIterator<Item = (T, f64)>,

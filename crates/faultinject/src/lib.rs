@@ -22,7 +22,9 @@
 //!
 //! Besides the named points, the crate ships deterministic I/O wrappers
 //! ([`FailingReader`], [`FailingWriter`], [`TruncatedReader`]) for
-//! exercising persistence error paths without touching the registry.
+//! exercising persistence error paths without touching the registry, and
+//! [`ChildGuard`], a kill-on-drop handle for chaos tests that spawn real
+//! processes (shards, routers) and murder them mid-load.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -266,6 +268,71 @@ impl<R: Read> Read for TruncatedReader<R> {
     }
 }
 
+/// A child process that is killed (and reaped) when the guard drops —
+/// the process-level analogue of the injection points: chaos tests spawn
+/// real shard/router processes through this so a failing assertion can
+/// never leak orphans into the test host.
+///
+/// [`ChildGuard::kill_now`] is the chaos primitive itself: it models a
+/// shard crashing mid-load, at a moment the test chooses.
+#[derive(Debug)]
+pub struct ChildGuard {
+    child: Option<std::process::Child>,
+    name: String,
+}
+
+impl ChildGuard {
+    /// Takes ownership of `child`; `name` labels kill messages.
+    pub fn new(child: std::process::Child, name: impl Into<String>) -> Self {
+        Self {
+            child: Some(child),
+            name: name.into(),
+        }
+    }
+
+    /// OS process id, if the child has not been killed yet.
+    pub fn id(&self) -> Option<u32> {
+        self.child.as_ref().map(std::process::Child::id)
+    }
+
+    /// The child handle, for reading its stdout/stderr pipes.
+    pub fn child_mut(&mut self) -> Option<&mut std::process::Child> {
+        self.child.as_mut()
+    }
+
+    /// Kills the child *now* and reaps it. Idempotent; this is how a
+    /// chaos test murders a shard mid-load.
+    pub fn kill_now(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            // An already-exited child makes kill() fail; either way the
+            // wait() reaps the zombie.
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    /// Whether the child has already exited on its own (without killing
+    /// it). `false` also after `kill_now`.
+    pub fn exited(&mut self) -> bool {
+        match self.child.as_mut() {
+            Some(c) => matches!(c.try_wait(), Ok(Some(_))),
+            None => false,
+        }
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        if self.child.is_some() {
+            // Normal teardown path: tests usually drop guards without an
+            // explicit kill. Not a log-worthy event — but keep the name
+            // around for debugging double-kill confusion.
+            let _ = &self.name;
+            self.kill_now();
+        }
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -355,5 +422,19 @@ mod tests {
         let mut buf = Vec::new();
         r.read_to_end(&mut buf).unwrap();
         assert_eq!(buf.len(), 42);
+    }
+
+    #[test]
+    fn child_guard_kills_and_reaps() {
+        let child = std::process::Command::new("sleep")
+            .arg("30")
+            .spawn()
+            .expect("sleep is available on the test host");
+        let mut guard = ChildGuard::new(child, "sleep-test");
+        assert!(guard.id().is_some());
+        assert!(!guard.exited());
+        guard.kill_now();
+        assert!(guard.id().is_none());
+        guard.kill_now(); // idempotent
     }
 }

@@ -46,6 +46,7 @@ use crate::sync::RecoverMutex;
 use std::time::{Duration, Instant};
 
 pub mod json;
+pub mod net;
 pub mod prom;
 pub mod quality;
 pub mod reservoir;

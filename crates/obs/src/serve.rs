@@ -15,19 +15,35 @@
 //! joins it. One connection is served at a time — this is an operator
 //! scrape endpoint (Prometheus polls every few seconds), not a serving
 //! path, so simplicity beats concurrency here.
+//!
+//! Accepted streams go through [`crate::net::harden`] (back to blocking
+//! mode, timeouts armed) and the head is read by
+//! [`crate::net::read_head`]: a stalled client gets `408`, an oversized
+//! head gets `431`, and a head cut off by the peer gets `400` — a
+//! truncated or overlong prefix is never routed as if it were a
+//! complete request. Every answered request increments
+//! `obs.serve.requests` plus a per-status `obs.serve.responses.*`
+//! counter, so the 2xx/4xx/5xx split stays consistent with the error
+//! paths.
 
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use crate::net::HeadOutcome;
 
 /// How long the accept loop sleeps between polls of the stop flag.
 const POLL: Duration = Duration::from_millis(25);
-/// Per-connection read/write timeout — a stalled scraper must not wedge
-/// the server thread.
+/// Per-read/write socket timeout — a stalled scraper must not wedge the
+/// server thread.
 const IO_TIMEOUT: Duration = Duration::from_millis(500);
-/// Request lines beyond this are rejected outright.
+/// Overall budget for one request head. Distinct from [`IO_TIMEOUT`]: a
+/// client dripping a byte per tick resets the socket timeout every read
+/// and would otherwise hold the connection forever.
+const HEAD_DEADLINE: Duration = Duration::from_millis(1000);
+/// Request heads beyond this are answered `431`, never routed.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
 /// Handle to a running telemetry server; dropping it stops the thread.
@@ -103,39 +119,57 @@ fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
 }
 
 fn serve_connection(mut stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    // Accepted streams can inherit the listener's nonblocking mode, which
+    // would make the timeouts below no-ops; harden() pins the stream to
+    // blocking + timed-out before the first read.
+    crate::net::harden(&stream, IO_TIMEOUT)?;
 
-    // Read until the end of the request head (headers are ignored).
     let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > MAX_REQUEST_BYTES {
-                    break;
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                break;
-            }
-            Err(e) => return Err(e),
+    let outcome = crate::net::read_head(
+        &mut stream,
+        &mut buf,
+        MAX_REQUEST_BYTES,
+        Instant::now() + HEAD_DEADLINE,
+    )?;
+
+    let mut head_only = false;
+    let (status, content_type, body) = match outcome {
+        HeadOutcome::Complete(_) => {
+            let head = String::from_utf8_lossy(&buf);
+            let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+            let method = parts.next().unwrap_or("");
+            let path = parts.next().unwrap_or("");
+            head_only = method == "HEAD";
+            route(method, path)
         }
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-
-    let (status, content_type, body) = route(method, path);
+        HeadOutcome::TimedOut => (
+            "408 Request Timeout",
+            "text/plain; charset=utf-8",
+            "request head did not complete in time\n".into(),
+        ),
+        HeadOutcome::TooLarge => (
+            "431 Request Header Fields Too Large",
+            "text/plain; charset=utf-8",
+            "request head exceeds the size limit\n".into(),
+        ),
+        HeadOutcome::Closed => {
+            if buf.is_empty() {
+                // Port probe / liveness check: connect then close, no
+                // bytes. Not a request — nothing to count or answer.
+                return Ok(());
+            }
+            (
+                "400 Bad Request",
+                "text/plain; charset=utf-8",
+                "connection closed before the request head completed\n".into(),
+            )
+        }
+    };
+    // Error responses are requests too: the counter and the per-status
+    // breakdown must agree with what clients actually received.
     crate::counter!("obs.serve.requests").inc();
+    record_response_status(status);
 
-    let head_only = method == "HEAD";
     let mut response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
@@ -145,6 +179,21 @@ fn serve_connection(mut stream: TcpStream) -> std::io::Result<()> {
     }
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+/// Per-status response counters. One literal `counter!` site per status:
+/// the macro caches its handle per call site, so a single dynamic-name
+/// site would bind every status to whichever fired first.
+fn record_response_status(status: &str) {
+    match status.get(..3).unwrap_or("") {
+        "200" => crate::counter!("obs.serve.responses.200").inc(),
+        "400" => crate::counter!("obs.serve.responses.400").inc(),
+        "404" => crate::counter!("obs.serve.responses.404").inc(),
+        "405" => crate::counter!("obs.serve.responses.405").inc(),
+        "408" => crate::counter!("obs.serve.responses.408").inc(),
+        "431" => crate::counter!("obs.serve.responses.431").inc(),
+        _ => crate::counter!("obs.serve.responses.other").inc(),
+    }
 }
 
 fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
@@ -195,7 +244,7 @@ fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufRead;
+    use std::io::{BufRead, Read};
 
     fn get(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");

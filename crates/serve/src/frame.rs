@@ -1,0 +1,832 @@
+//! The CFSF wire protocol: length-framed, versioned, checksummed binary
+//! frames over TCP — persist-V2 style, but per message instead of per
+//! file section.
+//!
+//! Frame layout (everything little-endian):
+//!
+//! ```text
+//! magic "CFWP" | u16 version | u16 kind | u32 len | payload (len bytes) | u32 crc32
+//! ```
+//!
+//! The crc32 ([`cfsf_core::crc32`], the same IEEE polynomial the model
+//! files use) covers the payload only; the fixed header is validated
+//! field by field so a desynced or hostile peer fails fast with a
+//! specific error instead of a mis-sized read. `len` is capped by
+//! [`MAX_FRAME_BYTES`] **before** any allocation, so a corrupt length
+//! can't OOM the server.
+//!
+//! Requests and responses share the same framing; kinds below 16 are
+//! requests, 16 and up are responses. Both sides ignore unknown *trailing
+//! payload bytes* within a known kind (append-only evolution), and
+//! reject unknown kinds — version bumps are for layout changes, not
+//! additions.
+//!
+//! Floating-point values travel as `f64::to_bits`, so a prediction
+//! served through a shard is bit-for-bit the prediction the same model
+//! serves in process.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Frame magic: CFSF Wire Protocol.
+pub const MAGIC: [u8; 4] = *b"CFWP";
+/// Current protocol version. Bumped only for layout changes; appending
+/// fields to an existing payload is allowed within a version.
+pub const VERSION: u16 = 1;
+/// Hard cap on one frame's payload. Generous enough for a 1M-user
+/// profile frame (8 MiB of user means), small enough that a corrupt
+/// length field cannot balloon allocation.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+/// Fixed header size: magic + version + kind + len.
+pub const HEADER_LEN: usize = 12;
+
+/// Error code: the requested user or item id is outside the model.
+pub const ERR_OUT_OF_RANGE: u16 = 1;
+/// Error code: the frame decoded but the request is malformed.
+pub const ERR_BAD_REQUEST: u16 = 2;
+/// Error code: the server is at its connection/queue limit.
+pub const ERR_BUSY: u16 = 3;
+/// Error code: an internal failure the server absorbed.
+pub const ERR_INTERNAL: u16 = 4;
+
+const KIND_HEALTH: u16 = 1;
+const KIND_PREDICT: u16 = 2;
+const KIND_RECOMMEND: u16 = 3;
+const KIND_PROFILE: u16 = 4;
+const KIND_R_HEALTH: u16 = 16;
+const KIND_R_PREDICTION: u16 = 17;
+const KIND_R_TOP_N: u16 = 18;
+const KIND_R_PROFILE: u16 = 19;
+const KIND_R_ERROR: u16 = 20;
+
+/// Everything that can go wrong reading or decoding a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket failure (including timeouts mid-frame).
+    Io(std::io::Error),
+    /// The stream does not start with [`MAGIC`] — not a CFSF peer, or a
+    /// desynced one.
+    BadMagic([u8; 4]),
+    /// The peer speaks a protocol version this build does not.
+    BadVersion(u16),
+    /// The declared payload length exceeds [`MAX_FRAME_BYTES`].
+    TooLarge(u32),
+    /// The payload checksum did not match.
+    BadCrc {
+        /// CRC carried by the frame.
+        expected: u32,
+        /// CRC computed over the received payload.
+        actual: u32,
+    },
+    /// A kind byte neither side of this build understands.
+    UnknownKind(u16),
+    /// The kind is known but the payload doesn't decode.
+    Malformed(&'static str),
+    /// The peer closed the stream mid-frame (clean EOF between frames is
+    /// [`ReadOutcome::Eof`], not an error).
+    Truncated,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            Self::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            Self::TooLarge(n) => write!(f, "frame payload of {n} bytes exceeds the limit"),
+            Self::BadCrc { expected, actual } => {
+                write!(
+                    f,
+                    "payload crc mismatch: frame says {expected:08x}, computed {actual:08x}"
+                )
+            }
+            Self::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            Self::Malformed(what) => write!(f, "malformed payload: {what}"),
+            Self::Truncated => write!(f, "peer closed the stream mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// A request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness + model-shape probe.
+    Health,
+    /// Predict one `(user, item)` rating.
+    Predict {
+        /// 0-based user id.
+        user: u32,
+        /// 0-based item id.
+        item: u32,
+    },
+    /// Top-`n` recommendations for `user` over the item stripe
+    /// `[item_start, item_end)`; `item_end == u32::MAX` means "through
+    /// the last item". The router scatters stripes across shards and
+    /// merges; plain clients just pass the full range.
+    RecommendTopN {
+        /// 0-based user id.
+        user: u32,
+        /// How many items to return.
+        n: u32,
+        /// First item of the stripe (inclusive).
+        item_start: u32,
+        /// One past the last item of the stripe; `u32::MAX` = item count.
+        item_end: u32,
+    },
+    /// Fetch the fallback profile (scale, global/user means) the router
+    /// serves degraded answers from when a shard is unreachable.
+    Profile,
+}
+
+/// Shard identity and model shape, for health checks and mismatch
+/// detection at router startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// Operator-assigned shard id (`u32::MAX` for a router front).
+    pub shard_id: u32,
+    /// Users in the loaded model.
+    pub num_users: u64,
+    /// Items in the loaded model.
+    pub num_items: u64,
+}
+
+/// One served prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WirePrediction {
+    /// The fused, clamped prediction (bit-exact with the in-process
+    /// model).
+    pub fused: f64,
+    /// [`cfsf_core::DegradeLevel::code`] of the rung that served it.
+    pub level: u8,
+    /// Whether the rung is in the fallback region of the ladder.
+    pub fallback: bool,
+}
+
+/// The fallback profile: enough of the model for a router to serve the
+/// bottom rungs of the degradation ladder on its own.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireProfile {
+    /// Rating scale minimum.
+    pub scale_min: f64,
+    /// Rating scale maximum.
+    pub scale_max: f64,
+    /// Global mean rating — the rung that cannot be missing.
+    pub global_mean: f64,
+    /// Items in the model (users is `user_means.len()`).
+    pub num_items: u64,
+    /// Per-user mean ratings, indexed by user id.
+    pub user_means: Vec<f64>,
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Health`].
+    Health(HealthInfo),
+    /// Answer to [`Request::Predict`].
+    Prediction(WirePrediction),
+    /// Answer to [`Request::RecommendTopN`]: `(item, score)`, best
+    /// first.
+    TopN(Vec<(u32, f64)>),
+    /// Answer to [`Request::Profile`].
+    Profile(WireProfile),
+    /// The request could not be served; `code` is one of the `ERR_*`
+    /// constants.
+    Error {
+        /// Machine-readable `ERR_*` code.
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Outcome of one [`read_frame`] call on a stream with a read timeout.
+#[derive(Debug)]
+pub enum ReadOutcome<T> {
+    /// A complete, checksummed, decoded frame.
+    Frame(T),
+    /// The socket timeout elapsed with **zero** bytes of a new frame —
+    /// the connection is idle. Callers poll their stop flag and retry.
+    Idle,
+    /// Clean EOF on a frame boundary: the peer is done.
+    Eof,
+}
+
+// --- payload cursor ----------------------------------------------------
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or(FrameError::Malformed(
+                "payload shorter than declared fields",
+            ))?;
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+// --- encode ------------------------------------------------------------
+
+impl Request {
+    fn kind(&self) -> u16 {
+        match self {
+            Self::Health => KIND_HEALTH,
+            Self::Predict { .. } => KIND_PREDICT,
+            Self::RecommendTopN { .. } => KIND_RECOMMEND,
+            Self::Profile => KIND_PROFILE,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match *self {
+            Self::Health | Self::Profile => {}
+            Self::Predict { user, item } => {
+                put_u32(&mut out, user);
+                put_u32(&mut out, item);
+            }
+            Self::RecommendTopN {
+                user,
+                n,
+                item_start,
+                item_end,
+            } => {
+                put_u32(&mut out, user);
+                put_u32(&mut out, n);
+                put_u32(&mut out, item_start);
+                put_u32(&mut out, item_end);
+            }
+        }
+        out
+    }
+
+    fn decode(kind: u16, payload: &[u8]) -> Result<Self, FrameError> {
+        let mut c = Cursor::new(payload);
+        Ok(match kind {
+            KIND_HEALTH => Self::Health,
+            KIND_PROFILE => Self::Profile,
+            KIND_PREDICT => Self::Predict {
+                user: c.u32()?,
+                item: c.u32()?,
+            },
+            KIND_RECOMMEND => Self::RecommendTopN {
+                user: c.u32()?,
+                n: c.u32()?,
+                item_start: c.u32()?,
+                item_end: c.u32()?,
+            },
+            other => return Err(FrameError::UnknownKind(other)),
+        })
+    }
+}
+
+impl Response {
+    fn kind(&self) -> u16 {
+        match self {
+            Self::Health(_) => KIND_R_HEALTH,
+            Self::Prediction(_) => KIND_R_PREDICTION,
+            Self::TopN(_) => KIND_R_TOP_N,
+            Self::Profile(_) => KIND_R_PROFILE,
+            Self::Error { .. } => KIND_R_ERROR,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Self::Health(h) => {
+                put_u32(&mut out, h.shard_id);
+                put_u64(&mut out, h.num_users);
+                put_u64(&mut out, h.num_items);
+            }
+            Self::Prediction(p) => {
+                put_f64(&mut out, p.fused);
+                out.push(p.level);
+                out.push(u8::from(p.fallback));
+            }
+            Self::TopN(items) => {
+                put_u32(&mut out, items.len() as u32);
+                for &(item, score) in items {
+                    put_u32(&mut out, item);
+                    put_f64(&mut out, score);
+                }
+            }
+            Self::Profile(p) => {
+                put_f64(&mut out, p.scale_min);
+                put_f64(&mut out, p.scale_max);
+                put_f64(&mut out, p.global_mean);
+                put_u64(&mut out, p.num_items);
+                put_u64(&mut out, p.user_means.len() as u64);
+                for &m in &p.user_means {
+                    put_f64(&mut out, m);
+                }
+            }
+            Self::Error { code, message } => {
+                put_u16(&mut out, *code);
+                let msg = message.as_bytes();
+                put_u32(&mut out, msg.len() as u32);
+                out.extend_from_slice(msg);
+            }
+        }
+        out
+    }
+
+    fn decode(kind: u16, payload: &[u8]) -> Result<Self, FrameError> {
+        let mut c = Cursor::new(payload);
+        Ok(match kind {
+            KIND_R_HEALTH => Self::Health(HealthInfo {
+                shard_id: c.u32()?,
+                num_users: c.u64()?,
+                num_items: c.u64()?,
+            }),
+            KIND_R_PREDICTION => Self::Prediction(WirePrediction {
+                fused: c.f64()?,
+                level: c.u8()?,
+                fallback: c.u8()? != 0,
+            }),
+            KIND_R_TOP_N => {
+                let count = c.u32()? as usize;
+                // Sanity-bound against the payload that actually arrived
+                // (12 bytes per entry) before allocating.
+                if count > payload.len() / 12 + 1 {
+                    return Err(FrameError::Malformed("top-n count exceeds payload"));
+                }
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let item = c.u32()?;
+                    let score = c.f64()?;
+                    items.push((item, score));
+                }
+                Self::TopN(items)
+            }
+            KIND_R_PROFILE => {
+                let scale_min = c.f64()?;
+                let scale_max = c.f64()?;
+                let global_mean = c.f64()?;
+                let num_items = c.u64()?;
+                let n_users = c.u64()? as usize;
+                if n_users > payload.len() / 8 + 1 {
+                    return Err(FrameError::Malformed("profile count exceeds payload"));
+                }
+                let mut user_means = Vec::with_capacity(n_users);
+                for _ in 0..n_users {
+                    user_means.push(c.f64()?);
+                }
+                Self::Profile(WireProfile {
+                    scale_min,
+                    scale_max,
+                    global_mean,
+                    num_items,
+                    user_means,
+                })
+            }
+            KIND_R_ERROR => {
+                let code = c.u16()?;
+                let len = c.u32()? as usize;
+                let bytes = c.take(len)?;
+                Self::Error {
+                    code,
+                    message: String::from_utf8_lossy(bytes).into_owned(),
+                }
+            }
+            other => return Err(FrameError::UnknownKind(other)),
+        })
+    }
+}
+
+// --- wire i/o ----------------------------------------------------------
+
+fn write_frame(stream: &mut TcpStream, kind: u16, payload: &[u8]) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&kind.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&cfsf_core::crc32(payload).to_le_bytes());
+    // One write_all for the whole frame: no interleaving torn frames when
+    // several router threads share a pool connection sequentially.
+    stream.write_all(&out)?;
+    stream.flush()
+}
+
+/// Writes `req` as one frame.
+pub fn write_request(stream: &mut TcpStream, req: &Request) -> std::io::Result<()> {
+    write_frame(stream, req.kind(), &req.payload())
+}
+
+/// Writes `resp` as one frame.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    write_frame(stream, resp.kind(), &resp.payload())
+}
+
+/// How one `fill` call ended.
+enum Fill {
+    Done,
+    /// Zero bytes arrived before the socket timeout (only reported when
+    /// `idle_ok`).
+    Idle,
+    /// Clean EOF before the first byte (only when `idle_ok`).
+    Eof,
+}
+
+/// Reads exactly `buf.len()` bytes. With `idle_ok`, a timeout or EOF
+/// *before the first byte* is reported as `Idle`/`Eof` instead of an
+/// error; once any byte has arrived the frame is in flight and must
+/// complete before `deadline`.
+fn fill(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    idle_ok: bool,
+    deadline: Instant,
+) -> Result<Fill, FrameError> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 && idle_ok {
+                    Ok(Fill::Eof)
+                } else {
+                    Err(FrameError::Truncated)
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if cf_obs::net::is_timeout(&e) => {
+                if got == 0 && idle_ok {
+                    return Ok(Fill::Idle);
+                }
+                if Instant::now() >= deadline {
+                    return Err(FrameError::Io(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "frame did not complete before the deadline",
+                    )));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Fill::Done)
+}
+
+/// Reads one frame from a stream whose read timeout is already armed
+/// (see [`cf_obs::net::harden`]). A timeout before the first byte is
+/// [`ReadOutcome::Idle`] — the caller's loop polls its stop flag and
+/// calls again; a timeout mid-frame is an error once `frame_deadline`
+/// (measured from the first header byte) has passed.
+pub fn read_frame(
+    stream: &mut TcpStream,
+    frame_deadline: Duration,
+) -> Result<ReadOutcome<(u16, Vec<u8>)>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    // Arm a generous provisional deadline for the idle wait; the real
+    // per-frame deadline starts once the first byte has arrived.
+    match fill(stream, &mut header, true, Instant::now() + frame_deadline)? {
+        Fill::Idle => return Ok(ReadOutcome::Idle),
+        Fill::Eof => return Ok(ReadOutcome::Eof),
+        Fill::Done => {}
+    }
+    let deadline = Instant::now() + frame_deadline;
+    if header[..4] != MAGIC {
+        return Err(FrameError::BadMagic([
+            header[0], header[1], header[2], header[3],
+        ]));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    let kind = u16::from_le_bytes([header[6], header[7]]);
+    let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    if len as usize > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match fill(stream, &mut payload, false, deadline)? {
+        Fill::Done => {}
+        Fill::Idle | Fill::Eof => return Err(FrameError::Truncated),
+    }
+    let mut crc = [0u8; 4];
+    match fill(stream, &mut crc, false, deadline)? {
+        Fill::Done => {}
+        Fill::Idle | Fill::Eof => return Err(FrameError::Truncated),
+    }
+    let expected = u32::from_le_bytes(crc);
+    let actual = cfsf_core::crc32(&payload);
+    if expected != actual {
+        return Err(FrameError::BadCrc { expected, actual });
+    }
+    Ok(ReadOutcome::Frame((kind, payload)))
+}
+
+/// [`read_frame`] + [`Request::decode`].
+pub fn read_request(
+    stream: &mut TcpStream,
+    frame_deadline: Duration,
+) -> Result<ReadOutcome<Request>, FrameError> {
+    Ok(match read_frame(stream, frame_deadline)? {
+        ReadOutcome::Frame((kind, payload)) => ReadOutcome::Frame(Request::decode(kind, &payload)?),
+        ReadOutcome::Idle => ReadOutcome::Idle,
+        ReadOutcome::Eof => ReadOutcome::Eof,
+    })
+}
+
+/// [`read_frame`] + [`Response::decode`], retrying idle ticks until
+/// `overall_deadline` — a client waiting for its answer treats "no bytes
+/// yet" as waiting, not as an idle connection.
+pub fn read_response(
+    stream: &mut TcpStream,
+    frame_deadline: Duration,
+    overall_deadline: Instant,
+) -> Result<Response, FrameError> {
+    loop {
+        match read_frame(stream, frame_deadline)? {
+            ReadOutcome::Frame((kind, payload)) => return Response::decode(kind, &payload),
+            ReadOutcome::Eof => return Err(FrameError::Truncated),
+            ReadOutcome::Idle => {
+                if Instant::now() >= overall_deadline {
+                    return Err(FrameError::Io(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "no response before the deadline",
+                    )));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        for s in [&client, &server] {
+            cf_obs::net::harden(s, Duration::from_millis(100)).unwrap();
+        }
+        (client, server)
+    }
+
+    fn roundtrip_response(resp: &Response) -> Response {
+        let (mut client, mut server) = pair();
+        write_response(&mut client, resp).unwrap();
+        read_response(
+            &mut server,
+            Duration::from_secs(1),
+            Instant::now() + Duration::from_secs(1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::Health,
+            Request::Profile,
+            Request::Predict { user: 7, item: 42 },
+            Request::RecommendTopN {
+                user: 3,
+                n: 10,
+                item_start: 100,
+                item_end: u32::MAX,
+            },
+        ];
+        for req in cases {
+            let (mut client, mut server) = pair();
+            write_request(&mut client, &req).unwrap();
+            match read_request(&mut server, Duration::from_secs(1)).unwrap() {
+                ReadOutcome::Frame(got) => assert_eq!(got, req),
+                other => panic!("expected a frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_for_bit() {
+        let fused = std::f64::consts::PI;
+        match roundtrip_response(&Response::Prediction(WirePrediction {
+            fused,
+            level: 2,
+            fallback: false,
+        })) {
+            Response::Prediction(p) => {
+                assert_eq!(p.fused.to_bits(), fused.to_bits());
+                assert_eq!(p.level, 2);
+                assert!(!p.fallback);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let items = vec![(5u32, 4.75_f64), (2, 4.75), (9, 1.0 / 3.0)];
+        match roundtrip_response(&Response::TopN(items.clone())) {
+            Response::TopN(got) => {
+                assert_eq!(got.len(), items.len());
+                for (a, b) in got.iter().zip(&items) {
+                    assert_eq!(a.0, b.0);
+                    assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let profile = WireProfile {
+            scale_min: 1.0,
+            scale_max: 5.0,
+            global_mean: 3.6007,
+            num_items: 100,
+            user_means: vec![1.5, f64::NAN, 4.25],
+        };
+        match roundtrip_response(&Response::Profile(profile.clone())) {
+            Response::Profile(got) => {
+                assert_eq!(got.num_items, 100);
+                assert_eq!(got.user_means.len(), 3);
+                // NaN user means (users with no ratings) must survive the
+                // wire — compare bits, not values.
+                for (a, b) in got.user_means.iter().zip(&profile.user_means) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+
+        match roundtrip_response(&Response::Error {
+            code: ERR_OUT_OF_RANGE,
+            message: "user 900 not in model".into(),
+        }) {
+            Response::Error { code, message } => {
+                assert_eq!(code, ERR_OUT_OF_RANGE);
+                assert!(message.contains("900"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_fails_crc() {
+        let (mut client, mut server) = pair();
+        let req = Request::Predict { user: 1, item: 2 };
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&MAGIC);
+        raw.extend_from_slice(&VERSION.to_le_bytes());
+        raw.extend_from_slice(&req.kind().to_le_bytes());
+        let payload = req.payload();
+        raw.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        raw.extend_from_slice(&payload);
+        raw.extend_from_slice(&cfsf_core::crc32(&payload).to_le_bytes());
+        // Flip one payload bit.
+        let flip = HEADER_LEN + 2;
+        raw[flip] ^= 0x01;
+        client.write_all(&raw).unwrap();
+        match read_request(&mut server, Duration::from_secs(1)) {
+            Err(FrameError::BadCrc { .. }) => {}
+            other => panic!("expected BadCrc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_kind_and_oversize_are_rejected() {
+        // Bad magic.
+        let (mut client, mut server) = pair();
+        client.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(matches!(
+            read_request(&mut server, Duration::from_secs(1)),
+            Err(FrameError::BadMagic(_))
+        ));
+
+        // Future version.
+        let (mut client, mut server) = pair();
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&MAGIC);
+        raw.extend_from_slice(&99u16.to_le_bytes());
+        raw.extend_from_slice(&KIND_HEALTH.to_le_bytes());
+        raw.extend_from_slice(&0u32.to_le_bytes());
+        raw.extend_from_slice(&cfsf_core::crc32(&[]).to_le_bytes());
+        client.write_all(&raw).unwrap();
+        assert!(matches!(
+            read_request(&mut server, Duration::from_secs(1)),
+            Err(FrameError::BadVersion(99))
+        ));
+
+        // Unknown kind.
+        let (mut client, mut server) = pair();
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&MAGIC);
+        raw.extend_from_slice(&VERSION.to_le_bytes());
+        raw.extend_from_slice(&1234u16.to_le_bytes());
+        raw.extend_from_slice(&0u32.to_le_bytes());
+        raw.extend_from_slice(&cfsf_core::crc32(&[]).to_le_bytes());
+        client.write_all(&raw).unwrap();
+        assert!(matches!(
+            read_request(&mut server, Duration::from_secs(1)),
+            Err(FrameError::UnknownKind(1234))
+        ));
+
+        // Oversized declared length: rejected before allocation.
+        let (mut client, mut server) = pair();
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&MAGIC);
+        raw.extend_from_slice(&VERSION.to_le_bytes());
+        raw.extend_from_slice(&KIND_HEALTH.to_le_bytes());
+        raw.extend_from_slice(&u32::MAX.to_le_bytes());
+        client.write_all(&raw).unwrap();
+        assert!(matches!(
+            read_request(&mut server, Duration::from_secs(1)),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn idle_then_eof_are_distinguished() {
+        let (client, mut server) = pair();
+        // No bytes yet: idle tick.
+        assert!(matches!(
+            read_request(&mut server, Duration::from_secs(1)),
+            Ok(ReadOutcome::Idle)
+        ));
+        drop(client);
+        // Peer gone on a frame boundary: clean EOF.
+        assert!(matches!(
+            read_request(&mut server, Duration::from_secs(1)),
+            Ok(ReadOutcome::Eof)
+        ));
+    }
+
+    #[test]
+    fn truncated_mid_frame_is_an_error() {
+        let (mut client, mut server) = pair();
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&MAGIC);
+        raw.extend_from_slice(&VERSION.to_le_bytes());
+        client.write_all(&raw).unwrap();
+        drop(client);
+        assert!(matches!(
+            read_request(&mut server, Duration::from_secs(1)),
+            Err(FrameError::Truncated)
+        ));
+    }
+}

@@ -1,0 +1,695 @@
+//! The router front tier: hashes users across N shard processes,
+//! bounds the work in flight per shard, retries transient failures with
+//! backoff, and — when a shard is down or saturated — **load-sheds onto
+//! the degradation ladder** instead of queueing to death: the affected
+//! user gets a user-mean/global-mean answer from the router's local
+//! fallback table, served from the same `online.degrade.*` counters the
+//! in-process ladder uses, and the request never errors.
+//!
+//! Routing:
+//!
+//! - `predict(user, item)` goes to the user's **owning shard**
+//!   (`shard_for_user`). Deliberately no cross-shard failover: in a
+//!   capacity-planned fleet the other shards have their own users' load,
+//!   and redirecting a dead shard's traffic at them turns one failure
+//!   into a cascade. A dead shard's users degrade — bounded blast
+//!   radius — until it returns.
+//! - `recommend_top_n(user, n)` scatter-gathers: the item space is cut
+//!   into one fixed stripe per configured shard, each live shard scores
+//!   its stripe ([`Cfsf::recommend_top_n_in_range`]), and the router
+//!   merges with [`cfsf_core::topk::top_k_by_score`] — the same
+//!   comparator the model uses, so with all shards up the merged answer
+//!   is bit-for-bit the single-process answer. A dead shard's stripe is
+//!   dropped and the (still valid, still ordered) partial result is
+//!   returned, counted in `router.recommend.partial`.
+//!
+//! A shard that exhausts its retries is marked **down** for a cooldown;
+//! during it the router sheds straight to the fallback table without
+//! touching the socket, so a dead shard costs one failed exchange per
+//! cooldown, not one per request.
+
+use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use cf_matrix::RatingScale;
+use cfsf_core::DegradeLevel;
+
+use crate::client::{ClientOptions, ShardClient};
+use crate::frame::{FrameError, HealthInfo, Request, Response, WireProfile};
+
+/// Tuning for the router tier.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Shard addresses; index order defines stripe ownership, so every
+    /// router in a fleet must list shards in the same order.
+    pub shards: Vec<String>,
+    /// Per-connection timeouts for shard traffic.
+    pub client: ClientOptions,
+    /// Bounded queue per shard: requests beyond this many in flight are
+    /// shed onto the fallback ladder instead of piling onto a struggling
+    /// shard.
+    pub max_in_flight_per_shard: usize,
+    /// Reconnect-and-resend attempts after the first failure.
+    pub retries: u32,
+    /// Sleep between attempts (grows linearly per attempt).
+    pub backoff: Duration,
+    /// How long a shard that exhausted its retries stays marked down
+    /// before the router probes it again.
+    pub down_cooldown: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            shards: Vec::new(),
+            client: ClientOptions::default(),
+            max_in_flight_per_shard: 64,
+            retries: 1,
+            backoff: Duration::from_millis(50),
+            down_cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Why the router could not use a shard for one request.
+enum ShardUnavailable {
+    /// Marked down and inside its cooldown.
+    Down,
+    /// At its in-flight bound (admission control shed).
+    Busy,
+    /// All attempts failed; the shard has just been marked down.
+    Failed,
+}
+
+/// The compact model summary the router serves fallback answers from:
+/// the bottom rungs of the degradation ladder need only means and the
+/// scale, not the weight planes.
+struct FallbackTable {
+    scale: RatingScale,
+    global_mean: f64,
+    user_means: Vec<f64>,
+    num_items: u64,
+}
+
+/// One prediction answered by the router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterPrediction {
+    /// The prediction (clamped to the model's scale).
+    pub fused: f64,
+    /// The degradation rung it was served from.
+    pub level: DegradeLevel,
+    /// Whether the rung is in the ladder's fallback region.
+    pub fallback: bool,
+    /// Index of the shard that answered; `None` means the router's own
+    /// fallback table did (shard down or shed).
+    pub shard: Option<usize>,
+}
+
+/// One top-N answer from the router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterTopN {
+    /// `(item, score)`, best first — the usual recommend shape.
+    pub items: Vec<(u32, f64)>,
+    /// `false` when at least one stripe was dropped because its shard
+    /// was unavailable: the list is valid and ordered but may miss items
+    /// a dead shard would have scored.
+    pub complete: bool,
+}
+
+struct ShardSlot {
+    addr: String,
+    /// Idle pooled connections, reused across requests.
+    pool: Mutex<Vec<ShardClient>>,
+    in_flight: AtomicUsize,
+    down_until: Mutex<Option<Instant>>,
+}
+
+/// Decrements the in-flight count even if the request path panics.
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The router: see the module docs for the routing and shedding model.
+pub struct Router {
+    cfg: RouterConfig,
+    slots: Vec<ShardSlot>,
+    fallback: FallbackTable,
+    num_users: u64,
+    num_items: u64,
+}
+
+/// Which shard owns `user` out of `shards` (splitmix64 of the id — the
+/// id space is dense, so modulo alone would stripe users pathologically
+/// across capacity changes). Exposed so tests and operators can tell
+/// which users a given shard owns.
+pub fn shard_for_user(user: u32, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut z = u64::from(user).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards.max(1) as u64) as usize
+}
+
+/// Errors establishing the router (runtime requests never error — they
+/// degrade).
+#[derive(Debug)]
+pub enum RouterError {
+    /// No shard addresses configured.
+    NoShards,
+    /// A shard could not be reached or answered the wrong frame.
+    Unreachable(String, String),
+    /// Shards disagree on the model shape — a fleet serving different
+    /// models would silently mix predictions.
+    ModelMismatch(String),
+    /// The fallback profile failed validation.
+    BadProfile(String),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoShards => write!(f, "router needs at least one shard address"),
+            Self::Unreachable(addr, why) => write!(f, "shard {addr} unreachable: {why}"),
+            Self::ModelMismatch(why) => write!(f, "shard model mismatch: {why}"),
+            Self::BadProfile(why) => write!(f, "invalid fallback profile: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+impl Router {
+    /// Connects to every configured shard, verifies they serve the same
+    /// model shape, and fetches the fallback profile. Startup is strict
+    /// (every shard must answer — a fleet booted half-broken should say
+    /// so); runtime is lenient (shards may die and return freely).
+    pub fn connect(cfg: RouterConfig) -> Result<Self, RouterError> {
+        if cfg.shards.is_empty() {
+            return Err(RouterError::NoShards);
+        }
+        let mut shape: Option<HealthInfo> = None;
+        let mut profile: Option<WireProfile> = None;
+        let mut slots = Vec::with_capacity(cfg.shards.len());
+        for (i, addr) in cfg.shards.iter().enumerate() {
+            let mut client = ShardClient::connect(addr.as_str(), cfg.client)
+                .map_err(|e| RouterError::Unreachable(addr.clone(), e.to_string()))?;
+            let health = match client.request(&Request::Health) {
+                Ok(Response::Health(h)) => h,
+                Ok(other) => {
+                    return Err(RouterError::Unreachable(
+                        addr.clone(),
+                        format!("health probe answered {other:?}"),
+                    ))
+                }
+                Err(e) => return Err(RouterError::Unreachable(addr.clone(), e.to_string())),
+            };
+            if let Some(first) = shape {
+                if (first.num_users, first.num_items) != (health.num_users, health.num_items) {
+                    return Err(RouterError::ModelMismatch(format!(
+                        "shard {i} ({addr}) serves {}x{}, shard 0 serves {}x{}",
+                        health.num_users, health.num_items, first.num_users, first.num_items
+                    )));
+                }
+            } else {
+                shape = Some(health);
+            }
+            if profile.is_none() {
+                match client.request(&Request::Profile) {
+                    Ok(Response::Profile(p)) => profile = Some(p),
+                    Ok(other) => {
+                        return Err(RouterError::Unreachable(
+                            addr.clone(),
+                            format!("profile probe answered {other:?}"),
+                        ))
+                    }
+                    Err(e) => return Err(RouterError::Unreachable(addr.clone(), e.to_string())),
+                }
+            }
+            slots.push(ShardSlot {
+                addr: addr.clone(),
+                pool: Mutex::new(vec![client]),
+                in_flight: AtomicUsize::new(0),
+                down_until: Mutex::new(None),
+            });
+        }
+        let (shape, profile) = match (shape, profile) {
+            (Some(s), Some(p)) => (s, p),
+            _ => return Err(RouterError::NoShards),
+        };
+        if profile.user_means.len() as u64 != shape.num_users
+            || profile.num_items != shape.num_items
+        {
+            return Err(RouterError::BadProfile(format!(
+                "profile covers {} users / {} items, shards serve {} / {}",
+                profile.user_means.len(),
+                profile.num_items,
+                shape.num_users,
+                shape.num_items
+            )));
+        }
+        if !(profile.scale_min.is_finite()
+            && profile.scale_max.is_finite()
+            && profile.scale_min < profile.scale_max)
+        {
+            return Err(RouterError::BadProfile(format!(
+                "scale [{}, {}]",
+                profile.scale_min, profile.scale_max
+            )));
+        }
+        // Register the router's health counters up front: a snapshot must
+        // carry `router.request_errors: 0` explicitly — absent vs zero is
+        // exactly the ambiguity the chaos gate cannot afford.
+        cf_obs::counter!("router.requests").add(0);
+        cf_obs::counter!("router.ok").add(0);
+        cf_obs::counter!("router.request_errors").add(0);
+        cf_obs::counter!("router.fallback_served").add(0);
+        cf_obs::counter!("router.shed_busy").add(0);
+        cf_obs::counter!("router.shed_down").add(0);
+        cf_obs::counter!("router.shard_io_errors").add(0);
+        cf_obs::counter!("router.retries").add(0);
+        cf_obs::counter!("router.recommend.partial").add(0);
+        cf_obs::gauge!("router.shards").set(cfg.shards.len() as i64);
+        cf_obs::gauge!("router.shards_up").set(cfg.shards.len() as i64);
+
+        Ok(Self {
+            num_users: shape.num_users,
+            num_items: shape.num_items,
+            fallback: FallbackTable {
+                scale: RatingScale {
+                    min: profile.scale_min,
+                    max: profile.scale_max,
+                },
+                global_mean: profile.global_mean,
+                user_means: profile.user_means,
+                num_items: profile.num_items,
+            },
+            slots,
+            cfg,
+        })
+    }
+
+    /// Users served by this router's shards.
+    pub fn num_users(&self) -> u64 {
+        self.num_users
+    }
+
+    /// Items in the served model.
+    pub fn num_items(&self) -> u64 {
+        self.num_items
+    }
+
+    /// The fallback profile, re-servable to downstream routers.
+    pub fn profile(&self) -> WireProfile {
+        WireProfile {
+            scale_min: self.fallback.scale.min,
+            scale_max: self.fallback.scale.max,
+            global_mean: self.fallback.global_mean,
+            num_items: self.fallback.num_items,
+            user_means: self.fallback.user_means.clone(),
+        }
+    }
+
+    /// Predicts `(user, item)` through the owning shard, degrading to
+    /// the fallback table when it is down, saturated, or failing.
+    /// `None` only for out-of-range ids — mirroring the in-process API.
+    pub fn predict(&self, user: u32, item: u32) -> Option<RouterPrediction> {
+        if u64::from(user) >= self.num_users || u64::from(item) >= self.num_items {
+            return None;
+        }
+        cf_obs::counter!("router.requests").inc();
+        cf_obs::time_scope!("router.request_ns");
+        let shard = shard_for_user(user, self.slots.len());
+        match self.request_on_shard(shard, &Request::Predict { user, item }) {
+            Ok(Response::Prediction(p)) => {
+                cf_obs::counter!("router.ok").inc();
+                let level = DegradeLevel::from_code(p.level).unwrap_or(DegradeLevel::GlobalMean);
+                Some(RouterPrediction {
+                    fused: p.fused,
+                    level,
+                    fallback: p.fallback,
+                    shard: Some(shard),
+                })
+            }
+            Ok(_) => {
+                // Decodable but wrong frame: a confused shard. Absorb it
+                // the same way as an I/O failure.
+                cf_obs::counter!("router.shard_io_errors").inc();
+                Some(self.fallback_predict(user))
+            }
+            Err(_) => Some(self.fallback_predict(user)),
+        }
+    }
+
+    /// Top-`n` via scatter-gather over all shard stripes (see module
+    /// docs). `None` only for an out-of-range user.
+    pub fn recommend_top_n(&self, user: u32, n: u32) -> Option<RouterTopN> {
+        self.recommend_top_n_in_range(user, n, 0, u32::MAX)
+    }
+
+    /// Stripe-restricted scatter-gather, protocol-complete so a router
+    /// can front other routers. `item_end == u32::MAX` means the whole
+    /// item space.
+    pub fn recommend_top_n_in_range(
+        &self,
+        user: u32,
+        n: u32,
+        item_start: u32,
+        item_end: u32,
+    ) -> Option<RouterTopN> {
+        if u64::from(user) >= self.num_users {
+            return None;
+        }
+        cf_obs::counter!("router.requests").inc();
+        cf_obs::time_scope!("router.request_ns");
+        let total = self.num_items.min(u64::from(u32::MAX)) as u32;
+        let end = item_end.min(total);
+        let start = item_start.min(end);
+        let shards = self.slots.len() as u32;
+        // Fixed stripes over the requested range, one per configured
+        // shard — liveness-independent, so results are deterministic.
+        let span = end - start;
+        let stripes: Vec<(usize, u32, u32)> = (0..shards)
+            .map(|s| {
+                let lo = start + (u64::from(s) * u64::from(span) / u64::from(shards)) as u32;
+                let hi = start + (u64::from(s + 1) * u64::from(span) / u64::from(shards)) as u32;
+                (s as usize, lo, hi)
+            })
+            .filter(|&(_, lo, hi)| lo < hi)
+            .collect();
+
+        let mut complete = true;
+        let mut candidates: Vec<(u32, f64)> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = stripes
+                .iter()
+                .map(|&(s, lo, hi)| {
+                    scope.spawn(move || {
+                        match self.request_on_shard(
+                            s,
+                            &Request::RecommendTopN {
+                                user,
+                                n,
+                                item_start: lo,
+                                item_end: hi,
+                            },
+                        ) {
+                            Ok(Response::TopN(items)) => Some(items),
+                            Ok(_) => {
+                                cf_obs::counter!("router.shard_io_errors").inc();
+                                None
+                            }
+                            Err(_) => None,
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(Some(items)) => candidates.extend(items),
+                    Ok(None) => complete = false,
+                    Err(_) => {
+                        // A panicking scatter thread is absorbed like a
+                        // dead stripe, never propagated to the caller.
+                        complete = false;
+                    }
+                }
+            }
+        });
+        if complete {
+            cf_obs::counter!("router.ok").inc();
+        } else {
+            cf_obs::counter!("router.recommend.partial").inc();
+            cf_obs::counter!("router.fallback_served").inc();
+            // A partial recommend is a degraded answer: account for it on
+            // the ladder operators already watch. The missing stripe's
+            // items were effectively served from "nothing", the rung
+            // below single-estimator territory.
+            DegradeLevel::ClusterSmoothed.record();
+        }
+        Some(RouterTopN {
+            items: cfsf_core::topk::top_k_by_score(n as usize, candidates),
+            complete,
+        })
+    }
+
+    /// Health of the fleet as this router sees it: `(configured, up)`.
+    pub fn shards_up(&self) -> (usize, usize) {
+        let up = self.slots.iter().filter(|s| !Self::is_down_now(s)).count();
+        (self.slots.len(), up)
+    }
+
+    fn is_down_now(slot: &ShardSlot) -> bool {
+        let guard = slot
+            .down_until
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.is_some_and(|t| Instant::now() < t)
+    }
+
+    /// One request against one shard with admission control, pooled
+    /// connections, retry + backoff, and down-marking.
+    fn request_on_shard(&self, shard: usize, req: &Request) -> Result<Response, ShardUnavailable> {
+        let slot = &self.slots[shard];
+        // Down and inside cooldown: shed immediately, zero socket cost.
+        {
+            let mut guard = slot
+                .down_until
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match *guard {
+                Some(t) if Instant::now() < t => {
+                    drop(guard);
+                    cf_obs::counter!("router.shed_down").inc();
+                    return Err(ShardUnavailable::Down);
+                }
+                Some(_) => {
+                    // Cooldown over: half-open. Clear the mark and let
+                    // this request be the probe.
+                    *guard = None;
+                }
+                None => {}
+            }
+        }
+        // Bounded queue: admission control, not an actual queue — beyond
+        // the bound we shed to the ladder rather than add latency to a
+        // shard that is already behind.
+        if slot.in_flight.fetch_add(1, Ordering::Relaxed) >= self.cfg.max_in_flight_per_shard {
+            slot.in_flight.fetch_sub(1, Ordering::Relaxed);
+            cf_obs::counter!("router.shed_busy").inc();
+            return Err(ShardUnavailable::Busy);
+        }
+        let _guard = InFlightGuard(&slot.in_flight);
+
+        let mut attempt = 0u32;
+        loop {
+            let client = {
+                let mut pool = slot
+                    .pool
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                pool.pop()
+            };
+            let mut client = match client {
+                Some(c) => c,
+                None => match ShardClient::connect(slot.addr.as_str(), self.cfg.client) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        if self.note_attempt_failed(&mut attempt, slot, &e.to_string()) {
+                            continue;
+                        }
+                        return Err(ShardUnavailable::Failed);
+                    }
+                },
+            };
+            match client.request(req) {
+                Ok(resp) => {
+                    let mut pool = slot
+                        .pool
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    pool.push(client);
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    // The connection's framing state is unknown: drop it,
+                    // never pool it.
+                    drop(client);
+                    let why = match &e {
+                        FrameError::Io(io) => io.to_string(),
+                        other => other.to_string(),
+                    };
+                    if self.note_attempt_failed(&mut attempt, slot, &why) {
+                        continue;
+                    }
+                    return Err(ShardUnavailable::Failed);
+                }
+            }
+        }
+    }
+
+    /// Counts a failed attempt; returns `true` while retries remain
+    /// (after the backoff sleep), otherwise marks the shard down.
+    fn note_attempt_failed(&self, attempt: &mut u32, slot: &ShardSlot, why: &str) -> bool {
+        cf_obs::counter!("router.shard_io_errors").inc();
+        *attempt += 1;
+        if *attempt <= self.cfg.retries {
+            cf_obs::counter!("router.retries").inc();
+            std::thread::sleep(self.cfg.backoff * *attempt);
+            return true;
+        }
+        // Out of attempts: mark down for the cooldown and shed.
+        {
+            let mut guard = slot
+                .down_until
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *guard = Some(Instant::now() + self.cfg.down_cooldown);
+        }
+        // Drain the pool: every pooled connection points at a shard we
+        // just declared dead.
+        {
+            let mut pool = slot
+                .pool
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            pool.clear();
+        }
+        let (_total, up) = self.shards_up();
+        cf_obs::gauge!("router.shards_up").set(up as i64);
+        cf_obs::trace::note("router.shard_down");
+        eprintln!(
+            "router: shard {addr} marked down for {cooldown:?}: {why}",
+            addr = slot.addr,
+            cooldown = self.cfg.down_cooldown,
+        );
+        false
+    }
+
+    /// Serves a prediction from the router-local fallback table — the
+    /// user-mean / global-mean rungs of the degradation ladder, the same
+    /// rungs (and the same counters) the in-process model bottoms out
+    /// on.
+    fn fallback_predict(&self, user: u32) -> RouterPrediction {
+        cf_obs::counter!("router.fallback_served").inc();
+        let mean = self
+            .fallback
+            .user_means
+            .get(user as usize)
+            .copied()
+            .unwrap_or(f64::NAN);
+        let (value, level) = if mean.is_finite() {
+            (mean, DegradeLevel::UserMean)
+        } else {
+            (self.fallback.global_mean, DegradeLevel::GlobalMean)
+        };
+        level.record();
+        RouterPrediction {
+            fused: self.fallback.scale.clamp(value),
+            level,
+            fallback: true,
+            shard: None,
+        }
+    }
+}
+
+// --- the router as a frame server --------------------------------------
+
+use std::sync::Arc;
+
+use crate::frame::ERR_OUT_OF_RANGE;
+use crate::server::{FrameServer, Handler, ServerOptions};
+
+struct RouterHandler {
+    router: Arc<Router>,
+}
+
+impl Handler for RouterHandler {
+    fn handle(&self, req: Request) -> Response {
+        match req {
+            Request::Health => Response::Health(HealthInfo {
+                // u32::MAX marks a front tier, distinguishing it from any
+                // operator-assigned shard id.
+                shard_id: u32::MAX,
+                num_users: self.router.num_users(),
+                num_items: self.router.num_items(),
+            }),
+            Request::Profile => Response::Profile(self.router.profile()),
+            Request::Predict { user, item } => match self.router.predict(user, item) {
+                Some(p) => Response::Prediction(crate::frame::WirePrediction {
+                    fused: p.fused,
+                    level: p.level.code(),
+                    fallback: p.fallback,
+                }),
+                None => Response::Error {
+                    code: ERR_OUT_OF_RANGE,
+                    message: format!("user {user} or item {item} outside the model"),
+                },
+            },
+            Request::RecommendTopN {
+                user,
+                n,
+                item_start,
+                item_end,
+            } => match self
+                .router
+                .recommend_top_n_in_range(user, n, item_start, item_end)
+            {
+                Some(t) => Response::TopN(t.items),
+                None => Response::Error {
+                    code: ERR_OUT_OF_RANGE,
+                    message: format!("user {user} outside the model"),
+                },
+            },
+        }
+    }
+
+    fn bump(&self, ok: bool) {
+        cf_obs::counter!("router.front.requests").inc();
+        if ok {
+            cf_obs::counter!("router.front.responses.ok").inc();
+        } else {
+            // Only out-of-range / malformed requests land here — shard
+            // failures degrade, they do not error.
+            cf_obs::counter!("router.front.responses.error").inc();
+        }
+    }
+}
+
+/// The router exposed over the same wire protocol the shards speak, so
+/// clients cannot tell a router from a shard (and routers can stack).
+pub struct RouterServer {
+    inner: FrameServer,
+}
+
+impl RouterServer {
+    /// Binds `addr` and serves `router` to downstream clients.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        router: Arc<Router>,
+        opts: ServerOptions,
+    ) -> std::io::Result<Self> {
+        cf_obs::counter!("router.front.requests").add(0);
+        cf_obs::counter!("router.front.responses.ok").add(0);
+        cf_obs::counter!("router.front.responses.error").add(0);
+        let handler = Arc::new(RouterHandler { router });
+        let inner = FrameServer::bind(addr, opts, handler, "cf-serve-router")?;
+        Ok(Self { inner })
+    }
+
+    /// The actually-bound address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.inner.local_addr()
+    }
+
+    /// Stops the accept loop and joins every connection thread.
+    pub fn shutdown(self) {
+        self.inner.shutdown();
+    }
+}

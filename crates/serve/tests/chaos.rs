@@ -1,0 +1,99 @@
+//! Chaos tests for the serving tier, gated on the `faultinject` feature:
+//! a shard that drops connections mid-request (response computed, never
+//! written) must cost the router retries — never request errors.
+//!
+//! Run with `cargo test -p cf-serve --features faultinject`.
+
+#![cfg(feature = "faultinject")]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cf_matrix::{ItemId, UserId};
+use cf_serve::client::ClientOptions;
+use cf_serve::router::{Router, RouterConfig};
+use cf_serve::server::{ShardOptions, ShardServer};
+use cfsf_core::{Cfsf, CfsfConfig};
+
+fn model() -> Arc<Cfsf> {
+    let d = cf_data::SyntheticConfig::small().generate();
+    Arc::new(Cfsf::fit(&d.matrix, CfsfConfig::small()).unwrap())
+}
+
+fn counter(name: &str) -> u64 {
+    cf_obs::global().counter(name).get()
+}
+
+#[test]
+fn dropped_connections_cost_retries_not_errors() {
+    let model = model();
+    let shard =
+        ShardServer::bind("127.0.0.1:0", Arc::clone(&model), ShardOptions::default()).unwrap();
+
+    // Fire on every 5th request served: the shard computes the answer,
+    // then hangs up without writing it. The router sees a dead
+    // connection mid-exchange — the worst moment to lose a shard.
+    cf_faultinject::arm(
+        "serve.shard.drop_conn",
+        cf_faultinject::Policy::Probability(0.2),
+    );
+
+    let router = Router::connect(RouterConfig {
+        shards: vec![shard.local_addr().to_string()],
+        client: ClientOptions {
+            connect_timeout: Duration::from_millis(300),
+            io_timeout: Duration::from_millis(100),
+            request_deadline: Duration::from_secs(2),
+        },
+        max_in_flight_per_shard: 64,
+        // Generous retries: each drop kills one pooled connection, and
+        // the next attempt reconnects to a still-alive shard.
+        retries: 3,
+        backoff: Duration::from_millis(2),
+        down_cooldown: Duration::from_millis(100),
+    })
+    .unwrap();
+
+    let users = model.matrix().num_users() as u32;
+    let mut exact = 0u32;
+    let mut degraded = 0u32;
+    for round in 0..4 {
+        for user in 0..users {
+            let item = round % model.matrix().num_items() as u32;
+            let p = router.predict(user, item).unwrap();
+            assert!(p.fused.is_finite());
+            if p.shard.is_some() {
+                // A shard answer must still be bit-for-bit right, chaos
+                // or not.
+                let local = model
+                    .predict_with_breakdown(UserId::new(user), ItemId::new(item))
+                    .unwrap();
+                assert_eq!(p.fused.to_bits(), local.fused.to_bits());
+                exact += 1;
+            } else {
+                degraded += 1;
+            }
+        }
+    }
+    // Read the counts before disarming: disarm drops the point (and its
+    // counters) from the registry.
+    let fired = cf_faultinject::fired_count("serve.shard.drop_conn");
+    cf_faultinject::disarm("serve.shard.drop_conn");
+
+    assert!(
+        fired > 0,
+        "the chaos point must actually fire for this test to mean anything"
+    );
+    assert!(exact > 0, "most requests should survive via retry");
+    // Some requests may degrade (drop exhausted the retries) — that is
+    // the designed behavior. What must NOT happen is an error:
+    assert_eq!(counter("router.request_errors"), 0);
+    assert!(
+        counter("router.retries") > 0,
+        "drops must surface as retries"
+    );
+    let _ = degraded;
+
+    shard.shutdown();
+}

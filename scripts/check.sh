@@ -24,6 +24,15 @@ cargo test --workspace -q --offline
 echo "==> cfsf-analyze (lint + concurrency models, deny warnings)"
 cargo run -q -p cf-analysis --bin cfsf-analyze --offline -- --deny-warnings
 
+# Sharded serving: the multi-process integration test spawns real shard
+# and router processes from the built binaries and asserts (a) remote
+# answers are bit-for-bit the in-process answers and (b) killing a shard
+# mid-load costs zero router errors — users degrade down the ladder.
+# It runs in the workspace pass too; calling it out keeps the fleet
+# behavior visible as its own gate in CI logs.
+echo "==> sharded serving: router + shard processes round-trip"
+cargo test --offline -q --test sharded_serving
+
 # Chaos job: the deterministic fault-injection suite. The faultinject
 # feature compiles the injection points into cfsf-core, so this runs as
 # its own pass (and lints the gated code the default pass never sees).
@@ -32,6 +41,10 @@ cargo clippy -p cfsf-core --features faultinject --all-targets --offline -- -D w
 
 echo "==> chaos: fault-injection suite"
 cargo test -p cfsf-core --features faultinject -q --offline
+
+echo "==> chaos: serving tier (shard connection drops)"
+cargo clippy -p cf-serve --features faultinject --all-targets --offline -- -D warnings
+cargo test -p cf-serve --features faultinject -q --offline
 
 # Non-gating: smoke the throughput benchmark (quick windows) so a broken
 # bench binary is caught here, without making noisy perf numbers a gate.

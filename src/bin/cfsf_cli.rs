@@ -7,6 +7,9 @@
 //! cfsf-cli recommend <u.data> --user ID [--n 10]
 //! cfsf-cli train <u.data> --out model.cfsf      # persist a fitted model
 //! cfsf-cli serve <model.cfsf> --user ID [--n N] # recommend from a saved model
+//! cfsf-cli serve <model.cfsf> --serve ADDR [--shard-id N]
+//!                                               # run a wire-protocol shard server
+//!                                               # (front it with cfsf_router)
 //! cfsf-cli demo
 //! ```
 //!
@@ -280,9 +283,10 @@ fn cmd_serve(args: &[String]) {
     let Some(path) = args.first() else {
         usage("serve needs a model file");
     };
+    let serve_addr = flag(args, "--serve");
     let user: u32 = flag_num(args, "--user", u32::MAX);
-    if user == u32::MAX {
-        usage("serve needs --user ID (1-based)");
+    if serve_addr.is_none() && user == u32::MAX {
+        usage("serve needs --user ID (1-based) or --serve ADDR");
     }
     let n = flag_num(args, "--n", 10usize);
     let t = std::time::Instant::now();
@@ -294,6 +298,31 @@ fn cmd_serve(args: &[String]) {
         "model loaded in {:.2}s (no offline recompute)",
         t.elapsed().as_secs_f64()
     );
+    if let Some(addr) = serve_addr {
+        // Shard mode: answer wire-protocol frames from the loaded model
+        // until killed. Port 0 picks a free one; the `listening on` line
+        // is the contract scripts (and the sharded integration test)
+        // parse, so flush it past the pipe buffer immediately.
+        let shard_id: u32 = flag_num(args, "--shard-id", 0);
+        let shard = cf_serve::ShardServer::bind(
+            addr.as_str(),
+            std::sync::Arc::new(model),
+            cf_serve::ShardOptions {
+                shard_id,
+                server: cf_serve::ServerOptions::default(),
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot bind shard on {addr}: {e}");
+            std::process::exit(1);
+        });
+        println!("shard {shard_id} listening on {}", shard.local_addr());
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
     let uid = UserId::new(user.saturating_sub(1));
     if uid.index() >= model.matrix().num_users() {
         eprintln!("error: user {user} not in the model");
@@ -346,7 +375,10 @@ fn usage(problem: &str) -> ! {
     }
     eprintln!(
         "usage:\n  cfsf-cli stats <u.data>\n  cfsf-cli evaluate <u.data> [--algo NAME] \
-         [--train-users N] [--test-users N] [--given N]\n  cfsf-cli recommend <u.data> --user ID [--n N]\n  cfsf-cli demo\n\
+         [--train-users N] [--test-users N] [--given N]\n  cfsf-cli recommend <u.data> --user ID [--n N]\n\
+         \x20 cfsf-cli train <u.data> --out model.cfsf\n\
+         \x20 cfsf-cli serve <model.cfsf> --user ID [--n N]\n\
+         \x20 cfsf-cli serve <model.cfsf> --serve ADDR [--shard-id N]  (wire-protocol shard; see cfsf_router)\n  cfsf-cli demo\n\
          algorithms: cfsf, sur, sir, sf, emdp, scbpcc, am, pd\n\
          global flags: --stats (dump metrics JSON on stderr), --stats-out PATH (write metrics JSON to PATH),\n\
                        --serve-metrics ADDR (live /metrics, /stats.json, /traces endpoint),\n\

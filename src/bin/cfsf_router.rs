@@ -1,0 +1,125 @@
+//! `cfsf_router` — the front tier of the sharded serving fleet.
+//!
+//! ```text
+//! cfsf_router --shards HOST:PORT,HOST:PORT,... --listen ADDR
+//!             [--serve-metrics ADDR] [--max-in-flight N]
+//!             [--retries N] [--down-cooldown-ms N]
+//! ```
+//!
+//! Connects to every shard (each a `cfsf-cli serve <model> --serve ADDR`
+//! process), verifies they serve the same model shape, and then speaks
+//! the identical wire protocol to downstream clients on `--listen`:
+//! predicts route to the user's owning shard, top-N recommendations
+//! scatter-gather across all shard stripes, and a dead or saturated
+//! shard load-sheds onto the degradation ladder (`online.degrade.*`)
+//! instead of surfacing errors.
+//!
+//! `--serve-metrics ADDR` binds the usual observability endpoint
+//! (`/metrics`, `/stats.json`, `/traces`) so `router.*` health counters
+//! are scrapeable while the router runs.
+
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage("");
+    }
+
+    let shards: Vec<String> = flag(&args, "--shards")
+        .unwrap_or_else(|| usage("--shards HOST:PORT,... is required"))
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if shards.is_empty() {
+        usage("--shards needs at least one address");
+    }
+    let listen = flag(&args, "--listen").unwrap_or_else(|| usage("--listen ADDR is required"));
+
+    let mut cfg = cf_serve::RouterConfig {
+        shards,
+        ..cf_serve::RouterConfig::default()
+    };
+    cfg.max_in_flight_per_shard = flag_num(&args, "--max-in-flight", cfg.max_in_flight_per_shard);
+    cfg.retries = flag_num(&args, "--retries", cfg.retries);
+    cfg.down_cooldown = Duration::from_millis(flag_num(
+        &args,
+        "--down-cooldown-ms",
+        cfg.down_cooldown.as_millis() as u64,
+    ));
+
+    // Bind telemetry before connecting so even startup failures leave a
+    // scrapeable endpoint for the few milliseconds they take.
+    let metrics = flag(&args, "--serve-metrics").map(|addr| {
+        let server = cf_obs::serve::MetricsServer::bind(addr.as_str()).unwrap_or_else(|e| {
+            eprintln!("error: cannot bind telemetry endpoint {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("telemetry endpoint on http://{}/", server.local_addr());
+        server
+    });
+
+    let router = match cf_serve::Router::connect(cfg) {
+        Ok(r) => std::sync::Arc::new(r),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (total, _) = router.shards_up();
+    eprintln!(
+        "router fronting {total} shard(s): {} users x {} items",
+        router.num_users(),
+        router.num_items()
+    );
+
+    let front =
+        cf_serve::RouterServer::bind(listen.as_str(), router, cf_serve::ServerOptions::default())
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot bind router on {listen}: {e}");
+                std::process::exit(1);
+            });
+    // The `listening on` line is the contract scripts (and the sharded
+    // integration test) parse; flush it past the pipe buffer immediately.
+    println!("router listening on {}", front.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let _keep_metrics = metrics;
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|p| args.get(p + 1).cloned())
+}
+
+fn flag_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag(args, name) {
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| usage(&format!("{name} needs a number"))),
+        None => default,
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}\n");
+    }
+    eprintln!(
+        "usage:\n  cfsf_router --shards HOST:PORT,HOST:PORT,... --listen ADDR\n\
+         \x20             [--serve-metrics ADDR] [--max-in-flight N]\n\
+         \x20             [--retries N] [--down-cooldown-ms N]\n\
+         \n\
+         Each shard is a `cfsf-cli serve <model.cfsf> --serve ADDR` process\n\
+         serving the same model. The router answers the same wire protocol\n\
+         on --listen; a dead shard degrades its users onto the fallback\n\
+         ladder (online.degrade.*) instead of erroring."
+    );
+    std::process::exit(if problem.is_empty() { 0 } else { 2 });
+}
