@@ -50,6 +50,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no AssertUnwindSafe over a closure capturing &mut (over-broad \
                   unwind capture can observe broken invariants)",
     },
+    RuleInfo {
+        id: "quant-plane-raw-read",
+        summary: "no raw quantized-cell reads (.bits() or the weight LUT) outside \
+                  crates/matrix/src/planes.rs; go through PlaneDequant::pair",
+    },
 ];
 
 /// Files whose clock reads must sit behind the obs enabled-gate.
@@ -94,6 +99,7 @@ pub fn check_file(scan: &FileScan, out: &mut Vec<Diagnostic>) {
     float_eq(scan, out);
     bare_sync_prim(scan, out);
     unwind_safe_mut(scan, out);
+    quant_plane_raw_read(scan, out);
 }
 
 // --------------------------------------------------------------------------
@@ -410,6 +416,50 @@ fn unwind_safe_mut(scan: &FileScan, out: &mut Vec<Diagnostic>) {
 }
 
 // --------------------------------------------------------------------------
+// quant-plane-raw-read
+// --------------------------------------------------------------------------
+
+/// The one file allowed to touch quantized cell encodings directly.
+const PLANES_FILE: &str = "crates/matrix/src/planes.rs";
+
+/// Quantized plane cells carry `(code << 1) | provenance` plus a weight
+/// LUT; decoding them anywhere but `planes.rs` duplicates the encoding
+/// and silently diverges when it changes. `QuantCell::bits()` calls
+/// (`.bits()` is a word distinct from `f64::to_bits()`) and the `wlut`
+/// table must stay inside [`PLANES_FILE`] — kernels consume
+/// `PlaneDequant::pair` / `present_bit` instead.
+fn quant_plane_raw_read(scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    if scan.path.ends_with(PLANES_FILE) {
+        return;
+    }
+    for (i, l) in scan.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        if l.code.contains(".bits()") {
+            out.push(Diagnostic {
+                rule: "quant-plane-raw-read",
+                path: scan.path.clone(),
+                line: i + 1,
+                message: "raw `.bits()` read of a quantized plane cell outside \
+                          planes.rs; dequantize through PlaneDequant::pair"
+                    .to_string(),
+            });
+        }
+        if find_token(&l.code, "wlut").is_some() {
+            out.push(Diagnostic {
+                rule: "quant-plane-raw-read",
+                path: scan.path.clone(),
+                line: i + 1,
+                message: "the plane weight LUT is private to planes.rs; use \
+                          PlaneDequant::pair instead of reading `wlut`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
 // counter-pairing (cross-file)
 // --------------------------------------------------------------------------
 
@@ -561,6 +611,26 @@ mod tests {
         let good =
             "fn f(buf: &Vec<u8>) {\n    let r = catch_unwind(AssertUnwindSafe(|| step(buf)));\n}\n";
         assert!(lint_one("crates/core/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn quant_raw_reads_flagged_outside_planes() {
+        let bits = "fn f(c: u16) -> u32 { QuantCell::bits(c) + x.bits() }\n";
+        let d = lint_one("crates/core/src/online.rs", bits);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "quant-plane-raw-read");
+        let lut = "fn f(dq: &D) -> f64 { dq.wlut[2] }\n";
+        let d = lint_one("crates/similarity/src/weighted.rs", lut);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "quant-plane-raw-read");
+        // planes.rs itself owns the encoding.
+        assert!(lint_one("crates/matrix/src/planes.rs", bits).is_empty());
+        assert!(lint_one("crates/matrix/src/planes.rs", lut).is_empty());
+        // f64 bit-twiddling (rsqrt) is a different token; tests may peek.
+        let to_bits = "fn f(x: f64) -> u64 { x.to_bits() }\n";
+        assert!(lint_one("crates/core/src/online.rs", to_bits).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn g(c: u16) -> u32 { c.bits() }\n}\n";
+        assert!(lint_one("crates/core/src/online.rs", in_test).is_empty());
     }
 
     #[test]

@@ -21,13 +21,20 @@
 //! Usage:
 //!
 //! ```text
-//! online_throughput [--quick] [--out PATH] [--compare PATH]
+//! online_throughput [--quick] [--out PATH] [--compare PATH] [--filter SUBSTR]
 //! ```
 //!
 //! `--quick` (or `BENCH_MODE=quick`) shrinks warmup/measure windows for
 //! CI smoke runs; the committed report uses the default full windows.
 //! Request patterns are fixed arithmetic sequences, so runs are
 //! reproducible bar machine noise.
+//!
+//! `--filter SUBSTR` measures only the scenarios whose name contains the
+//! substring — the kernel-tuning loop, where waiting for all eight
+//! scenarios per experiment would dominate the iteration time. A
+//! filtered report is partial: speedup summary fields are emitted only
+//! when both of their scenarios ran, and `--compare` prints a coverage
+//! warning per committed scenario the filter skipped.
 //!
 //! `--compare PATH` diffs this run against a committed report (e.g.
 //! `BENCH_online.json`) and prints a `BENCH REGRESSION WARNING` for any
@@ -103,8 +110,33 @@ fn committed_rate(report: &str, name: &str) -> Option<f64> {
     number.parse().ok()
 }
 
+/// Scenario names present in a committed report: every quoted key
+/// immediately followed by a `predictions_per_sec` object (the exact
+/// shape [`json_entry`] writes).
+fn committed_scenarios(report: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut rest = report;
+    while let Some(q) = rest.find('"') {
+        let after = &rest[q + 1..];
+        let Some(end) = after.find('"') else { break };
+        let name = &after[..end];
+        let tail = after[end + 1..].trim_start();
+        if tail.starts_with(':')
+            && tail[1..]
+                .trim_start()
+                .starts_with("{ \"predictions_per_sec\"")
+        {
+            names.push(name.to_string());
+        }
+        rest = &after[end + 1..];
+    }
+    names
+}
+
 /// Non-gating regression check against a committed report. Prints a
-/// warning per regressed measurement; never exits nonzero.
+/// warning per regressed measurement — and per committed scenario the
+/// current run did not measure, so a renamed or dropped scenario can't
+/// silently escape the comparison. Never exits nonzero.
 fn compare_against(results: &[Measurement], committed_path: &str) {
     let committed = match std::fs::read_to_string(committed_path) {
         Ok(s) => s,
@@ -114,6 +146,13 @@ fn compare_against(results: &[Measurement], committed_path: &str) {
         }
     };
     eprintln!("  comparing against {committed_path} (warn threshold: >10% below committed)");
+    for name in committed_scenarios(&committed) {
+        if !results.iter().any(|m| m.name == name) {
+            eprintln!(
+                "  BENCH COVERAGE WARNING: committed scenario {name:<28} not measured by this run"
+            );
+        }
+    }
     let mut regressions = 0u32;
     for m in results {
         let Some(want) = committed_rate(&committed, m.name) else {
@@ -165,6 +204,15 @@ fn main() {
         .position(|a| a == "--compare")
         .and_then(|p| args.get(p + 1))
         .cloned();
+    let filter = args
+        .iter()
+        .position(|a| a == "--filter")
+        .and_then(|p| args.get(p + 1))
+        .cloned();
+    let want = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
+    if let Some(f) = filter.as_deref() {
+        eprintln!("online_throughput: --filter {f} — partial report, skipped scenarios omitted");
+    }
     let windows = if quick {
         Windows {
             warmup: Duration::from_millis(80),
@@ -233,100 +281,140 @@ fn main() {
 
     // Serving fast path, single thread, warm neighbor cache: the
     // steady-state per-request kernel cost on the burst pattern.
-    results.push(measure("single_thread_warm", &windows, || {
-        let mut n = 0;
-        for &(u, i) in &burst {
-            if model.predict(u, i).is_some() {
-                n += 1;
+    if want("single_thread_warm") {
+        results.push(measure("single_thread_warm", &windows, || {
+            let mut n = 0;
+            for &(u, i) in &burst {
+                if model.predict(u, i).is_some() {
+                    n += 1;
+                }
             }
-        }
-        n
-    }));
+            n
+        }));
+    }
 
     // The pre-fast-path kernels on the identical warm selections — the
     // baseline the headline speedup is measured against.
-    results.push(measure("baseline_single_thread_warm", &windows, || {
-        let mut n = 0;
-        for &(u, i) in &burst {
-            if model.predict_with_breakdown_ref(u, i).is_some() {
-                n += 1;
+    if want("baseline_single_thread_warm") {
+        results.push(measure("baseline_single_thread_warm", &windows, || {
+            let mut n = 0;
+            for &(u, i) in &burst {
+                if model.predict_with_breakdown_ref(u, i).is_some() {
+                    n += 1;
+                }
             }
-        }
-        n
-    }));
+            n
+        }));
+    }
 
     // The same pair on the scattered mix — the cache-hostile worst case.
-    results.push(measure("mixed_single_thread_warm", &windows, || {
-        let mut n = 0;
-        for &(u, i) in &mixed {
-            if model.predict(u, i).is_some() {
-                n += 1;
+    if want("mixed_single_thread_warm") {
+        results.push(measure("mixed_single_thread_warm", &windows, || {
+            let mut n = 0;
+            for &(u, i) in &mixed {
+                if model.predict(u, i).is_some() {
+                    n += 1;
+                }
             }
-        }
-        n
-    }));
-    results.push(measure("mixed_baseline_single_thread", &windows, || {
-        let mut n = 0;
-        for &(u, i) in &mixed {
-            if model.predict_with_breakdown_ref(u, i).is_some() {
-                n += 1;
+            n
+        }));
+    }
+    if want("mixed_baseline_single_thread") {
+        results.push(measure("mixed_baseline_single_thread", &windows, || {
+            let mut n = 0;
+            for &(u, i) in &mixed {
+                if model.predict_with_breakdown_ref(u, i).is_some() {
+                    n += 1;
+                }
             }
-        }
-        n
-    }));
+            n
+        }));
+    }
 
     // Batched parallel serving across all cores.
-    results.push(measure("multi_thread_warm", &windows, || {
-        model
-            .predict_batch(requests, Some(threads))
-            .iter()
-            .filter(|r| r.is_some())
-            .count() as u64
-    }));
+    if want("multi_thread_warm") {
+        results.push(measure("multi_thread_warm", &windows, || {
+            model
+                .predict_batch(requests, Some(threads))
+                .iter()
+                .filter(|r| r.is_some())
+                .count() as u64
+        }));
+    }
 
     // Single-threaded batch API (shard bookkeeping, no parallel win).
-    results.push(measure("batch_one_thread", &windows, || {
-        model
-            .predict_batch(requests, Some(1))
-            .iter()
-            .filter(|r| r.is_some())
-            .count() as u64
-    }));
+    if want("batch_one_thread") {
+        results.push(measure("batch_one_thread", &windows, || {
+            model
+                .predict_batch(requests, Some(1))
+                .iter()
+                .filter(|r| r.is_some())
+                .count() as u64
+        }));
+    }
+
+    // The same mixed requests in a shuffled arrival order: the batch
+    // engine's internal strip sort must recover the locality that the
+    // arrival order destroyed (single thread isolates the sort's effect
+    // from parallelism).
+    let shuffled: Vec<(UserId, ItemId)> = (0..mixed.len())
+        .map(|k| mixed[(k.wrapping_mul(2654435761)) % mixed.len()])
+        .collect();
+    if want("mixed_batch_sorted_one_thread") {
+        results.push(measure("mixed_batch_sorted_one_thread", &windows, || {
+            model
+                .predict_batch(&shuffled, Some(1))
+                .iter()
+                .filter(|r| r.is_some())
+                .count() as u64
+        }));
+    }
 
     // Cold cache: every pass pays neighbor selection again — the
     // worst-case first-request-per-user cost.
-    results.push(measure("cold_cache_batch", &windows, || {
-        model.clear_caches();
-        model
-            .predict_batch(requests, Some(threads))
-            .iter()
-            .filter(|r| r.is_some())
-            .count() as u64
-    }));
+    if want("cold_cache_batch") {
+        results.push(measure("cold_cache_batch", &windows, || {
+            model.clear_caches();
+            model
+                .predict_batch(requests, Some(threads))
+                .iter()
+                .filter(|r| r.is_some())
+                .count() as u64
+        }));
+    }
 
-    let fast = results
-        .iter()
-        .find(|m| m.name == "single_thread_warm")
-        .expect("measured");
-    let base = results
-        .iter()
-        .find(|m| m.name == "baseline_single_thread_warm")
-        .expect("measured");
-    let speedup = fast.predictions_per_sec / base.predictions_per_sec;
-    let mixed_fast = results
-        .iter()
-        .find(|m| m.name == "mixed_single_thread_warm")
-        .expect("measured");
-    let mixed_base = results
-        .iter()
-        .find(|m| m.name == "mixed_baseline_single_thread")
-        .expect("measured");
-    let mixed_speedup = mixed_fast.predictions_per_sec / mixed_base.predictions_per_sec;
-    eprintln!("  single-thread speedup over reference kernels: {speedup:.2}x (burst), {mixed_speedup:.2}x (mixed)");
+    // Speedup summaries, each present only when both of its scenarios ran
+    // (a `--filter` run is allowed to skip either side).
+    let rate = |name: &str| {
+        results
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.predictions_per_sec)
+    };
+    let speedup = rate("single_thread_warm")
+        .zip(rate("baseline_single_thread_warm"))
+        .map(|(f, b)| f / b);
+    let mixed_speedup = rate("mixed_single_thread_warm")
+        .zip(rate("mixed_baseline_single_thread"))
+        .map(|(f, b)| f / b);
+    if let (Some(s), Some(m)) = (speedup, mixed_speedup) {
+        eprintln!(
+            "  single-thread speedup over reference kernels: {s:.2}x (burst), {m:.2}x (mixed)"
+        );
+    }
 
     let entries: Vec<String> = results.iter().map(json_entry).collect();
+    let mut summary = String::new();
+    if let Some(s) = speedup {
+        summary.push_str(&format!(
+            ",\n  \"speedup_single_thread_vs_baseline\": {s:.3}"
+        ));
+    }
+    if let Some(s) = mixed_speedup {
+        summary.push_str(&format!(",\n  \"speedup_mixed_vs_baseline\": {s:.3}"));
+    }
     let json = format!(
-        "{{\n  \"bench\": \"online_throughput\",\n  \"mode\": \"{}\",\n  \"dataset\": {{ \"users\": {}, \"items\": {}, \"ratings\": {} }},\n  \"config\": {{ \"clusters\": {}, \"k\": {}, \"m\": {}, \"lambda\": {}, \"delta\": {}, \"w\": {} }},\n  \"threads\": {},\n  \"requests_per_pass\": {},\n  \"results\": {{\n{}\n  }},\n  \"speedup_single_thread_vs_baseline\": {:.3},\n  \"speedup_mixed_vs_baseline\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"online_throughput\",\n  \"mode\": \"{}\",\n  \"dataset\": {{ \"users\": {}, \"items\": {}, \"ratings\": {} }},\n  \"config\": {{ \"clusters\": {}, \"k\": {}, \"m\": {}, \"lambda\": {}, \"delta\": {}, \"w\": {} }},\n  \"threads\": {},\n  \"requests_per_pass\": {},\n  \"results\": {{\n{}\n  }}{}\n}}\n",
         if quick { "quick" } else { "full" },
         users,
         items,
@@ -340,8 +428,7 @@ fn main() {
         threads,
         requests.len(),
         entries.join(",\n"),
-        speedup,
-        mixed_speedup
+        summary
     );
     std::fs::write(&out_path, &json).expect("write bench report");
     eprintln!("  wrote {out_path}");

@@ -1,5 +1,6 @@
 //! CFSF hyper-parameters.
 
+use cf_matrix::PlanePrecision;
 use cf_similarity::GisConfig;
 
 use crate::CfsfError;
@@ -40,6 +41,12 @@ pub struct CfsfConfig {
     /// "no smoothing" ablation: candidates and estimators then see only
     /// original ratings.
     pub use_smoothing: bool,
+    /// Storage precision of the serving weight planes. Online-only: it
+    /// never changes what the offline phase builds, and predictions stay
+    /// within the documented quantization tolerance of the f64 reference
+    /// path (DESIGN.md §6c). `U16` (default) is invisible next to model
+    /// error; `U8` halves the plane again at a coarser tolerance.
+    pub plane_precision: PlanePrecision,
 }
 
 impl Default for CfsfConfig {
@@ -64,6 +71,7 @@ impl CfsfConfig {
             seed: 42,
             threads: None,
             use_smoothing: true,
+            plane_precision: PlanePrecision::default(),
         }
     }
 
@@ -159,6 +167,13 @@ impl CfsfConfig {
         self.clusters = clusters;
         self
     }
+
+    /// Builder-style override of the serving-plane precision.
+    #[must_use]
+    pub fn with_plane_precision(mut self, precision: PlanePrecision) -> Self {
+        self.plane_precision = precision;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -197,5 +212,14 @@ mod tests {
         assert_eq!(c.k, 40);
         assert_eq!(c.lambda, 0.5);
         assert_eq!(c.delta, 0.1); // untouched
+    }
+
+    #[test]
+    fn plane_precision_defaults_to_u16_and_overrides() {
+        assert_eq!(CfsfConfig::paper().plane_precision, PlanePrecision::U16);
+        assert_eq!(CfsfConfig::small().plane_precision, PlanePrecision::U16);
+        let c = CfsfConfig::small().with_plane_precision(PlanePrecision::U8);
+        assert_eq!(c.plane_precision, PlanePrecision::U8);
+        assert!(c.validate().is_ok());
     }
 }

@@ -263,7 +263,11 @@ impl IncrementalCfsf {
         } else {
             DenseRatings::from_sparse(merged)
         };
-        let planes = cf_matrix::WeightPlanes::from_dense(&dense, model.config.w);
+        let planes = cf_matrix::WeightPlanes::from_dense_with(
+            &dense,
+            model.config.w,
+            model.config.plane_precision,
+        );
         let strips = crate::strips::ItemStrips::build(&gis, model.config.m);
         #[cfg(feature = "faultinject")]
         if cf_faultinject::fires("incremental.midrefresh") {
@@ -281,6 +285,7 @@ impl IncrementalCfsf {
         model.icluster = icluster;
         model.matrix = merged.clone();
         model.clear_caches();
+        model.publish_footprint();
         Ok(())
     }
 }

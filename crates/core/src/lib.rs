@@ -52,6 +52,7 @@ mod persist;
 mod strips;
 pub mod topk;
 
+pub use cf_matrix::PlanePrecision;
 pub use config::CfsfConfig;
 pub use degrade::DegradeLevel;
 pub use error::CfsfError;

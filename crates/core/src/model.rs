@@ -39,8 +39,9 @@ pub struct Cfsf {
     /// Dense ratings the online phase reads: the smoothed matrix, or the
     /// raw sparse ratings densified when `use_smoothing` is off.
     pub(crate) dense: DenseRatings,
-    /// Fused per-cell weight planes over `dense` (ε and provenance folded
-    /// at fit time) — what the serving fast path actually reads.
+    /// Quantized weight planes over `dense` (ε and provenance folded into
+    /// an exact weight LUT at fit time, ratings stored as u16/u8 codes,
+    /// presence bit-packed) — what the serving fast path actually reads.
     pub(crate) planes: WeightPlanes,
     /// Per-item GIS top-`M` lists flattened into structure-of-arrays
     /// strips at fit time for the online kernels.
@@ -100,10 +101,10 @@ impl Cfsf {
         } else {
             DenseRatings::from_sparse(matrix)
         };
-        let planes = WeightPlanes::from_dense(&dense, config.w);
+        let planes = WeightPlanes::from_dense_with(&dense, config.w, config.plane_precision);
         let strips = crate::strips::ItemStrips::build(&gis, config.m);
 
-        Ok(Self {
+        let model = Self {
             config,
             matrix: matrix.clone(),
             gis,
@@ -114,7 +115,9 @@ impl Cfsf {
             planes,
             strips,
             neighbor_cache: ShardedCache::new(crate::cache::DEFAULT_CAPACITY),
-        })
+        };
+        model.publish_footprint();
+        Ok(model)
     }
 
     /// The configuration the model was fitted with.
@@ -152,6 +155,24 @@ impl Cfsf {
     /// that must measure cold-path latency).
     pub fn clear_caches(&self) {
         self.neighbor_cache.clear();
+    }
+
+    /// The rating quantization granularity of the serving planes
+    /// (`0.0` for constant/empty planes). Per-cell rating error is at
+    /// most half this; the kernel-equivalence tests derive their
+    /// tolerance from it.
+    pub fn plane_quant_step(&self) -> f64 {
+        self.planes.step()
+    }
+
+    /// Publishes the serving working-set sizes as gauges
+    /// (`model.bytes.planes`, `model.bytes.presence`,
+    /// `model.bytes.strips`) so `/stats.json` shows the footprint.
+    /// Called whenever the online structures are (re)built.
+    pub(crate) fn publish_footprint(&self) {
+        cf_obs::gauge!("model.bytes.planes").set(self.planes.cell_bytes() as i64);
+        cf_obs::gauge!("model.bytes.presence").set(self.planes.present_bytes() as i64);
+        cf_obs::gauge!("model.bytes.strips").set(self.strips.bytes() as i64);
     }
 
     /// Number of users with a cached neighbor selection.
@@ -201,9 +222,9 @@ impl Cfsf {
         } else {
             DenseRatings::from_sparse(&self.matrix)
         };
-        let planes = WeightPlanes::from_dense(&dense, config.w);
+        let planes = WeightPlanes::from_dense_with(&dense, config.w, config.plane_precision);
         let strips = crate::strips::ItemStrips::build(&self.gis, config.m);
-        Ok(Self {
+        let model = Self {
             config,
             matrix: self.matrix.clone(),
             gis: self.gis.clone(),
@@ -214,7 +235,9 @@ impl Cfsf {
             planes,
             strips,
             neighbor_cache: ShardedCache::new(crate::cache::DEFAULT_CAPACITY),
-        })
+        };
+        model.publish_footprint();
+        Ok(model)
     }
 
     /// Scores every item the user hasn't rated and returns the best `n`

@@ -4,20 +4,25 @@
 //! Two implementations live here:
 //!
 //! - the **serving fast path** ([`Cfsf::predict_with_breakdown`]): reads
-//!   the fused [`cf_matrix::WeightPlanes`] (ε and provenance folded at fit
-//!   time) and runs the Eq. 12 sums as branch-free multiply-accumulate —
-//!   no per-cell `is_nan` test, no provenance-bit extraction, and pair
-//!   weights via a vectorizable reciprocal-square-root strip instead of
-//!   per-cell `sqrt` + `div`;
+//!   the quantized [`cf_matrix::WeightPlanes`] (ε, presence, and
+//!   provenance folded into one u16/u8 cell per entry with an exact
+//!   weight LUT — one load per cell) and runs the Eq. 12 sums as branch-free
+//!   multiply-accumulate with the dequantization fused into the loops —
+//!   no per-cell `is_nan` test, no provenance-bit extraction, pair
+//!   weights via a vectorizable reciprocal-square-root strip, and the
+//!   next neighbor's plane row software-prefetched while the current one
+//!   is in the MAC (the path is LLC-latency-bound, DESIGN.md §6c);
 //! - the **reference path** ([`Cfsf::predict_with_breakdown_ref`]): the
-//!   original per-cell loops over the dense matrix. It is the ground
-//!   truth the fast kernels are property-tested against (≤ 1e-9) and the
-//!   baseline the throughput benchmark measures speedups from.
+//!   original per-cell f64 loops over the dense matrix. It is the ground
+//!   truth the fast kernels are property-tested against (within the
+//!   quantization tolerance `planes.step() + 1e-9` — weights are exact,
+//!   so availability, overlap counts, and degrade levels match exactly)
+//!   and the baseline the throughput benchmark measures speedups from.
 
 use std::cell::RefCell;
 use std::sync::Arc;
 
-use cf_matrix::{ItemId, UserId};
+use cf_matrix::{ItemId, PlanesView, QuantCell, TypedPlanes, UserId};
 use cf_similarity::{pair_weight, smoothing_weight, weighted_user_pcc_planes};
 
 use crate::{fuse, Cfsf, DegradeLevel};
@@ -175,15 +180,37 @@ impl Cfsf {
         )
     }
 
-    /// The fast Eq. 12 kernels over the fused weight planes and the
-    /// precomputed per-item strips. Returns `(sir, sur, suir, m_used)`.
+    /// The fast Eq. 12 kernels over the quantized weight planes and the
+    /// precomputed per-item strips. Dispatches on the plane precision
+    /// once, then runs the monomorphized kernel. Returns
+    /// `(sir, sur, suir, m_used)`.
     fn local_estimators(
         &self,
         user: UserId,
         item: ItemId,
         top_users: &[(UserId, f64)],
     ) -> (Option<f64>, Option<f64>, Option<f64>, usize) {
-        let planes = &self.planes;
+        match self.planes.view() {
+            PlanesView::U16(v) => self.local_estimators_typed(&v, user, item, top_users),
+            PlanesView::U8(v) => self.local_estimators_typed(&v, user, item, top_users),
+        }
+    }
+
+    /// Monomorphized body of [`Cfsf::local_estimators`]: dequantization
+    /// ([`cf_matrix::PlaneDequant::pair`]) is fused into every loop, and
+    /// presence comes word-at-a-time from the bit-packed plane. Weights
+    /// dequantize exactly (the LUT holds `0`/`ε`/`1−ε` verbatim), so
+    /// denominators, `m_used`, and estimator availability are identical
+    /// to the f64 reference; only numerators carry the ≤ `step/2` rating
+    /// quantization error.
+    fn local_estimators_typed<C: QuantCell>(
+        &self,
+        planes: &TypedPlanes<'_, C>,
+        user: UserId,
+        item: ItemId,
+        top_users: &[(UserId, f64)],
+    ) -> (Option<f64>, Option<f64>, Option<f64>, usize) {
+        let dq = planes.dq();
         // A missing strip (id/structure disagreement mid-degradation)
         // contributes nothing: SIR'/SUIR' come out None, SUR' survives.
         let (idx, sim, sim2) = self.strips.try_get(item).unwrap_or((&[], &[], &[]));
@@ -192,20 +219,19 @@ impl Cfsf {
             let scratch = &mut *cell.borrow_mut();
 
             // --- SIR': the active user's (smoothed) ratings on similar
-            // items, read straight off the user's plane row. Absent cells
-            // carry exact-zero weights, so the loop is branch-free;
-            // `m_used` sums the presence plane instead of testing `is_nan`.
+            // items, dequantized straight off the user's plane row. The
+            // presence bit gates the weight (absent cells contribute
+            // exact zeros) and sums into `m_used` — no `is_nan` test.
             let sir_span = cf_obs::trace::span("estimator.sir");
-            let row_b = planes.pair_row(user);
-            let present_b = planes.present_row(user);
+            let row_b = planes.cell_row(user);
             let mut sir_num = 0.0;
             let mut sir_den = 0.0;
-            let mut m_used = 0.0;
+            let mut m_used = 0u64;
             for (&s, &c) in sim.iter().zip(idx) {
-                let [w, wr] = row_b[c as usize];
+                let (w, wr, p) = dq.triple(row_b[c as usize]);
                 sir_num += s * wr;
                 sir_den += s * w;
-                m_used += present_b[c as usize];
+                m_used += p;
             }
             let sir = (sir_den > f64::EPSILON).then(|| sir_num / sir_den);
             drop(sir_span);
@@ -227,20 +253,28 @@ impl Cfsf {
 
             let suir_span = cf_obs::trace::span("estimator.suir");
             // --- SUIR': Eq. 12/13, one neighbor row at a time. Phase one
-            // fills the pair-weight strip `ss·st·rsqrt(ss² + st²)` — pure
-            // mul/add over contiguous memory, so it vectorizes where the
-            // `sqrt` + `div` form serializes on the divider unit. Phase
-            // two multiply-accumulates the neighbor's `[w, w·r]` cells
-            // read scattered, straight off the plane row: gathering them
-            // into a dense block first was measured *slower* — the copy
-            // cost as much as the whole reference kernel. Four
-            // independent accumulator lanes keep the add chains from
-            // serializing.
+            // touches the *next* neighbor's plane row (safe software
+            // prefetch — see `TypedPlanes::prefetch_row`), so its DRAM
+            // latency overlaps this neighbor's pair-weight fill and MAC:
+            // at q=1000 a u16 row is ~32 cache lines and the M=95 strip
+            // scatters across most of them, so whole-row touching is
+            // right-sized. Phase two fills the pair-weight strip
+            // `ss·st·rsqrt(ss² + st²)` — pure mul/add over contiguous
+            // memory, so it vectorizes where the `sqrt` + `div` form
+            // serializes on the divider unit. Phase three
+            // multiply-accumulates the neighbor's dequantized cells read
+            // scattered, straight off the plane row: gathering them into
+            // a dense block first was measured *slower* — the copy cost
+            // as much as the whole reference kernel. Four independent
+            // accumulator lanes keep the add chains from serializing.
             scratch.pw.clear();
             scratch.pw.resize(m, 0.0);
             let mut suir_num = 0.0;
             let mut suir_den = 0.0;
-            for &(u_t, sim_t) in top_users {
+            for (t, &(u_t, sim_t)) in top_users.iter().enumerate() {
+                if let Some(&(u_next, _)) = top_users.get(t + 1) {
+                    planes.prefetch_row(u_next);
+                }
                 let tt = sim_t * sim_t;
                 for ((pw, &ss), &s2) in scratch.pw.iter_mut().zip(sim).zip(sim2) {
                     // Eq. 13 pair weight; `.max(0.0)` plays the role of
@@ -249,20 +283,20 @@ impl Cfsf {
                     // so `rsqrt` never sees zero.
                     *pw = (ss * sim_t * rsqrt(s2 + tt)).max(0.0);
                 }
-                let row = planes.pair_row(u_t);
+                let row = planes.cell_row(u_t);
                 let mut num = [0.0f64; 4];
                 let mut den = [0.0f64; 4];
                 let mut pw4 = scratch.pw.chunks_exact(4);
                 let mut ix4 = idx.chunks_exact(4);
                 for (p, cx) in (&mut pw4).zip(&mut ix4) {
                     for l in 0..4 {
-                        let [w, wr] = row[cx[l] as usize];
+                        let (w, wr) = dq.pair(row[cx[l] as usize]);
                         num[l] = p[l].mul_add(wr, num[l]);
                         den[l] = p[l].mul_add(w, den[l]);
                     }
                 }
                 for (p, &c) in pw4.remainder().iter().zip(ix4.remainder()) {
-                    let [w, wr] = row[c as usize];
+                    let (w, wr) = dq.pair(row[c as usize]);
                     num[0] = p.mul_add(wr, num[0]);
                     den[0] = p.mul_add(w, den[0]);
                 }
@@ -410,7 +444,9 @@ impl Cfsf {
     /// kernel iteration.
     ///
     /// Kept as the ground truth for the kernel-equivalence property tests
-    /// (the fast path must match it to ≤ 1e-9) and as the baseline the
+    /// (the fast path must match it within the quantization tolerance
+    /// `planes.step() + 1e-9`; availability, `m_used`, and degrade levels
+    /// exactly) and as the baseline the
     /// `online_throughput` benchmark measures speedups against. Shares
     /// [`Cfsf::top_k_users`] with the fast path so both paths predict
     /// from the identical local matrix.
@@ -565,9 +601,13 @@ mod tests {
             for i in (0..120usize).step_by(7) {
                 let fast = m.predict_with_breakdown(UserId::from(u), ItemId::from(i));
                 let refr = m.predict_with_breakdown_ref(UserId::from(u), ItemId::from(i));
+                // Weights dequantize exactly; only the rating carries
+                // quantization error (≤ step/2 per cell), and fusion is
+                // convex — so step + 1e-9 bounds the fused divergence.
+                let tol = m.plane_quant_step() + 1e-9;
                 match (fast, refr) {
                     (Some(f), Some(r)) => {
-                        assert!((f.fused - r.fused).abs() <= 1e-9, "({u},{i})");
+                        assert!((f.fused - r.fused).abs() <= tol, "({u},{i})");
                         assert_eq!(f.m_used, r.m_used, "({u},{i})");
                         assert_eq!(f.used_fallback, r.used_fallback, "({u},{i})");
                         compared += 1;

@@ -203,7 +203,12 @@ const LIMIT: u64 = 1 << 32;
 
 // --- section payload encoders ------------------------------------------
 
-fn encode_config(c: &CfsfConfig) -> io::Result<Vec<u8>> {
+/// `with_precision` appends the serving-plane precision as a trailing
+/// byte — an append-only payload extension the V2 section framing allows
+/// (old readers never saw it; new readers treat its absence as the
+/// pre-quantization default). The legacy V1 stream has no framing, so its
+/// writer/reader must agree on the exact field list and skip it.
+fn encode_config(c: &CfsfConfig, with_precision: bool) -> io::Result<Vec<u8>> {
     let mut w = Vec::new();
     put_u64(&mut w, c.clusters as u64)?;
     put_u64(&mut w, c.k as u64)?;
@@ -217,6 +222,9 @@ fn encode_config(c: &CfsfConfig) -> io::Result<Vec<u8>> {
     put_u64(&mut w, c.gis.max_neighbors.map_or(u64::MAX, |n| n as u64))?;
     put_u64(&mut w, c.seed)?;
     put_u8(&mut w, u8::from(c.use_smoothing))?;
+    if with_precision {
+        put_u8(&mut w, c.plane_precision.code())?;
+    }
     Ok(w)
 }
 
@@ -261,7 +269,12 @@ fn encode_clusters(clusters: &ClusterAssignment) -> io::Result<Vec<u8>> {
 
 // --- section payload decoders ------------------------------------------
 
-fn decode_config<R: Read>(r: &mut R) -> Result<CfsfConfig, PersistError> {
+/// `with_precision` mirrors [`encode_config`]: when set (V2 sections),
+/// an optional trailing precision byte is consumed — EOF there means the
+/// payload predates quantized planes (the section checksum already
+/// validated the payload, so a short read is a genuine old writer, not
+/// truncation) and defaults to [`cf_matrix::PlanePrecision::U16`].
+fn decode_config<R: Read>(r: &mut R, with_precision: bool) -> Result<CfsfConfig, PersistError> {
     let clusters = get_usize(r, "clusters", LIMIT)?;
     let k = get_usize(r, "k", LIMIT)?;
     let m_param = get_usize(r, "m", LIMIT)?;
@@ -274,6 +287,16 @@ fn decode_config<R: Read>(r: &mut R) -> Result<CfsfConfig, PersistError> {
     let cap_raw = get_u64(r)?;
     let seed = get_u64(r)?;
     let use_smoothing = get_u8(r)? != 0;
+    let plane_precision = if with_precision {
+        match get_u8(r) {
+            Ok(code) => cf_matrix::PlanePrecision::from_code(code).ok_or_else(|| {
+                PersistError::Format(format!("unknown plane precision code {code}"))
+            })?,
+            Err(_) => cf_matrix::PlanePrecision::U16,
+        }
+    } else {
+        cf_matrix::PlanePrecision::U16
+    };
     let config = CfsfConfig {
         clusters,
         lambda,
@@ -291,6 +314,7 @@ fn decode_config<R: Read>(r: &mut R) -> Result<CfsfConfig, PersistError> {
         seed,
         threads: None,
         use_smoothing,
+        plane_precision,
     };
     config.validate()?;
     Ok(config)
@@ -475,7 +499,7 @@ impl Cfsf {
     pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
         w.write_all(MAGIC)?;
         put_u32(&mut w, VERSION)?;
-        write_section(&mut w, TAG_CONFIG, &encode_config(&self.config)?)?;
+        write_section(&mut w, TAG_CONFIG, &encode_config(&self.config, true)?)?;
         write_section(&mut w, TAG_MATRIX, &encode_matrix(&self.matrix)?)?;
         write_section(&mut w, TAG_GIS, &encode_gis(&self.gis, &self.matrix)?)?;
         write_section(&mut w, TAG_CLUSTERS, &encode_clusters(&self.clusters)?)?;
@@ -494,7 +518,7 @@ impl Cfsf {
     pub(crate) fn save_v1<W: Write>(&self, mut w: W) -> io::Result<()> {
         w.write_all(MAGIC)?;
         put_u32(&mut w, V1)?;
-        w.write_all(&encode_config(&self.config)?)?;
+        w.write_all(&encode_config(&self.config, false)?)?;
         w.write_all(&encode_matrix(&self.matrix)?)?;
         w.write_all(&encode_gis(&self.gis, &self.matrix)?)?;
         w.write_all(&encode_clusters(&self.clusters)?)?;
@@ -517,9 +541,10 @@ impl Cfsf {
         } else {
             DenseRatings::from_sparse(&matrix)
         };
-        let planes = cf_matrix::WeightPlanes::from_dense(&dense, config.w);
+        let planes =
+            cf_matrix::WeightPlanes::from_dense_with(&dense, config.w, config.plane_precision);
         let strips = crate::strips::ItemStrips::build(&gis, config.m);
-        Self {
+        let model = Self {
             config,
             matrix,
             gis,
@@ -530,7 +555,9 @@ impl Cfsf {
             planes,
             strips,
             neighbor_cache: ShardedCache::new(crate::cache::DEFAULT_CAPACITY),
-        }
+        };
+        model.publish_footprint();
+        model
     }
 
     /// Deserializes a model saved by [`Cfsf::save`] (or a legacy V1
@@ -545,7 +572,7 @@ impl Cfsf {
                 let config = decode_section(
                     &read_section(&mut r, TAG_CONFIG, "config")?,
                     "config",
-                    decode_config,
+                    |r| decode_config(r, true),
                 )?;
                 let matrix = decode_section(
                     &read_section(&mut r, TAG_MATRIX, "matrix")?,
@@ -580,7 +607,7 @@ impl Cfsf {
         let config = decode_section(
             &read_section(&mut r, TAG_CONFIG, "config")?,
             "config",
-            decode_config,
+            |r| decode_config(r, true),
         )?;
         let matrix = decode_section(
             &read_section(&mut r, TAG_MATRIX, "matrix")?,
@@ -643,7 +670,7 @@ fn read_header<R: Read>(r: &mut R) -> Result<u32, PersistError> {
 /// The legacy sequential-stream decode: the same payloads as V2, laid
 /// end to end with no framing or checksums.
 fn load_v1<R: Read>(r: &mut R) -> Result<Cfsf, PersistError> {
-    let config = decode_config(r)?;
+    let config = decode_config(r, false)?;
     let matrix = decode_matrix(r)?;
     let gis = decode_gis(r, matrix.num_items())?;
     let clusters = decode_clusters(r, matrix.num_users())?;
@@ -714,6 +741,74 @@ mod tests {
         assert_eq!(a.seed, b.seed);
         assert_eq!(a.use_smoothing, b.use_smoothing);
         assert_eq!(a.gis.max_neighbors, b.gis.max_neighbors);
+    }
+
+    #[test]
+    fn plane_precision_round_trips_through_v2() {
+        let d = SyntheticConfig::small().generate();
+        let cfg = CfsfConfig::small().with_plane_precision(cf_matrix::PlanePrecision::U8);
+        let original = Cfsf::fit(&d.matrix, cfg).unwrap();
+        let mut buf = Vec::new();
+        original.save(&mut buf).unwrap();
+        let loaded = Cfsf::load(buf.as_slice()).unwrap();
+        assert_eq!(
+            loaded.config().plane_precision,
+            cf_matrix::PlanePrecision::U8
+        );
+        assert_predictions_match(&original, &loaded);
+    }
+
+    /// A V2 stream whose config payload predates the trailing precision
+    /// byte (written by an older build) must load with the U16 default.
+    #[test]
+    fn v2_config_without_precision_byte_defaults_to_u16() {
+        let original = model();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        put_u32(&mut buf, VERSION).unwrap();
+        write_section(
+            &mut buf,
+            TAG_CONFIG,
+            &encode_config(&original.config, false).unwrap(),
+        )
+        .unwrap();
+        write_section(
+            &mut buf,
+            TAG_MATRIX,
+            &encode_matrix(&original.matrix).unwrap(),
+        )
+        .unwrap();
+        write_section(
+            &mut buf,
+            TAG_GIS,
+            &encode_gis(&original.gis, &original.matrix).unwrap(),
+        )
+        .unwrap();
+        write_section(
+            &mut buf,
+            TAG_CLUSTERS,
+            &encode_clusters(&original.clusters).unwrap(),
+        )
+        .unwrap();
+        let loaded = Cfsf::load(buf.as_slice()).unwrap();
+        assert_eq!(
+            loaded.config().plane_precision,
+            cf_matrix::PlanePrecision::U16
+        );
+        assert_predictions_match(&original, &loaded);
+    }
+
+    #[test]
+    fn unknown_plane_precision_code_is_rejected() {
+        let original = model();
+        let mut payload = encode_config(&original.config, false).unwrap();
+        payload.push(7); // no such precision
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        put_u32(&mut buf, VERSION).unwrap();
+        write_section(&mut buf, TAG_CONFIG, &payload).unwrap();
+        let e = Cfsf::load(buf.as_slice()).unwrap_err();
+        assert!(e.to_string().contains("plane precision"), "{e}");
     }
 
     #[test]

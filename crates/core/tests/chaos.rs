@@ -379,12 +379,15 @@ fn batch_worker_panic_answers_none_for_that_request_only() {
 
     let panics_before = counter("online.batch.request_panic");
     fi::arm("batch.worker_panic", fi::Policy::Nth(5));
-    // One worker thread makes evaluation order = request order.
+    // One worker thread, but the batch engine serves requests in
+    // strip-sorted order, so the 5th evaluation lands on some sorted
+    // position — locate the dropped request instead of assuming order.
     let out = m.predict_batch(&reqs, Some(1));
-    assert_eq!(out[4], None, "the 5th request's worker panicked");
+    let dropped: Vec<usize> = (0..out.len()).filter(|&k| out[k].is_none()).collect();
+    assert_eq!(dropped.len(), 1, "exactly one request's worker panicked");
     assert_eq!(counter("online.batch.request_panic"), panics_before + 1);
     for (k, (got, want)) in out.iter().zip(&baseline).enumerate() {
-        if k != 4 {
+        if k != dropped[0] {
             assert_eq!(got, want, "request {k} must be unaffected");
         }
     }

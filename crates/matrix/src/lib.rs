@@ -10,8 +10,10 @@
 //!   deduplicates, sorts, and validates triplets,
 //! - [`DenseRatings`] — a dense user×item matrix with an "originally rated"
 //!   bitset; used for cluster-smoothed ratings (Eq. 7 of the paper),
-//! - [`WeightPlanes`] — the serving fast path's fused `[w, w·r]` planes,
-//!   folding the Eq. 11 smoothing weight into contiguous dense storage,
+//! - [`WeightPlanes`] — the serving fast path's quantized weight planes:
+//!   per-cell rating codes (u16/u8) with the Eq. 11 smoothing weight in an
+//!   exact 4-entry LUT and bit-packed presence, dequantized in-kernel via
+//!   [`PlaneDequant`],
 //! - [`Predictor`] — the trait every CF algorithm in this workspace
 //!   implements, plus rating-scale clamping helpers,
 //! - [`stats`] — dataset statistics as reported in Table I of the paper,
@@ -43,6 +45,8 @@ pub use dense::DenseRatings;
 pub use error::MatrixError;
 pub use ids::{ItemId, UserId};
 pub use matrix::RatingMatrix;
-pub use planes::WeightPlanes;
+pub use planes::{
+    present_bit, PlaneDequant, PlanePrecision, PlanesView, QuantCell, TypedPlanes, WeightPlanes,
+};
 pub use predictor::{clamp_rating, Predictor, RatingScale};
 pub use stats::MatrixStats;

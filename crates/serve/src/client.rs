@@ -66,4 +66,18 @@ impl ShardClient {
             Instant::now() + self.opts.request_deadline,
         )
     }
+
+    /// Typed [`Request::PredictBatch`]: one frame out, one answer per
+    /// pair back, in request order. Any other response kind (including a
+    /// server-side error frame) is a [`FrameError::Malformed`].
+    pub fn predict_batch(
+        &mut self,
+        pairs: Vec<(u32, u32)>,
+    ) -> Result<Vec<Option<crate::frame::WirePrediction>>, FrameError> {
+        match self.request(&Request::PredictBatch { pairs })? {
+            Response::Predictions(preds) => Ok(preds),
+            Response::Error { .. } => Err(FrameError::Malformed("server rejected the batch")),
+            _ => Err(FrameError::Malformed("unexpected response kind for batch")),
+        }
+    }
 }

@@ -54,11 +54,13 @@ const KIND_HEALTH: u16 = 1;
 const KIND_PREDICT: u16 = 2;
 const KIND_RECOMMEND: u16 = 3;
 const KIND_PROFILE: u16 = 4;
+const KIND_PREDICT_BATCH: u16 = 5;
 const KIND_R_HEALTH: u16 = 16;
 const KIND_R_PREDICTION: u16 = 17;
 const KIND_R_TOP_N: u16 = 18;
 const KIND_R_PROFILE: u16 = 19;
 const KIND_R_ERROR: u16 = 20;
+const KIND_R_PREDICTIONS: u16 = 21;
 
 /// Everything that can go wrong reading or decoding a frame.
 #[derive(Debug)]
@@ -145,6 +147,15 @@ pub enum Request {
     /// Fetch the fallback profile (scale, global/user means) the router
     /// serves degraded answers from when a shard is unreachable.
     Profile,
+    /// Predict a whole batch of `(user, item)` pairs in one frame. The
+    /// shard runs them through [`cfsf_core::Cfsf::predict_batch_with_breakdown`]
+    /// (strip-sorted for locality), so amortized per-request cost beats a
+    /// stream of [`Request::Predict`] frames while answers stay
+    /// bit-identical and in request order.
+    PredictBatch {
+        /// 0-based `(user, item)` pairs, answered in this order.
+        pairs: Vec<(u32, u32)>,
+    },
 }
 
 /// Shard identity and model shape, for health checks and mismatch
@@ -199,6 +210,10 @@ pub enum Response {
     TopN(Vec<(u32, f64)>),
     /// Answer to [`Request::Profile`].
     Profile(WireProfile),
+    /// Answer to [`Request::PredictBatch`], element `k` answering pair
+    /// `k`; `None` marks a pair the model cannot predict (out of range or
+    /// no local information) without failing the rest of the batch.
+    Predictions(Vec<Option<WirePrediction>>),
     /// The request could not be served; `code` is one of the `ERR_*`
     /// constants.
     Error {
@@ -294,16 +309,17 @@ impl Request {
             Self::Predict { .. } => KIND_PREDICT,
             Self::RecommendTopN { .. } => KIND_RECOMMEND,
             Self::Profile => KIND_PROFILE,
+            Self::PredictBatch { .. } => KIND_PREDICT_BATCH,
         }
     }
 
     fn payload(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        match *self {
+        match self {
             Self::Health | Self::Profile => {}
             Self::Predict { user, item } => {
-                put_u32(&mut out, user);
-                put_u32(&mut out, item);
+                put_u32(&mut out, *user);
+                put_u32(&mut out, *item);
             }
             Self::RecommendTopN {
                 user,
@@ -311,10 +327,17 @@ impl Request {
                 item_start,
                 item_end,
             } => {
-                put_u32(&mut out, user);
-                put_u32(&mut out, n);
-                put_u32(&mut out, item_start);
-                put_u32(&mut out, item_end);
+                put_u32(&mut out, *user);
+                put_u32(&mut out, *n);
+                put_u32(&mut out, *item_start);
+                put_u32(&mut out, *item_end);
+            }
+            Self::PredictBatch { pairs } => {
+                put_u32(&mut out, pairs.len() as u32);
+                for &(user, item) in pairs {
+                    put_u32(&mut out, user);
+                    put_u32(&mut out, item);
+                }
             }
         }
         out
@@ -335,6 +358,21 @@ impl Request {
                 item_start: c.u32()?,
                 item_end: c.u32()?,
             },
+            KIND_PREDICT_BATCH => {
+                let count = c.u32()? as usize;
+                // Sanity-bound against the payload that actually arrived
+                // (8 bytes per pair) before allocating.
+                if count > payload.len() / 8 + 1 {
+                    return Err(FrameError::Malformed("batch count exceeds payload"));
+                }
+                let mut pairs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let user = c.u32()?;
+                    let item = c.u32()?;
+                    pairs.push((user, item));
+                }
+                Self::PredictBatch { pairs }
+            }
             other => return Err(FrameError::UnknownKind(other)),
         })
     }
@@ -348,6 +386,7 @@ impl Response {
             Self::TopN(_) => KIND_R_TOP_N,
             Self::Profile(_) => KIND_R_PROFILE,
             Self::Error { .. } => KIND_R_ERROR,
+            Self::Predictions(_) => KIND_R_PREDICTIONS,
         }
     }
 
@@ -386,6 +425,20 @@ impl Response {
                 let msg = message.as_bytes();
                 put_u32(&mut out, msg.len() as u32);
                 out.extend_from_slice(msg);
+            }
+            Self::Predictions(preds) => {
+                put_u32(&mut out, preds.len() as u32);
+                for p in preds {
+                    match p {
+                        Some(p) => {
+                            out.push(1);
+                            put_f64(&mut out, p.fused);
+                            out.push(p.level);
+                            out.push(u8::from(p.fallback));
+                        }
+                        None => out.push(0),
+                    }
+                }
             }
         }
         out
@@ -448,6 +501,26 @@ impl Response {
                     code,
                     message: String::from_utf8_lossy(bytes).into_owned(),
                 }
+            }
+            KIND_R_PREDICTIONS => {
+                let count = c.u32()? as usize;
+                // At least one flag byte per element must have arrived.
+                if count > payload.len() + 1 {
+                    return Err(FrameError::Malformed("predictions count exceeds payload"));
+                }
+                let mut preds = Vec::with_capacity(count);
+                for _ in 0..count {
+                    preds.push(if c.u8()? != 0 {
+                        Some(WirePrediction {
+                            fused: c.f64()?,
+                            level: c.u8()?,
+                            fallback: c.u8()? != 0,
+                        })
+                    } else {
+                        None
+                    });
+                }
+                Self::Predictions(preds)
             }
             other => return Err(FrameError::UnknownKind(other)),
         })
@@ -655,6 +728,10 @@ mod tests {
                 item_start: 100,
                 item_end: u32::MAX,
             },
+            Request::PredictBatch { pairs: vec![] },
+            Request::PredictBatch {
+                pairs: vec![(0, 0), (7, 42), (u32::MAX, u32::MAX)],
+            },
         ];
         for req in cases {
             let (mut client, mut server) = pair();
@@ -709,6 +786,37 @@ mod tests {
                 // wire — compare bits, not values.
                 for (a, b) in got.user_means.iter().zip(&profile.user_means) {
                     assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let preds = vec![
+            Some(WirePrediction {
+                fused,
+                level: 0,
+                fallback: false,
+            }),
+            None,
+            Some(WirePrediction {
+                fused: f64::NAN,
+                level: 5,
+                fallback: true,
+            }),
+        ];
+        match roundtrip_response(&Response::Predictions(preds.clone())) {
+            Response::Predictions(got) => {
+                assert_eq!(got.len(), preds.len());
+                for (a, b) in got.iter().zip(&preds) {
+                    match (a, b) {
+                        (Some(x), Some(y)) => {
+                            assert_eq!(x.fused.to_bits(), y.fused.to_bits());
+                            assert_eq!(x.level, y.level);
+                            assert_eq!(x.fallback, y.fallback);
+                        }
+                        (None, None) => {}
+                        other => panic!("{other:?}"),
+                    }
                 }
             }
             other => panic!("{other:?}"),
@@ -797,6 +905,27 @@ mod tests {
         assert!(matches!(
             read_request(&mut server, Duration::from_secs(1)),
             Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn batch_count_lying_about_payload_is_malformed() {
+        // A batch frame claiming 1M pairs but carrying only the count
+        // word must be rejected before the decoder allocates for it.
+        let (mut client, mut server) = pair();
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 1_000_000);
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&MAGIC);
+        raw.extend_from_slice(&VERSION.to_le_bytes());
+        raw.extend_from_slice(&KIND_PREDICT_BATCH.to_le_bytes());
+        raw.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        raw.extend_from_slice(&payload);
+        raw.extend_from_slice(&cfsf_core::crc32(&payload).to_le_bytes());
+        client.write_all(&raw).unwrap();
+        assert!(matches!(
+            read_request(&mut server, Duration::from_secs(1)),
+            Err(FrameError::Malformed(_))
         ));
     }
 

@@ -621,6 +621,24 @@ impl Handler for RouterHandler {
                 num_items: self.router.num_items(),
             }),
             Request::Profile => Response::Profile(self.router.profile()),
+            // The front answers batches pair by pair so each pair gets
+            // the full failover/degradation ladder independently; the
+            // locality win from strip-sorted batching happens on the
+            // shards, which see the per-pair requests of their own users.
+            Request::PredictBatch { pairs } => Response::Predictions(
+                pairs
+                    .into_iter()
+                    .map(|(user, item)| {
+                        self.router
+                            .predict(user, item)
+                            .map(|p| crate::frame::WirePrediction {
+                                fused: p.fused,
+                                level: p.level.code(),
+                                fallback: p.fallback,
+                            })
+                    })
+                    .collect(),
+            ),
             Request::Predict { user, item } => match self.router.predict(user, item) {
                 Some(p) => Response::Prediction(crate::frame::WirePrediction {
                     fused: p.fused,

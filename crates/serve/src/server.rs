@@ -8,8 +8,10 @@
 //! request and close on protocol errors.
 //!
 //! [`ShardServer`] plugs a loaded [`Cfsf`] model into that transport:
-//! `predict` / `recommend_top_n` / `health` / `profile` frames answered
-//! straight from the model, bit-for-bit with the in-process API. The
+//! `predict` / `predict_batch` / `recommend_top_n` / `health` /
+//! `profile` frames answered straight from the model, bit-for-bit with
+//! the in-process API (batches run through the strip-sorted
+//! [`Cfsf::predict_batch_with_breakdown`] engine). The
 //! router front tier reuses the same transport with its own handler
 //! (see [`crate::router`]), so both tiers speak the identical protocol
 //! and fix socket bugs in exactly one place.
@@ -312,6 +314,29 @@ impl ShardHandler {
         }
     }
 
+    fn predict_batch(&self, pairs: &[(u32, u32)]) -> Response {
+        let reqs: Vec<(UserId, ItemId)> = pairs
+            .iter()
+            .map(|&(u, i)| (UserId::new(u), ItemId::new(i)))
+            .collect();
+        // The batch engine strip-sorts internally and answers in request
+        // order; unpredictable pairs come back as None elements instead
+        // of failing the whole frame.
+        let preds = self
+            .model
+            .predict_batch_with_breakdown(&reqs, None)
+            .into_iter()
+            .map(|b| {
+                b.map(|b| WirePrediction {
+                    fused: b.fused,
+                    level: b.level.code(),
+                    fallback: b.used_fallback,
+                })
+            })
+            .collect();
+        Response::Predictions(preds)
+    }
+
     fn recommend(&self, user: u32, n: u32, item_start: u32, item_end: u32) -> Response {
         if (user as usize) >= self.model.matrix().num_users() {
             return Response::Error {
@@ -335,6 +360,7 @@ impl Handler for ShardHandler {
             Request::Health => self.health(),
             Request::Profile => self.profile(),
             Request::Predict { user, item } => self.predict(user, item),
+            Request::PredictBatch { pairs } => self.predict_batch(&pairs),
             Request::RecommendTopN {
                 user,
                 n,

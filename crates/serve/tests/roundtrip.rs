@@ -153,6 +153,46 @@ fn shard_answers_bit_for_bit() {
 }
 
 #[test]
+fn shard_batch_answers_match_in_process_breakdowns_bit_for_bit() {
+    let model = model();
+    let shard =
+        ShardServer::bind("127.0.0.1:0", Arc::clone(&model), ShardOptions::default()).unwrap();
+    let mut client = ShardClient::connect(shard.local_addr(), ClientOptions::default()).unwrap();
+
+    let users = model.matrix().num_users() as u32;
+    let items = model.matrix().num_items() as u32;
+    // Deliberately shuffled order with out-of-range pairs mixed in: the
+    // shard strip-sorts internally but must answer in request order, with
+    // unpredictable pairs as None elements, not errors.
+    let pairs: Vec<(u32, u32)> = (0..200u32)
+        .map(|k| ((k.wrapping_mul(37) + 11) % (users + 2), (k * 13) % items))
+        .chain([(users + 999, 0), (0, items + 999)])
+        .collect();
+
+    let served = client.predict_batch(pairs.clone()).unwrap();
+    assert_eq!(served.len(), pairs.len());
+    for (k, (&(u, i), remote)) in pairs.iter().zip(&served).enumerate() {
+        let local = model.predict_with_breakdown(UserId::new(u), ItemId::new(i));
+        match (remote, local) {
+            (Some(r), Some(l)) => {
+                assert_eq!(r.fused.to_bits(), l.fused.to_bits(), "pair {k}");
+                assert_eq!(r.level, l.level.code(), "pair {k}");
+                assert_eq!(r.fallback, l.used_fallback, "pair {k}");
+            }
+            (None, None) => {}
+            other => panic!("pair {k} ({u},{i}): served vs local disagree: {other:?}"),
+        }
+    }
+    // The same client keeps working after a batch.
+    assert!(matches!(
+        client.request(&Request::Health).unwrap(),
+        Response::Health(_)
+    ));
+
+    shard.shutdown();
+}
+
+#[test]
 fn router_matches_local_model_bit_for_bit() {
     let model = model();
     let shards = spawn_shards(&model, 2);

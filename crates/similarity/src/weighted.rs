@@ -1,6 +1,6 @@
 //! Smoothing-aware similarity: Eq. 10/11 and the pair weight of Eq. 13.
 
-use cf_matrix::{DenseRatings, ItemId, UserId, WeightPlanes};
+use cf_matrix::{DenseRatings, ItemId, PlanesView, QuantCell, TypedPlanes, UserId, WeightPlanes};
 
 /// The weighting coefficient `w` of Eq. 11: an original rating counts with
 /// weight `ε`, a smoothed (imputed) rating with `1 − ε`.
@@ -67,15 +67,24 @@ pub fn weighted_user_pcc(
     (dot / (norm_c.sqrt() * norm_a.sqrt())).clamp(-1.0, 1.0)
 }
 
-/// The serving-fast-path variant of [`weighted_user_pcc`], reading fused
-/// [`WeightPlanes`] instead of the dense matrix + provenance bitmap.
+/// The serving-fast-path variant of [`weighted_user_pcc`], reading
+/// quantized [`WeightPlanes`] instead of the dense matrix + provenance
+/// bitmap.
 ///
-/// ε is already folded into the planes, and absent cells carry exact-zero
-/// weights, so the per-item loop is branch-free: no `is_nan` test, no bit
-/// extraction, no weight select. The weighted deviation is computed as
-/// `w·r − w·mean` (two rounded products) instead of `w·(r − mean)`, so
-/// results match the naive kernel to ≤ 1e-9 rather than bit-exactly; the
-/// overlap count `n` uses the presence plane and stays exact.
+/// ε is already folded into the plane's weight LUT (exactly — weights are
+/// never quantized), so the per-item loop has no weight select; presence
+/// is tested word-at-a-time from the bit-packed plane, and the cell's
+/// rating is dequantized in the loop. Only the rating carries quantization
+/// error (≤ `step/2` per cell, `step = planes.step()`): the overlap count
+/// `n` and the availability decision are exact, and the correlation
+/// matches the naive kernel to a tolerance proportional to
+/// `step / min|deviation|` (DESIGN.md §6c).
+///
+/// A candidate whose weighted deviations are indistinguishable from
+/// quantization noise (`Σ(w·dc)² ≤ n·(step/2)²`) scores 0: with exact
+/// ratings such candidates have zero variance and score 0 too, and
+/// without the floor their residual quantization jitter would resolve to
+/// a spurious ±1 correlation.
 pub fn weighted_user_pcc_planes(
     active_items: &[ItemId],
     active_vals: &[f64],
@@ -84,24 +93,55 @@ pub fn weighted_user_pcc_planes(
     candidate: UserId,
     candidate_mean: f64,
 ) -> f64 {
-    let pairs = planes.pair_row(candidate);
-    let present = planes.present_row(candidate);
+    match planes.view() {
+        PlanesView::U16(v) => pcc_planes_typed(
+            active_items,
+            active_vals,
+            active_mean,
+            &v,
+            candidate,
+            candidate_mean,
+        ),
+        PlanesView::U8(v) => pcc_planes_typed(
+            active_items,
+            active_vals,
+            active_mean,
+            &v,
+            candidate,
+            candidate_mean,
+        ),
+    }
+}
+
+/// Monomorphized inner loop of [`weighted_user_pcc_planes`].
+fn pcc_planes_typed<C: QuantCell>(
+    active_items: &[ItemId],
+    active_vals: &[f64],
+    active_mean: f64,
+    planes: &TypedPlanes<'_, C>,
+    candidate: UserId,
+    candidate_mean: f64,
+) -> f64 {
+    let cells = planes.cell_row(candidate);
+    let dq = planes.dq();
     let mut dot = 0.0;
     let mut norm_c = 0.0;
     let mut norm_a = 0.0;
-    let mut n = 0.0;
+    let mut n = 0u64;
     for (&item, &ra) in active_items.iter().zip(active_vals) {
-        let c = item.index();
-        let [w, wr] = pairs[c];
-        let p = present[c];
+        let (w, wr, p) = dq.triple(cells[item.index()]);
         let wdc = wr - w * candidate_mean;
         let da = ra - active_mean;
         dot += wdc * da;
         norm_c += wdc * wdc;
-        norm_a += p * (da * da);
+        norm_a += (p as f64) * (da * da);
         n += p;
     }
-    if (n as usize) < crate::MIN_OVERLAP || norm_c <= 0.0 || norm_a <= 0.0 {
+    // Quantization noise floor: each w·dc carries absolute error ≤ step/2
+    // (w ≤ 1), so a sum of squares at or below n·(step/2)² is pure noise.
+    let half = dq.step() * 0.5;
+    let floor = (n as f64) * half * half;
+    if (n as usize) < crate::MIN_OVERLAP || norm_c <= floor || norm_a <= 0.0 {
         return 0.0;
     }
     (dot / (norm_c.sqrt() * norm_a.sqrt())).clamp(-1.0, 1.0)
@@ -238,10 +278,73 @@ mod tests {
             let planes = WeightPlanes::from_dense(&d, eps);
             let naive = weighted_user_pcc(&items, &vals, 3.0, &d, UserId::new(0), 3.0, eps);
             let fused = weighted_user_pcc_planes(&items, &vals, 3.0, &planes, UserId::new(0), 3.0);
+            // Fixture deviations are ≥ 1.0, so the correlation error is
+            // O(step) (see DESIGN.md §6c); 10·step leaves margin.
+            let tol = 10.0 * planes.step() + 1e-9;
             assert!(
-                (naive - fused).abs() < 1e-9,
+                (naive - fused).abs() < tol,
                 "eps={eps}: naive={naive}, fused={fused}"
             );
+        }
+    }
+
+    #[test]
+    fn planes_variant_tracks_naive_at_u8_precision() {
+        use cf_matrix::PlanePrecision;
+        let (items, vals, d) = fixture();
+        for eps in [0.0, 0.35, 1.0] {
+            let planes = WeightPlanes::from_dense_with(&d, eps, PlanePrecision::U8);
+            let naive = weighted_user_pcc(&items, &vals, 3.0, &d, UserId::new(0), 3.0, eps);
+            let fused = weighted_user_pcc_planes(&items, &vals, 3.0, &planes, UserId::new(0), 3.0);
+            // u8 step on the [2,4] fixture span is 2/127 ≈ 0.0157; the
+            // fixture's unit-scale deviations keep the error O(step).
+            let tol = 10.0 * planes.step() + 1e-9;
+            assert!(
+                (naive - fused).abs() < tol,
+                "eps={eps}: naive={naive}, fused={fused}, tol={tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn planes_variant_zeroes_quantization_noise_candidates() {
+        // Candidate rated everything exactly at their mean: the naive
+        // kernel sees zero variance and returns 0. Quantization would
+        // leave ±step/2 jitter that resolves to a spurious ±1 without the
+        // noise floor.
+        let items = [ItemId::new(0), ItemId::new(1), ItemId::new(2)];
+        let vals = [5.0, 1.0, 3.0];
+        let mut d = DenseRatings::new(1, 3);
+        // Mixed magnitudes force a nonzero quantization step, while the
+        // candidate's deviations from mean 3.3 are all zero.
+        d.set_original(UserId::new(0), ItemId::new(0), 3.3);
+        d.set_original(UserId::new(0), ItemId::new(1), 3.3);
+        d.set_smoothed(UserId::new(0), ItemId::new(2), 1.0);
+        for precision in [
+            cf_matrix::PlanePrecision::U16,
+            cf_matrix::PlanePrecision::U8,
+        ] {
+            let planes = WeightPlanes::from_dense_with(&d, 0.35, precision);
+            assert!(planes.step() > 0.0);
+            let naive = weighted_user_pcc(
+                &[ItemId::new(0), ItemId::new(1)],
+                &vals[..2],
+                3.0,
+                &d,
+                UserId::new(0),
+                3.3,
+                0.35,
+            );
+            assert_eq!(naive, 0.0);
+            let fused = weighted_user_pcc_planes(
+                &items[..2],
+                &vals[..2],
+                3.0,
+                &planes,
+                UserId::new(0),
+                3.3,
+            );
+            assert_eq!(fused, 0.0, "noise floor must zero {precision:?}");
         }
     }
 

@@ -1,6 +1,8 @@
 //! Property-based tests for the similarity kernels and the GIS.
 
-use cf_matrix::{DenseRatings, ItemId, MatrixBuilder, RatingMatrix, UserId, WeightPlanes};
+use cf_matrix::{
+    DenseRatings, ItemId, MatrixBuilder, PlanePrecision, RatingMatrix, UserId, WeightPlanes,
+};
 use cf_similarity::{
     adjusted_cosine, cosine, item_pcc, pair_weight, user_pcc, weighted_user_pcc,
     weighted_user_pcc_planes, Gis, GisConfig,
@@ -81,6 +83,15 @@ proptest! {
         // Densify with a mix of original and pseudo-smoothed cells, then
         // compare the fused-plane kernel against the naive one for every
         // user pair across the ε extremes and the paper default.
+        //
+        // The planes store candidate ratings quantized (DESIGN.md §6c), so
+        // the fused kernel is only step-close to the f64 naive one. With
+        // integer active-side ratings and candidate deviations that are
+        // either 0 (floored to a 0 correlation) or ≥ 1/(10·q) = 0.005, a
+        // u16 step (≤ ~1.2e-4 on the 1..=5 span) perturbs the correlation
+        // by well under 3e-2; the bound below is that worst-corner margin,
+        // not a measured gap. U8 steps are too coarse for a naive-closeness
+        // bound — boundedness is asserted instead.
         let mut dense = DenseRatings::from_sparse(&m);
         for u in 0..m.num_users() {
             for i in 0..m.num_items() {
@@ -94,6 +105,8 @@ proptest! {
         }
         for eps in [0.0, 0.35, 1.0] {
             let planes = WeightPlanes::from_dense(&dense, eps);
+            let planes_u8 =
+                WeightPlanes::from_dense_with(&dense, eps, PlanePrecision::U8);
             for a in 0..m.num_users().min(6) {
                 let active = UserId::from(a);
                 let (items, vals) = m.user_row(active);
@@ -107,8 +120,14 @@ proptest! {
                     let naive = weighted_user_pcc(items, vals, mean_a, &dense, cand, mean_c, eps);
                     let fused = weighted_user_pcc_planes(items, vals, mean_a, &planes, cand, mean_c);
                     prop_assert!(
-                        (naive - fused).abs() <= 1e-9,
+                        (naive - fused).abs() <= 3e-2,
                         "eps={}, a={}, c={}: naive={}, fused={}", eps, a, c, naive, fused
+                    );
+                    let coarse =
+                        weighted_user_pcc_planes(items, vals, mean_a, &planes_u8, cand, mean_c);
+                    prop_assert!(
+                        (-1.0..=1.0).contains(&coarse),
+                        "u8 out of range: eps={}, a={}, c={}: {}", eps, a, c, coarse
                     );
                 }
             }

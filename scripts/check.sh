@@ -56,4 +56,11 @@ echo "==> bench smoke + regression compare (non-gating)"
     --compare BENCH_online.json \
   || echo "WARNING: bench smoke failed (non-gating)"
 
+# The strip-sorted batch scenario must actually run in the smoke pass —
+# a silently dropped scenario would leave the batch engine unbenched.
+if [ -f target/BENCH_online.smoke.json ]; then
+  grep -q '"mixed_batch_sorted_one_thread"' target/BENCH_online.smoke.json \
+    || echo "WARNING: mixed_batch_sorted_one_thread scenario missing from bench smoke (non-gating)"
+fi
+
 echo "All checks passed."
