@@ -55,6 +55,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no raw quantized-cell reads (.bits() or the weight LUT) outside \
                   crates/matrix/src/planes.rs; go through PlaneDequant::pair",
     },
+    RuleInfo {
+        id: "model-access-outside-generation",
+        summary: "no naming the concrete model type (Cfsf) in crates/serve/src \
+                  outside live.rs; serve paths load snapshots through ModelHandle \
+                  so generation swaps stay zero-pause",
+    },
 ];
 
 /// Files whose clock reads must sit behind the obs enabled-gate.
@@ -100,6 +106,7 @@ pub fn check_file(scan: &FileScan, out: &mut Vec<Diagnostic>) {
     bare_sync_prim(scan, out);
     unwind_safe_mut(scan, out);
     quant_plane_raw_read(scan, out);
+    model_access_outside_generation(scan, out);
 }
 
 // --------------------------------------------------------------------------
@@ -460,6 +467,53 @@ fn quant_plane_raw_read(scan: &FileScan, out: &mut Vec<Diagnostic>) {
 }
 
 // --------------------------------------------------------------------------
+// model-access-outside-generation
+// --------------------------------------------------------------------------
+
+/// The serving tier's one sanctioned doorway to the concrete model.
+const MODEL_DOORWAY_FILE: &str = "crates/serve/src/live.rs";
+
+/// Zero-pause refresh works because every serve path takes its model
+/// snapshot through `ModelHandle` (an RCU generation-cell load). A raw
+/// `Cfsf` reference held across requests would pin one generation
+/// forever — invisible in review, fatal to live refresh — so the
+/// concrete type may only be named in [`MODEL_DOORWAY_FILE`]. The
+/// scanner has already blanked comments and strings; `Cfsf` here is a
+/// word-boundary token match, so `CfsfConfig`/`cfsf_core` never fire.
+fn model_access_outside_generation(scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    if !scan.path.starts_with("crates/serve/src/") || scan.path.ends_with(MODEL_DOORWAY_FILE) {
+        return;
+    }
+    for (i, l) in scan.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(off) = l.code[from..].find("Cfsf") {
+            let pos = from + off;
+            from = pos + 1;
+            if !at_word_boundary(&l.code, pos) {
+                continue;
+            }
+            // Token must also END at a word boundary: `CfsfConfig` and
+            // `CfsfError` are not the concrete model type.
+            let after = l.code[pos + "Cfsf".len()..].chars().next();
+            if after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "model-access-outside-generation",
+                path: scan.path.clone(),
+                line: i + 1,
+                message: "concrete model type named outside live.rs; serve paths \
+                          must load generation snapshots through ModelHandle"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
 // counter-pairing (cross-file)
 // --------------------------------------------------------------------------
 
@@ -631,6 +685,30 @@ mod tests {
         assert!(lint_one("crates/core/src/online.rs", to_bits).is_empty());
         let in_test = "#[cfg(test)]\nmod tests {\n    fn g(c: u16) -> u32 { c.bits() }\n}\n";
         assert!(lint_one("crates/core/src/online.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn model_type_flagged_in_serve_outside_live() {
+        let bad = "fn f(m: &Cfsf) { m.predict(u, i); }\n";
+        let d = lint_one("crates/serve/src/server.rs", bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "model-access-outside-generation");
+        let qualified = "fn f(m: Arc<cfsf_core::Cfsf>) {}\n";
+        let d = lint_one("crates/serve/src/router.rs", qualified);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "model-access-outside-generation");
+        // The doorway file owns the concrete type.
+        assert!(lint_one("crates/serve/src/live.rs", bad).is_empty());
+        // Config/error types and paths are not the model.
+        let config = "fn f(c: CfsfConfig) -> Result<(), CfsfError> { Ok(()) }\n";
+        assert!(lint_one("crates/serve/src/server.rs", config).is_empty());
+        let path_only = "use cfsf_core::DegradeLevel;\n";
+        assert!(lint_one("crates/serve/src/router.rs", path_only).is_empty());
+        // Other crates (and serve's tests/) may name the model freely.
+        assert!(lint_one("crates/core/src/model.rs", bad).is_empty());
+        assert!(lint_one("crates/serve/tests/roundtrip.rs", bad).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn g(m: &Cfsf) {}\n}\n";
+        assert!(lint_one("crates/serve/src/server.rs", in_test).is_empty());
     }
 
     #[test]

@@ -246,12 +246,97 @@ impl Model for PoisonResetModel {
 }
 
 // --------------------------------------------------------------------------
+// Model D: generation-cell publish vs readers
+// --------------------------------------------------------------------------
+
+use cfsf_core::refresh::GenCellCore;
+use std::sync::Arc;
+
+/// The RCU generation pointer behind zero-pause refresh
+/// (`cfsf_core::refresh::GenCellCore`): a writer publishes two new
+/// generations while a reader snapshots `(value, generation)` pairs.
+/// The payload is the generation number it was published under, so a
+/// torn pair — a reader seeing generation `k`'s value with generation
+/// `j`'s number — is directly observable. The reader also asserts the
+/// generation never runs backwards under any interleaving.
+pub struct GenSwapModel;
+
+/// Shared state of [`GenSwapModel`].
+pub struct GenSwapState {
+    cell: GenCellCore<LLShim, u64>,
+}
+
+impl Model for GenSwapModel {
+    type State = GenSwapState;
+
+    fn name(&self) -> &'static str {
+        "gen-swap"
+    }
+
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn make_state(&self) -> GenSwapState {
+        GenSwapState {
+            // Invariant: the served value always equals the generation it
+            // was published under (generation 0 serves 0).
+            cell: GenCellCore::new(Arc::new(0)),
+        }
+    }
+
+    fn run_thread(&self, tid: usize, st: &GenSwapState) {
+        if tid == 0 {
+            // The refresh worker: publish generation 1, then 2, each
+            // fully built before the swap (value == generation).
+            let gen = st.cell.publish(Arc::new(1));
+            assert_eq!(gen, 1, "first publish must be generation 1");
+            let gen = st.cell.publish(Arc::new(2));
+            assert_eq!(gen, 2, "second publish must be generation 2");
+        } else {
+            // The serving thread: two consistent-pair snapshots.
+            let mut last_gen = 0;
+            for _ in 0..2 {
+                let (value, generation) = st.cell.load_with_generation();
+                assert_eq!(
+                    *value, generation,
+                    "torn pair: value {value} under generation {generation}"
+                );
+                assert!(
+                    generation >= last_gen,
+                    "generation ran backwards: {generation} after {last_gen}"
+                );
+                last_gen = generation;
+            }
+        }
+    }
+
+    fn check(&self, st: &GenSwapState) -> Result<(), String> {
+        let (value, generation) = st.cell.load_with_generation();
+        if generation != 2 || *value != 2 {
+            return Err(format!(
+                "after both publishes the cell must serve (2, 2), got ({value}, {generation})"
+            ));
+        }
+        if st.cell.is_poisoned() {
+            return Err("no thread panicked, yet the slot ended poisoned".into());
+        }
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------------------
 // Registry
 // --------------------------------------------------------------------------
 
 /// Names of the built-in models, in the order [`run_builtin_models`]
 /// runs them.
-pub const BUILTIN_MODELS: [&str; 3] = ["cache-insert-evict", "reservoir-admission", "poison-reset"];
+pub const BUILTIN_MODELS: [&str; 4] = [
+    "cache-insert-evict",
+    "reservoir-admission",
+    "poison-reset",
+    "gen-swap",
+];
 
 /// Runs every built-in model exhaustively, returning `(name, report)`
 /// pairs. This is what `cfsf-analyze` gates CI on.
@@ -261,6 +346,7 @@ pub fn run_builtin_models() -> Vec<(&'static str, Report)> {
         ("cache-insert-evict", explorer.run(CacheInsertEvictModel)),
         ("reservoir-admission", explorer.run(ReservoirAdmissionModel)),
         ("poison-reset", explorer.run(PoisonResetModel)),
+        ("gen-swap", explorer.run(GenSwapModel)),
     ]
 }
 
@@ -272,6 +358,7 @@ pub fn replay_builtin(name: &str, script: Vec<usize>) -> Option<Report> {
         "cache-insert-evict" => Some(explorer.run(CacheInsertEvictModel)),
         "reservoir-admission" => Some(explorer.run(ReservoirAdmissionModel)),
         "poison-reset" => Some(explorer.run(PoisonResetModel)),
+        "gen-swap" => Some(explorer.run(GenSwapModel)),
         _ => None,
     }
 }

@@ -46,7 +46,7 @@ use std::time::{Duration, Instant};
 
 use cf_data::SyntheticConfig;
 use cf_matrix::{ItemId, Predictor, UserId};
-use cfsf_core::{Cfsf, CfsfConfig};
+use cfsf_core::{Cfsf, CfsfConfig, DriftConfig, SelfHealingCfsf};
 
 struct Windows {
     warmup: Duration,
@@ -92,6 +92,16 @@ fn json_entry(m: &Measurement) -> String {
         "    \"{}\": {{ \"predictions_per_sec\": {:.1}, \"predictions\": {}, \"elapsed_s\": {:.3} }}",
         m.name, m.predictions_per_sec, m.predictions, m.elapsed_s
     )
+}
+
+/// `p`-th percentile of an unsorted latency sample set, in seconds.
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+    samples[idx.min(samples.len() - 1)]
 }
 
 /// Pulls `"name": { "predictions_per_sec": <value>` out of a committed
@@ -383,6 +393,121 @@ fn main() {
         }));
     }
 
+    // Zero-pause refresh under load: the same mixed point queries served
+    // through the generation cell while a background rebuild runs and
+    // publishes underneath them. Reports throughput during the rebuild
+    // (the `--compare` measurement) plus the tail-latency spike: p999 of
+    // per-request latency during the rebuild vs. steady state. The
+    // refresh tentpole promises the spike stays within 10% — reported as
+    // a non-gating warning, like every other bench number.
+    let mut refresh_spike: Option<(f64, f64)> = None;
+    if want("refresh_under_load") {
+        let parked = DriftConfig {
+            mae_trip_pm: i64::MAX,
+            mae_clear_pm: 0,
+            hist_trip_pm: i64::MAX,
+            hist_clear_pm: 0,
+            fallback_trip_pm: i64::MAX,
+            fallback_clear_pm: 0,
+            trip_windows: u32::MAX,
+            ..DriftConfig::default()
+        };
+        let refit = Cfsf::fit(&data.matrix, config.clone()).expect("fit refresh model");
+        let healing = SelfHealingCfsf::new(refit, parked).expect("wrap refresh model");
+        let cell = healing.cell();
+        let serve_pass = |latencies: &mut Vec<f64>| {
+            for &(u, i) in &mixed {
+                let t = Instant::now();
+                let m = cell.load();
+                std::hint::black_box(m.predict(u, i));
+                latencies.push(t.elapsed().as_secs_f64());
+            }
+        };
+
+        // Warm, then a steady-state latency window with no rebuild.
+        let warm_until = Instant::now() + windows.warmup;
+        let mut scratch = Vec::new();
+        while Instant::now() < warm_until {
+            scratch.clear();
+            serve_pass(&mut scratch);
+        }
+        let mut steady = Vec::new();
+        let steady_until = Instant::now() + windows.measure / 2;
+        while Instant::now() < steady_until {
+            serve_pass(&mut steady);
+        }
+
+        // Queue fresh ratings and serve straight through the rebuild.
+        let scale = data.matrix.scale();
+        let mut queued = 0;
+        'queue: for u in 0..users {
+            for i in 0..items {
+                let (user, item) = (UserId::from(u), ItemId::from(i));
+                if data.matrix.get(user, item).is_none() {
+                    healing
+                        .add_rating(user, item, scale.min)
+                        .expect("queue rating");
+                    queued += 1;
+                    if queued == 64 {
+                        break 'queue;
+                    }
+                }
+            }
+        }
+        let mut during = Vec::new();
+        let rebuild_start = Instant::now();
+        assert!(healing.trigger(), "refresh trigger");
+        while healing.generation() == 0 {
+            serve_pass(&mut during);
+        }
+        let rebuild_elapsed = rebuild_start.elapsed().as_secs_f64();
+        healing.wait_idle();
+
+        let served = during.len() as u64;
+        let m = Measurement {
+            name: "refresh_under_load",
+            predictions_per_sec: served as f64 / rebuild_elapsed,
+            predictions: served,
+            elapsed_s: rebuild_elapsed,
+        };
+        eprintln!(
+            "  {:<28} {:>12.0} predictions/sec  ({} preds in {:.2}s)",
+            m.name, m.predictions_per_sec, m.predictions, m.elapsed_s
+        );
+        let p999_steady = percentile(&mut steady, 0.999);
+        let p999_during = percentile(&mut during, 0.999);
+        let ratio = if p999_steady > 0.0 {
+            p999_during / p999_steady
+        } else {
+            1.0
+        };
+        eprintln!(
+            "  refresh_under_load p999: {:.1}us during rebuild vs {:.1}us steady ({:.2}x)",
+            p999_during * 1e6,
+            p999_steady * 1e6,
+            ratio
+        );
+        if ratio > 1.10 {
+            if threads == 1 {
+                // With a single core the rebuild worker timeslices with
+                // the serving thread; the spike measures CPU contention,
+                // not a pause (no request ever blocks on the rebuild).
+                eprintln!(
+                    "  refresh_under_load p999 spike {ratio:.2}x on a 1-core host: \
+                     rebuild and serving share the core; the 1.10x zero-pause \
+                     budget needs a spare core to be meaningful"
+                );
+            } else {
+                eprintln!(
+                    "  BENCH LATENCY WARNING: refresh_under_load p999 spike {ratio:.2}x \
+                     exceeds the 1.10x zero-pause budget (non-gating)"
+                );
+            }
+        }
+        refresh_spike = Some((ratio, p999_during * 1e6));
+        results.push(m);
+    }
+
     // Speedup summaries, each present only when both of its scenarios ran
     // (a `--filter` run is allowed to skip either side).
     let rate = |name: &str| {
@@ -412,6 +537,11 @@ fn main() {
     }
     if let Some(s) = mixed_speedup {
         summary.push_str(&format!(",\n  \"speedup_mixed_vs_baseline\": {s:.3}"));
+    }
+    if let Some((ratio, p999_us)) = refresh_spike {
+        summary.push_str(&format!(
+            ",\n  \"refresh_p999_spike_ratio\": {ratio:.3},\n  \"refresh_p999_us\": {p999_us:.1}"
+        ));
     }
     let json = format!(
         "{{\n  \"bench\": \"online_throughput\",\n  \"mode\": \"{}\",\n  \"dataset\": {{ \"users\": {}, \"items\": {}, \"ratings\": {} }},\n  \"config\": {{ \"clusters\": {}, \"k\": {}, \"m\": {}, \"lambda\": {}, \"delta\": {}, \"w\": {} }},\n  \"threads\": {},\n  \"requests_per_pass\": {},\n  \"results\": {{\n{}\n  }}{}\n}}\n",

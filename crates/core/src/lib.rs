@@ -49,6 +49,7 @@ mod incremental;
 mod model;
 mod online;
 mod persist;
+pub mod refresh;
 mod strips;
 pub mod topk;
 
@@ -62,3 +63,6 @@ pub use incremental::{IncrementalCfsf, RefreshKind, RefreshStats};
 pub use model::{Cfsf, OfflineSummary};
 pub use online::PredictionBreakdown;
 pub use persist::{crc32, PersistError, RecoveryReport};
+pub use refresh::{
+    DriftConfig, DriftMonitor, DriftSignals, DriftState, GenCell, RebuildReport, SelfHealingCfsf,
+};

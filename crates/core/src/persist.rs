@@ -2,40 +2,45 @@
 //! and load it back without repeating the expensive offline work.
 //!
 //! What is stored: the configuration, the training matrix, the GIS
-//! neighbor lists (the `O(Q·nnz)` part of the offline phase), and the
-//! K-means assignment (the iterative part). What is *recomputed* on
-//! load: smoothing, iCluster, and the dense online store — all linear
-//! passes that take milliseconds and would dominate the file size if
-//! stored (`P×Q` doubles).
+//! neighbor lists (the `O(Q·nnz)` part of the offline phase), the
+//! K-means assignment (the iterative part), and — since version 3 — the
+//! quantized serving planes. What is *recomputed* on load: smoothing,
+//! iCluster, and the dense online store — all linear passes that take
+//! milliseconds and would dominate the file size if stored
+//! (`P×Q` doubles).
 //!
-//! Format (version 2): little-endian, checksummed sections:
+//! Format (version 3): little-endian, checksummed sections:
 //!
 //! ```text
-//! magic "CFSF"  | u32 version
-//! 4 × section   | u32 tag | u64 len | payload (len bytes) | u32 crc32
+//! magic "CFSF"  | u32 version | u64 generation
+//! 5 × section   | u32 tag | u64 len | payload (len bytes) | u32 crc32
 //! ```
 //!
-//! Section payloads, in tag order:
+//! `generation` is the self-healing refresh loop's generation id
+//! (`cfsf_core::refresh`); a model fitted offline saves 0. Section
+//! payloads, in tag order:
 //!
 //! ```text
 //! config (1)    | clusters, k, m, candidate_factor, kmeans_iterations: u64
 //!               | lambda, delta, w, gis.threshold: f64
 //!               | gis.max_neighbors: u64 (u64::MAX = none)
-//!               | seed: u64 | use_smoothing: u8
+//!               | seed: u64 | use_smoothing: u8 | plane_precision: u8
 //! matrix (2)    | num_users, num_items, nnz: u64 | scale min,max: f64
 //!               | nnz × (user u32, item u32, rating f64)
 //! gis (3)       | num_items × [len u64, len × (item u32, sim f64)]
 //! clusters (4)  | k, iterations: u64 | converged u8 | P × u32
+//! planes (5)    | [`cf_matrix::WeightPlanes::encode`] payload
 //! ```
 //!
 //! The per-section CRC32 turns silent bit rot into a detected fault, and
-//! the section boundaries make half the file *recoverable*: the GIS and
-//! cluster sections are pure derivations of the stored matrix, so
-//! [`Cfsf::load_with_recovery`] rebuilds a corrupt one from the (intact)
-//! matrix section instead of refusing to load — the same computation
-//! [`Cfsf::fit`] runs, so the recovered model predicts identically.
-//! Version 1 streams (unchecksummed, same payloads laid end to end)
-//! still load.
+//! the section boundaries make most of the file *recoverable*: the GIS,
+//! cluster, and planes sections are pure derivations of the stored
+//! matrix, so [`Cfsf::load_with_recovery`] rebuilds a corrupt one from
+//! the (intact) matrix section instead of refusing to load — the same
+//! computation [`Cfsf::fit`] runs, so the recovered model predicts
+//! identically. Version 2 streams (no generation, no planes section —
+//! planes recomputed from the smoothed sheet) and version 1 streams
+//! (unchecksummed, same payloads laid end to end) still load.
 
 use std::io::{self, Read, Write};
 
@@ -47,13 +52,15 @@ use crate::cache::ShardedCache;
 use crate::{Cfsf, CfsfConfig, CfsfError};
 
 const MAGIC: &[u8; 4] = b"CFSF";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
+const V2: u32 = 2;
 const V1: u32 = 1;
 
 const TAG_CONFIG: u32 = 1;
 const TAG_MATRIX: u32 = 2;
 const TAG_GIS: u32 = 3;
 const TAG_CLUSTERS: u32 = 4;
+const TAG_PLANES: u32 = 5;
 
 /// Errors from loading a persisted model.
 #[derive(Debug)]
@@ -91,7 +98,7 @@ impl From<CfsfError> for PersistError {
     }
 }
 
-/// What [`Cfsf::load_with_recovery`] had to rebuild. Both flags `false`
+/// What [`Cfsf::load_with_recovery`] had to rebuild. All flags `false`
 /// means the stream was intact and the load equals a strict [`Cfsf::load`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -101,12 +108,19 @@ pub struct RecoveryReport {
     /// The cluster section failed its checksum (or parse) and the
     /// K-means assignment was recomputed from the stored matrix.
     pub clusters_rebuilt: bool,
+    /// The quantized weight-plane section failed its checksum (or
+    /// parse/validation) and the planes were refolded from the smoothed
+    /// sheet — deterministic, so bit-identical to what the file stored.
+    pub planes_rebuilt: bool,
+    /// The refresh generation id from the stream header (0 for V1/V2
+    /// streams and offline-fitted models).
+    pub generation: u64,
 }
 
 impl RecoveryReport {
     /// `true` when anything had to be rebuilt.
     pub fn any(&self) -> bool {
-        self.gis_rebuilt || self.clusters_rebuilt
+        self.gis_rebuilt || self.clusters_rebuilt || self.planes_rebuilt
     }
 }
 
@@ -494,15 +508,24 @@ fn rebuild_clusters(config: &CfsfConfig, matrix: &RatingMatrix) -> ClusterAssign
 // --- model codec -------------------------------------------------------
 
 impl Cfsf {
-    /// Serializes the model in the current (checksummed) format. See the
-    /// module docs.
-    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+    /// Serializes the model in the current (checksummed) format with
+    /// generation id 0 — the offline-fit default. See the module docs.
+    pub fn save<W: Write>(&self, w: W) -> io::Result<()> {
+        self.save_with_generation(w, 0)
+    }
+
+    /// [`Cfsf::save`] stamping an explicit refresh generation id into the
+    /// header, so a snapshot taken from a live [`crate::SelfHealingCfsf`]
+    /// records *which* generation it froze.
+    pub fn save_with_generation<W: Write>(&self, mut w: W, generation: u64) -> io::Result<()> {
         w.write_all(MAGIC)?;
         put_u32(&mut w, VERSION)?;
+        put_u64(&mut w, generation)?;
         write_section(&mut w, TAG_CONFIG, &encode_config(&self.config, true)?)?;
         write_section(&mut w, TAG_MATRIX, &encode_matrix(&self.matrix)?)?;
         write_section(&mut w, TAG_GIS, &encode_gis(&self.gis, &self.matrix)?)?;
         write_section(&mut w, TAG_CLUSTERS, &encode_clusters(&self.clusters)?)?;
+        write_section(&mut w, TAG_PLANES, &self.planes.encode())?;
         w.flush()
     }
 
@@ -525,14 +548,33 @@ impl Cfsf {
         w.flush()
     }
 
-    /// Reassembles a servable model from its four persisted structures,
+    /// Writes the previous checksummed version-2 stream (no generation,
+    /// no planes section) — kept only so the compatibility tests can
+    /// exercise the V2 load path.
+    #[cfg(test)]
+    pub(crate) fn save_v2<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        put_u32(&mut w, V2)?;
+        write_section(&mut w, TAG_CONFIG, &encode_config(&self.config, true)?)?;
+        write_section(&mut w, TAG_MATRIX, &encode_matrix(&self.matrix)?)?;
+        write_section(&mut w, TAG_GIS, &encode_gis(&self.gis, &self.matrix)?)?;
+        write_section(&mut w, TAG_CLUSTERS, &encode_clusters(&self.clusters)?)?;
+        w.flush()
+    }
+
+    /// Reassembles a servable model from its persisted structures,
     /// recomputing the cheap linear passes (smoothing, iCluster, dense
-    /// store, weight planes, item strips).
+    /// store, item strips). When `planes` is `None` (V1/V2 streams, or a
+    /// V3 stream whose plane section was rebuilt) the quantized weight
+    /// planes are refolded from the smoothed sheet — the same
+    /// deterministic computation [`Cfsf::fit`] runs, so the result is
+    /// bit-identical to what a V3 writer would have stored.
     fn assemble(
         config: CfsfConfig,
         matrix: RatingMatrix,
         gis: Gis,
         clusters: ClusterAssignment,
+        planes: Option<cf_matrix::WeightPlanes>,
     ) -> Self {
         let smoothed = Smoother::smooth(&matrix, &clusters, None);
         let icluster = ICluster::build(&matrix, &smoothed, None);
@@ -541,8 +583,9 @@ impl Cfsf {
         } else {
             DenseRatings::from_sparse(&matrix)
         };
-        let planes =
-            cf_matrix::WeightPlanes::from_dense_with(&dense, config.w, config.plane_precision);
+        let planes = planes.unwrap_or_else(|| {
+            cf_matrix::WeightPlanes::from_dense_with(&dense, config.w, config.plane_precision)
+        });
         let strips = crate::strips::ItemStrips::build(&gis, config.m);
         let model = Self {
             config,
@@ -560,80 +603,31 @@ impl Cfsf {
         model
     }
 
-    /// Deserializes a model saved by [`Cfsf::save`] (or a legacy V1
+    /// Deserializes a model saved by [`Cfsf::save`] (or a legacy V1/V2
     /// stream), verifying every section checksum. Predictions of the
     /// loaded model are bit-identical to the original's. Any corruption
     /// is an error here; see [`Cfsf::load_with_recovery`] for the
     /// rebuild-what-can-be-rebuilt policy.
-    pub fn load<R: Read>(mut r: R) -> Result<Self, PersistError> {
-        match read_header(&mut r)? {
-            V1 => load_v1(&mut r),
-            _ => {
-                let config = decode_section(
-                    &read_section(&mut r, TAG_CONFIG, "config")?,
-                    "config",
-                    |r| decode_config(r, true),
-                )?;
-                let matrix = decode_section(
-                    &read_section(&mut r, TAG_MATRIX, "matrix")?,
-                    "matrix",
-                    decode_matrix,
-                )?;
-                let gis = decode_section(&read_section(&mut r, TAG_GIS, "gis")?, "gis", |r| {
-                    decode_gis(r, matrix.num_items())
-                })?;
-                let clusters = decode_section(
-                    &read_section(&mut r, TAG_CLUSTERS, "clusters")?,
-                    "clusters",
-                    |r| decode_clusters(r, matrix.num_users()),
-                )?;
-                Ok(Self::assemble(config, matrix, gis, clusters))
-            }
-        }
+    pub fn load<R: Read>(r: R) -> Result<Self, PersistError> {
+        load_impl(r, false).map(|(model, _)| model)
+    }
+
+    /// [`Cfsf::load`] also returning the refresh generation id stamped in
+    /// the stream header (0 for V1/V2 streams and offline-fitted models).
+    pub fn load_with_generation<R: Read>(r: R) -> Result<(Self, u64), PersistError> {
+        load_impl(r, false).map(|(model, report)| (model, report.generation))
     }
 
     /// Loads a checksummed stream, rebuilding what a checksum failure
-    /// allows: the GIS and cluster sections are derivations of the stored
-    /// matrix, so when one of them is corrupt it is recomputed exactly as
-    /// [`Cfsf::fit`] would (seeded K-means, so deterministically) instead
-    /// of failing the load. The config and matrix sections are ground
-    /// truth — corruption there is unrecoverable and errors like
-    /// [`Cfsf::load`]. Legacy V1 streams carry no checksums; they load
-    /// strictly with an empty report.
-    pub fn load_with_recovery<R: Read>(mut r: R) -> Result<(Self, RecoveryReport), PersistError> {
-        if read_header(&mut r)? == V1 {
-            return Ok((load_v1(&mut r)?, RecoveryReport::default()));
-        }
-        let config = decode_section(
-            &read_section(&mut r, TAG_CONFIG, "config")?,
-            "config",
-            |r| decode_config(r, true),
-        )?;
-        let matrix = decode_section(
-            &read_section(&mut r, TAG_MATRIX, "matrix")?,
-            "matrix",
-            decode_matrix,
-        )?;
-        let mut report = RecoveryReport::default();
-        // A corrupt length field desyncs the stream, so a failed GIS read
-        // usually takes the cluster section down with it — both rebuild.
-        let gis = read_section(&mut r, TAG_GIS, "gis")
-            .and_then(|p| decode_section(&p, "gis", |r| decode_gis(r, matrix.num_items())))
-            .unwrap_or_else(|_| {
-                cf_obs::counter!("persist.recovered.gis").inc();
-                report.gis_rebuilt = true;
-                rebuild_gis(&config, &matrix)
-            });
-        let clusters = read_section(&mut r, TAG_CLUSTERS, "clusters")
-            .and_then(|p| {
-                decode_section(&p, "clusters", |r| decode_clusters(r, matrix.num_users()))
-            })
-            .unwrap_or_else(|_| {
-                cf_obs::counter!("persist.recovered.clusters").inc();
-                report.clusters_rebuilt = true;
-                rebuild_clusters(&config, &matrix)
-            });
-        Ok((Self::assemble(config, matrix, gis, clusters), report))
+    /// allows: the GIS, cluster, and quantized-plane sections are
+    /// derivations of the stored matrix, so when one of them is corrupt
+    /// it is recomputed exactly as [`Cfsf::fit`] would (seeded K-means,
+    /// deterministic plane folding) instead of failing the load. The
+    /// config and matrix sections are ground truth — corruption there is
+    /// unrecoverable and errors like [`Cfsf::load`]. Legacy V1 streams
+    /// carry no checksums; they load strictly with an empty report.
+    pub fn load_with_recovery<R: Read>(r: R) -> Result<(Self, RecoveryReport), PersistError> {
+        load_impl(r, true)
     }
 
     /// Loads from a file.
@@ -651,20 +645,126 @@ impl Cfsf {
     }
 }
 
-/// Checks the magic and returns the stream version (V1 or VERSION).
-fn read_header<R: Read>(r: &mut R) -> Result<u32, PersistError> {
+/// Checks the magic and returns the stream version plus the generation
+/// id (V3 carries it in the header; earlier versions read as 0).
+fn read_header<R: Read>(r: &mut R) -> Result<(u32, u64), PersistError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(PersistError::Format("bad magic (not a CFSF model)".into()));
     }
     let version = get_u32(r)?;
-    if version != VERSION && version != V1 {
+    match version {
+        V1 | V2 => Ok((version, 0)),
+        VERSION => Ok((VERSION, get_u64(r)?)),
+        _ => Err(PersistError::Format(format!(
+            "unsupported version {version} (this build reads {V1}, {V2} and {VERSION})"
+        ))),
+    }
+}
+
+/// The shared decode behind [`Cfsf::load`] and
+/// [`Cfsf::load_with_recovery`]: `recover` selects whether a corrupt
+/// derivable section (gis / clusters / planes) is rebuilt from the
+/// matrix or fails the load.
+fn load_impl<R: Read>(mut r: R, recover: bool) -> Result<(Cfsf, RecoveryReport), PersistError> {
+    let (version, generation) = read_header(&mut r)?;
+    if version == V1 {
+        return Ok((load_v1(&mut r)?, RecoveryReport::default()));
+    }
+    let config = decode_section(
+        &read_section(&mut r, TAG_CONFIG, "config")?,
+        "config",
+        |r| decode_config(r, true),
+    )?;
+    let matrix = decode_section(
+        &read_section(&mut r, TAG_MATRIX, "matrix")?,
+        "matrix",
+        decode_matrix,
+    )?;
+    let mut report = RecoveryReport {
+        generation,
+        ..RecoveryReport::default()
+    };
+    // A corrupt length field desyncs the stream, so a failed GIS read
+    // usually takes the later sections down with it — all of them rebuild.
+    let gis = match read_section(&mut r, TAG_GIS, "gis")
+        .and_then(|p| decode_section(&p, "gis", |r| decode_gis(r, matrix.num_items())))
+    {
+        Ok(gis) => gis,
+        Err(e) if !recover => return Err(e),
+        Err(_) => {
+            cf_obs::counter!("persist.recovered.gis").inc();
+            report.gis_rebuilt = true;
+            rebuild_gis(&config, &matrix)
+        }
+    };
+    let clusters = match read_section(&mut r, TAG_CLUSTERS, "clusters")
+        .and_then(|p| decode_section(&p, "clusters", |r| decode_clusters(r, matrix.num_users())))
+    {
+        Ok(clusters) => clusters,
+        Err(e) if !recover => return Err(e),
+        Err(_) => {
+            cf_obs::counter!("persist.recovered.clusters").inc();
+            report.clusters_rebuilt = true;
+            rebuild_clusters(&config, &matrix)
+        }
+    };
+    let planes = if version >= VERSION {
+        match read_section(&mut r, TAG_PLANES, "planes")
+            .and_then(|p| decode_planes(&p, &config, &matrix))
+        {
+            Ok(planes) => Some(planes),
+            Err(e) if !recover => return Err(e),
+            Err(_) => {
+                cf_obs::counter!("persist.recovered.planes").inc();
+                report.planes_rebuilt = true;
+                None
+            }
+        }
+    } else {
+        // V2 streams never stored planes; recomputing them is the
+        // normal load path, not a recovery.
+        None
+    };
+    Ok((
+        Cfsf::assemble(config, matrix, gis, clusters, planes),
+        report,
+    ))
+}
+
+/// Decodes and validates a stored planes payload against the config and
+/// matrix it claims to serve: dimensions, precision, and the folded ε
+/// must all agree (ε is written from the same `f64`, so bit equality is
+/// the correct check).
+fn decode_planes(
+    payload: &[u8],
+    config: &CfsfConfig,
+    matrix: &RatingMatrix,
+) -> Result<cf_matrix::WeightPlanes, PersistError> {
+    let planes = cf_matrix::WeightPlanes::decode(payload).map_err(PersistError::Format)?;
+    if planes.num_users() != matrix.num_users() || planes.num_items() != matrix.num_items() {
         return Err(PersistError::Format(format!(
-            "unsupported version {version} (this build reads {V1} and {VERSION})"
+            "planes section is {}×{} but the matrix is {}×{}",
+            planes.num_users(),
+            planes.num_items(),
+            matrix.num_users(),
+            matrix.num_items()
         )));
     }
-    Ok(version)
+    if planes.precision() != config.plane_precision {
+        return Err(PersistError::Format(
+            "planes section precision disagrees with the stored config".into(),
+        ));
+    }
+    // ε was written from the very same f64 as config.w, so bit equality
+    // is the correct (and lint-clean) comparison.
+    if planes.epsilon().to_bits() != config.w.to_bits() {
+        return Err(PersistError::Format(
+            "planes section epsilon disagrees with the stored config".into(),
+        ));
+    }
+    Ok(planes)
 }
 
 /// The legacy sequential-stream decode: the same payloads as V2, laid
@@ -674,7 +774,7 @@ fn load_v1<R: Read>(r: &mut R) -> Result<Cfsf, PersistError> {
     let matrix = decode_matrix(r)?;
     let gis = decode_gis(r, matrix.num_items())?;
     let clusters = decode_clusters(r, matrix.num_users())?;
-    Ok(Cfsf::assemble(config, matrix, gis, clusters))
+    Ok(Cfsf::assemble(config, matrix, gis, clusters, None))
 }
 
 #[cfg(test)]
@@ -687,6 +787,18 @@ mod tests {
     fn model() -> Cfsf {
         let d = SyntheticConfig::small().generate();
         Cfsf::fit(&d.matrix, CfsfConfig::small()).unwrap()
+    }
+
+    /// Byte range of the `n`-th (0-based) section payload in a V3 stream
+    /// (16-byte header: magic, version, generation).
+    fn section_payload(buf: &[u8], n: usize) -> std::ops::Range<usize> {
+        let mut pos = 16usize;
+        for _ in 0..n {
+            let len = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().unwrap()) as usize;
+            pos += 12 + len + 4;
+        }
+        let len = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        pos + 12..pos + 12 + len
     }
 
     fn assert_predictions_match(a: &Cfsf, b: &Cfsf) {
@@ -744,7 +856,26 @@ mod tests {
     }
 
     #[test]
-    fn plane_precision_round_trips_through_v2() {
+    fn generation_round_trips_through_the_header() {
+        let original = model();
+        let mut buf = Vec::new();
+        original.save_with_generation(&mut buf, 42).unwrap();
+        let (loaded, generation) = Cfsf::load_with_generation(buf.as_slice()).unwrap();
+        assert_eq!(generation, 42);
+        assert_predictions_match(&original, &loaded);
+        let (_, report) = Cfsf::load_with_recovery(buf.as_slice()).unwrap();
+        assert_eq!(report.generation, 42);
+        assert!(!report.any(), "intact stream must need no recovery");
+
+        // Plain save stamps generation 0.
+        let mut buf = Vec::new();
+        original.save(&mut buf).unwrap();
+        let (_, generation) = Cfsf::load_with_generation(buf.as_slice()).unwrap();
+        assert_eq!(generation, 0);
+    }
+
+    #[test]
+    fn plane_precision_round_trips_through_save() {
         let d = SyntheticConfig::small().generate();
         let cfg = CfsfConfig::small().with_plane_precision(cf_matrix::PlanePrecision::U8);
         let original = Cfsf::fit(&d.matrix, cfg).unwrap();
@@ -758,6 +889,25 @@ mod tests {
         assert_predictions_match(&original, &loaded);
     }
 
+    /// A V2 stream (no generation in the header, no planes section) must
+    /// still load, strictly and through recovery, with an empty report.
+    #[test]
+    fn legacy_v2_streams_still_load() {
+        let original = model();
+        let mut v2 = Vec::new();
+        original.save_v2(&mut v2).unwrap();
+        let loaded = Cfsf::load(v2.as_slice()).unwrap();
+        assert_predictions_match(&original, &loaded);
+
+        let (recovered, report) = Cfsf::load_with_recovery(v2.as_slice()).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        assert!(
+            !report.planes_rebuilt,
+            "a V2 stream never stored planes; recomputing them is not a recovery"
+        );
+        assert_predictions_match(&original, &recovered);
+    }
+
     /// A V2 stream whose config payload predates the trailing precision
     /// byte (written by an older build) must load with the U16 default.
     #[test]
@@ -765,7 +915,7 @@ mod tests {
         let original = model();
         let mut buf = Vec::new();
         buf.extend_from_slice(MAGIC);
-        put_u32(&mut buf, VERSION).unwrap();
+        put_u32(&mut buf, V2).unwrap();
         write_section(
             &mut buf,
             TAG_CONFIG,
@@ -806,6 +956,7 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(MAGIC);
         put_u32(&mut buf, VERSION).unwrap();
+        put_u64(&mut buf, 0).unwrap(); // generation
         write_section(&mut buf, TAG_CONFIG, &payload).unwrap();
         let e = Cfsf::load(buf.as_slice()).unwrap_err();
         assert!(e.to_string().contains("plane precision"), "{e}");
@@ -855,15 +1006,16 @@ mod tests {
         let original = model();
         let mut clean = Vec::new();
         original.save(&mut clean).unwrap();
-        // One offset inside each section's payload (header is 8 bytes,
-        // each section starts with a 12-byte frame header).
-        for off in [20usize, 200, clean.len() / 2, clean.len() - 40] {
+        // One offset inside each of the five section payloads.
+        for n in 0..5 {
+            let payload = section_payload(&clean, n);
+            let off = payload.start + payload.len() / 2;
             let mut buf = clean.clone();
             buf[off] ^= 0x01;
             let e = Cfsf::load(buf.as_slice()).unwrap_err();
             assert!(
                 matches!(e, PersistError::Format(_) | PersistError::Io(_)),
-                "flip at {off}: {e}"
+                "flip at {off} (section {n}): {e}"
             );
         }
     }
@@ -873,16 +1025,8 @@ mod tests {
         let original = model();
         let mut buf = Vec::new();
         original.save(&mut buf).unwrap();
-        // Locate the GIS section: skip header + config + matrix frames.
-        let gis_payload_start = {
-            let mut pos = 8usize; // magic + version
-            for _ in 0..2 {
-                let len = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().unwrap()) as usize;
-                pos += 12 + len + 4;
-            }
-            pos + 12
-        };
-        buf[gis_payload_start + 9] ^= 0xFF;
+        let gis = section_payload(&buf, 2);
+        buf[gis.start + 9] ^= 0xFF;
 
         // Strict load refuses...
         let e = Cfsf::load(buf.as_slice()).unwrap_err();
@@ -890,7 +1034,7 @@ mod tests {
         // ...recovery rebuilds and predicts identically to the original.
         let (recovered, report) = Cfsf::load_with_recovery(buf.as_slice()).unwrap();
         assert!(report.gis_rebuilt);
-        assert!(!report.clusters_rebuilt);
+        assert!(!report.clusters_rebuilt && !report.planes_rebuilt);
         assert!(report.any());
         assert_predictions_match(&original, &recovered);
     }
@@ -900,15 +1044,37 @@ mod tests {
         let original = model();
         let mut buf = Vec::new();
         original.save(&mut buf).unwrap();
-        // The cluster assignment u32s sit at the tail, before the final crc.
-        let off = buf.len() - 6;
-        buf[off] ^= 0xFF;
+        // Flip one of the assignment u32s at the section's tail.
+        let clusters = section_payload(&buf, 3);
+        buf[clusters.end - 2] ^= 0xFF;
 
         let e = Cfsf::load(buf.as_slice()).unwrap_err();
         assert!(matches!(e, PersistError::Format(_)), "{e}");
         let (recovered, report) = Cfsf::load_with_recovery(buf.as_slice()).unwrap();
         assert!(report.clusters_rebuilt);
-        assert!(!report.gis_rebuilt);
+        assert!(!report.gis_rebuilt && !report.planes_rebuilt);
+        assert_predictions_match(&original, &recovered);
+    }
+
+    #[test]
+    fn recovery_rebuilds_a_corrupt_planes_section() {
+        let original = model();
+        let mut buf = Vec::new();
+        original.save_with_generation(&mut buf, 7).unwrap();
+        let planes = section_payload(&buf, 4);
+        buf[planes.start + planes.len() / 3] ^= 0xFF;
+
+        // Strict load refuses...
+        let e = Cfsf::load(buf.as_slice()).unwrap_err();
+        assert!(e.to_string().contains("planes"), "{e}");
+        // ...recovery refolds the planes from the smoothed sheet —
+        // deterministic, so predictions are bit-identical — and keeps the
+        // header generation.
+        let (recovered, report) = Cfsf::load_with_recovery(buf.as_slice()).unwrap();
+        assert!(report.planes_rebuilt);
+        assert!(!report.gis_rebuilt && !report.clusters_rebuilt);
+        assert_eq!(report.generation, 7);
+        assert!(report.any());
         assert_predictions_match(&original, &recovered);
     }
 
@@ -917,12 +1083,14 @@ mod tests {
         let original = model();
         let mut clean = Vec::new();
         original.save(&mut clean).unwrap();
-        for off in [20usize, 120] {
+        for n in 0..2 {
+            let payload = section_payload(&clean, n);
+            let off = payload.start + payload.len() / 2;
             let mut buf = clean.clone();
             buf[off] ^= 0x10;
             assert!(
                 Cfsf::load_with_recovery(buf.as_slice()).is_err(),
-                "flip at {off} must be unrecoverable"
+                "flip at {off} (section {n}) must be unrecoverable"
             );
         }
     }

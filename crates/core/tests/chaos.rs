@@ -21,7 +21,9 @@ use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 use cf_faultinject as fi;
 use cf_matrix::{ItemId, Predictor, UserId};
-use cfsf_core::{Cfsf, CfsfConfig, DegradeLevel, IncrementalCfsf};
+use cfsf_core::{
+    Cfsf, CfsfConfig, DegradeLevel, DriftConfig, DriftState, IncrementalCfsf, SelfHealingCfsf,
+};
 
 // --- scenario scaffolding ----------------------------------------------
 
@@ -91,9 +93,10 @@ fn counter(name: &str) -> u64 {
         .unwrap_or(0)
 }
 
-/// Byte range of the `n`-th (0-based) section payload in a V2 stream.
+/// Byte range of the `n`-th (0-based) section payload in a V3 stream
+/// (16-byte header: magic, version, generation).
 fn section_payload(buf: &[u8], n: usize) -> std::ops::Range<usize> {
-    let mut pos = 8; // magic + version
+    let mut pos = 16; // magic + version + generation
     for _ in 0..n {
         let len = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().unwrap()) as usize;
         pos += 12 + len + 4;
@@ -510,7 +513,201 @@ fn panic_isolated_degraded_request_is_trace_captured() {
     cf_obs::trace::clear();
 }
 
-// --- scenario 16: probabilistic chaos soak ------------------------------
+// --- scenario 16–19: self-healing refresh under faults -------------------
+
+/// A drift config that never trips on its own, so each scenario controls
+/// exactly when the rebuild happens.
+fn parked_drift() -> DriftConfig {
+    DriftConfig {
+        mae_trip_pm: i64::MAX,
+        mae_clear_pm: 0,
+        hist_trip_pm: i64::MAX,
+        hist_clear_pm: 0,
+        fallback_trip_pm: i64::MAX,
+        fallback_clear_pm: 0,
+        trip_windows: u32::MAX,
+        ..DriftConfig::default()
+    }
+}
+
+/// First `n` unrated cells of the served matrix, usable as live ratings.
+fn unrated_cells(m: &Cfsf, n: usize) -> Vec<(UserId, ItemId)> {
+    let matrix = m.matrix();
+    let mut out = Vec::with_capacity(n);
+    'outer: for u in 0..matrix.num_users() {
+        for i in 0..matrix.num_items() {
+            let (user, item) = (UserId::from(u), ItemId::from(i));
+            if matrix.get(user, item).is_none() {
+                out.push((user, item));
+                if out.len() == n {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn rebuild_panic_mid_swap_leaves_old_generation_serving() {
+    let _s = scope();
+    let healing = SelfHealingCfsf::new(fresh_model(), parked_drift()).unwrap();
+    let cell = healing.cell();
+    let gen0 = cell.load();
+    let probes: Vec<(UserId, ItemId)> = requests().into_iter().step_by(29).collect();
+    let baseline: Vec<Option<f64>> = probes.iter().map(|&(u, i)| gen0.predict(u, i)).collect();
+
+    let scale = gen0.matrix().scale();
+    for (user, item) in unrated_cells(&gen0, 8) {
+        healing.add_rating(user, item, scale.min).unwrap();
+    }
+    let pending = healing.pending();
+    assert!(pending > 0);
+
+    let failed_before = counter("refresh.failed");
+    let panicked_before = counter("refresh.panicked");
+    fi::arm("refresh.worker_panic", fi::Policy::Once);
+    let e = healing.refresh_now();
+    assert!(e.is_err(), "the injected worker panic must surface as Err");
+    assert_eq!(fi::fired_count("refresh.worker_panic"), 1);
+
+    // The acceptance bar: old generation still serving, the failure
+    // counted, the pending ratings restored for the retry.
+    assert_eq!(healing.generation(), 0, "a failed rebuild must not publish");
+    let after: Vec<Option<f64>> = probes
+        .iter()
+        .map(|&(u, i)| cell.load().predict(u, i))
+        .collect();
+    assert_eq!(after, baseline, "serving must be untouched by the panic");
+    assert_eq!(counter("refresh.failed"), failed_before + 1);
+    assert_eq!(counter("refresh.panicked"), panicked_before + 1);
+    assert_eq!(
+        healing.pending(),
+        pending,
+        "a panicked rebuild must not lose the ingested ratings"
+    );
+    // The drift/refresh state is visible on the stats surface.
+    let snapshot = cf_obs::global().snapshot();
+    assert!(snapshot.gauges.contains_key("drift.state"));
+    assert!(snapshot.gauges.contains_key("refresh.generation"));
+
+    // Once the fault clears, the very same refresh succeeds.
+    fi::disarm("refresh.worker_panic");
+    let report = healing.refresh_now().unwrap();
+    assert_eq!(report.merged, pending);
+    assert_eq!(healing.generation(), 1);
+    assert_eq!(healing.pending(), 0);
+}
+
+#[test]
+fn rebuild_failure_before_commit_restores_pending() {
+    let _s = scope();
+    let healing = SelfHealingCfsf::new(fresh_model(), parked_drift()).unwrap();
+    let gen0 = healing.model();
+    let scale = gen0.matrix().scale();
+    for (user, item) in unrated_cells(&gen0, 4) {
+        healing.add_rating(user, item, scale.max).unwrap();
+    }
+    let pending = healing.pending();
+
+    let failed_before = counter("refresh.failed");
+    let panicked_before = counter("refresh.panicked");
+    fi::arm("refresh.fail_before_commit", fi::Policy::Once);
+    let e = healing.refresh_now();
+    assert!(
+        e.is_err(),
+        "the injected commit failure must surface as Err"
+    );
+    assert_eq!(healing.generation(), 0);
+    assert_eq!(healing.pending(), pending, "failure must keep the delta");
+    assert_eq!(counter("refresh.failed"), failed_before + 1);
+    assert_eq!(
+        counter("refresh.panicked"),
+        panicked_before,
+        "an error return is not a panic"
+    );
+
+    healing.refresh_now().unwrap();
+    assert_eq!(healing.generation(), 1);
+}
+
+#[test]
+fn rebuild_worker_stall_never_blocks_readers() {
+    let _s = scope();
+    let healing = SelfHealingCfsf::new(fresh_model(), parked_drift()).unwrap();
+    let cell = healing.cell();
+    let gen0 = cell.load();
+    let scale = gen0.matrix().scale();
+    for (user, item) in unrated_cells(&gen0, 8) {
+        healing.add_rating(user, item, scale.min).unwrap();
+    }
+
+    // The stall (250ms) runs on the background worker; readers must keep
+    // loading and predicting at full speed meanwhile.
+    fi::arm("refresh.worker_stall", fi::Policy::Always);
+    assert!(healing.trigger(), "background trigger must start a rebuild");
+    let mut served = 0u64;
+    let start = std::time::Instant::now();
+    while healing.generation() == 0 {
+        for &(u, i) in requests().iter().step_by(13) {
+            let m = cell.load();
+            if let Some(p) = m.predict(u, i) {
+                assert_in_scale(&m, p);
+                served += 1;
+            }
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(20),
+            "rebuild never finished behind the stall"
+        );
+    }
+    healing.wait_idle();
+    assert!(fi::fired_count("refresh.worker_stall") > 0);
+    assert!(
+        served > 0,
+        "readers must have been served during the stalled rebuild"
+    );
+    assert_eq!(healing.generation(), 1);
+}
+
+#[test]
+fn drift_storm_with_injected_faults_stays_rate_limited() {
+    let _s = scope();
+    // Thresholds at the floor: every ingested rating trips the detector.
+    let healing = SelfHealingCfsf::new(fresh_model(), DriftConfig::sensitive()).unwrap();
+    let gen0 = healing.model();
+    let scale = gen0.matrix().scale();
+
+    let started_before = counter("refresh.started");
+    // Storm: a burst of maximally drifted ratings while the online path
+    // is also under injected faults — the combination must not stack
+    // rebuilds (cooldown + single-flight) and must not escape a panic.
+    fi::arm_seeded("online.empty_neighbors", fi::Policy::Probability(0.25), 21);
+    for (user, item) in unrated_cells(&gen0, 12) {
+        let _ = healing.add_rating(user, item, scale.max);
+    }
+    healing.wait_idle();
+    let launched = counter("refresh.started") - started_before;
+    assert!(
+        launched >= 1,
+        "a floor-threshold storm must trigger at least one rebuild"
+    );
+    assert!(
+        launched <= 2,
+        "cooldown + single-flight must cap the storm, got {launched} rebuilds"
+    );
+    assert_ne!(healing.drift_state(), DriftState::Rebuilding);
+    // The storm's rebuilds all published or failed visibly; either way
+    // the serving cell answers soundly afterwards.
+    let m = healing.model();
+    for (u, i) in requests().into_iter().step_by(29) {
+        if let Some(p) = m.predict(u, i) {
+            assert_in_scale(&m, p);
+        }
+    }
+}
+
+// --- scenario 20: probabilistic chaos soak ------------------------------
 
 #[test]
 fn probabilistic_chaos_soak_serves_only_sound_predictions() {

@@ -162,6 +162,21 @@ pub fn maybe_panic(point: &str) {
     }
 }
 
+/// How long [`maybe_stall`] sleeps when its point fires. Long enough for
+/// a chaos test to observe the system serving *around* the stalled
+/// thread, short enough not to drag the suite.
+pub const STALL: std::time::Duration = std::time::Duration::from_millis(250);
+
+/// Sleeps for [`STALL`] when `point` fires (models a wedged worker — a
+/// refresh thread stuck on slow I/O or a starved core — without killing
+/// it). The caller's thread blocks; everything else keeps running, which
+/// is exactly what the zero-pause chaos scenarios assert.
+pub fn maybe_stall(point: &str) {
+    if fires(point) {
+        std::thread::sleep(STALL);
+    }
+}
+
 /// Replaces `value` with NaN when `point` fires (models a corrupt rating
 /// or estimator slipping into a numeric pipeline).
 pub fn corrupt_f64(point: &str, value: f64) -> f64 {

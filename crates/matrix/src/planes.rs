@@ -359,6 +359,13 @@ impl WeightPlanes {
         self.dq.step
     }
 
+    /// The ε folded into the weight LUT at build time (persistence
+    /// validates a stored plane against its config through this).
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.dq.wlut[3]
+    }
+
     /// The precision-typed view for kernel dispatch.
     #[inline]
     pub fn view(&self) -> PlanesView<'_> {
@@ -413,6 +420,122 @@ impl WeightPlanes {
     #[inline]
     pub fn present_bytes(&self) -> usize {
         self.present.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Serializes the planes into a self-contained little-endian payload
+    /// (the V3 persistence section): precision code, dimensions, the
+    /// dequant affine map, then the raw cells and presence words. The
+    /// weight LUT is *not* stored — it is `[0, 0, 1−ε, ε]` by
+    /// construction, so storing `ε` alone reconstructs it exactly.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Vec::with_capacity(41 + self.cell_bytes() + self.present_bytes());
+        w.push(self.precision.code());
+        w.extend_from_slice(&(self.num_users as u64).to_le_bytes());
+        w.extend_from_slice(&(self.num_items as u64).to_le_bytes());
+        w.extend_from_slice(&self.dq.min.to_le_bytes());
+        w.extend_from_slice(&self.dq.step.to_le_bytes());
+        w.extend_from_slice(&self.dq.wlut[3].to_le_bytes()); // ε
+        match &self.cells {
+            Cells::U16(c) => {
+                for &cell in c {
+                    w.extend_from_slice(&cell.to_le_bytes());
+                }
+            }
+            Cells::U8(c) => w.extend_from_slice(c),
+        }
+        for &word in &self.present {
+            w.extend_from_slice(&word.to_le_bytes());
+        }
+        w
+    }
+
+    /// Inverse of [`WeightPlanes::encode`]. Validates the precision code,
+    /// dimension sanity, the dequant constants, and that the payload
+    /// length matches the dimensions *exactly* — trailing or missing
+    /// bytes are corruption even when a checksum upstream passed.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        fn take<'a>(b: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8], String> {
+            if b.len() < n {
+                return Err(format!("planes payload truncated reading {what}"));
+            }
+            let (head, tail) = b.split_at(n);
+            *b = tail;
+            Ok(head)
+        }
+        fn take_u64(b: &mut &[u8], what: &str) -> Result<u64, String> {
+            let raw: [u8; 8] = take(b, 8, what)?
+                .try_into()
+                .map_err(|_| format!("planes payload truncated reading {what}"))?;
+            Ok(u64::from_le_bytes(raw))
+        }
+        fn take_f64(b: &mut &[u8], what: &str) -> Result<f64, String> {
+            let v = f64::from_bits(take_u64(b, what)?);
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err(format!("planes {what} is not finite"))
+            }
+        }
+
+        const LIMIT: u64 = 1 << 32;
+        let mut b = bytes;
+        let code = take(&mut b, 1, "precision code")?[0];
+        let precision = PlanePrecision::from_code(code)
+            .ok_or_else(|| format!("unknown plane precision code {code}"))?;
+        let num_users = take_u64(&mut b, "num_users")?;
+        let num_items = take_u64(&mut b, "num_items")?;
+        let num_cells = num_users
+            .checked_mul(num_items)
+            .filter(|&n| n <= LIMIT && num_users <= LIMIT && num_items <= LIMIT)
+            .ok_or_else(|| {
+                format!("planes dimensions {num_users}×{num_items} exceed sanity limit")
+            })? as usize;
+        let min = take_f64(&mut b, "min")?;
+        let step = take_f64(&mut b, "step")?;
+        if step < 0.0 {
+            return Err(format!("planes step {step} is negative"));
+        }
+        let epsilon = take_f64(&mut b, "epsilon")?;
+        if !(0.0..=1.0).contains(&epsilon) {
+            return Err(format!("planes epsilon {epsilon} outside [0, 1]"));
+        }
+
+        let cells = match precision {
+            PlanePrecision::U16 => {
+                let raw = take(&mut b, num_cells * 2, "cells")?;
+                Cells::U16(
+                    raw.chunks_exact(2)
+                        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                        .collect(),
+                )
+            }
+            PlanePrecision::U8 => Cells::U8(take(&mut b, num_cells, "cells")?.to_vec()),
+        };
+        let words_per_row = (num_items as usize).div_ceil(64);
+        let num_words = num_users as usize * words_per_row;
+        let present = take(&mut b, num_words * 8, "presence words")?
+            .chunks_exact(8)
+            .map(|c| {
+                let raw: [u8; 8] = c.try_into().unwrap_or([0; 8]);
+                u64::from_le_bytes(raw)
+            })
+            .collect();
+        if !b.is_empty() {
+            return Err(format!("planes payload has {} trailing bytes", b.len()));
+        }
+        Ok(Self {
+            num_users: num_users as usize,
+            num_items: num_items as usize,
+            words_per_row,
+            dq: PlaneDequant {
+                wlut: [0.0, 0.0, 1.0 - epsilon, epsilon],
+                min,
+                step,
+            },
+            precision,
+            cells,
+            present,
+        })
     }
 }
 
@@ -548,6 +671,47 @@ mod tests {
         let empty = WeightPlanes::from_dense(&DenseRatings::new(2, 3), 0.35);
         assert_eq!(empty.step(), 0.0);
         assert!(!empty.is_present(UserId::new(1), ItemId::new(2)));
+    }
+
+    #[test]
+    fn encode_decode_round_trips_both_precisions() {
+        let d = dense();
+        for precision in [PlanePrecision::U16, PlanePrecision::U8] {
+            let original = WeightPlanes::from_dense_with(&d, 0.35, precision);
+            let decoded = WeightPlanes::decode(&original.encode()).unwrap();
+            assert_eq!(decoded.precision(), precision);
+            assert_eq!(decoded.num_users(), original.num_users());
+            assert_eq!(decoded.num_items(), original.num_items());
+            assert_eq!(decoded.step(), original.step());
+            for u in 0..2 {
+                for i in 0..3 {
+                    let (u, i) = (UserId::new(u), ItemId::new(i));
+                    assert_eq!(decoded.pair(u, i), original.pair(u, i));
+                    assert_eq!(decoded.is_present(u, i), original.is_present(u, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        let clean = WeightPlanes::from_dense(&dense(), 0.35).encode();
+        // Truncation anywhere fails.
+        for cut in [0usize, 5, 24, clean.len() - 1] {
+            assert!(WeightPlanes::decode(&clean[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage fails even though all fields parse.
+        let mut long = clean.clone();
+        long.push(0);
+        assert!(WeightPlanes::decode(&long).is_err());
+        // Unknown precision code fails.
+        let mut bad = clean.clone();
+        bad[0] = 9;
+        assert!(WeightPlanes::decode(&bad).is_err());
+        // Corrupt epsilon (outside [0,1]) fails.
+        let mut bad = clean;
+        bad[33..41].copy_from_slice(&7.5f64.to_le_bytes());
+        assert!(WeightPlanes::decode(&bad).is_err());
     }
 
     #[test]

@@ -45,6 +45,7 @@ use std::sync::{Arc, OnceLock};
 use crate::sync::RecoverMutex;
 use std::time::{Duration, Instant};
 
+pub mod drift;
 pub mod json;
 pub mod net;
 pub mod prom;

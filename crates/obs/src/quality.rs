@@ -58,6 +58,18 @@ pub fn window_len() -> usize {
     window().lock().len()
 }
 
+/// Mean absolute error over the current window, or `None` while the
+/// window is empty. The drift detector in `cfsf-core::refresh` compares
+/// this against the baseline MAE captured when the serving generation
+/// was published.
+pub fn window_mae() -> Option<f64> {
+    let w = window().lock();
+    if w.is_empty() {
+        return None;
+    }
+    Some(w.iter().sum::<f64>() / w.len() as f64)
+}
+
 /// Empties the MAE window (tests).
 pub fn clear_window() {
     window().lock().clear();

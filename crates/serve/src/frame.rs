@@ -168,6 +168,10 @@ pub struct HealthInfo {
     pub num_users: u64,
     /// Items in the loaded model.
     pub num_items: u64,
+    /// Refresh generation currently serving (0 before any live refresh
+    /// and on peers predating the field — appended trailing payload, so
+    /// old and new builds interoperate without a version bump).
+    pub generation: u64,
 }
 
 /// One served prediction.
@@ -196,6 +200,11 @@ pub struct WireProfile {
     pub num_items: u64,
     /// Per-user mean ratings, indexed by user id.
     pub user_means: Vec<f64>,
+    /// Refresh generation the profile was cut from (0 on peers predating
+    /// the field — appended trailing payload, no version bump). The
+    /// router compares this against health frames to notice its fallback
+    /// table has gone stale.
+    pub generation: u64,
 }
 
 /// A response frame.
@@ -284,6 +293,13 @@ impl<'a> Cursor<'a> {
 
     fn f64(&mut self) -> Result<f64, FrameError> {
         Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u64` appended after the original payload fields — the
+    /// append-only evolution rule: a short payload (old peer) decodes as
+    /// `default` instead of failing.
+    fn u64_or(&mut self, default: u64) -> u64 {
+        self.u64().unwrap_or(default)
     }
 }
 
@@ -397,6 +413,7 @@ impl Response {
                 put_u32(&mut out, h.shard_id);
                 put_u64(&mut out, h.num_users);
                 put_u64(&mut out, h.num_items);
+                put_u64(&mut out, h.generation);
             }
             Self::Prediction(p) => {
                 put_f64(&mut out, p.fused);
@@ -419,6 +436,7 @@ impl Response {
                 for &m in &p.user_means {
                     put_f64(&mut out, m);
                 }
+                put_u64(&mut out, p.generation);
             }
             Self::Error { code, message } => {
                 put_u16(&mut out, *code);
@@ -451,6 +469,7 @@ impl Response {
                 shard_id: c.u32()?,
                 num_users: c.u64()?,
                 num_items: c.u64()?,
+                generation: c.u64_or(0),
             }),
             KIND_R_PREDICTION => Self::Prediction(WirePrediction {
                 fused: c.f64()?,
@@ -485,12 +504,14 @@ impl Response {
                 for _ in 0..n_users {
                     user_means.push(c.f64()?);
                 }
+                let generation = c.u64_or(0);
                 Self::Profile(WireProfile {
                     scale_min,
                     scale_max,
                     global_mean,
                     num_items,
                     user_means,
+                    generation,
                 })
             }
             KIND_R_ERROR => {
@@ -777,11 +798,13 @@ mod tests {
             global_mean: 3.6007,
             num_items: 100,
             user_means: vec![1.5, f64::NAN, 4.25],
+            generation: 9,
         };
         match roundtrip_response(&Response::Profile(profile.clone())) {
             Response::Profile(got) => {
                 assert_eq!(got.num_items, 100);
                 assert_eq!(got.user_means.len(), 3);
+                assert_eq!(got.generation, 9);
                 // NaN user means (users with no ratings) must survive the
                 // wire — compare bits, not values.
                 for (a, b) in got.user_means.iter().zip(&profile.user_means) {
@@ -829,6 +852,44 @@ mod tests {
             Response::Error { code, message } => {
                 assert_eq!(code, ERR_OUT_OF_RANGE);
                 assert!(message.contains("900"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// Health and profile frames from a build predating the trailing
+    /// `generation` field must decode with generation 0 — the documented
+    /// append-only evolution rule, exercised both ways: short payloads
+    /// decode leniently, and longer payloads from *newer* builds are
+    /// already ignored by old decoders.
+    #[test]
+    fn frames_without_trailing_generation_decode_as_generation_zero() {
+        // Hand-build the old 20-byte health payload.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 3);
+        put_u64(&mut payload, 80);
+        put_u64(&mut payload, 120);
+        match Response::decode(KIND_R_HEALTH, &payload).unwrap() {
+            Response::Health(h) => {
+                assert_eq!((h.shard_id, h.num_users, h.num_items), (3, 80, 120));
+                assert_eq!(h.generation, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // And the old profile payload, without the trailing generation.
+        let mut payload = Vec::new();
+        put_f64(&mut payload, 1.0);
+        put_f64(&mut payload, 5.0);
+        put_f64(&mut payload, 3.0);
+        put_u64(&mut payload, 10);
+        put_u64(&mut payload, 2);
+        put_f64(&mut payload, 2.5);
+        put_f64(&mut payload, 4.5);
+        match Response::decode(KIND_R_PROFILE, &payload).unwrap() {
+            Response::Profile(p) => {
+                assert_eq!(p.user_means.len(), 2);
+                assert_eq!(p.generation, 0);
             }
             other => panic!("{other:?}"),
         }

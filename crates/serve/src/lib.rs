@@ -26,10 +26,12 @@
 
 pub mod client;
 pub mod frame;
+pub mod live;
 pub mod router;
 pub mod server;
 
 pub use client::{ClientOptions, ShardClient};
 pub use frame::{FrameError, Request, Response};
+pub use live::ModelHandle;
 pub use router::{Router, RouterConfig, RouterServer};
 pub use server::{ServerOptions, ShardOptions, ShardServer};

@@ -29,8 +29,8 @@
 //! cooldown, not one per request.
 
 use std::net::ToSocketAddrs;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use cf_matrix::RatingScale;
@@ -85,12 +85,97 @@ enum ShardUnavailable {
 
 /// The compact model summary the router serves fallback answers from:
 /// the bottom rungs of the degradation ladder need only means and the
-/// scale, not the weight planes.
+/// scale, not the weight planes. Carries the model generation it was
+/// built from so a self-healing shard fleet can tell the router its
+/// table went stale (see [`Router::refresh_profile_if_stale`]).
 struct FallbackTable {
     scale: RatingScale,
     global_mean: f64,
     user_means: Vec<f64>,
     num_items: u64,
+    generation: u64,
+}
+
+impl FallbackTable {
+    fn from_profile(p: WireProfile) -> Self {
+        Self {
+            scale: RatingScale {
+                min: p.scale_min,
+                max: p.scale_max,
+            },
+            global_mean: p.global_mean,
+            user_means: p.user_means,
+            num_items: p.num_items,
+            generation: p.generation,
+        }
+    }
+}
+
+/// A tiny xoshiro256**-style generator seeded through splitmix64 — the
+/// same mixer [`shard_for_user`] uses — so retry backoff can be
+/// jittered without pulling in a randomness dependency. One instance
+/// per shard slot, seeded from the slot's address and index, so two
+/// routers (or two slots) that fail at the same instant do not sleep
+/// in lockstep and re-stampede the shard together.
+struct JitterRng {
+    state: Mutex<[u64; 4]>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl JitterRng {
+    fn seeded(seed: u64) -> Self {
+        let mut s = seed;
+        Self {
+            state: Mutex::new([
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ]),
+        }
+    }
+
+    /// Seed from a shard slot's identity: the address bytes folded with
+    /// the slot index, then expanded through splitmix64.
+    fn for_slot(addr: &str, index: usize) -> Self {
+        let folded = addr.bytes().fold(index as u64 + 1, |h, b| {
+            h.wrapping_mul(131).wrapping_add(u64::from(b))
+        });
+        Self::seeded(folded)
+    }
+
+    fn next_u64(&self) -> u64 {
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Linear backoff plus bounded jitter: `base * attempt` stretched by a
+/// uniform draw in `[0, base * attempt / 2]`. Pure in the draw so tests
+/// can pin the bounds and the de-correlation without sleeping.
+fn jittered_backoff(base: Duration, attempt: u32, draw: u64) -> Duration {
+    let linear = base.saturating_mul(attempt);
+    let cap = (linear.as_nanos() / 2).min(u128::from(u64::MAX)) as u64;
+    let jitter = if cap == 0 { 0 } else { draw % (cap + 1) };
+    linear.saturating_add(Duration::from_nanos(jitter))
 }
 
 /// One prediction answered by the router.
@@ -124,6 +209,8 @@ struct ShardSlot {
     pool: Mutex<Vec<ShardClient>>,
     in_flight: AtomicUsize,
     down_until: Mutex<Option<Instant>>,
+    /// Per-slot backoff jitter source (see [`JitterRng`]).
+    jitter: JitterRng,
 }
 
 /// Decrements the in-flight count even if the request path panics.
@@ -139,7 +226,14 @@ impl Drop for InFlightGuard<'_> {
 pub struct Router {
     cfg: RouterConfig,
     slots: Vec<ShardSlot>,
-    fallback: FallbackTable,
+    /// Behind a `RwLock` so [`Router::refresh_profile_if_stale`] can
+    /// swap in a newer generation's table while requests keep shedding
+    /// onto the old one — the router-side mirror of the shards' RCU
+    /// generation cell.
+    fallback: RwLock<FallbackTable>,
+    /// Mirror of `fallback.generation`, readable without the lock so
+    /// the staleness probe and the health frame stay off the read path.
+    profile_generation: AtomicU64,
     num_users: u64,
     num_items: u64,
 }
@@ -237,6 +331,7 @@ impl Router {
                 pool: Mutex::new(vec![client]),
                 in_flight: AtomicUsize::new(0),
                 down_until: Mutex::new(None),
+                jitter: JitterRng::for_slot(addr, i),
             });
         }
         let (shape, profile) = match (shape, profile) {
@@ -263,6 +358,7 @@ impl Router {
                 profile.scale_min, profile.scale_max
             )));
         }
+        let profile_generation = profile.generation;
         // Register the router's health counters up front: a snapshot must
         // carry `router.request_errors: 0` explicitly — absent vs zero is
         // exactly the ambiguity the chaos gate cannot afford.
@@ -275,21 +371,18 @@ impl Router {
         cf_obs::counter!("router.shard_io_errors").add(0);
         cf_obs::counter!("router.retries").add(0);
         cf_obs::counter!("router.recommend.partial").add(0);
+        cf_obs::counter!("router.profile.refreshed").add(0);
+        cf_obs::counter!("router.profile.refresh_errors").add(0);
         cf_obs::gauge!("router.shards").set(cfg.shards.len() as i64);
         cf_obs::gauge!("router.shards_up").set(cfg.shards.len() as i64);
+        cf_obs::gauge!("router.profile.generation")
+            .set(profile_generation.min(i64::MAX as u64) as i64);
 
         Ok(Self {
             num_users: shape.num_users,
             num_items: shape.num_items,
-            fallback: FallbackTable {
-                scale: RatingScale {
-                    min: profile.scale_min,
-                    max: profile.scale_max,
-                },
-                global_mean: profile.global_mean,
-                user_means: profile.user_means,
-                num_items: profile.num_items,
-            },
+            fallback: RwLock::new(FallbackTable::from_profile(profile)),
+            profile_generation: AtomicU64::new(profile_generation),
             slots,
             cfg,
         })
@@ -307,13 +400,79 @@ impl Router {
 
     /// The fallback profile, re-servable to downstream routers.
     pub fn profile(&self) -> WireProfile {
+        let fallback = self
+            .fallback
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         WireProfile {
-            scale_min: self.fallback.scale.min,
-            scale_max: self.fallback.scale.max,
-            global_mean: self.fallback.global_mean,
-            num_items: self.fallback.num_items,
-            user_means: self.fallback.user_means.clone(),
+            scale_min: fallback.scale.min,
+            scale_max: fallback.scale.max,
+            global_mean: fallback.global_mean,
+            num_items: fallback.num_items,
+            user_means: fallback.user_means.clone(),
+            generation: fallback.generation,
         }
+    }
+
+    /// The model generation the fallback table was built from.
+    pub fn profile_generation(&self) -> u64 {
+        self.profile_generation.load(Ordering::Relaxed)
+    }
+
+    /// Probes a live shard's health frame and, when the shard reports a
+    /// newer model generation than the fallback table was built from,
+    /// re-fetches the profile and swaps the table — so a self-healing
+    /// fleet's background rebuilds propagate to router fallbacks without
+    /// a restart. Returns `true` when the table was refreshed. Cheap
+    /// when nothing changed: one pooled health exchange, no profile
+    /// transfer.
+    pub fn refresh_profile_if_stale(&self) -> bool {
+        let cached = self.profile_generation.load(Ordering::Relaxed);
+        // Find the first live shard that answers health; skip down ones
+        // for free via request_on_shard's cooldown check.
+        for (i, _slot) in self.slots.iter().enumerate() {
+            let health = match self.request_on_shard(i, &Request::Health) {
+                Ok(Response::Health(h)) => h,
+                _ => continue,
+            };
+            if health.generation <= cached {
+                return false;
+            }
+            match self.request_on_shard(i, &Request::Profile) {
+                Ok(Response::Profile(p)) => {
+                    if p.user_means.len() as u64 != self.num_users
+                        || p.num_items != self.num_items
+                        || !(p.scale_min.is_finite()
+                            && p.scale_max.is_finite()
+                            && p.scale_min < p.scale_max)
+                    {
+                        // A malformed refresh never replaces a working
+                        // table: keep serving the old generation.
+                        cf_obs::counter!("router.profile.refresh_errors").inc();
+                        return false;
+                    }
+                    let generation = p.generation;
+                    {
+                        let mut fallback = self
+                            .fallback
+                            .write()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        *fallback = FallbackTable::from_profile(p);
+                    }
+                    self.profile_generation.store(generation, Ordering::Relaxed);
+                    cf_obs::counter!("router.profile.refreshed").inc();
+                    cf_obs::gauge!("router.profile.generation")
+                        .set(generation.min(i64::MAX as u64) as i64);
+                    cf_obs::trace::note("router.profile_refreshed");
+                    return true;
+                }
+                _ => {
+                    cf_obs::counter!("router.profile.refresh_errors").inc();
+                    return false;
+                }
+            }
+        }
+        false
     }
 
     /// Predicts `(user, item)` through the owning shard, degrading to
@@ -541,7 +700,14 @@ impl Router {
         *attempt += 1;
         if *attempt <= self.cfg.retries {
             cf_obs::counter!("router.retries").inc();
-            std::thread::sleep(self.cfg.backoff * *attempt);
+            // Linear backoff with bounded jitter: slots that fail at the
+            // same instant de-correlate their retries instead of
+            // re-stampeding the shard in lockstep.
+            std::thread::sleep(jittered_backoff(
+                self.cfg.backoff,
+                *attempt,
+                slot.jitter.next_u64(),
+            ));
             return true;
         }
         // Out of attempts: mark down for the cooldown and shed.
@@ -578,8 +744,11 @@ impl Router {
     /// on.
     fn fallback_predict(&self, user: u32) -> RouterPrediction {
         cf_obs::counter!("router.fallback_served").inc();
-        let mean = self
+        let fallback = self
             .fallback
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mean = fallback
             .user_means
             .get(user as usize)
             .copied()
@@ -587,11 +756,11 @@ impl Router {
         let (value, level) = if mean.is_finite() {
             (mean, DegradeLevel::UserMean)
         } else {
-            (self.fallback.global_mean, DegradeLevel::GlobalMean)
+            (fallback.global_mean, DegradeLevel::GlobalMean)
         };
         level.record();
         RouterPrediction {
-            fused: self.fallback.scale.clamp(value),
+            fused: fallback.scale.clamp(value),
             level,
             fallback: true,
             shard: None,
@@ -619,6 +788,7 @@ impl Handler for RouterHandler {
                 shard_id: u32::MAX,
                 num_users: self.router.num_users(),
                 num_items: self.router.num_items(),
+                generation: self.router.profile_generation(),
             }),
             Request::Profile => Response::Profile(self.router.profile()),
             // The front answers batches pair by pair so each pair gets
@@ -709,5 +879,88 @@ impl RouterServer {
     /// Stops the accept loop and joins every connection thread.
     pub fn shutdown(self) {
         self.inner.shutdown();
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    /// The retry schedule two slots would sleep, as durations — pure:
+    /// no sockets, no sleeping.
+    fn schedule(rng: &JitterRng, base: Duration, attempts: u32) -> Vec<Duration> {
+        (1..=attempts)
+            .map(|a| jittered_backoff(base, a, rng.next_u64()))
+            .collect()
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_bounds() {
+        let base = Duration::from_millis(50);
+        let rng = JitterRng::seeded(7);
+        for attempt in 1..=8u32 {
+            let linear = base * attempt;
+            for _ in 0..64 {
+                let d = jittered_backoff(base, attempt, rng.next_u64());
+                assert!(d >= linear, "jitter must only stretch the linear backoff");
+                assert!(
+                    d <= linear + linear / 2,
+                    "jitter bounded by half the linear backoff: {d:?} vs {linear:?}"
+                );
+            }
+        }
+        // Zero base degenerates to zero sleep, never a panic.
+        assert_eq!(
+            jittered_backoff(Duration::ZERO, 3, u64::MAX),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn retry_timestamps_decorrelate_across_slots() {
+        // Two slots failing at the same instant must not sleep in
+        // lockstep: their cumulative retry timestamps diverge. Seeds
+        // derive from slot identity, exactly as Router::connect does.
+        let base = Duration::from_millis(50);
+        let a = JitterRng::for_slot("10.0.0.1:7400", 0);
+        let b = JitterRng::for_slot("10.0.0.2:7400", 1);
+        let sched_a = schedule(&a, base, 16);
+        let sched_b = schedule(&b, base, 16);
+        assert_ne!(sched_a, sched_b, "two slots drew identical jitter");
+        // Cumulative wake-up times (both slots start failing at t=0)
+        // must differ at almost every retry — identical wake-ups are
+        // exactly the stampede jitter exists to break.
+        let cumulative = |s: &[Duration]| -> Vec<Duration> {
+            s.iter()
+                .scan(Duration::ZERO, |t, d| {
+                    *t += *d;
+                    Some(*t)
+                })
+                .collect()
+        };
+        let wake_a = cumulative(&sched_a);
+        let wake_b = cumulative(&sched_b);
+        let collisions = wake_a
+            .iter()
+            .zip(wake_b.iter())
+            .filter(|(x, y)| x == y)
+            .count();
+        assert!(
+            collisions <= 1,
+            "{collisions}/16 retry timestamps collide across slots"
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        // Same slot identity → same schedule: failures replay
+        // identically under test harnesses and chaos reruns.
+        let x = JitterRng::for_slot("127.0.0.1:9000", 2);
+        let y = JitterRng::for_slot("127.0.0.1:9000", 2);
+        assert_eq!(
+            schedule(&x, Duration::from_millis(10), 8),
+            schedule(&y, Duration::from_millis(10), 8)
+        );
     }
 }

@@ -22,12 +22,12 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use cf_matrix::{ItemId, UserId};
-use cfsf_core::Cfsf;
 
 use crate::frame::{
     self, HealthInfo, ReadOutcome, Request, Response, WirePrediction, WireProfile, ERR_BUSY,
     ERR_OUT_OF_RANGE,
 };
+use crate::live::ModelHandle;
 
 /// How long the accept loop sleeps between polls of the stop flag.
 const POLL: Duration = Duration::from_millis(10);
@@ -272,21 +272,24 @@ pub struct ShardOptions {
 }
 
 struct ShardHandler {
-    model: Arc<Cfsf>,
+    handle: ModelHandle,
     shard_id: u32,
 }
 
 impl ShardHandler {
     fn health(&self) -> Response {
+        let (model, generation) = self.handle.load_with_generation();
         Response::Health(HealthInfo {
             shard_id: self.shard_id,
-            num_users: self.model.matrix().num_users() as u64,
-            num_items: self.model.matrix().num_items() as u64,
+            num_users: model.matrix().num_users() as u64,
+            num_items: model.matrix().num_items() as u64,
+            generation,
         })
     }
 
     fn profile(&self) -> Response {
-        let m = self.model.matrix();
+        let (model, generation) = self.handle.load_with_generation();
+        let m = model.matrix();
         let scale = m.scale();
         Response::Profile(WireProfile {
             scale_min: scale.min,
@@ -294,12 +297,14 @@ impl ShardHandler {
             global_mean: m.global_mean(),
             num_items: m.num_items() as u64,
             user_means: m.user_means().to_vec(),
+            generation,
         })
     }
 
     fn predict(&self, user: u32, item: u32) -> Response {
         match self
-            .model
+            .handle
+            .load()
             .predict_with_breakdown(UserId::new(user), ItemId::new(item))
         {
             Some(b) => Response::Prediction(WirePrediction {
@@ -319,11 +324,14 @@ impl ShardHandler {
             .iter()
             .map(|&(u, i)| (UserId::new(u), ItemId::new(i)))
             .collect();
-        // The batch engine strip-sorts internally and answers in request
+        // One load for the whole batch: every pair is answered by the
+        // same generation even if a refresh publishes mid-batch. The
+        // batch engine strip-sorts internally and answers in request
         // order; unpredictable pairs come back as None elements instead
         // of failing the whole frame.
         let preds = self
-            .model
+            .handle
+            .load()
             .predict_batch_with_breakdown(&reqs, None)
             .into_iter()
             .map(|b| {
@@ -338,17 +346,15 @@ impl ShardHandler {
     }
 
     fn recommend(&self, user: u32, n: u32, item_start: u32, item_end: u32) -> Response {
-        if (user as usize) >= self.model.matrix().num_users() {
+        let model = self.handle.load();
+        if (user as usize) >= model.matrix().num_users() {
             return Response::Error {
                 code: ERR_OUT_OF_RANGE,
                 message: format!("user {user} outside the model"),
             };
         }
-        let recs = self.model.recommend_top_n_in_range(
-            UserId::new(user),
-            n as usize,
-            item_start..item_end,
-        );
+        let recs =
+            model.recommend_top_n_in_range(UserId::new(user), n as usize, item_start..item_end);
         Response::TopN(recs.into_iter().map(|(i, s)| (i.raw(), s)).collect())
     }
 }
@@ -394,21 +400,24 @@ impl Handler for ShardHandler {
     }
 }
 
-/// A running model shard: a [`FrameServer`] answering requests from one
-/// loaded [`Cfsf`].
+/// A running model shard: a [`FrameServer`] answering requests through a
+/// [`ModelHandle`] — fixed for the classic static deployment, or backed
+/// by a live generation cell so a self-healing refresh swaps models under
+/// the server with zero pause.
 pub struct ShardServer {
     inner: FrameServer,
 }
 
 impl ShardServer {
-    /// Binds `addr` (port `0` picks a free one) and serves `model`.
+    /// Binds `addr` (port `0` picks a free one) and serves whatever
+    /// generation `handle` points at, request by request.
     pub fn bind(
         addr: impl ToSocketAddrs,
-        model: Arc<Cfsf>,
+        handle: ModelHandle,
         opts: ShardOptions,
     ) -> std::io::Result<Self> {
         let handler = Arc::new(ShardHandler {
-            model,
+            handle,
             shard_id: opts.shard_id,
         });
         // Register the counters up front so even an idle shard's metrics

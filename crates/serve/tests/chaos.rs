@@ -1,24 +1,45 @@
 //! Chaos tests for the serving tier, gated on the `faultinject` feature:
-//! a shard that drops connections mid-request (response computed, never
-//! written) must cost the router retries — never request errors.
 //!
-//! Run with `cargo test -p cf-serve --features faultinject`.
+//! - a shard that drops connections mid-request (response computed,
+//!   never written) must cost the router retries — never request errors;
+//! - a background model refresh stalled (or the shard killed) mid-swap
+//!   must never pause or fail a request: readers stay on the old
+//!   generation until the publish, and a killed serving tier does not
+//!   stop the rebuild from completing.
+//!
+//! Run with `cargo test -p cf-serve --features faultinject`. Scenarios
+//! share the global fault registry, so they serialize on a mutex and
+//! disarm everything on entry.
 
 #![cfg(feature = "faultinject")]
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use cf_matrix::{ItemId, UserId};
 use cf_serve::client::ClientOptions;
+use cf_serve::frame::{Request, Response};
 use cf_serve::router::{Router, RouterConfig};
 use cf_serve::server::{ShardOptions, ShardServer};
-use cfsf_core::{Cfsf, CfsfConfig};
+use cf_serve::{ModelHandle, ShardClient};
+use cfsf_core::{Cfsf, CfsfConfig, DriftConfig, SelfHealingCfsf};
+
+static FAULTS: Mutex<()> = Mutex::new(());
+
+fn scenario() -> MutexGuard<'static, ()> {
+    let lock = FAULTS.lock().unwrap_or_else(PoisonError::into_inner);
+    cf_faultinject::disarm_all();
+    lock
+}
+
+fn fitted() -> Cfsf {
+    let d = cf_data::SyntheticConfig::small().generate();
+    Cfsf::fit(&d.matrix, CfsfConfig::small()).unwrap()
+}
 
 fn model() -> Arc<Cfsf> {
-    let d = cf_data::SyntheticConfig::small().generate();
-    Arc::new(Cfsf::fit(&d.matrix, CfsfConfig::small()).unwrap())
+    Arc::new(fitted())
 }
 
 fn counter(name: &str) -> u64 {
@@ -27,9 +48,14 @@ fn counter(name: &str) -> u64 {
 
 #[test]
 fn dropped_connections_cost_retries_not_errors() {
+    let _guard = scenario();
     let model = model();
-    let shard =
-        ShardServer::bind("127.0.0.1:0", Arc::clone(&model), ShardOptions::default()).unwrap();
+    let shard = ShardServer::bind(
+        "127.0.0.1:0",
+        ModelHandle::fixed(Arc::clone(&model)),
+        ShardOptions::default(),
+    )
+    .unwrap();
 
     // Fire on every 5th request served: the shard computes the answer,
     // then hangs up without writing it. The router sees a dead
@@ -95,5 +121,138 @@ fn dropped_connections_cost_retries_not_errors() {
     );
     let _ = degraded;
 
+    shard.shutdown();
+}
+
+/// A drift config that never trips on its own, so the scenario controls
+/// exactly when the rebuild starts (via `trigger`).
+fn parked() -> DriftConfig {
+    DriftConfig {
+        mae_trip_pm: i64::MAX,
+        mae_clear_pm: 0,
+        hist_trip_pm: i64::MAX,
+        hist_clear_pm: 0,
+        fallback_trip_pm: i64::MAX,
+        fallback_clear_pm: 0,
+        trip_windows: u32::MAX,
+        ..DriftConfig::default()
+    }
+}
+
+/// Unrated cells of the served matrix, usable as fresh live ratings.
+fn unrated(model: &Cfsf, n: usize) -> Vec<(UserId, ItemId)> {
+    let m = model.matrix();
+    let mut out = Vec::with_capacity(n);
+    'outer: for u in 0..m.num_users() {
+        for i in 0..m.num_items() {
+            let (user, item) = (UserId::from(u), ItemId::from(i));
+            if m.get(user, item).is_none() {
+                out.push((user, item));
+                if out.len() == n {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn client_opts() -> ClientOptions {
+    ClientOptions {
+        connect_timeout: Duration::from_millis(300),
+        io_timeout: Duration::from_millis(500),
+        request_deadline: Duration::from_secs(2),
+    }
+}
+
+#[test]
+fn shard_kill_during_refresh_neither_blocks_serving_nor_kills_rebuild() {
+    let _guard = scenario();
+
+    // Self-healing model behind the generation cell; the shard serves
+    // through `ModelHandle::from_cell`, so a publish swaps it live.
+    let healing = SelfHealingCfsf::new(fitted(), parked()).unwrap();
+    let cell = healing.cell();
+    let gen0 = cell.load();
+    let shard = ShardServer::bind(
+        "127.0.0.1:0",
+        ModelHandle::from_cell(Arc::clone(&cell)),
+        ShardOptions::default(),
+    )
+    .unwrap();
+
+    let mut client = ShardClient::connect(shard.local_addr(), client_opts()).unwrap();
+    match client.request(&Request::Health).unwrap() {
+        Response::Health(h) => assert_eq!(h.generation, 0, "fresh shard serves generation 0"),
+        other => panic!("expected Health, got {other:?}"),
+    }
+
+    // Merge fresh ratings, then stall the rebuild worker mid-build: the
+    // refresh is now provably in flight while we keep serving.
+    let scale = gen0.matrix().scale();
+    for (user, item) in unrated(&gen0, 16) {
+        healing.add_rating(user, item, scale.min).unwrap();
+    }
+    cf_faultinject::arm("refresh.worker_stall", cf_faultinject::Policy::Always);
+    assert!(healing.trigger(), "manual trigger must start the rebuild");
+
+    // While the worker is stalled, wire requests are answered from
+    // generation 0 bit-for-bit — the rebuild never pauses the shard.
+    let (users, items) = (
+        gen0.matrix().num_users() as u32,
+        gen0.matrix().num_items() as u32,
+    );
+    for k in 0..16u32 {
+        let (user, item) = (k % users, (k * 3) % items);
+        match client.request(&Request::Predict { user, item }).unwrap() {
+            Response::Prediction(p) => {
+                let local = gen0
+                    .predict_with_breakdown(UserId::new(user), ItemId::new(item))
+                    .unwrap();
+                assert_eq!(
+                    p.fused.to_bits(),
+                    local.fused.to_bits(),
+                    "request served during the stalled rebuild diverged from \
+                     the old generation"
+                );
+            }
+            other => panic!("expected Prediction, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        healing.generation(),
+        0,
+        "the worker stall must have held the publish back while we served"
+    );
+    assert!(
+        cf_faultinject::fired_count("refresh.worker_stall") > 0,
+        "the stall point must actually fire for this test to mean anything"
+    );
+
+    // Kill the serving tier mid-refresh. The model tier must not care:
+    // the rebuild still completes and publishes.
+    drop(client);
+    shard.shutdown();
+    cf_faultinject::disarm("refresh.worker_stall");
+    healing.wait_idle();
+    assert_eq!(
+        healing.generation(),
+        1,
+        "the rebuild must publish even with the serving tier gone"
+    );
+
+    // A replacement shard over the same cell serves the new generation
+    // immediately — recovery is just re-binding.
+    let shard = ShardServer::bind(
+        "127.0.0.1:0",
+        ModelHandle::from_cell(Arc::clone(&cell)),
+        ShardOptions::default(),
+    )
+    .unwrap();
+    let mut client = ShardClient::connect(shard.local_addr(), client_opts()).unwrap();
+    match client.request(&Request::Health).unwrap() {
+        Response::Health(h) => assert_eq!(h.generation, 1, "replacement shard serves generation 1"),
+        other => panic!("expected Health, got {other:?}"),
+    }
     shard.shutdown();
 }

@@ -25,7 +25,7 @@ fn spawn_shards(model: &Arc<Cfsf>, n: u32) -> Vec<ShardServer> {
         .map(|i| {
             ShardServer::bind(
                 "127.0.0.1:0",
-                Arc::clone(model),
+                cf_serve::ModelHandle::fixed(Arc::clone(model)),
                 ShardOptions {
                     shard_id: i,
                     server: ServerOptions::default(),
@@ -66,7 +66,7 @@ fn shard_answers_bit_for_bit() {
     let model = model();
     let shard = ShardServer::bind(
         "127.0.0.1:0",
-        Arc::clone(&model),
+        cf_serve::ModelHandle::fixed(Arc::clone(&model)),
         ShardOptions {
             shard_id: 7,
             server: ServerOptions::default(),
@@ -155,8 +155,12 @@ fn shard_answers_bit_for_bit() {
 #[test]
 fn shard_batch_answers_match_in_process_breakdowns_bit_for_bit() {
     let model = model();
-    let shard =
-        ShardServer::bind("127.0.0.1:0", Arc::clone(&model), ShardOptions::default()).unwrap();
+    let shard = ShardServer::bind(
+        "127.0.0.1:0",
+        cf_serve::ModelHandle::fixed(Arc::clone(&model)),
+        ShardOptions::default(),
+    )
+    .unwrap();
     let mut client = ShardClient::connect(shard.local_addr(), ClientOptions::default()).unwrap();
 
     let users = model.matrix().num_users() as u32;

@@ -58,9 +58,13 @@ echo "==> bench smoke + regression compare (non-gating)"
 
 # The strip-sorted batch scenario must actually run in the smoke pass —
 # a silently dropped scenario would leave the batch engine unbenched.
+# Likewise refresh_under_load: it is the only number that watches the
+# zero-pause tail-latency promise of the background refresh path.
 if [ -f target/BENCH_online.smoke.json ]; then
   grep -q '"mixed_batch_sorted_one_thread"' target/BENCH_online.smoke.json \
     || echo "WARNING: mixed_batch_sorted_one_thread scenario missing from bench smoke (non-gating)"
+  grep -q '"refresh_under_load"' target/BENCH_online.smoke.json \
+    || echo "WARNING: refresh_under_load scenario missing from bench smoke (non-gating)"
 fi
 
 echo "All checks passed."

@@ -7,11 +7,21 @@
 //! cfsf-cli recommend <u.data> --user ID [--n 10]
 //! cfsf-cli train <u.data> --out model.cfsf      # persist a fitted model
 //! cfsf-cli serve <model.cfsf> --user ID [--n N] # recommend from a saved model
-//! cfsf-cli serve <model.cfsf> --serve ADDR [--shard-id N]
+//! cfsf-cli serve <model.cfsf> --serve ADDR [--shard-id N] [--self-heal]
 //!                                               # run a wire-protocol shard server
 //!                                               # (front it with cfsf_router)
+//! cfsf-cli refresh-demo                         # drift-triggered zero-pause refresh
 //! cfsf-cli demo
 //! ```
+//!
+//! `--self-heal` serves the shard through the RCU generation cell so a
+//! background refresh can swap model generations without a restart;
+//! drift thresholds are tunable with `--drift-mae-trip-pm`,
+//! `--drift-mae-clear-pm`, `--drift-hist-trip-pm`,
+//! `--drift-hist-clear-pm`, `--drift-fallback-trip-pm`,
+//! `--drift-fallback-clear-pm`, `--drift-trip-windows`,
+//! `--drift-cooldown-ms`, `--drift-min-observations` and
+//! `--drift-full-refit-fraction`.
 //!
 //! `<u.data>` is the GroupLens tab-separated rating format
 //! (`user item rating timestamp`, 1-based ids). `demo` runs the whole
@@ -74,6 +84,7 @@ fn main() {
         "train" => cmd_train(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
+        "refresh-demo" => cmd_refresh_demo(&args[1..]),
         "demo" => cmd_demo(),
         "--help" | "-h" => usage(""),
         other => usage(&format!("unknown command {other:?}")),
@@ -304,9 +315,29 @@ fn cmd_serve(args: &[String]) {
         // is the contract scripts (and the sharded integration test)
         // parse, so flush it past the pipe buffer immediately.
         let shard_id: u32 = flag_num(args, "--shard-id", 0);
+        // With --self-heal the shard serves through the RCU generation
+        // cell of a drift-monitored wrapper, so a background refresh can
+        // swap model generations under live traffic; without it the
+        // model is pinned at generation 0.
+        let (handle, _healing) = if args.iter().any(|a| a == "--self-heal") {
+            let cfg = drift_config(args, cfsf::core::DriftConfig::default());
+            let healing = cfsf::core::SelfHealingCfsf::new(model, cfg).unwrap_or_else(|e| {
+                eprintln!("error: invalid drift config: {e}");
+                std::process::exit(1);
+            });
+            (
+                cf_serve::ModelHandle::from_cell(healing.cell()),
+                Some(healing),
+            )
+        } else {
+            (
+                cf_serve::ModelHandle::fixed(std::sync::Arc::new(model)),
+                None,
+            )
+        };
         let shard = cf_serve::ShardServer::bind(
             addr.as_str(),
-            std::sync::Arc::new(model),
+            handle,
             cf_serve::ShardOptions {
                 shard_id,
                 server: cf_serve::ServerOptions::default(),
@@ -335,6 +366,116 @@ fn cmd_serve(args: &[String]) {
             rank + 1,
             item.raw() + 1
         );
+    }
+}
+
+/// Applies the `--drift-*` threshold flags over `base`, so operators
+/// tune hysteresis without recompiling (thresholds are per-mille).
+fn drift_config(args: &[String], base: cfsf::core::DriftConfig) -> cfsf::core::DriftConfig {
+    let mut cfg = base;
+    cfg.mae_trip_pm = flag_num(args, "--drift-mae-trip-pm", cfg.mae_trip_pm);
+    cfg.mae_clear_pm = flag_num(args, "--drift-mae-clear-pm", cfg.mae_clear_pm);
+    cfg.hist_trip_pm = flag_num(args, "--drift-hist-trip-pm", cfg.hist_trip_pm);
+    cfg.hist_clear_pm = flag_num(args, "--drift-hist-clear-pm", cfg.hist_clear_pm);
+    cfg.fallback_trip_pm = flag_num(args, "--drift-fallback-trip-pm", cfg.fallback_trip_pm);
+    cfg.fallback_clear_pm = flag_num(args, "--drift-fallback-clear-pm", cfg.fallback_clear_pm);
+    cfg.trip_windows = flag_num(args, "--drift-trip-windows", cfg.trip_windows);
+    cfg.cooldown = std::time::Duration::from_millis(flag_num(
+        args,
+        "--drift-cooldown-ms",
+        cfg.cooldown.as_millis() as u64,
+    ));
+    cfg.min_observations = flag_num(args, "--drift-min-observations", cfg.min_observations);
+    cfg.full_refit_fraction =
+        flag_num(args, "--drift-full-refit-fraction", cfg.full_refit_fraction);
+    cfg
+}
+
+/// `refresh-demo` — the whole self-healing loop on synthetic data: a
+/// reader thread hammers predictions through the generation cell while
+/// drifted ratings stream in, the drift detector trips, a background
+/// rebuild publishes a new generation, and the reader never sees a
+/// failed request. Accepts the same `--drift-*` flags as `serve`
+/// (defaulting to the hair-trigger profile so the demo trips quickly).
+fn cmd_refresh_demo(args: &[String]) {
+    let cfg = drift_config(args, cfsf::core::DriftConfig::sensitive());
+    println!("generating a synthetic dataset and fitting CFSF...");
+    let dataset = SyntheticConfig::small().generate();
+    let model = Cfsf::fit(&dataset.matrix, CfsfConfig::small()).expect("valid config");
+    let scale_max = dataset.matrix.scale().max;
+    let num_users = dataset.matrix.num_users();
+    let num_items = dataset.matrix.num_items();
+    let healing = cfsf::core::SelfHealingCfsf::new(model, cfg).unwrap_or_else(|e| {
+        eprintln!("error: invalid drift config: {e}");
+        std::process::exit(1);
+    });
+
+    // Reader thread: serves predictions through the generation cell for
+    // the whole demo. Zero-pause means it never blocks on the rebuild
+    // and never fails a request.
+    let cell = healing.cell();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let reader = {
+        let cell = std::sync::Arc::clone(&cell);
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let (mut served, mut failed, mut max_gen) = (0u64, 0u64, 0u64);
+            let mut i = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let (model, generation) = cell.load_with_generation();
+                max_gen = max_gen.max(generation);
+                let user = UserId::from(i % num_users);
+                let item = ItemId::from((i * 7) % num_items);
+                match model.predict_with_breakdown(user, item) {
+                    Some(_) => served += 1,
+                    None => failed += 1,
+                }
+                i += 1;
+            }
+            (served, failed, max_gen)
+        })
+    };
+
+    // Ingest a drift burst: a block of users suddenly rates at the top
+    // of the scale, shifting the rating distribution and regressing the
+    // windowed MAE.
+    println!(
+        "streaming drifted ratings (generation {})...",
+        healing.generation()
+    );
+    let mut sent = 0usize;
+    for round in 0..4usize {
+        for u in 0..num_users.min(32) {
+            let item = (u * 7 + round * 13) % num_items;
+            if healing
+                .add_rating(UserId::from(u), ItemId::from(item), scale_max)
+                .is_ok()
+            {
+                sent += 1;
+            }
+        }
+        healing.wait_idle();
+    }
+    healing.wait_idle();
+    // Give the reader a beat on the published generation before stopping,
+    // so the report shows it straddled the swap.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let (served, failed, max_gen) = reader.join().unwrap_or((0, 0, 0));
+
+    println!(
+        "ingested {sent} drifted ratings; drift state {:?}, {} pending",
+        healing.drift_state(),
+        healing.pending()
+    );
+    println!(
+        "generation {} (reader observed up to {max_gen}); served {served} predictions, {failed} failed",
+        healing.generation()
+    );
+    if healing.generation() == 0 {
+        println!("no refresh triggered — try lowering the --drift-* thresholds");
+    } else {
+        println!("zero-pause refresh: the model was rebuilt and swapped under live reads");
     }
 }
 
@@ -378,7 +519,8 @@ fn usage(problem: &str) -> ! {
          [--train-users N] [--test-users N] [--given N]\n  cfsf-cli recommend <u.data> --user ID [--n N]\n\
          \x20 cfsf-cli train <u.data> --out model.cfsf\n\
          \x20 cfsf-cli serve <model.cfsf> --user ID [--n N]\n\
-         \x20 cfsf-cli serve <model.cfsf> --serve ADDR [--shard-id N]  (wire-protocol shard; see cfsf_router)\n  cfsf-cli demo\n\
+         \x20 cfsf-cli serve <model.cfsf> --serve ADDR [--shard-id N] [--self-heal]  (wire-protocol shard; see cfsf_router)\n\
+         \x20 cfsf-cli refresh-demo [--drift-* ...]  (drift-triggered zero-pause refresh on synthetic data)\n  cfsf-cli demo\n\
          algorithms: cfsf, sur, sir, sf, emdp, scbpcc, am, pd\n\
          global flags: --stats (dump metrics JSON on stderr), --stats-out PATH (write metrics JSON to PATH),\n\
                        --serve-metrics ADDR (live /metrics, /stats.json, /traces endpoint),\n\

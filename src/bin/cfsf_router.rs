@@ -4,6 +4,7 @@
 //! cfsf_router --shards HOST:PORT,HOST:PORT,... --listen ADDR
 //!             [--serve-metrics ADDR] [--max-in-flight N]
 //!             [--retries N] [--down-cooldown-ms N]
+//!             [--profile-poll-ms N]
 //! ```
 //!
 //! Connects to every shard (each a `cfsf-cli serve <model> --serve ADDR`
@@ -17,6 +18,12 @@
 //! `--serve-metrics ADDR` binds the usual observability endpoint
 //! (`/metrics`, `/stats.json`, `/traces`) so `router.*` health counters
 //! are scrapeable while the router runs.
+//!
+//! `--profile-poll-ms N` (default 5000, 0 disables) polls a live
+//! shard's health frame every N ms and, when the shard reports a newer
+//! model generation — a self-healing shard rebuilt in the background —
+//! re-fetches the fallback profile so the router's degradation table
+//! tracks the served model instead of the one from boot.
 
 use std::time::Duration;
 
@@ -74,6 +81,22 @@ fn main() {
         router.num_items()
     );
 
+    // Background staleness poll: keeps the fallback table tracking the
+    // shards' live model generation (see module docs).
+    let poll_ms: u64 = flag_num(&args, "--profile-poll-ms", 5000);
+    if poll_ms > 0 {
+        let router = std::sync::Arc::clone(&router);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(poll_ms));
+            if router.refresh_profile_if_stale() {
+                eprintln!(
+                    "router: fallback profile refreshed to generation {}",
+                    router.profile_generation()
+                );
+            }
+        });
+    }
+
     let front =
         cf_serve::RouterServer::bind(listen.as_str(), router, cf_serve::ServerOptions::default())
             .unwrap_or_else(|e| {
@@ -115,6 +138,8 @@ fn usage(problem: &str) -> ! {
         "usage:\n  cfsf_router --shards HOST:PORT,HOST:PORT,... --listen ADDR\n\
          \x20             [--serve-metrics ADDR] [--max-in-flight N]\n\
          \x20             [--retries N] [--down-cooldown-ms N]\n\
+         \x20             [--profile-poll-ms N]  (default 5000; 0 disables the\n\
+         \x20              generation-staleness poll of the fallback profile)\n\
          \n\
          Each shard is a `cfsf-cli serve <model.cfsf> --serve ADDR` process\n\
          serving the same model. The router answers the same wire protocol\n\
