@@ -61,6 +61,12 @@ pub const RULES: &[RuleInfo] = &[
                   outside live.rs; serve paths load snapshots through ModelHandle \
                   so generation swaps stay zero-pause",
     },
+    RuleInfo {
+        id: "trace-context-dropped",
+        summary: "no literal Request::Predict/PredictBatch/RecommendTopN struct \
+                  construction outside frame.rs; the frame helpers capture the \
+                  ambient trace context, a literal silently drops it",
+    },
 ];
 
 /// Files whose clock reads must sit behind the obs enabled-gate.
@@ -107,6 +113,7 @@ pub fn check_file(scan: &FileScan, out: &mut Vec<Diagnostic>) {
     unwind_safe_mut(scan, out);
     quant_plane_raw_read(scan, out);
     model_access_outside_generation(scan, out);
+    trace_context_dropped(scan, out);
 }
 
 // --------------------------------------------------------------------------
@@ -514,6 +521,96 @@ fn model_access_outside_generation(scan: &FileScan, out: &mut Vec<Diagnostic>) {
 }
 
 // --------------------------------------------------------------------------
+// trace-context-dropped
+// --------------------------------------------------------------------------
+
+/// The one file allowed to build traced request frames field by field.
+const FRAME_FILE: &str = "crates/serve/src/frame.rs";
+
+/// Request variants that carry a trailing trace context.
+const TRACED_VARIANTS: &[&str] = &[
+    "Request::Predict",
+    "Request::PredictBatch",
+    "Request::RecommendTopN",
+];
+
+/// The frame helpers (`Request::predict` & co.) capture the ambient
+/// trace context at construction; a literal `Request::Predict { ... }`
+/// built elsewhere almost always writes `trace: None` (or forgets the
+/// capture), silently severing the cross-process span tree. Match
+/// *patterns* over the same variants are fine — destructuring drops
+/// nothing — so a brace group that is a rest pattern (`..`), sits in a
+/// `let`/`if let`, or is followed by `=>` is exempt, as is test code.
+fn trace_context_dropped(scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    if scan.path.ends_with(FRAME_FILE) {
+        return;
+    }
+    for (i, l) in scan.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        for variant in TRACED_VARIANTS {
+            let Some(pos) = find_token(&l.code, variant) else {
+                continue;
+            };
+            // Only struct syntax counts; `Request::Predict(..)` does not
+            // exist and helper calls are lowercase.
+            let rest = l.code[pos + variant.len()..].trim_start();
+            if !rest.starts_with('{') {
+                continue;
+            }
+            // `let Request::Predict { .. } = req` destructures; but a
+            // `let r = Request::Predict { .. }` binding (an `=` between
+            // the `let` and the variant) is still a construction.
+            if let Some(let_pos) = find_token(&l.code[..pos], "let") {
+                if !l.code[let_pos..pos].contains('=') {
+                    continue;
+                }
+            }
+            // Collect the brace group (possibly across lines) and what
+            // follows it, to tell a pattern from a construction.
+            let mut depth = 0i32;
+            let mut group = String::new();
+            let mut after = ' ';
+            'outer: for (j, line) in scan.lines.iter().enumerate().skip(i).take(20) {
+                let start = if j == i { pos + variant.len() } else { 0 };
+                let mut chars = line.code[start..].chars().peekable();
+                while let Some(c) = chars.next() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                after = chars.find(|c| !c.is_whitespace()).unwrap_or(' ');
+                                break 'outer;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if depth > 0 {
+                        group.push(c);
+                    }
+                }
+                group.push('\n');
+            }
+            if group.contains("..") || after == '=' {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "trace-context-dropped",
+                path: scan.path.clone(),
+                line: i + 1,
+                message: format!(
+                    "literal `{variant} {{ ... }}` outside frame.rs drops the \
+                     ambient trace context; build the frame through the \
+                     Request helper constructors"
+                ),
+            });
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
 // counter-pairing (cross-file)
 // --------------------------------------------------------------------------
 
@@ -709,6 +806,44 @@ mod tests {
         assert!(lint_one("crates/serve/tests/roundtrip.rs", bad).is_empty());
         let in_test = "#[cfg(test)]\nmod tests {\n    fn g(m: &Cfsf) {}\n}\n";
         assert!(lint_one("crates/serve/src/server.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn literal_traced_request_flagged_outside_frame() {
+        let bad = "fn f() -> Request { Request::Predict { user: 1, item: 2, trace: None } }\n";
+        let d = lint_one("crates/serve/src/router.rs", bad);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "trace-context-dropped");
+        let bad_let =
+            "fn f() { let r = Request::RecommendTopN { user, n, item_start, item_end, trace };\n}\n";
+        let d = lint_one("src/bin/cfsf_cli.rs", bad_let);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "trace-context-dropped");
+        let multiline = "fn f() -> Request {\n    Request::PredictBatch {\n        pairs,\n        trace: None,\n    }\n}\n";
+        let d = lint_one("crates/serve/src/client.rs", multiline);
+        assert_eq!(d.len(), 1, "{d:?}");
+
+        // Patterns destructure — nothing is dropped.
+        let arm = "fn f(r: &Request) {\n    match r {\n        Request::Predict { user, item, .. } => go(*user, *item),\n        _ => {}\n    }\n}\n";
+        assert!(lint_one("crates/serve/src/server.rs", arm).is_empty());
+        let full_arm = "fn f(r: Request) -> u32 {\n    match r {\n        Request::Predict { user, item, trace } => user,\n        _ => 0,\n    }\n}\n";
+        assert!(lint_one("crates/serve/src/server.rs", full_arm).is_empty());
+        let if_let = "fn f(r: &Request) {\n    if let Request::Predict { user, item, trace } = r {\n        go(*user);\n    }\n}\n";
+        assert!(lint_one("crates/serve/src/server.rs", if_let).is_empty());
+        let matches = "fn f(r: &Request) -> bool { matches!(r, Request::Predict { .. }) }\n";
+        assert!(lint_one("crates/serve/src/router.rs", matches).is_empty());
+
+        // The helper calls and untraced variants are fine everywhere.
+        let helper = "fn f() -> Request { Request::predict(1, 2) }\n";
+        assert!(lint_one("crates/serve/src/router.rs", helper).is_empty());
+        let stats = "fn f() -> Request { Request::Stats }\n";
+        assert!(lint_one("crates/serve/src/router.rs", stats).is_empty());
+
+        // frame.rs owns the wire form; tests may build frames by hand.
+        assert!(lint_one("crates/serve/src/frame.rs", bad).is_empty());
+        assert!(lint_one("crates/serve/tests/roundtrip.rs", bad).is_empty());
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n    {bad}}}\n");
+        assert!(lint_one("crates/serve/src/router.rs", &in_test).is_empty());
     }
 
     #[test]

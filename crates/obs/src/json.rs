@@ -54,6 +54,35 @@ impl Writer {
         self.need_comma = true;
     }
 
+    /// Opens a `[`. Valid at the top level or directly after a `key`.
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+        self.depth += 1;
+        self.need_comma = false;
+    }
+
+    /// Closes the innermost `[`.
+    pub fn end_array(&mut self) {
+        self.depth -= 1;
+        if self.need_comma {
+            self.out.push('\n');
+            self.indent();
+        }
+        self.out.push(']');
+        self.need_comma = true;
+    }
+
+    /// Starts the next array element (comma / newline / indent
+    /// bookkeeping). Call before each element value inside an array.
+    pub fn elem(&mut self) {
+        if self.need_comma {
+            self.out.push(',');
+        }
+        self.out.push('\n');
+        self.indent();
+        self.need_comma = false;
+    }
+
     /// Writes `"key": ` (escaped), handling commas and newlines.
     pub fn key(&mut self, k: &str) {
         if self.need_comma {
@@ -93,9 +122,29 @@ impl Writer {
         self.need_comma = true;
     }
 
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.out.push_str(if v { "true" } else { "false" });
+        self.need_comma = true;
+    }
+
+    /// Writes a literal `null`.
+    pub fn null(&mut self) {
+        self.out.push_str("null");
+        self.need_comma = true;
+    }
+
     /// Writes a string value with escaping.
     pub fn string(&mut self, v: &str) {
         self.string_raw(v);
+        self.need_comma = true;
+    }
+
+    /// Splices pre-rendered JSON verbatim in value position. The caller
+    /// owns well-formedness of the fragment; leading/trailing whitespace
+    /// is trimmed so nested pretty output stays tidy.
+    pub fn raw(&mut self, v: &str) {
+        self.out.push_str(v.trim());
         self.need_comma = true;
     }
 
@@ -156,6 +205,31 @@ mod tests {
         assert!(s.contains("\"mean\": 2.0"), "{s}");
         assert!(s.contains("\"note\": \"line1\\nline2\""), "{s}");
         assert!(s.ends_with("}\n"), "{s}");
+    }
+
+    #[test]
+    fn arrays_bools_and_nulls_round_out_the_grammar() {
+        let mut w = Writer::new();
+        w.begin_object();
+        w.key("shards");
+        w.begin_array();
+        w.elem();
+        w.begin_object();
+        w.key("up");
+        w.bool(true);
+        w.end_object();
+        w.elem();
+        w.null();
+        w.end_array();
+        w.key("empty");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        let s = w.finish();
+        assert!(s.contains("\"up\": true"), "{s}");
+        assert!(s.contains("},\n"), "{s}");
+        assert!(s.contains("null\n"), "{s}");
+        assert!(s.contains("\"empty\": []"), "{s}");
     }
 
     #[test]

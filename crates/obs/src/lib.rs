@@ -47,11 +47,13 @@ use std::time::{Duration, Instant};
 
 pub mod drift;
 pub mod json;
+pub mod merge;
 pub mod net;
 pub mod prom;
 pub mod quality;
 pub mod reservoir;
 pub mod serve;
+pub mod slo;
 pub mod sync;
 pub mod trace;
 
@@ -237,6 +239,8 @@ pub struct HistogramSnapshot {
     pub p95: u64,
     /// 99th-percentile estimate.
     pub p99: u64,
+    /// 99.9th-percentile estimate — the fleet SLO quantile.
+    pub p999: u64,
 }
 
 impl HistogramSnapshot {
@@ -279,45 +283,22 @@ impl Histogram {
     /// snapshot approximate (fields may lag each other by a few samples),
     /// which is fine for telemetry.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let count = self.count.load(Ordering::Relaxed);
-        if count == 0 {
-            return HistogramSnapshot {
-                count: 0,
-                sum: 0,
-                min: 0,
-                max: 0,
-                p50: 0,
-                p95: 0,
-                p99: 0,
-            };
-        }
-        let min = self.min.load(Ordering::Relaxed);
-        let max = self.max.load(Ordering::Relaxed);
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        let quantile = |q: f64| -> u64 {
-            let target = ((q * total as f64).ceil() as u64).clamp(1, total);
-            let mut seen = 0u64;
-            for (idx, &c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= target {
-                    return bucket_mid(idx).clamp(min, max);
-                }
-            }
-            max
-        };
-        HistogramSnapshot {
-            count,
+        self.buckets().summary()
+    }
+
+    /// Reads the raw per-bucket counts — the exactly-mergeable form
+    /// fleet aggregation ships over the wire (see [`merge`]).
+    pub fn buckets(&self) -> HistogramBuckets {
+        HistogramBuckets {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
-            min,
-            max,
-            p50: quantile(0.50),
-            p95: quantile(0.95),
-            p99: quantile(0.99),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
         }
     }
 
@@ -329,6 +310,118 @@ impl Histogram {
         self.sum.store(0, Ordering::Relaxed);
         self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The number of log buckets every [`Histogram`] uses. The layout is a
+/// compile-time constant (`SUB_BITS` sub-buckets per octave plus a linear
+/// prefix), so two histograms from different processes always share bucket
+/// boundaries — bucket-wise addition is an *exact* merge.
+pub fn histogram_bucket_count() -> usize {
+    NUM_BUCKETS
+}
+
+/// Raw per-bucket counts plus the scalar totals of one [`Histogram`] —
+/// the mergeable snapshot form. Unlike [`HistogramSnapshot`] (which folds
+/// to quantiles and cannot be combined), two `HistogramBuckets` from
+/// different processes merge exactly: bucket boundaries are deterministic,
+/// so addition per bucket loses nothing the single-process histogram had.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramBuckets {
+    /// Per-bucket sample counts, length [`histogram_bucket_count`].
+    pub counts: Vec<u64>,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample; `u64::MAX` when empty.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Default for HistogramBuckets {
+    fn default() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramBuckets {
+    /// A fresh empty bucket set (identity element for [`merge`](Self::merge)).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `other` into `self`, bucket-wise. Exact: the result is
+    /// bit-identical to a histogram that had recorded both sample streams.
+    pub fn merge(&mut self, other: &Self) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst = dst.saturating_add(*src);
+        }
+        self.count = self.count.saturating_add(other.count);
+        // The live recorder's `fetch_add` wraps on overflow, so the
+        // merged sum must wrap too to stay bit-identical to a single
+        // histogram that observed every shard's samples.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples at or above `threshold`, counted bucket-wise (a bucket
+    /// counts as "over" when its entire range is ≥ the threshold's
+    /// bucket). This is how the SLO engine turns a latency histogram into
+    /// a good/bad event counter without per-sample data.
+    pub fn count_over(&self, threshold: u64) -> u64 {
+        let first_bad = bucket_index(threshold);
+        self.counts.iter().skip(first_bad + 1).sum()
+    }
+
+    /// Folds the buckets into the quantile summary form.
+    pub fn summary(&self) -> HistogramSnapshot {
+        if self.count == 0 {
+            return HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p95: 0,
+                p99: 0,
+                p999: 0,
+            };
+        }
+        let (min, max) = (self.min, self.max);
+        let total: u64 = self.counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (idx, &c) in self.counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    return bucket_mid(idx).clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min,
+            max,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+            p999: quantile(0.999),
+        }
     }
 }
 
@@ -482,6 +575,14 @@ impl Snapshot {
     /// Serializes the snapshot as pretty-printed JSON — the payload the
     /// CLI's `--stats` flag dumps and [`write_snapshot_file`] persists.
     pub fn to_json(&self) -> String {
+        self.to_json_with(&[])
+    }
+
+    /// Like [`to_json`](Self::to_json) but splices extra top-level keys
+    /// whose values are pre-rendered raw JSON — the hook the fleet
+    /// aggregator uses to add a `"fleet"` section to `/stats.json`
+    /// without `cf_obs` knowing anything about routers.
+    pub fn to_json_with(&self, extra: &[(&str, &str)]) -> String {
         let mut w = json::Writer::new();
         w.begin_object();
         w.key("counters");
@@ -519,9 +620,15 @@ impl Snapshot {
             w.number_u64(h.p95);
             w.key("p99");
             w.number_u64(h.p99);
+            w.key("p999");
+            w.number_u64(h.p999);
             w.end_object();
         }
         w.end_object();
+        for (k, raw) in extra {
+            w.key(k);
+            w.raw(raw);
+        }
         w.end_object();
         w.finish()
     }

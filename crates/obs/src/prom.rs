@@ -13,7 +13,7 @@
 //! - counters → `# TYPE <name>_total counter`,
 //! - gauges → `# TYPE <name> gauge`,
 //! - histograms → `# TYPE <name> summary` with `quantile` labels for
-//!   min/p50/p95/p99/max plus `_sum` and `_count` (the histogram stores
+//!   min/p50/p95/p99/p999/max plus `_sum` and `_count` (the histogram stores
 //!   log buckets, not cumulative `le` buckets, so a summary is the
 //!   honest translation),
 //! - trace exemplars ([`crate::trace::exemplars`]) → a
@@ -88,6 +88,56 @@ fn write_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Formats one labeled series line, normalizing the metric name and
+/// escaping every label value — the helper the fleet aggregator renders
+/// per-shard series with (`cfsf_fleet_x{shard="3"} 7`).
+pub fn format_series(name: &str, labels: &[(&str, &str)], value: u64) -> String {
+    let mut out = normalize_metric_name(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+        }
+        out.push('}');
+    }
+    let _ = write!(out, " {value}");
+    out.push('\n');
+    out
+}
+
+/// Renders one histogram summary family with fixed extra labels on every
+/// series (quantile lines, `_sum`, `_count`).
+pub fn format_summary(name: &str, labels: &[(&str, &str)], h: &crate::HistogramSnapshot) -> String {
+    let pname = normalize_metric_name(name);
+    let mut label_text = String::new();
+    for (k, v) in labels {
+        let _ = write!(label_text, "{k}=\"{}\",", escape_label_value(v));
+    }
+    let mut out = String::new();
+    for (q, v) in [
+        ("0", h.min),
+        ("0.5", h.p50),
+        ("0.95", h.p95),
+        ("0.99", h.p99),
+        ("0.999", h.p999),
+        ("1", h.max),
+    ] {
+        let _ = writeln!(out, "{pname}{{{label_text}quantile=\"{q}\"}} {v}");
+    }
+    if label_text.is_empty() {
+        let _ = writeln!(out, "{pname}_sum {}", h.sum);
+        let _ = writeln!(out, "{pname}_count {}", h.count);
+    } else {
+        let trimmed = label_text.trim_end_matches(',');
+        let _ = writeln!(out, "{pname}_sum{{{trimmed}}} {}", h.sum);
+        let _ = writeln!(out, "{pname}_count{{{trimmed}}} {}", h.count);
+    }
+    out
+}
+
 /// Renders `snap` (plus the current trace exemplars) as Prometheus text
 /// exposition format 0.0.4 — the `/metrics` payload.
 pub fn render_prometheus(snap: &Snapshot) -> String {
@@ -111,17 +161,7 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
         let pname = normalize_metric_name(name);
         let _ = writeln!(out, "# HELP {pname} cf-obs histogram {name}");
         let _ = writeln!(out, "# TYPE {pname} summary");
-        for (q, v) in [
-            ("0", h.min),
-            ("0.5", h.p50),
-            ("0.95", h.p95),
-            ("0.99", h.p99),
-            ("1", h.max),
-        ] {
-            let _ = writeln!(out, "{pname}{{quantile=\"{q}\"}} {v}");
-        }
-        let _ = writeln!(out, "{pname}_sum {}", h.sum);
-        let _ = writeln!(out, "{pname}_count {}", h.count);
+        out.push_str(&format_summary(name, &[], h));
     }
 
     let exemplars = trace::exemplars();

@@ -83,6 +83,78 @@ fn per_mille(part: u64, whole: u64) -> i64 {
     }
 }
 
+/// The degradation-ladder rungs, best first (counter names are
+/// `online.degrade.<rung>`).
+pub const RUNGS: [&str; 6] = [
+    "full",
+    "partial_fusion",
+    "single_estimator",
+    "cluster_smoothed",
+    "user_mean",
+    "global_mean",
+];
+/// The rungs counted as the ladder's fallback region.
+pub const FALLBACK_RUNGS: [&str; 3] = ["cluster_smoothed", "user_mean", "global_mean"];
+
+/// The derived gauge values implied by `snap`'s counters, as
+/// `(name, per-mille value)` pairs — pure, so one counter pass can feed
+/// both the registry and the scrape being rendered.
+fn derived_from(snap: &crate::Snapshot) -> Vec<(String, i64)> {
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let mut out = Vec::with_capacity(2 + RUNGS.len());
+
+    let hits = c("online.neighbor_cache.hit");
+    let misses = c("online.neighbor_cache.miss");
+    out.push((
+        "online.cache.hit_ratio_pm".to_string(),
+        per_mille(hits, hits + misses),
+    ));
+
+    let total: u64 = RUNGS
+        .iter()
+        .map(|r| c(&format!("online.degrade.{r}")))
+        .sum();
+    let fallback: u64 = FALLBACK_RUNGS
+        .iter()
+        .map(|r| c(&format!("online.degrade.{r}")))
+        .sum();
+    out.push((
+        "online.degrade.fallback_pm".to_string(),
+        per_mille(fallback, total),
+    ));
+    for rung in RUNGS {
+        out.push((
+            format!("online.degrade.rate_pm.{rung}"),
+            per_mille(c(&format!("online.degrade.{rung}")), total),
+        ));
+    }
+    out
+}
+
+/// Computes the derived gauges from `snap`'s own counters and writes them
+/// both into the global registry (so other readers stay fresh) and into
+/// `snap.gauges` itself. Because the gauge values come from exactly the
+/// counters in `snap`, a scrape rendered from it can never show a gauge
+/// computed from a newer counter than the one printed next to it.
+pub fn apply_derived_gauges(snap: &mut crate::Snapshot) {
+    if !crate::enabled() {
+        return;
+    }
+    for (name, v) in derived_from(snap) {
+        crate::global().gauge(&name).set(v);
+        snap.gauges.insert(name, v);
+    }
+}
+
+/// One coherent scrape payload: a single counter pass with the derived
+/// gauges recomputed from exactly those counters. The telemetry server
+/// renders `/metrics` and `/stats.json` from this.
+pub fn coherent_snapshot() -> crate::Snapshot {
+    let mut snap = crate::global().snapshot();
+    apply_derived_gauges(&mut snap);
+    snap
+}
+
 /// Recomputes the derived health gauges from the global registry's
 /// counters:
 ///
@@ -92,43 +164,8 @@ fn per_mille(part: u64, whole: u64) -> i64 {
 ///   fallback region per mille of predictions,
 /// - `online.degrade.rate_pm.<rung>` — per-rung serve rates.
 pub fn refresh_derived_gauges() {
-    if !crate::enabled() {
-        return;
-    }
-    let snap = crate::global().snapshot();
-    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
-
-    let hits = c("online.neighbor_cache.hit");
-    let misses = c("online.neighbor_cache.miss");
-    crate::global()
-        .gauge("online.cache.hit_ratio_pm")
-        .set(per_mille(hits, hits + misses));
-
-    const RUNGS: [&str; 6] = [
-        "full",
-        "partial_fusion",
-        "single_estimator",
-        "cluster_smoothed",
-        "user_mean",
-        "global_mean",
-    ];
-    const FALLBACK_RUNGS: [&str; 3] = ["cluster_smoothed", "user_mean", "global_mean"];
-    let total: u64 = RUNGS
-        .iter()
-        .map(|r| c(&format!("online.degrade.{r}")))
-        .sum();
-    let fallback: u64 = FALLBACK_RUNGS
-        .iter()
-        .map(|r| c(&format!("online.degrade.{r}")))
-        .sum();
-    crate::global()
-        .gauge("online.degrade.fallback_pm")
-        .set(per_mille(fallback, total));
-    for rung in RUNGS {
-        crate::global()
-            .gauge(&format!("online.degrade.rate_pm.{rung}"))
-            .set(per_mille(c(&format!("online.degrade.{rung}")), total));
-    }
+    let mut snap = crate::global().snapshot();
+    apply_derived_gauges(&mut snap);
 }
 
 #[cfg(test)]
@@ -160,6 +197,31 @@ mod tests {
         assert_eq!(window_len(), before);
         assert!(crate::counter!("online.quality.rejected").get() >= 2);
         clear_window();
+    }
+
+    #[test]
+    fn coherent_snapshot_gauges_match_its_own_counters() {
+        crate::counter!("online.degrade.full").add(5);
+        crate::counter!("online.degrade.user_mean").add(2);
+        let snap = coherent_snapshot();
+        let c = |n: &str| snap.counters.get(n).copied().unwrap_or(0);
+        let total: u64 = RUNGS
+            .iter()
+            .map(|r| c(&format!("online.degrade.{r}")))
+            .sum();
+        let fallback: u64 = FALLBACK_RUNGS
+            .iter()
+            .map(|r| c(&format!("online.degrade.{r}")))
+            .sum();
+        assert_eq!(
+            snap.gauges["online.degrade.fallback_pm"],
+            per_mille(fallback, total),
+            "gauge must be derived from this snapshot's own counters"
+        );
+        assert_eq!(
+            snap.gauges["online.degrade.rate_pm.full"],
+            per_mille(c("online.degrade.full"), total)
+        );
     }
 
     #[test]

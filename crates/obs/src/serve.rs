@@ -29,10 +29,48 @@
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::net::HeadOutcome;
+use crate::sync::RecoverMutex;
+
+/// Extra scrape content spliced into the endpoint payloads. The fleet
+/// aggregator in `cf-serve` implements this so the router's `/metrics`
+/// and `/stats.json` carry per-shard and merged fleet series without
+/// `cf_obs` knowing anything about routers.
+pub trait ScrapeExtra: Send + Sync {
+    /// Extra Prometheus text appended to `/metrics`. Lines must be
+    /// complete (`\n`-terminated) series in the exposition format.
+    fn prometheus(&self) -> String {
+        String::new()
+    }
+
+    /// Extra top-level `/stats.json` sections as `(key, raw JSON value)`
+    /// pairs, spliced after the standard sections.
+    fn stats_sections(&self) -> Vec<(String, String)> {
+        Vec::new()
+    }
+}
+
+fn extra_slot() -> &'static RecoverMutex<Option<Arc<dyn ScrapeExtra>>> {
+    static EXTRA: OnceLock<RecoverMutex<Option<Arc<dyn ScrapeExtra>>>> = OnceLock::new();
+    EXTRA.get_or_init(|| RecoverMutex::new(None))
+}
+
+/// Installs (or replaces) the process-wide scrape extension.
+pub fn set_scrape_extra(extra: Arc<dyn ScrapeExtra>) {
+    *extra_slot().lock() = Some(extra);
+}
+
+/// Removes the scrape extension (tests / shutdown).
+pub fn clear_scrape_extra() {
+    *extra_slot().lock() = None;
+}
+
+fn scrape_extra() -> Option<Arc<dyn ScrapeExtra>> {
+    extra_slot().lock().clone()
+}
 
 /// How long the accept loop sleeps between polls of the stop flag.
 const POLL: Duration = Duration::from_millis(25);
@@ -140,7 +178,12 @@ fn serve_connection(mut stream: TcpStream) -> std::io::Result<()> {
             let method = parts.next().unwrap_or("");
             let path = parts.next().unwrap_or("");
             head_only = method == "HEAD";
-            route(method, path)
+            // Self-metrics: the telemetry plane watches its own scrape
+            // cost, so an expensive fleet aggregation shows up here.
+            let scrape_started = Instant::now();
+            let routed = route(method, path);
+            crate::histogram!("obs.serve.scrape_ns").record_duration(scrape_started.elapsed());
+            routed
         }
         HeadOutcome::TimedOut => (
             "408 Request Timeout",
@@ -207,32 +250,49 @@ fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
     let path = path.split('?').next().unwrap_or(path);
     match path {
         "/metrics" => {
-            crate::quality::refresh_derived_gauges();
-            (
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                crate::prom::render_prometheus(&crate::global().snapshot()),
-            )
+            crate::counter!("obs.serve.endpoint.metrics").inc();
+            // One snapshot pass: the derived gauges are recomputed from
+            // exactly the counters this scrape renders.
+            let snap = crate::quality::coherent_snapshot();
+            let mut body = crate::prom::render_prometheus(&snap);
+            if let Some(extra) = scrape_extra() {
+                body.push_str(&extra.prometheus());
+            }
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
         }
         "/stats.json" => {
-            crate::quality::refresh_derived_gauges();
+            crate::counter!("obs.serve.endpoint.stats_json").inc();
+            let snap = crate::quality::coherent_snapshot();
+            let sections = scrape_extra()
+                .map(|extra| extra.stats_sections())
+                .unwrap_or_default();
+            let refs: Vec<(&str, &str)> = sections
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
             (
                 "200 OK",
                 "application/json; charset=utf-8",
-                crate::global().snapshot().to_json(),
+                snap.to_json_with(&refs),
             )
         }
-        "/traces" => (
-            "200 OK",
-            "text/plain; charset=utf-8",
-            crate::trace::render_current(),
-        ),
-        "/" => (
-            "200 OK",
-            "text/plain; charset=utf-8",
-            "cfsf telemetry\n\n/metrics     Prometheus text format\n/stats.json  JSON snapshot\n/traces      captured request traces\n"
-                .into(),
-        ),
+        "/traces" => {
+            crate::counter!("obs.serve.endpoint.traces").inc();
+            (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                crate::trace::render_current(),
+            )
+        }
+        "/" => {
+            crate::counter!("obs.serve.endpoint.index").inc();
+            (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                "cfsf telemetry\n\n/metrics     Prometheus text format\n/stats.json  JSON snapshot\n/traces      captured request traces\n"
+                    .into(),
+            )
+        }
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
@@ -300,6 +360,40 @@ mod tests {
         let (status, _) = get(addr, "/nope");
         assert!(status.contains("404"), "{status}");
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn scrape_self_metrics_and_extra_sections_are_served() {
+        struct Fleet;
+        impl ScrapeExtra for Fleet {
+            fn prometheus(&self) -> String {
+                "cfsf_fleet_demo{shard=\"0\"} 1\n".to_string()
+            }
+            fn stats_sections(&self) -> Vec<(String, String)> {
+                vec![("fleet".to_string(), "{\"shards\": 2}".to_string())]
+            }
+        }
+        set_scrape_extra(Arc::new(Fleet));
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let (_, body) = get(addr, "/metrics");
+        assert!(body.contains("cfsf_fleet_demo{shard=\"0\"} 1"), "{body}");
+
+        let (_, body) = get(addr, "/stats.json");
+        assert!(body.contains("\"fleet\": {\"shards\": 2}"), "{body}");
+
+        // The first scrape recorded its own duration and endpoint hit,
+        // so the second scrape must show the telemetry self-metrics.
+        let (_, body) = get(addr, "/metrics");
+        assert!(body.contains("cfsf_obs_serve_scrape_ns"), "{body}");
+        assert!(
+            body.contains("cfsf_obs_serve_endpoint_metrics_total"),
+            "{body}"
+        );
+
+        clear_scrape_extra();
         server.shutdown();
     }
 }

@@ -67,6 +67,15 @@ static HEAD_EVERY: AtomicU32 = AtomicU32::new(64);
 /// Monotone trace-id source (ids are allocated only for kept traces).
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Allocates a trace id unique within this process and very unlikely to
+/// collide across a fleet: the top 16 bits carry the process id, so a
+/// router-propagated id and a shard's locally-allocated ids stay
+/// distinguishable in the same `/traces` dump.
+fn alloc_trace_id() -> u64 {
+    let seq = NEXT_ID.fetch_add(1, Ordering::Relaxed) & 0x0000_ffff_ffff_ffff;
+    ((std::process::id() as u64 & 0xffff) << 48) | seq
+}
+
 /// Sets the head-sampling rate: every `n`-th request per thread captures
 /// a full span tree. `1` samples everything (tests, debugging), `0`
 /// disables tracing entirely (tail sampling included).
@@ -95,6 +104,45 @@ pub struct SpanRec {
     /// Nesting depth below the request root (root children are 0).
     pub depth: u8,
 }
+
+/// Cross-process trace context: everything a frame needs to carry so a
+/// downstream process can continue the span tree. Encoded leniently as
+/// trailing frame bytes by `cf-serve` (`frame.rs` attaches it; old peers
+/// ignore it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The originating request's trace id; the downstream trace adopts it.
+    pub trace_id: u64,
+    /// Span depth at the propagation point (attribution for stitching).
+    pub parent_span: u32,
+    /// The origin's sampling decision: when true the downstream process
+    /// records a full span tree and ships it back even if its own head
+    /// sampler would not have fired.
+    pub sampled: bool,
+}
+
+/// A completed span captured in *another* process and stitched into a
+/// local trace. Unlike [`SpanRec`] the name is owned — it crossed a wire.
+/// `start_ns` offsets are relative to the remote request's own start
+/// (processes share no clock), so stitched trees show remote durations
+/// and structure, not absolute alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteSpan {
+    /// Where the span ran, e.g. `"shard2"`; empty while still in the
+    /// capturing process (the stitcher fills it in).
+    pub origin: String,
+    /// Stage name as captured remotely.
+    pub name: String,
+    /// Offset from the *remote* request start, nanoseconds.
+    pub start_ns: u64,
+    /// Span duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth below the remote request root.
+    pub depth: u8,
+}
+
+/// Cap on remote spans one trace will hold (and one response will ship).
+pub const REMOTE_SPANS_CAP: usize = 128;
 
 /// Why a trace was kept (bit flags; several can apply).
 pub mod keep {
@@ -133,6 +181,9 @@ pub struct Trace {
     pub notes: Vec<&'static str>,
     /// Span tree (empty for tail-kept traces that were not head-sampled).
     pub spans: Vec<SpanRec>,
+    /// Spans captured in other processes and stitched under this trace
+    /// (router side; empty for purely local requests).
+    pub remote_spans: Vec<RemoteSpan>,
     /// [`keep`] flags explaining why this trace survived.
     pub why: u8,
 }
@@ -285,6 +336,12 @@ struct Detail {
     depth: u8,
     spans: Vec<SpanRec>,
     notes: Vec<&'static str>,
+    /// Trace id fixed before completion — either adopted from a remote
+    /// [`TraceContext`] or eagerly allocated because this request
+    /// propagated its own context downstream. 0 = allocate at keep time.
+    pending_id: u64,
+    /// Remote spans stitched in while the request is active.
+    remote: Vec<RemoteSpan>,
 }
 
 impl Default for Detail {
@@ -296,6 +353,8 @@ impl Default for Detail {
             depth: 0,
             spans: Vec::with_capacity(16),
             notes: Vec::new(),
+            pending_id: 0,
+            remote: Vec::new(),
         }
     }
 }
@@ -304,6 +363,13 @@ thread_local! {
     static STATE: Cell<u8> = const { Cell::new(IDLE) };
     static HEAD_CTR: Cell<u32> = const { Cell::new(0) };
     static DETAIL: RefCell<Detail> = RefCell::new(Detail::default());
+    /// Remote adoption armed by [`begin_remote`]: the next requests on
+    /// this thread continue the propagated trace instead of starting
+    /// their own id / sampling decision.
+    static REMOTE_CTX: Cell<Option<TraceContext>> = const { Cell::new(None) };
+    /// Span export buffer filled by `complete` while remote adoption is
+    /// armed; drained by [`RemoteGuard::finish`].
+    static REMOTE_EXPORT: RefCell<Vec<RemoteSpan>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Guard for one request's trace. Obtain via [`begin_request`]; close
@@ -338,11 +404,18 @@ pub fn begin_request(user: u32, item: u32) -> RequestGuard {
     if every == 0 || !crate::enabled() {
         return RequestGuard { armed: false };
     }
-    let sampled = HEAD_CTR.with(|c| {
-        let n = c.get().wrapping_add(1);
-        c.set(n);
-        n % every == 0
-    });
+    let remote = REMOTE_CTX.get();
+    let sampled = match remote {
+        // A propagated sampling decision overrides the local head
+        // counter in both directions: the origin either wants the whole
+        // cross-process tree or none of it.
+        Some(ctx) => ctx.sampled,
+        None => HEAD_CTR.with(|c| {
+            let n = c.get().wrapping_add(1);
+            c.set(n);
+            n % every == 0
+        }),
+    };
     DETAIL.with(|d| {
         let d = &mut *d.borrow_mut();
         d.start = Some(Instant::now());
@@ -351,9 +424,99 @@ pub fn begin_request(user: u32, item: u32) -> RequestGuard {
         d.depth = 0;
         d.spans.clear();
         d.notes.clear();
+        d.pending_id = remote.map(|ctx| ctx.trace_id).unwrap_or(0);
+        d.remote.clear();
     });
     STATE.set(if sampled { SAMPLED } else { COARSE });
     RequestGuard { armed: true }
+}
+
+// --------------------------------------------------------------------------
+// Cross-process propagation
+// --------------------------------------------------------------------------
+
+/// The active request's propagatable context, or `None` when no trace is
+/// active on this thread. Allocates the trace id eagerly on first call
+/// (the id must cross the wire before the keep decision is made), so the
+/// eventual kept trace and all downstream spans agree on it.
+pub fn current_context() -> Option<TraceContext> {
+    if STATE.get() == IDLE {
+        return None;
+    }
+    let sampled = STATE.get() == SAMPLED;
+    DETAIL.with(|d| {
+        let d = &mut *d.borrow_mut();
+        if d.pending_id == 0 {
+            d.pending_id = alloc_trace_id();
+        }
+        Some(TraceContext {
+            trace_id: d.pending_id,
+            parent_span: d.depth as u32,
+            sampled,
+        })
+    })
+}
+
+/// Guard for a remote-adopted section on a serving thread. While alive,
+/// requests begun on this thread continue the propagated trace (same id,
+/// same sampling decision) and their completed spans are exported for
+/// shipping back. Dropping disarms adoption and discards unclaimed spans.
+pub struct RemoteGuard {
+    prev: Option<TraceContext>,
+    armed: bool,
+}
+
+/// Arms remote trace adoption on this thread: until the returned guard is
+/// finished or dropped, [`begin_request`] continues `ctx`'s trace. Call
+/// on the shard's connection thread before dispatching a request that
+/// carried a context.
+pub fn begin_remote(ctx: TraceContext) -> RemoteGuard {
+    let prev = REMOTE_CTX.replace(Some(ctx));
+    REMOTE_EXPORT.with(|b| b.borrow_mut().clear());
+    RemoteGuard { prev, armed: true }
+}
+
+impl RemoteGuard {
+    fn disarm(&mut self) {
+        if self.armed {
+            self.armed = false;
+            REMOTE_CTX.set(self.prev.take());
+        }
+    }
+
+    /// Disarms adoption and returns every span completed while armed —
+    /// the payload the shard appends to its response frame. Spans carry
+    /// an empty origin; the stitching side fills it in.
+    pub fn finish(mut self) -> Vec<RemoteSpan> {
+        self.disarm();
+        REMOTE_EXPORT.with(|b| std::mem::take(&mut *b.borrow_mut()))
+    }
+}
+
+impl Drop for RemoteGuard {
+    fn drop(&mut self) {
+        self.disarm();
+    }
+}
+
+/// Stitches spans captured in another process into the active trace,
+/// labeling each with `origin` (e.g. `"shard2"`). No-op when no trace is
+/// active or the trace is not head-sampled; attachment is bounded by
+/// [`REMOTE_SPANS_CAP`].
+pub fn attach_remote_spans(origin: &str, spans: Vec<RemoteSpan>) {
+    if STATE.get() != SAMPLED || spans.is_empty() {
+        return;
+    }
+    DETAIL.with(|d| {
+        let d = &mut *d.borrow_mut();
+        for mut s in spans {
+            if d.remote.len() >= REMOTE_SPANS_CAP {
+                break;
+            }
+            s.origin = origin.to_string();
+            d.remote.push(s);
+        }
+    });
 }
 
 /// RAII guard for one stage of the active request. No-op (one TLS flag
@@ -464,22 +627,54 @@ impl Drop for RequestGuard {
 fn complete(outcome: &Outcome) {
     let sampled = STATE.get() == SAMPLED;
     STATE.set(IDLE);
-    let (total_ns, user, item, spans, notes) = DETAIL.with(|d| {
+    let (total_ns, user, item, spans, notes, pending_id, remote) = DETAIL.with(|d| {
         let d = &mut *d.borrow_mut();
         let total = d
             .start
             .take()
             .map(|s| s.elapsed().as_nanos().min(u64::MAX as u128) as u64)
             .unwrap_or(0);
+        let pending_id = std::mem::take(&mut d.pending_id);
         (
             total,
             d.user,
             d.item,
             std::mem::take(&mut d.spans),
             std::mem::take(&mut d.notes),
+            pending_id,
+            std::mem::take(&mut d.remote),
         )
     });
     crate::histogram!(REQUEST_HISTOGRAM).record(total_ns);
+
+    // A remote-adopted, sampled request exports its completed tree (root
+    // first) for the serving layer to ship back to the origin.
+    if sampled && REMOTE_CTX.get().is_some() {
+        REMOTE_EXPORT.with(|b| {
+            let b = &mut *b.borrow_mut();
+            if b.len() < REMOTE_SPANS_CAP {
+                b.push(RemoteSpan {
+                    origin: String::new(),
+                    name: "remote.request".to_string(),
+                    start_ns: 0,
+                    dur_ns: total_ns,
+                    depth: 0,
+                });
+            }
+            for s in &spans {
+                if b.len() >= REMOTE_SPANS_CAP {
+                    break;
+                }
+                b.push(RemoteSpan {
+                    origin: String::new(),
+                    name: s.name.to_string(),
+                    start_ns: s.start_ns,
+                    dur_ns: s.dur_ns,
+                    depth: s.depth.saturating_add(1),
+                });
+            }
+        });
+    }
 
     let mut why = 0u8;
     if sampled {
@@ -507,7 +702,11 @@ fn complete(outcome: &Outcome) {
     }
 
     let trace = Arc::new(Trace {
-        id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+        id: if pending_id != 0 {
+            pending_id
+        } else {
+            alloc_trace_id()
+        },
         user,
         item,
         total_ns,
@@ -518,6 +717,7 @@ fn complete(outcome: &Outcome) {
         fused: outcome.fused,
         notes,
         spans,
+        remote_spans: remote,
         why,
     });
 
@@ -570,6 +770,24 @@ fn render_trace(out: &mut String, t: &Trace) {
         let _ = writeln!(
             out,
             "  {}{:<24} {:>10}ns  @{}ns",
+            "  ".repeat(s.depth as usize),
+            s.name,
+            s.dur_ns,
+            s.start_ns
+        );
+    }
+    // Stitched remote spans, grouped by origin. Offsets are relative to
+    // the remote request's own start, so each origin group is its own
+    // timeline nested under this trace.
+    let mut last_origin: Option<&str> = None;
+    for s in &t.remote_spans {
+        if last_origin != Some(s.origin.as_str()) {
+            let _ = writeln!(out, "  remote {} (trace {}):", s.origin, t.id);
+            last_origin = Some(s.origin.as_str());
+        }
+        let _ = writeln!(
+            out,
+            "    {}{:<24} {:>10}ns  @{}ns",
             "  ".repeat(s.depth as usize),
             s.name,
             s.dur_ns,
@@ -781,6 +999,123 @@ mod tests {
         let dump = snapshot();
         let ids: Vec<u64> = dump.recent.iter().map(|t| t.id).collect();
         assert!(ex.iter().any(|(_, _, e)| ids.contains(&e.trace_id)));
+    }
+
+    #[test]
+    fn current_context_allocates_id_once_and_tracks_sampling() {
+        let _g = locked();
+        set_head_sample_every(1);
+        assert_eq!(current_context(), None, "no active trace → no context");
+        let req = begin_request(4, 5);
+        let a = current_context().expect("active trace has context");
+        let b = current_context().expect("still active");
+        assert_eq!(a.trace_id, b.trace_id, "id is allocated once");
+        assert!(a.sampled);
+        assert_ne!(a.trace_id, 0);
+        req.finish(Outcome {
+            level: "full",
+            fallback: false,
+            k_used: 1,
+            m_used: 1,
+            fused: 1.0,
+        });
+        let dump = snapshot();
+        assert_eq!(
+            dump.recent[0].id, a.trace_id,
+            "kept trace reuses the propagated id"
+        );
+    }
+
+    #[test]
+    fn remote_adoption_continues_id_and_exports_spans() {
+        let _g = locked();
+        set_head_sample_every(u32::MAX); // local head sampling never fires
+        let ctx = TraceContext {
+            trace_id: 0xfeed_0001,
+            parent_span: 2,
+            sampled: true,
+        };
+        let guard = begin_remote(ctx);
+        let req = begin_request(9, 10);
+        {
+            let _s = span("kernel");
+        }
+        req.finish(Outcome {
+            level: "full",
+            fallback: false,
+            k_used: 3,
+            m_used: 4,
+            fused: 2.5,
+        });
+        let exported = guard.finish();
+        assert!(
+            exported.iter().any(|s| s.name == "remote.request"),
+            "export must contain the synthetic root: {exported:?}"
+        );
+        assert!(exported.iter().any(|s| s.name == "kernel"));
+        // The locally-kept trace (head flag via forced sampling) reuses
+        // the propagated id.
+        let dump = snapshot();
+        assert!(dump.recent.iter().any(|t| t.id == ctx.trace_id));
+        // Adoption is disarmed after finish.
+        let req = begin_request(1, 1);
+        let local = current_context().expect("context");
+        assert_ne!(local.trace_id, ctx.trace_id);
+        drop(req);
+    }
+
+    #[test]
+    fn remote_unsampled_context_suppresses_span_capture() {
+        let _g = locked();
+        set_head_sample_every(1); // local sampler would fire...
+        let guard = begin_remote(TraceContext {
+            trace_id: 77,
+            parent_span: 0,
+            sampled: false, // ...but the origin said no
+        });
+        let req = begin_request(2, 3);
+        {
+            let _s = span("kernel");
+        }
+        req.finish(Outcome {
+            level: "full",
+            fallback: false,
+            k_used: 1,
+            m_used: 1,
+            fused: 1.0,
+        });
+        assert!(guard.finish().is_empty(), "unsampled → nothing exported");
+    }
+
+    #[test]
+    fn attached_remote_spans_are_kept_and_rendered() {
+        let _g = locked();
+        set_head_sample_every(1);
+        let req = begin_request(21, 22);
+        attach_remote_spans(
+            "shard1",
+            vec![RemoteSpan {
+                origin: String::new(),
+                name: "remote.request".to_string(),
+                start_ns: 0,
+                dur_ns: 12_000,
+                depth: 0,
+            }],
+        );
+        req.finish(Outcome {
+            level: "full",
+            fallback: false,
+            k_used: 1,
+            m_used: 1,
+            fused: 3.0,
+        });
+        let dump = snapshot();
+        let t = &dump.recent[0];
+        assert_eq!(t.remote_spans.len(), 1);
+        assert_eq!(t.remote_spans[0].origin, "shard1");
+        let text = render_current();
+        assert!(text.contains("remote shard1"), "{text}");
+        assert!(text.contains("remote.request"), "{text}");
     }
 
     #[test]

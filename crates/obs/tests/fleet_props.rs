@@ -1,0 +1,189 @@
+//! Property tests for the fleet-observability primitives: Prometheus
+//! name/label hygiene under per-shard labelling, and the exactness of
+//! the mergeable histogram wire form.
+
+use cf_obs::merge::MergeSnapshot;
+use cf_obs::prom::{
+    escape_label_value, format_series, format_summary, normalize_metric_name, unescape_label_value,
+};
+use cf_obs::{Histogram, Registry};
+use proptest::prelude::*;
+
+/// Arbitrary label values, weighted toward the characters that need
+/// escaping (backslash, quote, newline) plus control and non-ASCII
+/// bytes — the adversarial cases for exposition-format hygiene.
+fn arb_label_value() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..100, 0..32).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| match c {
+                0 | 1 => '\\',
+                2 | 3 => '"',
+                4 | 5 => '\n',
+                6 => '\t',
+                7 => '\r',
+                8 => '\u{0}',
+                9 => 'é',
+                10 => '→',
+                n => char::from_u32(32 + n).unwrap_or('x'),
+            })
+            .collect()
+    })
+}
+
+/// Arbitrary dotted cf-obs metric names (`online.request_ns` shaped),
+/// plus the odd hostile byte.
+fn arb_metric_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..40, 1..24).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| match c {
+                0..=25 => char::from_u32('a' as u32 + c).unwrap_or('a'),
+                26..=33 => char::from_u32('0' as u32 + (c - 26)).unwrap_or('0'),
+                34 | 35 => '.',
+                36 => '_',
+                37 => '-',
+                38 => ' ',
+                _ => '%',
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Escaping any label value yields a single exposition line and
+    /// unescaping inverts it exactly.
+    #[test]
+    fn label_escape_round_trips(value in arb_label_value()) {
+        let escaped = escape_label_value(&value);
+        prop_assert!(!escaped.contains('\n'), "escaped value spans lines: {escaped:?}");
+        // Every `"` in the escaped form is preceded by a backslash, so
+        // the value cannot terminate the label early.
+        let bytes = escaped.as_bytes();
+        for (i, b) in bytes.iter().enumerate() {
+            if *b == b'"' {
+                prop_assert!(i > 0 && bytes[i - 1] == b'\\', "unescaped quote in {escaped:?}");
+            }
+        }
+        prop_assert_eq!(unescape_label_value(&escaped), value);
+    }
+
+    /// Normalized metric names always match the Prometheus grammar
+    /// `[a-zA-Z_:][a-zA-Z0-9_:]*`, whatever the dotted input was.
+    #[test]
+    fn normalized_names_match_prometheus_grammar(name in arb_metric_name()) {
+        let n = normalize_metric_name(&name);
+        prop_assert!(!n.is_empty());
+        let mut chars = n.chars();
+        let first = chars.next().unwrap_or(' ');
+        prop_assert!(first.is_ascii_alphabetic() || first == '_' || first == ':', "{n}");
+        prop_assert!(
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad byte in {n}"
+        );
+    }
+
+    /// A per-shard labelled series renders as one well-formed line whose
+    /// label values round-trip through the escaper.
+    #[test]
+    fn labelled_series_lines_are_well_formed(
+        name in arb_metric_name(),
+        shard in 0u32..1024,
+        generation in arb_label_value(),
+        value in 0u64..u64::MAX,
+    ) {
+        let shard_s = shard.to_string();
+        let line = format_series(
+            &format!("fleet.{name}"),
+            &[("shard", shard_s.as_str()), ("generation", generation.as_str())],
+            value,
+        );
+        prop_assert!(line.ends_with('\n'));
+        prop_assert!(line.matches('\n').count() == 1, "{line}");
+        let body = line.trim_end();
+        let open = body.find('{').unwrap_or(0);
+        let normalized = normalize_metric_name(&format!("fleet.{name}"));
+        prop_assert_eq!(&body[..open], normalized.as_str());
+        prop_assert!(body.contains(&format!("shard=\"{shard}\"")), "{body}");
+        // The generation label value must unescape back to the input;
+        // the closing `"}` of the series is the last in the line, since
+        // every quote inside the escaped value is backslash-prefixed.
+        let tag = "generation=\"";
+        let start = body.find(tag).unwrap_or(0) + tag.len();
+        let end = body.rfind("\"}").unwrap_or(body.len());
+        prop_assert!(start <= end, "{body}");
+        prop_assert_eq!(unescape_label_value(&body[start..end]), generation);
+        prop_assert!(body.ends_with(&format!(" {value}")), "{body}");
+    }
+
+    /// The acceptance identity for fleet aggregation: merging per-shard
+    /// snapshots yields histograms bit-exactly equal, bucket for bucket,
+    /// to one histogram that observed every shard's samples — and the
+    /// stats wire encoding preserves that exactly.
+    #[test]
+    fn merged_histograms_equal_bucketwise_sum(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..u64::MAX, 0..200),
+            1..6,
+        ),
+    ) {
+        let combined = Histogram::new();
+        let mut merged = MergeSnapshot::default();
+        let mut count_sum = 0u64;
+        for samples in &shards {
+            let reg = Registry::new();
+            let h = reg.histogram("online.request_ns");
+            for &v in samples {
+                h.record(v);
+                combined.record(v);
+            }
+            count_sum += samples.len() as u64;
+            // Round-trip through the stats wire form, as the router does.
+            let wire = MergeSnapshot::of(&reg).to_bytes();
+            let decoded = match MergeSnapshot::from_bytes(&wire) {
+                Ok(d) => d,
+                Err(e) => return Err(format!("wire round trip failed: {e}")),
+            };
+            prop_assert_eq!(&decoded, &MergeSnapshot::of(&reg));
+            merged.merge(&decoded);
+        }
+        let got = &merged.histograms["online.request_ns"];
+        prop_assert_eq!(got, &combined.buckets());
+        prop_assert_eq!(got.count, count_sum);
+        // The folded quantile summary agrees too, so the router's
+        // /metrics rendering of the merged histogram is the one a single
+        // process would have produced.
+        prop_assert_eq!(got.summary(), combined.snapshot());
+        let rendered = format_summary("fleet.online.request_ns", &[], &got.summary());
+        prop_assert!(
+            rendered.contains(&format!("cfsf_fleet_online_request_ns_count {count_sum}")),
+            "{rendered}"
+        );
+    }
+
+    /// Counters add under merge, shard by shard, in any order.
+    #[test]
+    fn merged_counters_are_order_independent_sums(
+        counts in proptest::collection::vec(0u64..1_000_000, 1..6),
+    ) {
+        let snaps: Vec<MergeSnapshot> = counts
+            .iter()
+            .map(|&c| {
+                let reg = Registry::new();
+                reg.counter("online.predictions").add(c);
+                MergeSnapshot::of(&reg)
+            })
+            .collect();
+        let mut forward = MergeSnapshot::default();
+        for s in &snaps {
+            forward.merge(s);
+        }
+        let mut backward = MergeSnapshot::default();
+        for s in snaps.iter().rev() {
+            backward.merge(s);
+        }
+        let total: u64 = counts.iter().sum();
+        prop_assert_eq!(forward.counters["online.predictions"], total);
+        prop_assert_eq!(forward, backward);
+    }
+}

@@ -59,8 +59,18 @@ impl ShardClient {
     /// Any error leaves the connection in an unknown framing state — the
     /// caller must drop this client and reconnect.
     pub fn request(&mut self, req: &Request) -> Result<Response, FrameError> {
+        Ok(self.request_traced(req)?.0)
+    }
+
+    /// [`ShardClient::request`] that also surfaces the remote spans the
+    /// server shipped back on the response frame — the router stitches
+    /// these into its own trace under the propagated trace id.
+    pub fn request_traced(
+        &mut self,
+        req: &Request,
+    ) -> Result<(Response, Vec<cf_obs::trace::RemoteSpan>), FrameError> {
         frame::write_request(&mut self.stream, req)?;
-        frame::read_response(
+        frame::read_response_with_spans(
             &mut self.stream,
             self.opts.request_deadline,
             Instant::now() + self.opts.request_deadline,
@@ -74,7 +84,7 @@ impl ShardClient {
         &mut self,
         pairs: Vec<(u32, u32)>,
     ) -> Result<Vec<Option<crate::frame::WirePrediction>>, FrameError> {
-        match self.request(&Request::PredictBatch { pairs })? {
+        match self.request(&Request::predict_batch(pairs))? {
             Response::Predictions(preds) => Ok(preds),
             Response::Error { .. } => Err(FrameError::Malformed("server rejected the batch")),
             _ => Err(FrameError::Malformed("unexpected response kind for batch")),

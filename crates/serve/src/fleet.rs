@@ -1,0 +1,419 @@
+//! Fleet-wide metric aggregation and SLO evaluation for the router tier.
+//!
+//! The router polls every shard's [`crate::frame::Request::Stats`] frame
+//! and decodes the mergeable snapshot each one carries
+//! ([`cf_obs::merge::MergeSnapshot`]). Because every process shares the
+//! same deterministic histogram bucket boundaries, the merged fleet
+//! histogram is *exactly* the bucket-wise sum of the per-shard snapshots
+//! — no re-binning, no quantile folding error.
+//!
+//! [`FleetAggregator`] owns three concerns:
+//!
+//! - **last-good retention** — a shard that misses a poll keeps its last
+//!   decoded snapshot (marked unreachable) so merged totals never step
+//!   backwards while a shard restarts,
+//! - **scrape splicing** — it implements [`cf_obs::serve::ScrapeExtra`],
+//!   so the router's `/metrics` carries merged `cfsf_fleet_*` series and
+//!   the same families labelled `shard="N"`, and `/stats.json` gains a
+//!   `"fleet"` section with per-shard generations and the merged
+//!   snapshot,
+//! - **SLO evaluation** — every poll feeds the merged cumulative
+//!   snapshot to a [`cf_obs::slo::SloEngine`], whose burn-rate gauges
+//!   land in the router's global registry (and therefore on `/metrics`).
+//!
+//! The aggregator deliberately merges *shard* snapshots only. The
+//! router's own registry renders through the normal `/metrics` path, so
+//! "merged fleet series == bucket-wise sum of the per-shard scrapes"
+//! holds as a testable identity.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cf_obs::merge::MergeSnapshot;
+use cf_obs::prom;
+use cf_obs::slo::{SloEngine, SloSpec, DEFAULT_WINDOWS};
+use cf_obs::sync::RecoverMutex;
+
+use crate::frame::WireStats;
+use crate::router::Router;
+
+/// One shard's last-known stats. Kept across poll failures so a
+/// restarting shard does not drag merged totals backwards.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// The shard's self-reported id (`u32::MAX` for a stacked router).
+    pub shard_id: u32,
+    /// Model generation the shard was serving at the poll.
+    pub generation: u64,
+    /// Decoded mergeable snapshot from the stats frame.
+    pub snapshot: MergeSnapshot,
+    /// Whether the most recent poll reached the shard and decoded.
+    pub reachable: bool,
+}
+
+/// Aggregation core, decoupled from the [`Router`] so tests can drive it
+/// with synthetic stats frames instead of a live fleet.
+#[derive(Debug, Default)]
+pub struct FleetState {
+    shards: Vec<Option<ShardStats>>,
+}
+
+impl FleetState {
+    /// State for a fleet of `n` shard slots, none polled yet.
+    pub fn new(n: usize) -> Self {
+        FleetState {
+            shards: vec![None; n],
+        }
+    }
+
+    /// Folds one poll result for slot `i` into the state. `None` (shard
+    /// unreachable) or an undecodable payload demotes the slot to its
+    /// last-good snapshot, marked unreachable. Returns `true` when the
+    /// poll produced a fresh decoded snapshot.
+    pub fn ingest(&mut self, i: usize, polled: Option<&WireStats>) -> bool {
+        let Some(slot) = self.shards.get_mut(i) else {
+            return false;
+        };
+        match polled.and_then(|w| {
+            MergeSnapshot::from_bytes(&w.snapshot)
+                .ok()
+                .map(|snap| (w, snap))
+        }) {
+            Some((w, snapshot)) => {
+                *slot = Some(ShardStats {
+                    shard_id: w.shard_id,
+                    generation: w.generation,
+                    snapshot,
+                    reachable: true,
+                });
+                true
+            }
+            None => {
+                if let Some(entry) = slot {
+                    entry.reachable = false;
+                }
+                false
+            }
+        }
+    }
+
+    /// The per-slot last-known stats (`None` = never successfully
+    /// polled).
+    pub fn shards(&self) -> &[Option<ShardStats>] {
+        &self.shards
+    }
+
+    /// The bucket-wise merge of every last-known shard snapshot.
+    pub fn merged(&self) -> MergeSnapshot {
+        let mut out = MergeSnapshot::default();
+        for entry in self.shards.iter().flatten() {
+            out.merge(&entry.snapshot);
+        }
+        out
+    }
+
+    /// Spread between the newest and oldest model generation across the
+    /// fleet — nonzero while a rollout (or a stuck shard) is in flight.
+    pub fn generation_skew(&self) -> u64 {
+        let gens: Vec<u64> = self.shards.iter().flatten().map(|e| e.generation).collect();
+        match (gens.iter().max(), gens.iter().min()) {
+            (Some(max), Some(min)) => max - min,
+            _ => 0,
+        }
+    }
+
+    /// Count of slots whose most recent poll succeeded.
+    pub fn reachable(&self) -> usize {
+        self.shards.iter().flatten().filter(|e| e.reachable).count()
+    }
+
+    /// Renders the merged fleet series plus the same families labelled
+    /// per shard, in Prometheus exposition format. Merged families are
+    /// unlabelled `cfsf_fleet_*` series; per-shard series carry
+    /// `shard="N"` (the slot index, stable across restarts — the
+    /// self-reported id is exported as its own gauge).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str(&prom::format_series(
+            "fleet.shards_total",
+            &[],
+            self.shards.len() as u64,
+        ));
+        out.push_str(&prom::format_series(
+            "fleet.shards_reachable",
+            &[],
+            self.reachable() as u64,
+        ));
+        out.push_str(&prom::format_series(
+            "fleet.generation_skew",
+            &[],
+            self.generation_skew(),
+        ));
+
+        let merged = self.merged();
+        for (name, v) in &merged.counters {
+            out.push_str(&prom::format_series(&format!("fleet.{name}"), &[], *v));
+        }
+        for (name, h) in &merged.histograms {
+            out.push_str(&prom::format_summary(
+                &format!("fleet.{name}"),
+                &[],
+                &h.summary(),
+            ));
+        }
+
+        for (slot, entry) in self.shards.iter().enumerate() {
+            let Some(entry) = entry else { continue };
+            let shard = slot.to_string();
+            let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
+            out.push_str(&prom::format_series(
+                "fleet.shard.up",
+                labels,
+                u64::from(entry.reachable),
+            ));
+            out.push_str(&prom::format_series(
+                "fleet.shard.generation",
+                labels,
+                entry.generation,
+            ));
+            for (name, v) in &entry.snapshot.counters {
+                out.push_str(&prom::format_series(&format!("fleet.{name}"), labels, *v));
+            }
+            // Gauges are instantaneous per-process readings: they only
+            // exist per shard, never merged.
+            for (name, v) in &entry.snapshot.gauges {
+                let pname = prom::normalize_metric_name(&format!("fleet.{name}"));
+                out.push_str(&format!("{pname}{{shard=\"{shard}\"}} {v}\n"));
+            }
+            for (name, h) in &entry.snapshot.histograms {
+                out.push_str(&prom::format_summary(
+                    &format!("fleet.{name}"),
+                    labels,
+                    &h.summary(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// The `"fleet"` section of `/stats.json`: per-shard generation and
+    /// reachability plus the merged snapshot in the standard JSON shape.
+    pub fn stats_json(&self) -> String {
+        let mut w = cf_obs::json::Writer::new();
+        w.begin_object();
+        w.key("shards_total");
+        w.number_u64(self.shards.len() as u64);
+        w.key("shards_reachable");
+        w.number_u64(self.reachable() as u64);
+        w.key("generation_skew");
+        w.number_u64(self.generation_skew());
+        w.key("shards");
+        w.begin_array();
+        for entry in &self.shards {
+            w.elem();
+            match entry {
+                Some(e) => {
+                    w.begin_object();
+                    w.key("shard_id");
+                    w.number_u64(e.shard_id as u64);
+                    w.key("generation");
+                    w.number_u64(e.generation);
+                    w.key("reachable");
+                    w.bool(e.reachable);
+                    w.end_object();
+                }
+                None => w.null(),
+            }
+        }
+        w.end_array();
+        w.key("merged");
+        w.raw(&self.merged().summarize().to_json());
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Polls shard stats frames through a [`Router`], maintains the merged
+/// fleet view and evaluates SLOs over it. Install with
+/// [`cf_obs::serve::set_scrape_extra`] to splice the fleet view into the
+/// router's `/metrics` and `/stats.json`.
+pub struct FleetAggregator {
+    router: Arc<Router>,
+    state: RecoverMutex<FleetState>,
+    slo: RecoverMutex<SloEngine>,
+}
+
+impl FleetAggregator {
+    /// An aggregator for `router`'s fleet evaluating `slos` over the
+    /// default burn-rate windows.
+    pub fn new(router: Arc<Router>, slos: Vec<SloSpec>) -> Self {
+        let n = router.num_shards();
+        FleetAggregator {
+            router,
+            state: RecoverMutex::new(FleetState::new(n)),
+            slo: RecoverMutex::new(SloEngine::new(slos, DEFAULT_WINDOWS.to_vec())),
+        }
+    }
+
+    /// One aggregation cycle: polls every shard's stats frame, folds the
+    /// results into the fleet state, feeds the merged cumulative
+    /// snapshot to the SLO engine and publishes its burn-rate gauges
+    /// into the global registry. Returns the number of shards that
+    /// answered with a fresh snapshot.
+    pub fn poll(&self, now: Instant) -> usize {
+        let polled = self.router.poll_shard_stats();
+        let mut fresh = 0;
+        let merged = {
+            let mut state = self.state.lock();
+            for (i, w) in polled.iter().enumerate() {
+                if state.ingest(i, w.as_ref()) {
+                    fresh += 1;
+                } else {
+                    cf_obs::counter!("fleet.poll_failures").inc();
+                }
+            }
+            cf_obs::counter!("fleet.polls").inc();
+            // Reachability and skew render from the scrape extra (one
+            // series each); publishing them as registry gauges too would
+            // duplicate the exposition lines.
+            state.merged()
+        };
+        let mut slo = self.slo.lock();
+        slo.observe(&merged, now);
+        slo.publish(now);
+        fresh
+    }
+
+    /// The merged fleet snapshot as of the last poll.
+    pub fn merged(&self) -> MergeSnapshot {
+        self.state.lock().merged()
+    }
+
+    /// The SLO report JSON (`BENCH_slo.json` payload) as of `now`.
+    pub fn slo_report(&self, now: Instant) -> String {
+        self.slo.lock().report_json(now)
+    }
+}
+
+impl cf_obs::serve::ScrapeExtra for FleetAggregator {
+    fn prometheus(&self) -> String {
+        self.state.lock().render_prometheus()
+    }
+
+    fn stats_sections(&self) -> Vec<(String, String)> {
+        vec![("fleet".to_string(), self.state.lock().stats_json())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_obs::Registry;
+
+    fn stats_frame(shard_id: u32, generation: u64, latencies: &[u64], reqs: u64) -> WireStats {
+        let reg = Registry::new();
+        reg.counter("online.predictions").add(reqs);
+        reg.gauge("serve.generation").set(generation as i64);
+        let h = reg.histogram("online.request_ns");
+        for &v in latencies {
+            h.record(v);
+        }
+        WireStats {
+            shard_id,
+            generation,
+            snapshot: MergeSnapshot::of(&reg).to_bytes(),
+        }
+    }
+
+    #[test]
+    fn merged_is_bucket_wise_sum_of_shards() {
+        let mut state = FleetState::new(2);
+        assert!(state.ingest(0, Some(&stats_frame(0, 1, &[100, 2_000, 30_000], 3))));
+        assert!(state.ingest(1, Some(&stats_frame(1, 1, &[100, 5_000_000], 2))));
+
+        let merged = state.merged();
+        assert_eq!(merged.counters["online.predictions"], 5);
+        let combined = cf_obs::Histogram::new();
+        for v in [100u64, 2_000, 30_000, 100, 5_000_000] {
+            combined.record(v);
+        }
+        assert_eq!(merged.histograms["online.request_ns"], combined.buckets());
+    }
+
+    #[test]
+    fn failed_poll_keeps_last_good_and_marks_unreachable() {
+        let mut state = FleetState::new(2);
+        state.ingest(0, Some(&stats_frame(0, 1, &[100], 7)));
+        state.ingest(1, Some(&stats_frame(1, 3, &[200], 9)));
+        assert_eq!(state.reachable(), 2);
+        assert_eq!(state.generation_skew(), 2);
+
+        // Shard 1 misses a poll: totals must not move, reachability must.
+        assert!(!state.ingest(1, None));
+        assert_eq!(state.reachable(), 1);
+        assert_eq!(state.merged().counters["online.predictions"], 16);
+
+        // A garbled payload is a failed poll, not a decode panic.
+        let mut bad = stats_frame(1, 3, &[1], 1);
+        bad.snapshot.truncate(3);
+        assert!(!state.ingest(1, Some(&bad)));
+        assert_eq!(state.merged().counters["online.predictions"], 16);
+    }
+
+    #[test]
+    fn prometheus_renders_merged_and_per_shard_families() {
+        let mut state = FleetState::new(2);
+        state.ingest(0, Some(&stats_frame(0, 4, &[100, 200], 10)));
+        state.ingest(1, Some(&stats_frame(1, 4, &[300], 20)));
+        let text = state.render_prometheus();
+
+        assert!(text.contains("cfsf_fleet_shards_total 2"), "{text}");
+        assert!(text.contains("cfsf_fleet_generation_skew 0"), "{text}");
+        assert!(text.contains("cfsf_fleet_online_predictions 30"), "{text}");
+        assert!(
+            text.contains("cfsf_fleet_online_predictions{shard=\"0\"} 10"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cfsf_fleet_online_predictions{shard=\"1\"} 20"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cfsf_fleet_online_request_ns_count 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cfsf_fleet_online_request_ns_count{shard=\"0\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cfsf_fleet_shard_generation{shard=\"1\"} 4"),
+            "{text}"
+        );
+        // Gauges render per shard only — no merged gauge series.
+        assert!(
+            text.contains("cfsf_fleet_serve_generation{shard=\"0\"} 4"),
+            "{text}"
+        );
+        assert!(!text.contains("cfsf_fleet_serve_generation "), "{text}");
+    }
+
+    #[test]
+    fn stats_json_names_shards_and_merged_section() {
+        let mut state = FleetState::new(3);
+        state.ingest(0, Some(&stats_frame(0, 2, &[50], 1)));
+        state.ingest(2, Some(&stats_frame(2, 5, &[60], 1)));
+        let json = state.stats_json();
+        for needle in [
+            "\"shards_total\": 3",
+            "\"shards_reachable\": 2",
+            "\"generation_skew\": 3",
+            "\"shard_id\": 2",
+            "null",
+            "\"merged\"",
+            "\"online.predictions\": 2",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

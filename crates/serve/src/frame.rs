@@ -29,6 +29,8 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use cf_obs::trace::{RemoteSpan, TraceContext, REMOTE_SPANS_CAP};
+
 /// Frame magic: CFSF Wire Protocol.
 pub const MAGIC: [u8; 4] = *b"CFWP";
 /// Current protocol version. Bumped only for layout changes; appending
@@ -55,12 +57,14 @@ const KIND_PREDICT: u16 = 2;
 const KIND_RECOMMEND: u16 = 3;
 const KIND_PROFILE: u16 = 4;
 const KIND_PREDICT_BATCH: u16 = 5;
+const KIND_STATS: u16 = 6;
 const KIND_R_HEALTH: u16 = 16;
 const KIND_R_PREDICTION: u16 = 17;
 const KIND_R_TOP_N: u16 = 18;
 const KIND_R_PROFILE: u16 = 19;
 const KIND_R_ERROR: u16 = 20;
 const KIND_R_PREDICTIONS: u16 = 21;
+const KIND_R_STATS: u16 = 22;
 
 /// Everything that can go wrong reading or decoding a frame.
 #[derive(Debug)]
@@ -129,6 +133,11 @@ pub enum Request {
         user: u32,
         /// 0-based item id.
         item: u32,
+        /// Caller's trace context, propagated so the shard continues the
+        /// span tree under the same trace id. Travels as appended
+        /// trailing payload — old peers ignore it, and frames from old
+        /// peers decode as `None`.
+        trace: Option<TraceContext>,
     },
     /// Top-`n` recommendations for `user` over the item stripe
     /// `[item_start, item_end)`; `item_end == u32::MAX` means "through
@@ -143,6 +152,8 @@ pub enum Request {
         item_start: u32,
         /// One past the last item of the stripe; `u32::MAX` = item count.
         item_end: u32,
+        /// Caller's trace context (see [`Request::Predict::trace`]).
+        trace: Option<TraceContext>,
     },
     /// Fetch the fallback profile (scale, global/user means) the router
     /// serves degraded answers from when a shard is unreachable.
@@ -155,7 +166,70 @@ pub enum Request {
     PredictBatch {
         /// 0-based `(user, item)` pairs, answered in this order.
         pairs: Vec<(u32, u32)>,
+        /// Caller's trace context (see [`Request::Predict::trace`]).
+        trace: Option<TraceContext>,
     },
+    /// Fetch the shard's mergeable metrics snapshot
+    /// ([`cf_obs::merge::MergeSnapshot`] wire bytes) for fleet
+    /// aggregation.
+    Stats,
+}
+
+impl Request {
+    /// A [`Request::Predict`] carrying the calling thread's current
+    /// trace context (if a request trace is active). Always build
+    /// predict frames through this — the `trace-context-dropped` lint
+    /// flags literal construction outside this module.
+    pub fn predict(user: u32, item: u32) -> Self {
+        Self::Predict {
+            user,
+            item,
+            trace: cf_obs::trace::current_context(),
+        }
+    }
+
+    /// A [`Request::RecommendTopN`] carrying the current trace context.
+    pub fn recommend_top_n(user: u32, n: u32, item_start: u32, item_end: u32) -> Self {
+        Self::RecommendTopN {
+            user,
+            n,
+            item_start,
+            item_end,
+            trace: cf_obs::trace::current_context(),
+        }
+    }
+
+    /// A [`Request::PredictBatch`] carrying the current trace context.
+    pub fn predict_batch(pairs: Vec<(u32, u32)>) -> Self {
+        Self::PredictBatch {
+            pairs,
+            trace: cf_obs::trace::current_context(),
+        }
+    }
+
+    /// The propagated trace context, if the request carries one.
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        match self {
+            Self::Predict { trace, .. }
+            | Self::RecommendTopN { trace, .. }
+            | Self::PredictBatch { trace, .. } => *trace,
+            Self::Health | Self::Profile | Self::Stats => None,
+        }
+    }
+}
+
+/// A shard's mergeable metrics snapshot, for the router's fleet
+/// aggregator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireStats {
+    /// Operator-assigned shard id.
+    pub shard_id: u32,
+    /// Refresh generation currently serving.
+    pub generation: u64,
+    /// [`cf_obs::merge::MergeSnapshot::to_bytes`] payload; versioned and
+    /// bounds-checked by its own decoder, so the frame layer just
+    /// carries the bytes.
+    pub snapshot: Vec<u8>,
 }
 
 /// Shard identity and model shape, for health checks and mismatch
@@ -231,6 +305,8 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// Answer to [`Request::Stats`].
+    Stats(WireStats),
 }
 
 /// Outcome of one [`read_frame`] call on a stream with a read timeout.
@@ -316,6 +392,97 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
+// --- trailing telemetry blobs ------------------------------------------
+//
+// Trace context (on Predict/RecommendTopN/PredictBatch requests) and
+// completed remote spans (on Prediction/TopN/Predictions responses)
+// travel as *appended* trailing payload, per the append-only evolution
+// rule: old decoders stop at the original fields and never see them, and
+// this decoder reads them leniently — a short or garbled tail decodes as
+// "no context" / "no spans", never as a frame error, because telemetry
+// must not be able to fail serving.
+
+/// Appends `ctx` after the request's original payload fields.
+fn put_trace_context(out: &mut Vec<u8>, ctx: &Option<TraceContext>) {
+    if let Some(ctx) = ctx {
+        out.push(1);
+        put_u64(out, ctx.trace_id);
+        put_u32(out, ctx.parent_span);
+        out.push(u8::from(ctx.sampled));
+    }
+    // `None` appends nothing: the frame is byte-identical to one from a
+    // build predating trace propagation.
+}
+
+/// Leniently reads a trailing trace context; anything short, absent or
+/// unrecognized is `None`.
+fn take_trace_context(c: &mut Cursor) -> Option<TraceContext> {
+    if c.u8().ok()? != 1 {
+        return None;
+    }
+    let trace_id = c.u64().ok()?;
+    let parent_span = c.u32().ok()?;
+    let sampled = c.u8().ok()? != 0;
+    Some(TraceContext {
+        trace_id,
+        parent_span,
+        sampled,
+    })
+}
+
+/// Appends completed remote spans after a response's original payload.
+fn put_spans(out: &mut Vec<u8>, spans: &[RemoteSpan]) {
+    if spans.is_empty() {
+        return;
+    }
+    let n = spans.len().min(REMOTE_SPANS_CAP);
+    put_u32(out, n as u32);
+    for span in &spans[..n] {
+        let name = span.name.as_bytes();
+        let len = name.len().min(u16::MAX as usize);
+        put_u16(out, len as u16);
+        out.extend_from_slice(&name[..len]);
+        put_u64(out, span.start_ns);
+        put_u64(out, span.dur_ns);
+        out.push(span.depth);
+    }
+}
+
+/// Leniently reads trailing remote spans; a short or garbled tail yields
+/// the spans decoded so far (possibly none). `origin` is not on the wire
+/// — the receiver knows which shard it asked.
+fn take_spans(c: &mut Cursor) -> Vec<RemoteSpan> {
+    let Ok(count) = c.u32() else {
+        return Vec::new();
+    };
+    let mut spans = Vec::new();
+    for _ in 0..count.min(REMOTE_SPANS_CAP as u32) {
+        let Ok(len) = c.u16() else { break };
+        let Ok(name) = c.take(len as usize) else {
+            break;
+        };
+        let name = String::from_utf8_lossy(name).into_owned();
+        let (Ok(start_ns), Ok(dur_ns), Ok(depth)) = (c.u64(), c.u64(), c.u8()) else {
+            break;
+        };
+        spans.push(RemoteSpan {
+            origin: String::new(),
+            name,
+            start_ns,
+            dur_ns,
+            depth,
+        });
+    }
+    spans
+}
+
+/// Response kinds that may carry a trailing remote-span blob. Profile is
+/// deliberately excluded: its decoder reads a lenient trailing
+/// `generation` u64, which a span blob would corrupt.
+fn span_capable(kind: u16) -> bool {
+    matches!(kind, KIND_R_PREDICTION | KIND_R_TOP_N | KIND_R_PREDICTIONS)
+}
+
 // --- encode ------------------------------------------------------------
 
 impl Request {
@@ -326,34 +493,39 @@ impl Request {
             Self::RecommendTopN { .. } => KIND_RECOMMEND,
             Self::Profile => KIND_PROFILE,
             Self::PredictBatch { .. } => KIND_PREDICT_BATCH,
+            Self::Stats => KIND_STATS,
         }
     }
 
     fn payload(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Self::Health | Self::Profile => {}
-            Self::Predict { user, item } => {
+            Self::Health | Self::Profile | Self::Stats => {}
+            Self::Predict { user, item, trace } => {
                 put_u32(&mut out, *user);
                 put_u32(&mut out, *item);
+                put_trace_context(&mut out, trace);
             }
             Self::RecommendTopN {
                 user,
                 n,
                 item_start,
                 item_end,
+                trace,
             } => {
                 put_u32(&mut out, *user);
                 put_u32(&mut out, *n);
                 put_u32(&mut out, *item_start);
                 put_u32(&mut out, *item_end);
+                put_trace_context(&mut out, trace);
             }
-            Self::PredictBatch { pairs } => {
+            Self::PredictBatch { pairs, trace } => {
                 put_u32(&mut out, pairs.len() as u32);
                 for &(user, item) in pairs {
                     put_u32(&mut out, user);
                     put_u32(&mut out, item);
                 }
+                put_trace_context(&mut out, trace);
             }
         }
         out
@@ -364,15 +536,18 @@ impl Request {
         Ok(match kind {
             KIND_HEALTH => Self::Health,
             KIND_PROFILE => Self::Profile,
+            KIND_STATS => Self::Stats,
             KIND_PREDICT => Self::Predict {
                 user: c.u32()?,
                 item: c.u32()?,
+                trace: take_trace_context(&mut c),
             },
             KIND_RECOMMEND => Self::RecommendTopN {
                 user: c.u32()?,
                 n: c.u32()?,
                 item_start: c.u32()?,
                 item_end: c.u32()?,
+                trace: take_trace_context(&mut c),
             },
             KIND_PREDICT_BATCH => {
                 let count = c.u32()? as usize;
@@ -387,7 +562,10 @@ impl Request {
                     let item = c.u32()?;
                     pairs.push((user, item));
                 }
-                Self::PredictBatch { pairs }
+                Self::PredictBatch {
+                    pairs,
+                    trace: take_trace_context(&mut c),
+                }
             }
             other => return Err(FrameError::UnknownKind(other)),
         })
@@ -403,6 +581,7 @@ impl Response {
             Self::Profile(_) => KIND_R_PROFILE,
             Self::Error { .. } => KIND_R_ERROR,
             Self::Predictions(_) => KIND_R_PREDICTIONS,
+            Self::Stats(_) => KIND_R_STATS,
         }
     }
 
@@ -458,12 +637,36 @@ impl Response {
                     }
                 }
             }
+            Self::Stats(s) => {
+                put_u32(&mut out, s.shard_id);
+                put_u64(&mut out, s.generation);
+                put_u32(&mut out, s.snapshot.len() as u32);
+                out.extend_from_slice(&s.snapshot);
+            }
         }
         out
     }
 
+    #[cfg(test)]
     fn decode(kind: u16, payload: &[u8]) -> Result<Self, FrameError> {
+        Ok(Self::decode_with_spans(kind, payload)?.0)
+    }
+
+    /// [`Response::decode`] plus any trailing remote-span blob the
+    /// responder appended (always empty for kinds that cannot carry
+    /// one).
+    fn decode_with_spans(kind: u16, payload: &[u8]) -> Result<(Self, Vec<RemoteSpan>), FrameError> {
         let mut c = Cursor::new(payload);
+        let resp = Self::decode_body(&mut c, kind, payload)?;
+        let spans = if span_capable(kind) {
+            take_spans(&mut c)
+        } else {
+            Vec::new()
+        };
+        Ok((resp, spans))
+    }
+
+    fn decode_body(c: &mut Cursor, kind: u16, payload: &[u8]) -> Result<Self, FrameError> {
         Ok(match kind {
             KIND_R_HEALTH => Self::Health(HealthInfo {
                 shard_id: c.u32()?,
@@ -543,6 +746,20 @@ impl Response {
                 }
                 Self::Predictions(preds)
             }
+            KIND_R_STATS => {
+                let shard_id = c.u32()?;
+                let generation = c.u64()?;
+                let len = c.u32()? as usize;
+                if len > payload.len() {
+                    return Err(FrameError::Malformed("stats length exceeds payload"));
+                }
+                let snapshot = c.take(len)?.to_vec();
+                Self::Stats(WireStats {
+                    shard_id,
+                    generation,
+                    snapshot,
+                })
+            }
             other => return Err(FrameError::UnknownKind(other)),
         })
     }
@@ -572,6 +789,22 @@ pub fn write_request(stream: &mut TcpStream, req: &Request) -> std::io::Result<(
 /// Writes `resp` as one frame.
 pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
     write_frame(stream, resp.kind(), &resp.payload())
+}
+
+/// Writes `resp` with the responder's completed remote spans appended as
+/// trailing payload (only on kinds that can carry them — spans for any
+/// other kind are dropped, since e.g. an error frame's caller is not
+/// stitching a trace).
+pub fn write_response_with_spans(
+    stream: &mut TcpStream,
+    resp: &Response,
+    spans: &[RemoteSpan],
+) -> std::io::Result<()> {
+    let mut payload = resp.payload();
+    if span_capable(resp.kind()) {
+        put_spans(&mut payload, spans);
+    }
+    write_frame(stream, resp.kind(), &payload)
 }
 
 /// How one `fill` call ended.
@@ -693,9 +926,22 @@ pub fn read_response(
     frame_deadline: Duration,
     overall_deadline: Instant,
 ) -> Result<Response, FrameError> {
+    Ok(read_response_with_spans(stream, frame_deadline, overall_deadline)?.0)
+}
+
+/// [`read_response`] that also surfaces any remote spans the responder
+/// appended — the router's path for stitching shard spans into its own
+/// trace.
+pub fn read_response_with_spans(
+    stream: &mut TcpStream,
+    frame_deadline: Duration,
+    overall_deadline: Instant,
+) -> Result<(Response, Vec<RemoteSpan>), FrameError> {
     loop {
         match read_frame(stream, frame_deadline)? {
-            ReadOutcome::Frame((kind, payload)) => return Response::decode(kind, &payload),
+            ReadOutcome::Frame((kind, payload)) => {
+                return Response::decode_with_spans(kind, &payload)
+            }
             ReadOutcome::Eof => return Err(FrameError::Truncated),
             ReadOutcome::Idle => {
                 if Instant::now() >= overall_deadline {
@@ -739,19 +985,37 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
+        let ctx = TraceContext {
+            trace_id: 0xfeed_0000_0000_0042,
+            parent_span: 3,
+            sampled: true,
+        };
         let cases = [
             Request::Health,
             Request::Profile,
-            Request::Predict { user: 7, item: 42 },
+            Request::Stats,
+            Request::predict(7, 42),
+            Request::Predict {
+                user: 7,
+                item: 42,
+                trace: Some(ctx),
+            },
+            Request::recommend_top_n(3, 10, 100, u32::MAX),
             Request::RecommendTopN {
                 user: 3,
                 n: 10,
                 item_start: 100,
                 item_end: u32::MAX,
+                trace: Some(ctx),
             },
-            Request::PredictBatch { pairs: vec![] },
+            Request::predict_batch(vec![]),
             Request::PredictBatch {
                 pairs: vec![(0, 0), (7, 42), (u32::MAX, u32::MAX)],
+                trace: Some(TraceContext {
+                    trace_id: 1,
+                    parent_span: 0,
+                    sampled: false,
+                }),
             },
         ];
         for req in cases {
@@ -762,6 +1026,145 @@ mod tests {
                 other => panic!("expected a frame, got {other:?}"),
             }
         }
+    }
+
+    /// A predict frame from a build predating trace propagation (no
+    /// trailing context bytes) must decode with `trace: None` — and a
+    /// garbled tail must degrade to `None`, never to a frame error.
+    #[test]
+    fn requests_without_trailing_trace_context_decode_as_none() {
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 7);
+        put_u32(&mut payload, 42);
+        match Request::decode(KIND_PREDICT, &payload).unwrap() {
+            Request::Predict { user, item, trace } => {
+                assert_eq!((user, item), (7, 42));
+                assert_eq!(trace, None);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Truncated context tail: flag byte present, id cut short.
+        payload.push(1);
+        payload.extend_from_slice(&[0xaa; 3]);
+        match Request::decode(KIND_PREDICT, &payload).unwrap() {
+            Request::Predict { trace, .. } => assert_eq!(trace, None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_spans_round_trip_and_profile_stays_span_free() {
+        let spans = vec![
+            RemoteSpan {
+                origin: String::new(),
+                name: "remote.request".to_string(),
+                start_ns: 0,
+                dur_ns: 12_345,
+                depth: 0,
+            },
+            RemoteSpan {
+                origin: String::new(),
+                name: "estimator.sir".to_string(),
+                start_ns: 100,
+                dur_ns: 9_000,
+                depth: 1,
+            },
+        ];
+        let resp = Response::Prediction(WirePrediction {
+            fused: 3.5,
+            level: 0,
+            fallback: false,
+        });
+        let (mut client, mut server) = pair();
+        write_response_with_spans(&mut client, &resp, &spans).unwrap();
+        let (got, got_spans) = read_response_with_spans(
+            &mut server,
+            Duration::from_secs(1),
+            Instant::now() + Duration::from_secs(1),
+        )
+        .unwrap();
+        assert_eq!(got, resp);
+        assert_eq!(got_spans.len(), 2);
+        assert_eq!(got_spans[0].name, "remote.request");
+        assert_eq!(got_spans[1].dur_ns, 9_000);
+        assert_eq!(got_spans[1].depth, 1);
+
+        // A plain read_response on the same bytes just drops the spans.
+        let (mut client, mut server) = pair();
+        write_response_with_spans(&mut client, &resp, &spans).unwrap();
+        assert_eq!(roundtrip_response_on(&mut server), resp);
+
+        // Profile cannot carry spans: its trailing bytes are the
+        // generation field, which must survive untouched.
+        let profile = Response::Profile(WireProfile {
+            scale_min: 1.0,
+            scale_max: 5.0,
+            global_mean: 3.0,
+            num_items: 4,
+            user_means: vec![2.0],
+            generation: 7,
+        });
+        let (mut client, mut server) = pair();
+        write_response_with_spans(&mut client, &profile, &spans).unwrap();
+        let (got, got_spans) = read_response_with_spans(
+            &mut server,
+            Duration::from_secs(1),
+            Instant::now() + Duration::from_secs(1),
+        )
+        .unwrap();
+        assert_eq!(got, profile);
+        assert!(got_spans.is_empty());
+    }
+
+    /// A garbled span tail yields the spans that decoded cleanly — the
+    /// telemetry blob can never fail the serving answer.
+    #[test]
+    fn garbled_span_tail_degrades_to_no_spans() {
+        let resp = Response::Prediction(WirePrediction {
+            fused: 2.0,
+            level: 1,
+            fallback: false,
+        });
+        let mut payload = resp.payload();
+        put_u32(&mut payload, 5); // claims 5 spans, carries half of one
+        put_u16(&mut payload, 4);
+        payload.extend_from_slice(b"se");
+        let (got, spans) = Response::decode_with_spans(KIND_R_PREDICTION, &payload).unwrap();
+        assert_eq!(got, resp);
+        assert!(spans.is_empty());
+    }
+
+    #[test]
+    fn stats_frames_round_trip() {
+        let stats = WireStats {
+            shard_id: 3,
+            generation: 12,
+            snapshot: vec![1, 0, 0, 9, 255, 42],
+        };
+        match roundtrip_response(&Response::Stats(stats.clone())) {
+            Response::Stats(got) => assert_eq!(got, stats),
+            other => panic!("{other:?}"),
+        }
+
+        // A stats length word lying about the payload is malformed.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 3);
+        put_u64(&mut payload, 12);
+        put_u32(&mut payload, 1_000_000);
+        assert!(matches!(
+            Response::decode(KIND_R_STATS, &payload),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    fn roundtrip_response_on(server: &mut TcpStream) -> Response {
+        read_response(
+            server,
+            Duration::from_secs(1),
+            Instant::now() + Duration::from_secs(1),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -898,7 +1301,11 @@ mod tests {
     #[test]
     fn corrupt_payload_fails_crc() {
         let (mut client, mut server) = pair();
-        let req = Request::Predict { user: 1, item: 2 };
+        let req = Request::Predict {
+            user: 1,
+            item: 2,
+            trace: None,
+        };
         let mut raw = Vec::new();
         raw.extend_from_slice(&MAGIC);
         raw.extend_from_slice(&VERSION.to_le_bytes());

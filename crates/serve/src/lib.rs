@@ -25,12 +25,14 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod client;
+pub mod fleet;
 pub mod frame;
 pub mod live;
 pub mod router;
 pub mod server;
 
 pub use client::{ClientOptions, ShardClient};
+pub use fleet::FleetAggregator;
 pub use frame::{FrameError, Request, Response};
 pub use live::ModelHandle;
 pub use router::{Router, RouterConfig, RouterServer};

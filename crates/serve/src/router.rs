@@ -37,7 +37,7 @@ use cf_matrix::RatingScale;
 use cfsf_core::DegradeLevel;
 
 use crate::client::{ClientOptions, ShardClient};
-use crate::frame::{FrameError, HealthInfo, Request, Response, WireProfile};
+use crate::frame::{FrameError, HealthInfo, Request, Response, WireProfile, WireStats};
 
 /// Tuning for the router tier.
 #[derive(Debug, Clone)]
@@ -432,14 +432,14 @@ impl Router {
         // for free via request_on_shard's cooldown check.
         for (i, _slot) in self.slots.iter().enumerate() {
             let health = match self.request_on_shard(i, &Request::Health) {
-                Ok(Response::Health(h)) => h,
+                Ok((Response::Health(h), _)) => h,
                 _ => continue,
             };
             if health.generation <= cached {
                 return false;
             }
             match self.request_on_shard(i, &Request::Profile) {
-                Ok(Response::Profile(p)) => {
+                Ok((Response::Profile(p), _)) => {
                     if p.user_means.len() as u64 != self.num_users
                         || p.num_items != self.num_items
                         || !(p.scale_min.is_finite()
@@ -478,32 +478,54 @@ impl Router {
     /// Predicts `(user, item)` through the owning shard, degrading to
     /// the fallback table when it is down, saturated, or failing.
     /// `None` only for out-of-range ids — mirroring the in-process API.
+    ///
+    /// Opens a router-side request trace: the owning-shard exchange is a
+    /// span, the propagated context rides the predict frame, and the
+    /// shard's completed spans come back stitched under the same trace
+    /// id — so `/traces` on the router shows the cross-process tree.
     pub fn predict(&self, user: u32, item: u32) -> Option<RouterPrediction> {
         if u64::from(user) >= self.num_users || u64::from(item) >= self.num_items {
             return None;
         }
         cf_obs::counter!("router.requests").inc();
         cf_obs::time_scope!("router.request_ns");
+        let trace_req = cf_obs::trace::begin_request(user, item);
         let shard = shard_for_user(user, self.slots.len());
-        match self.request_on_shard(shard, &Request::Predict { user, item }) {
-            Ok(Response::Prediction(p)) => {
+        // Built after begin_request so the frame captures this trace's
+        // context (id allocated eagerly, sampling decision included).
+        let req = Request::predict(user, item);
+        let result = {
+            let _s = cf_obs::trace::span("router.shard_call");
+            self.request_on_shard(shard, &req)
+        };
+        let pred = match result {
+            Ok((Response::Prediction(p), spans)) => {
+                cf_obs::trace::attach_remote_spans(&format!("shard{shard}"), spans);
                 cf_obs::counter!("router.ok").inc();
                 let level = DegradeLevel::from_code(p.level).unwrap_or(DegradeLevel::GlobalMean);
-                Some(RouterPrediction {
+                RouterPrediction {
                     fused: p.fused,
                     level,
                     fallback: p.fallback,
                     shard: Some(shard),
-                })
+                }
             }
             Ok(_) => {
                 // Decodable but wrong frame: a confused shard. Absorb it
                 // the same way as an I/O failure.
                 cf_obs::counter!("router.shard_io_errors").inc();
-                Some(self.fallback_predict(user))
+                self.fallback_predict(user)
             }
-            Err(_) => Some(self.fallback_predict(user)),
-        }
+            Err(_) => self.fallback_predict(user),
+        };
+        trace_req.finish(cf_obs::trace::Outcome {
+            level: pred.level.as_str(),
+            fallback: pred.fallback,
+            k_used: 0,
+            m_used: 0,
+            fused: pred.fused,
+        });
+        Some(pred)
     }
 
     /// Top-`n` via scatter-gather over all shard stripes (see module
@@ -527,52 +549,54 @@ impl Router {
         }
         cf_obs::counter!("router.requests").inc();
         cf_obs::time_scope!("router.request_ns");
+        let trace_req = cf_obs::trace::begin_request(user, u32::MAX);
         let total = self.num_items.min(u64::from(u32::MAX)) as u32;
         let end = item_end.min(total);
         let start = item_start.min(end);
         let shards = self.slots.len() as u32;
         // Fixed stripes over the requested range, one per configured
         // shard — liveness-independent, so results are deterministic.
+        // Stripe requests are built here, on the tracing thread, so every
+        // frame carries this trace's context; the scatter threads have no
+        // trace TLS of their own.
         let span = end - start;
-        let stripes: Vec<(usize, u32, u32)> = (0..shards)
+        let stripes: Vec<(usize, Request)> = (0..shards)
             .map(|s| {
                 let lo = start + (u64::from(s) * u64::from(span) / u64::from(shards)) as u32;
                 let hi = start + (u64::from(s + 1) * u64::from(span) / u64::from(shards)) as u32;
                 (s as usize, lo, hi)
             })
             .filter(|&(_, lo, hi)| lo < hi)
+            .map(|(s, lo, hi)| (s, Request::recommend_top_n(user, n, lo, hi)))
             .collect();
 
         let mut complete = true;
         let mut candidates: Vec<(u32, f64)> = Vec::new();
         std::thread::scope(|scope| {
+            let scatter_span = cf_obs::trace::span("router.scatter");
             let handles: Vec<_> = stripes
-                .iter()
-                .map(|&(s, lo, hi)| {
-                    scope.spawn(move || {
-                        match self.request_on_shard(
-                            s,
-                            &Request::RecommendTopN {
-                                user,
-                                n,
-                                item_start: lo,
-                                item_end: hi,
-                            },
-                        ) {
-                            Ok(Response::TopN(items)) => Some(items),
-                            Ok(_) => {
-                                cf_obs::counter!("router.shard_io_errors").inc();
-                                None
-                            }
-                            Err(_) => None,
+                .into_iter()
+                .map(|(s, req)| {
+                    let h = scope.spawn(move || match self.request_on_shard(s, &req) {
+                        Ok((Response::TopN(items), spans)) => (Some(items), spans),
+                        Ok(_) => {
+                            cf_obs::counter!("router.shard_io_errors").inc();
+                            (None, Vec::new())
                         }
-                    })
+                        Err(_) => (None, Vec::new()),
+                    });
+                    (s, h)
                 })
                 .collect();
-            for h in handles {
+            for (s, h) in handles {
                 match h.join() {
-                    Ok(Some(items)) => candidates.extend(items),
-                    Ok(None) => complete = false,
+                    Ok((Some(items), spans)) => {
+                        // Stitching happens back on the tracing thread:
+                        // the scatter threads cannot see this trace's TLS.
+                        cf_obs::trace::attach_remote_spans(&format!("shard{s}"), spans);
+                        candidates.extend(items);
+                    }
+                    Ok((None, _)) => complete = false,
                     Err(_) => {
                         // A panicking scatter thread is absorbed like a
                         // dead stripe, never propagated to the caller.
@@ -580,6 +604,7 @@ impl Router {
                     }
                 }
             }
+            drop(scatter_span);
         });
         if complete {
             cf_obs::counter!("router.ok").inc();
@@ -592,10 +617,41 @@ impl Router {
             // below single-estimator territory.
             DegradeLevel::ClusterSmoothed.record();
         }
+        let level = if complete {
+            DegradeLevel::Full
+        } else {
+            DegradeLevel::ClusterSmoothed
+        };
+        trace_req.finish(cf_obs::trace::Outcome {
+            level: level.as_str(),
+            fallback: !complete,
+            k_used: 0,
+            m_used: 0,
+            fused: f64::NAN,
+        });
         Some(RouterTopN {
             items: cfsf_core::topk::top_k_by_score(n as usize, candidates),
             complete,
         })
+    }
+
+    /// Polls every shard's mergeable metrics snapshot (a `Stats` frame
+    /// per shard, through the same admission/retry/down-marking path as
+    /// serving traffic). Element `i` is `None` when shard `i` is down or
+    /// failed the exchange — the fleet aggregator keeps its last good
+    /// snapshot in that case.
+    pub fn poll_shard_stats(&self) -> Vec<Option<WireStats>> {
+        (0..self.slots.len())
+            .map(|i| match self.request_on_shard(i, &Request::Stats) {
+                Ok((Response::Stats(s), _)) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of shard slots this router fronts.
+    pub fn num_shards(&self) -> usize {
+        self.slots.len()
     }
 
     /// Health of the fleet as this router sees it: `(configured, up)`.
@@ -613,8 +669,13 @@ impl Router {
     }
 
     /// One request against one shard with admission control, pooled
-    /// connections, retry + backoff, and down-marking.
-    fn request_on_shard(&self, shard: usize, req: &Request) -> Result<Response, ShardUnavailable> {
+    /// connections, retry + backoff, and down-marking. Also returns any
+    /// remote spans the shard shipped back on the response frame.
+    fn request_on_shard(
+        &self,
+        shard: usize,
+        req: &Request,
+    ) -> Result<(Response, Vec<cf_obs::trace::RemoteSpan>), ShardUnavailable> {
         let slot = &self.slots[shard];
         // Down and inside cooldown: shed immediately, zero socket cost.
         {
@@ -667,7 +728,7 @@ impl Router {
                     }
                 },
             };
-            match client.request(req) {
+            match client.request_traced(req) {
                 Ok(resp) => {
                     let mut pool = slot
                         .pool
@@ -791,11 +852,20 @@ impl Handler for RouterHandler {
                 generation: self.router.profile_generation(),
             }),
             Request::Profile => Response::Profile(self.router.profile()),
+            // A router answers stats frames with its *own* registry (the
+            // front tier's counters and request histograms), marked with
+            // the front-tier id — so stacked routers can aggregate tiers
+            // without conflating them with shards.
+            Request::Stats => Response::Stats(WireStats {
+                shard_id: u32::MAX,
+                generation: self.router.profile_generation(),
+                snapshot: cf_obs::merge::MergeSnapshot::of(cf_obs::global()).to_bytes(),
+            }),
             // The front answers batches pair by pair so each pair gets
             // the full failover/degradation ladder independently; the
             // locality win from strip-sorted batching happens on the
             // shards, which see the per-pair requests of their own users.
-            Request::PredictBatch { pairs } => Response::Predictions(
+            Request::PredictBatch { pairs, .. } => Response::Predictions(
                 pairs
                     .into_iter()
                     .map(|(user, item)| {
@@ -809,7 +879,7 @@ impl Handler for RouterHandler {
                     })
                     .collect(),
             ),
-            Request::Predict { user, item } => match self.router.predict(user, item) {
+            Request::Predict { user, item, .. } => match self.router.predict(user, item) {
                 Some(p) => Response::Prediction(crate::frame::WirePrediction {
                     fused: p.fused,
                     level: p.level.code(),
@@ -825,6 +895,7 @@ impl Handler for RouterHandler {
                 n,
                 item_start,
                 item_end,
+                ..
             } => match self
                 .router
                 .recommend_top_n_in_range(user, n, item_start, item_end)

@@ -24,8 +24,8 @@ use std::time::Duration;
 use cf_matrix::{ItemId, UserId};
 
 use crate::frame::{
-    self, HealthInfo, ReadOutcome, Request, Response, WirePrediction, WireProfile, ERR_BUSY,
-    ERR_OUT_OF_RANGE,
+    self, HealthInfo, ReadOutcome, Request, Response, WirePrediction, WireProfile, WireStats,
+    ERR_BUSY, ERR_OUT_OF_RANGE,
 };
 use crate::live::ModelHandle;
 
@@ -236,13 +236,25 @@ fn connection_loop(
             Ok(ReadOutcome::Idle) => continue,
             Ok(ReadOutcome::Eof) => return Ok(()),
             Ok(ReadOutcome::Frame(req)) => {
-                let resp = handler.handle(req);
+                // Cross-process tracing happens at the transport layer so
+                // every handler gets it for free: a request carrying a
+                // trace context is dispatched under remote adoption, and
+                // the spans its handling completed ship back on the
+                // response frame for the origin to stitch.
+                let (resp, spans) = match req.trace_context() {
+                    Some(ctx) => {
+                        let guard = cf_obs::trace::begin_remote(ctx);
+                        let resp = handler.handle(req);
+                        (resp, guard.finish())
+                    }
+                    None => (handler.handle(req), Vec::new()),
+                };
                 handler.bump(!matches!(resp, Response::Error { .. }));
                 match handler.after_response() {
                     ConnAction::Close => return Ok(()),
                     ConnAction::Continue => {}
                 }
-                frame::write_response(stream, &resp)?;
+                frame::write_response_with_spans(stream, &resp, &spans)?;
             }
             Err(crate::frame::FrameError::Io(e)) => return Err(crate::frame::FrameError::Io(e)),
             Err(e) => {
@@ -357,6 +369,15 @@ impl ShardHandler {
             model.recommend_top_n_in_range(UserId::new(user), n as usize, item_start..item_end);
         Response::TopN(recs.into_iter().map(|(i, s)| (i.raw(), s)).collect())
     }
+
+    fn stats(&self) -> Response {
+        let (_, generation) = self.handle.load_with_generation();
+        Response::Stats(WireStats {
+            shard_id: self.shard_id,
+            generation,
+            snapshot: cf_obs::merge::MergeSnapshot::of(cf_obs::global()).to_bytes(),
+        })
+    }
 }
 
 impl Handler for ShardHandler {
@@ -365,13 +386,15 @@ impl Handler for ShardHandler {
         match req {
             Request::Health => self.health(),
             Request::Profile => self.profile(),
-            Request::Predict { user, item } => self.predict(user, item),
-            Request::PredictBatch { pairs } => self.predict_batch(&pairs),
+            Request::Stats => self.stats(),
+            Request::Predict { user, item, .. } => self.predict(user, item),
+            Request::PredictBatch { pairs, .. } => self.predict_batch(&pairs),
             Request::RecommendTopN {
                 user,
                 n,
                 item_start,
                 item_end,
+                ..
             } => self.recommend(user, n, item_start, item_end),
         }
     }

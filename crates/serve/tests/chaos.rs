@@ -204,7 +204,7 @@ fn shard_kill_during_refresh_neither_blocks_serving_nor_kills_rebuild() {
     );
     for k in 0..16u32 {
         let (user, item) = (k % users, (k * 3) % items);
-        match client.request(&Request::Predict { user, item }).unwrap() {
+        match client.request(&Request::predict(user, item)).unwrap() {
             Response::Prediction(p) => {
                 let local = gen0
                     .predict_with_breakdown(UserId::new(user), ItemId::new(item))

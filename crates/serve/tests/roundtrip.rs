@@ -102,7 +102,7 @@ fn shard_answers_bit_for_bit() {
             let local = model
                 .predict_with_breakdown(UserId::new(user), ItemId::new(item))
                 .unwrap();
-            match client.request(&Request::Predict { user, item }).unwrap() {
+            match client.request(&Request::predict(user, item)).unwrap() {
                 Response::Prediction(p) => {
                     assert_eq!(p.fused.to_bits(), local.fused.to_bits());
                     assert_eq!(p.level, local.level.code());
@@ -113,12 +113,7 @@ fn shard_answers_bit_for_bit() {
         }
         let local = model.recommend_top_n(UserId::new(user), 5);
         match client
-            .request(&Request::RecommendTopN {
-                user,
-                n: 5,
-                item_start: 0,
-                item_end: u32::MAX,
-            })
+            .request(&Request::recommend_top_n(user, 5, 0, u32::MAX))
             .unwrap()
         {
             Response::TopN(remote) => {
@@ -134,13 +129,7 @@ fn shard_answers_bit_for_bit() {
 
     // Out-of-range ids get a typed error, not a closed connection: the
     // same client keeps working afterwards.
-    match client
-        .request(&Request::Predict {
-            user: users + 1000,
-            item: 0,
-        })
-        .unwrap()
-    {
+    match client.request(&Request::predict(users + 1000, 0)).unwrap() {
         Response::Error { code, .. } => assert_eq!(code, cf_serve::frame::ERR_OUT_OF_RANGE),
         other => panic!("out-of-range predict answered {other:?}"),
     }
@@ -358,7 +347,7 @@ fn router_front_speaks_the_shard_protocol() {
         let local = model
             .predict_with_breakdown(UserId::new(user), ItemId::new(1))
             .unwrap();
-        match client.request(&Request::Predict { user, item: 1 }).unwrap() {
+        match client.request(&Request::predict(user, 1)).unwrap() {
             Response::Prediction(p) => assert_eq!(p.fused.to_bits(), local.fused.to_bits()),
             other => panic!("predict answered {other:?}"),
         }
@@ -368,12 +357,7 @@ fn router_front_speaks_the_shard_protocol() {
             .map(|(i, s)| (i.raw(), s.to_bits()))
             .collect();
         match client
-            .request(&Request::RecommendTopN {
-                user,
-                n: 3,
-                item_start: 0,
-                item_end: u32::MAX,
-            })
+            .request(&Request::recommend_top_n(user, 3, 0, u32::MAX))
             .unwrap()
         {
             Response::TopN(remote) => {

@@ -33,6 +33,14 @@ cargo run -q -p cf-analysis --bin cfsf-analyze --offline -- --deny-warnings
 echo "==> sharded serving: router + shard processes round-trip"
 cargo test --offline -q --test sharded_serving
 
+# Fleet observability: router + shard processes again, this time
+# asserting the cross-process trace stitches under one trace id on
+# /traces, the merged cfsf_fleet_* series equal the per-shard sums
+# within a single scrape, and the SLO engine publishes burn-rate gauges
+# and writes BENCH_slo.json.
+echo "==> fleet observability: trace propagation + merged metrics + SLOs"
+cargo test --offline -q --test fleet_tracing
+
 # Chaos job: the deterministic fault-injection suite. The faultinject
 # feature compiles the injection points into cfsf-core, so this runs as
 # its own pass (and lints the gated code the default pass never sees).

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_slo.json: a sample SLO report from a healthy live
+# two-shard fleet. Fully offline — the dataset is synthetic, the model
+# is trained on the spot, and `cfsf-cli probe` drives the traffic the
+# SLO engine measures.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_slo.json}"
+WORK="target/slo_report"
+mkdir -p "$WORK"
+
+cargo build --release --offline -q --bin cfsf_cli --bin cfsf_router
+CLI=target/release/cfsf_cli
+ROUTER=target/release/cfsf_router
+
+cleanup() {
+  kill "${PIDS[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+PIDS=()
+trap cleanup EXIT
+
+echo "==> synthetic dataset + model"
+"$CLI" synth --small --out "$WORK/u.synth.data"
+"$CLI" train "$WORK/u.synth.data" --out "$WORK/model.cfsf"
+
+echo "==> two shards + router (SLO engine on a 200ms poll)"
+"$CLI" serve "$WORK/model.cfsf" --serve 127.0.0.1:0 --shard-id 0 \
+  >"$WORK/shard0.log" 2>&1 &
+PIDS+=($!)
+"$CLI" serve "$WORK/model.cfsf" --serve 127.0.0.1:0 --shard-id 1 \
+  >"$WORK/shard1.log" 2>&1 &
+PIDS+=($!)
+
+shard_addr() { # shard_addr LOGFILE
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on //p' "$1" | head -1)
+    [ -n "$addr" ] && { echo "$addr"; return; }
+    sleep 0.1
+  done
+  echo "error: shard never printed its listening line" >&2
+  exit 1
+}
+S0=$(shard_addr "$WORK/shard0.log")
+S1=$(shard_addr "$WORK/shard1.log")
+
+"$ROUTER" --shards "$S0,$S1" --listen 127.0.0.1:0 \
+  --serve-metrics 127.0.0.1:0 --trace-sample-every 8 \
+  --stats-poll-ms 200 --slo-p999-ms 50 --slo-degrade-pm 100 \
+  --slo-report "$WORK/BENCH_slo.json" \
+  >"$WORK/router.log" 2>&1 &
+PIDS+=($!)
+R=$(shard_addr "$WORK/router.log")
+
+echo "==> probing the router"
+"$CLI" probe "$R" --requests 2000 --top-n 10
+sleep 1 # let a final stats poll fold the probe traffic into the report
+
+test -s "$WORK/BENCH_slo.json" || {
+  echo "error: router never wrote the SLO report" >&2
+  exit 1
+}
+cp "$WORK/BENCH_slo.json" "$OUT"
+echo "wrote $OUT"

@@ -11,6 +11,10 @@
 //!                                               # run a wire-protocol shard server
 //!                                               # (front it with cfsf_router)
 //! cfsf-cli refresh-demo                         # drift-triggered zero-pause refresh
+//! cfsf-cli synth [--out u.synth.data] [--small] [--seed N]
+//!                                               # write a synthetic dataset in u.data format
+//! cfsf-cli probe ADDR [--requests N] [--top-n N]
+//!                                               # drive live traffic at a shard/router
 //! cfsf-cli demo
 //! ```
 //!
@@ -85,6 +89,8 @@ fn main() {
         "serve" => cmd_serve(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "refresh-demo" => cmd_refresh_demo(&args[1..]),
+        "synth" => cmd_synth(&args[1..]),
+        "probe" => cmd_probe(&args[1..]),
         "demo" => cmd_demo(),
         "--help" | "-h" => usage(""),
         other => usage(&format!("unknown command {other:?}")),
@@ -288,6 +294,103 @@ fn cmd_train(args: &[String]) {
     });
     let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
     println!("saved {out} ({:.1} MiB)", bytes as f64 / (1024.0 * 1024.0));
+}
+
+/// `synth [--out PATH] [--small] [--seed N]` — write a seeded synthetic
+/// MovieLens-like dataset in `u.data` format. Every downstream command
+/// (`stats`/`evaluate`/`train`) accepts the output, so the whole
+/// pipeline — including the sharded fleet — runs offline without a
+/// download.
+fn cmd_synth(args: &[String]) {
+    let out = flag(args, "--out").unwrap_or_else(|| "u.synth.data".into());
+    let mut cfg = if args.iter().any(|a| a == "--small") {
+        SyntheticConfig::small()
+    } else {
+        SyntheticConfig::movielens()
+    };
+    cfg.seed = flag_num(args, "--seed", cfg.seed);
+    let dataset = cfg.generate();
+    let mut buf = Vec::new();
+    cfsf::data::save_movielens(&dataset.matrix, &mut buf).expect("in-memory write cannot fail");
+    std::fs::write(&out, &buf).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "wrote {out}: {} users × {} items, {} ratings (seed {})",
+        dataset.matrix.num_users(),
+        dataset.matrix.num_items(),
+        dataset.matrix.num_ratings(),
+        cfg.seed
+    );
+}
+
+/// `probe ADDR [--requests N] [--top-n N]` — drive live predict and
+/// top-N traffic at a shard or router over the wire protocol and print
+/// a latency summary. The shell-scriptable load source for fleet smoke
+/// tests and SLO report generation (`scripts/slo_report.sh`).
+fn cmd_probe(args: &[String]) {
+    use cf_serve::client::{ClientOptions, ShardClient};
+    use cf_serve::frame::{Request, Response};
+    let Some(addr) = args.first() else {
+        usage("probe needs an address (HOST:PORT of a shard or router)");
+    };
+    let requests: u32 = flag_num(args, "--requests", 200);
+    let top_n: u32 = flag_num(args, "--top-n", 10);
+    let mut client =
+        ShardClient::connect(addr.as_str(), ClientOptions::default()).unwrap_or_else(|e| {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        });
+    let (users, items) = match client.request(&Request::Health) {
+        Ok(Response::Health(h)) => (h.num_users.max(1) as u32, h.num_items.max(1) as u32),
+        Ok(other) => {
+            eprintln!("error: health probe answered {other:?}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: health probe failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut lat = Vec::with_capacity(requests as usize);
+    let mut fallbacks = 0u64;
+    for i in 0..requests {
+        // Coprime strides spread the probes across users and items.
+        let user = i.wrapping_mul(7919) % users;
+        let req = if top_n > 0 && i % 16 == 0 {
+            Request::recommend_top_n(user, top_n, 0, u32::MAX)
+        } else {
+            Request::predict(user, i.wrapping_mul(104_729) % items)
+        };
+        let t = std::time::Instant::now();
+        match client.request(&req) {
+            Ok(Response::Prediction(p)) => fallbacks += u64::from(p.fallback),
+            Ok(Response::TopN(_)) => {}
+            Ok(other) => {
+                eprintln!("error: probe answered {other:?}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: probe request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        lat.push(t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+    if lat.is_empty() {
+        println!("probed {addr}: 0 requests");
+        return;
+    }
+    lat.sort_unstable();
+    let q = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+    println!(
+        "probed {addr}: {requests} requests, {fallbacks} fallback answers, \
+         p50 {}ns p99 {}ns max {}ns",
+        q(0.50),
+        q(0.99),
+        q(1.0)
+    );
 }
 
 fn cmd_serve(args: &[String]) {
@@ -520,7 +623,9 @@ fn usage(problem: &str) -> ! {
          \x20 cfsf-cli train <u.data> --out model.cfsf\n\
          \x20 cfsf-cli serve <model.cfsf> --user ID [--n N]\n\
          \x20 cfsf-cli serve <model.cfsf> --serve ADDR [--shard-id N] [--self-heal]  (wire-protocol shard; see cfsf_router)\n\
-         \x20 cfsf-cli refresh-demo [--drift-* ...]  (drift-triggered zero-pause refresh on synthetic data)\n  cfsf-cli demo\n\
+         \x20 cfsf-cli refresh-demo [--drift-* ...]  (drift-triggered zero-pause refresh on synthetic data)\n\
+         \x20 cfsf-cli synth [--out u.synth.data] [--small] [--seed N]  (write a synthetic dataset in u.data format)\n\
+         \x20 cfsf-cli probe ADDR [--requests N] [--top-n N]  (drive live traffic at a shard/router)\n  cfsf-cli demo\n\
          algorithms: cfsf, sur, sir, sf, emdp, scbpcc, am, pd\n\
          global flags: --stats (dump metrics JSON on stderr), --stats-out PATH (write metrics JSON to PATH),\n\
                        --serve-metrics ADDR (live /metrics, /stats.json, /traces endpoint),\n\

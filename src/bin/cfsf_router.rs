@@ -4,7 +4,9 @@
 //! cfsf_router --shards HOST:PORT,HOST:PORT,... --listen ADDR
 //!             [--serve-metrics ADDR] [--max-in-flight N]
 //!             [--retries N] [--down-cooldown-ms N]
-//!             [--profile-poll-ms N]
+//!             [--profile-poll-ms N] [--stats-poll-ms N]
+//!             [--slo-p999-ms N] [--slo-degrade-pm N]
+//!             [--slo-report PATH] [--trace-sample-every N]
 //! ```
 //!
 //! Connects to every shard (each a `cfsf-cli serve <model> --serve ADDR`
@@ -24,6 +26,19 @@
 //! model generation — a self-healing shard rebuilt in the background —
 //! re-fetches the fallback profile so the router's degradation table
 //! tracks the served model instead of the one from boot.
+//!
+//! `--stats-poll-ms N` (default 1000, 0 disables) polls every shard's
+//! mergeable metrics snapshot (`Stats` frames) and folds them into the
+//! fleet aggregator: `/metrics` then carries merged `cfsf_fleet_*`
+//! series plus the same families labelled `shard="N"`, `/stats.json`
+//! gains a `"fleet"` section, and the SLO engine — request p999 ≤
+//! `--slo-p999-ms` (default 50) and degrade rate ≤ `--slo-degrade-pm`
+//! per mille (default 100) — publishes multi-window burn-rate gauges.
+//! `--slo-report PATH` additionally rewrites the SLO report JSON at
+//! PATH on every poll. `--trace-sample-every N` head-samples every Nth
+//! request into a captured trace (0 disables; sampled requests also
+//! propagate their trace context to the shards, which ship their spans
+//! back for stitching on `/traces`).
 
 use std::time::Duration;
 
@@ -97,6 +112,38 @@ fn main() {
         });
     }
 
+    // Head-sampled tracing: every Nth request is captured, and because
+    // the router propagates trace context on shard frames, the shards'
+    // spans come back and stitch into one cross-process tree.
+    let sample_every: u32 = flag_num(&args, "--trace-sample-every", 0);
+    cf_obs::trace::set_head_sample_every(sample_every);
+
+    // Fleet aggregation + SLO poll: merged metrics, per-shard labels,
+    // burn-rate gauges, optional report file (see module docs).
+    let stats_poll_ms: u64 = flag_num(&args, "--stats-poll-ms", 1000);
+    let slo_report = flag(&args, "--slo-report");
+    if stats_poll_ms > 0 {
+        let p999_ms: u64 = flag_num(&args, "--slo-p999-ms", 50);
+        let degrade_pm: u32 = flag_num(&args, "--slo-degrade-pm", 100);
+        let agg = std::sync::Arc::new(cf_serve::FleetAggregator::new(
+            std::sync::Arc::clone(&router),
+            cf_obs::slo::serving_slos(p999_ms, degrade_pm),
+        ));
+        cf_obs::serve::set_scrape_extra(
+            std::sync::Arc::clone(&agg) as std::sync::Arc<dyn cf_obs::serve::ScrapeExtra>
+        );
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(stats_poll_ms));
+            let now = std::time::Instant::now();
+            agg.poll(now);
+            if let Some(path) = &slo_report {
+                if let Err(e) = std::fs::write(path, agg.slo_report(now)) {
+                    eprintln!("router: cannot write SLO report {path}: {e}");
+                }
+            }
+        });
+    }
+
     let front =
         cf_serve::RouterServer::bind(listen.as_str(), router, cf_serve::ServerOptions::default())
             .unwrap_or_else(|e| {
@@ -140,6 +187,14 @@ fn usage(problem: &str) -> ! {
          \x20             [--retries N] [--down-cooldown-ms N]\n\
          \x20             [--profile-poll-ms N]  (default 5000; 0 disables the\n\
          \x20              generation-staleness poll of the fallback profile)\n\
+         \x20             [--stats-poll-ms N]  (default 1000; 0 disables fleet\n\
+         \x20              metric aggregation and SLO evaluation)\n\
+         \x20             [--slo-p999-ms N] [--slo-degrade-pm N]  (objectives:\n\
+         \x20              request p999 ≤ N ms, degrade rate ≤ N per mille)\n\
+         \x20             [--slo-report PATH]  (rewrite the SLO report JSON\n\
+         \x20              at PATH on every stats poll)\n\
+         \x20             [--trace-sample-every N]  (capture every Nth request\n\
+         \x20              as a stitched cross-process trace; 0 disables)\n\
          \n\
          Each shard is a `cfsf-cli serve <model.cfsf> --serve ADDR` process\n\
          serving the same model. The router answers the same wire protocol\n\

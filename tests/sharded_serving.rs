@@ -184,7 +184,7 @@ fn sharded_fleet_round_trips_and_survives_shard_kill() {
             let local = model
                 .predict_with_breakdown(UserId::new(user), ItemId::new(item))
                 .unwrap();
-            match client.request(&Request::Predict { user, item }).unwrap() {
+            match client.request(&Request::predict(user, item)).unwrap() {
                 Response::Prediction(p) => {
                     assert_eq!(
                         p.fused.to_bits(),
@@ -201,12 +201,7 @@ fn sharded_fleet_round_trips_and_survives_shard_kill() {
             .map(|(i, s)| (i.raw(), s.to_bits()))
             .collect();
         match client
-            .request(&Request::RecommendTopN {
-                user,
-                n: 5,
-                item_start: 0,
-                item_end: u32::MAX,
-            })
+            .request(&Request::recommend_top_n(user, 5, 0, u32::MAX))
             .unwrap()
         {
             Response::TopN(remote) => {
@@ -230,7 +225,7 @@ fn sharded_fleet_round_trips_and_survives_shard_kill() {
 
     let mut dead_users = 0u64;
     for user in 0..users {
-        match client.request(&Request::Predict { user, item: 0 }).unwrap() {
+        match client.request(&Request::predict(user, 0)).unwrap() {
             Response::Prediction(p) => {
                 assert!(p.fused.is_finite());
                 if shard_for_user(user, 2) == 1 {
@@ -248,12 +243,7 @@ fn sharded_fleet_round_trips_and_survives_shard_kill() {
 
     // Recommends still answer from the surviving stripe.
     match client
-        .request(&Request::RecommendTopN {
-            user: 0,
-            n: 5,
-            item_start: 0,
-            item_end: u32::MAX,
-        })
+        .request(&Request::recommend_top_n(0, 5, 0, u32::MAX))
         .unwrap()
     {
         Response::TopN(items) => {
