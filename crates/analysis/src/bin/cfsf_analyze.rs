@@ -4,17 +4,26 @@
 //! ```text
 //! cfsf-analyze [--deny-warnings] [--no-models] [--no-lint]
 //!              [--list-rules] [--replay <model> <c0,c1,...>] [--root <dir>]
+//!              [--json] [--json-out <path>] [--annotate]
 //! ```
+//!
+//! `--json` replaces the human report on stdout with one machine-readable
+//! JSON document; `--json-out <path>` writes the same document to a file
+//! while keeping the human report; `--annotate` additionally emits GitHub
+//! workflow commands (`::error file=…,line=…::…`) so CI surfaces lint
+//! findings and model failures inline on the diff.
 //!
 //! Exit status: `0` when clean; `1` on any model failure, suppression /
 //! allowlist error, or (with `--deny-warnings`) any unsuppressed lint
-//! diagnostic.
+//! diagnostic. The seeded-race fixture models (`expect_race`) invert:
+//! they gate on the race detector *firing*.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cf_analysis::lint::{self, rules};
-use cf_analysis::models;
+use cf_analysis::lint::{self, rules, LintReport};
+use cf_analysis::models::{self, ModelRun};
+use cf_obs::json::Writer;
 
 struct Args {
     deny_warnings: bool,
@@ -23,6 +32,9 @@ struct Args {
     list_rules: bool,
     replay: Option<(String, Vec<usize>)>,
     root: Option<PathBuf>,
+    json: bool,
+    json_out: Option<PathBuf>,
+    annotate: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +45,9 @@ fn parse_args() -> Result<Args, String> {
         list_rules: false,
         replay: None,
         root: None,
+        json: false,
+        json_out: None,
+        annotate: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -41,6 +56,11 @@ fn parse_args() -> Result<Args, String> {
             "--no-models" => args.run_models = false,
             "--no-lint" => args.run_lint = false,
             "--list-rules" => args.list_rules = true,
+            "--json" => args.json = true,
+            "--json-out" => {
+                args.json_out = Some(PathBuf::from(it.next().ok_or("--json-out needs a path")?));
+            }
+            "--annotate" => args.annotate = true,
             "--replay" => {
                 let model = it.next().ok_or("--replay needs <model> <schedule>")?;
                 let sched = it.next().ok_or("--replay needs <model> <schedule>")?;
@@ -72,6 +92,120 @@ fn find_root() -> Option<PathBuf> {
             return None;
         }
     }
+}
+
+/// Did this model run satisfy its gate? Ordinary models must explore
+/// clean; `expect_race` fixtures must fail *with a data-race report* —
+/// a clean run means the detector regressed.
+fn model_ok(run: &ModelRun) -> bool {
+    match (&run.report.failure, run.expect_race) {
+        (None, false) => true,
+        (Some(f), true) => f.message.contains("data race"),
+        _ => false,
+    }
+}
+
+/// Renders the whole gate result as one JSON document.
+fn render_json(lint: Option<&LintReport>, runs: &[ModelRun], ok: bool) -> String {
+    let mut w = Writer::new();
+    w.begin_object();
+    w.key("lint");
+    match lint {
+        None => w.null(),
+        Some(report) => {
+            let diag_array = |w: &mut Writer, key: &str, diags: &[lint::Diagnostic]| {
+                w.key(key);
+                w.begin_array();
+                for d in diags {
+                    w.elem();
+                    w.begin_object();
+                    w.key("rule");
+                    w.string(d.rule);
+                    w.key("path");
+                    w.string(&d.path);
+                    w.key("line");
+                    w.number_u64(d.line as u64);
+                    w.key("message");
+                    w.string(&d.message);
+                    w.end_object();
+                }
+                w.end_array();
+            };
+            w.begin_object();
+            w.key("files_scanned");
+            w.number_u64(report.files_scanned as u64);
+            diag_array(&mut w, "errors", &report.errors);
+            diag_array(&mut w, "diagnostics", &report.diagnostics);
+            diag_array(&mut w, "suppressed", &report.suppressed);
+            w.key("unused_suppressions");
+            w.begin_array();
+            for s in &report.unused_suppressions {
+                w.elem();
+                w.begin_object();
+                w.key("rule");
+                w.string(&s.rule);
+                w.key("path");
+                w.string(&s.path);
+                w.key("line");
+                w.number_u64(s.line as u64);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+    }
+    w.key("models");
+    w.begin_array();
+    for run in runs {
+        w.elem();
+        w.begin_object();
+        w.key("name");
+        w.string(run.name);
+        w.key("expect_race");
+        w.bool(run.expect_race);
+        w.key("ok");
+        w.bool(model_ok(run));
+        w.key("executions");
+        w.number_u64(run.report.executions);
+        w.key("pruned");
+        w.number_u64(run.report.pruned);
+        w.key("sleep_pruned");
+        w.number_u64(run.report.sleep_pruned);
+        w.key("complete");
+        w.bool(run.report.complete);
+        w.key("failure");
+        match &run.report.failure {
+            None => w.null(),
+            Some(f) => {
+                w.begin_object();
+                w.key("message");
+                w.string(&f.message);
+                w.key("script");
+                w.begin_array();
+                for c in &f.script {
+                    w.elem();
+                    w.number_u64(*c as u64);
+                }
+                w.end_array();
+                w.key("kinds");
+                w.string(&f.kinds);
+                w.end_object();
+            }
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.key("ok");
+    w.bool(ok);
+    w.end_object();
+    w.finish()
+}
+
+/// Emits a GitHub workflow command pinned to a file and line.
+fn annotate(level: &str, path: &str, line: usize, message: &str) {
+    // Workflow commands terminate at the newline; escape the message's.
+    let msg = message.replace('%', "%25").replace('\n', "%0A");
+    println!("::{level} file={path},line={line}::{msg}");
 }
 
 fn main() -> ExitCode {
@@ -114,7 +248,9 @@ fn main() -> ExitCode {
         };
     }
 
+    let human = !args.json;
     let mut failed = false;
+    let mut lint_report: Option<LintReport> = None;
 
     if args.run_lint {
         let root = args.root.clone().or_else(find_root);
@@ -123,27 +259,60 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         };
         let report = lint::run_lint(&root);
-        println!(
-            "lint: scanned {} files — {} diagnostic(s), {} suppressed, {} error(s)",
-            report.files_scanned,
-            report.diagnostics.len(),
-            report.suppressed.len(),
-            report.errors.len()
-        );
-        for d in &report.errors {
-            println!("error: {d}");
-        }
-        for d in &report.diagnostics {
-            println!("warning: {d}");
-        }
-        for d in &report.suppressed {
-            println!("note: suppressed {d}");
-        }
-        for s in &report.unused_suppressions {
+        if human {
             println!(
-                "note: unused suppression of `{}` at {}:{}",
-                s.rule, s.path, s.line
+                "lint: scanned {} files — {} diagnostic(s), {} suppressed, {} error(s)",
+                report.files_scanned,
+                report.diagnostics.len(),
+                report.suppressed.len(),
+                report.errors.len()
             );
+            for d in &report.errors {
+                println!("error: {d}");
+            }
+            for d in &report.diagnostics {
+                println!("warning: {d}");
+            }
+            for d in &report.suppressed {
+                println!("note: suppressed {d}");
+            }
+            for s in &report.unused_suppressions {
+                println!(
+                    "note: unused suppression of `{}` at {}:{}",
+                    s.rule, s.path, s.line
+                );
+            }
+        }
+        if args.annotate {
+            for d in &report.errors {
+                annotate(
+                    "error",
+                    &d.path,
+                    d.line,
+                    &format!("[{}] {}", d.rule, d.message),
+                );
+            }
+            for d in &report.diagnostics {
+                let level = if args.deny_warnings {
+                    "error"
+                } else {
+                    "warning"
+                };
+                annotate(
+                    level,
+                    &d.path,
+                    d.line,
+                    &format!("[{}] {}", d.rule, d.message),
+                );
+            }
+            for s in &report.unused_suppressions {
+                annotate(
+                    "warning",
+                    &s.path,
+                    s.line,
+                    &format!("unused suppression of `{}`", s.rule),
+                );
+            }
         }
         if !report.errors.is_empty() {
             failed = true;
@@ -151,28 +320,81 @@ fn main() -> ExitCode {
         if args.deny_warnings && !report.diagnostics.is_empty() {
             failed = true;
         }
+        lint_report = Some(report);
     }
 
+    let mut runs: Vec<ModelRun> = Vec::new();
     if args.run_models {
-        for (name, report) in models::run_builtin_models() {
-            match &report.failure {
-                None => {
-                    println!(
-                        "model {name}: ok — {} execution(s){}{}",
-                        report.executions,
-                        if report.pruned > 0 {
-                            format!(", {} pruned", report.pruned)
-                        } else {
-                            String::new()
-                        },
-                        if report.complete { " (exhaustive)" } else { "" }
-                    );
+        runs = models::run_builtin_models();
+        for run in &runs {
+            let ok = model_ok(run);
+            if !ok {
+                failed = true;
+            }
+            if human {
+                let counts = format!(
+                    "{} execution(s){}{}{}",
+                    run.report.executions,
+                    if run.report.pruned > 0 {
+                        format!(", {} pruned", run.report.pruned)
+                    } else {
+                        String::new()
+                    },
+                    if run.report.sleep_pruned > 0 {
+                        format!(", {} sleep-pruned", run.report.sleep_pruned)
+                    } else {
+                        String::new()
+                    },
+                    if run.report.complete {
+                        " (exhaustive)"
+                    } else {
+                        ""
+                    }
+                );
+                match (&run.report.failure, run.expect_race, ok) {
+                    (None, false, _) => println!("model {}: ok — {counts}", run.name),
+                    (Some(f), true, true) => println!(
+                        "model {}: ok — detector fired as required: {} ({counts})",
+                        run.name, f.message
+                    ),
+                    (None, true, _) => println!(
+                        "model {}: FAILED — seeded race went UNDETECTED ({counts}); \
+                         the happens-before detector has regressed",
+                        run.name
+                    ),
+                    (Some(f), _, _) => {
+                        println!("model {}: FAILED — {}", run.name, f.message);
+                        println!("{}", f.replay_instructions(run.name));
+                    }
                 }
-                Some(f) => {
-                    println!("model {name}: FAILED — {}", f.message);
-                    println!("{}", f.replay_instructions(name));
-                    failed = true;
-                }
+            }
+            if args.annotate && !ok {
+                let msg = match &run.report.failure {
+                    Some(f) => f.replay_instructions(run.name),
+                    None => format!(
+                        "model '{}' explored clean but is a seeded-race fixture: \
+                         the data-race detector did not fire",
+                        run.name
+                    ),
+                };
+                annotate("error", "crates/analysis/src/models.rs", 1, &msg);
+            }
+        }
+    }
+
+    let json = if args.json || args.json_out.is_some() {
+        Some(render_json(lint_report.as_ref(), &runs, !failed))
+    } else {
+        None
+    };
+    if let Some(doc) = &json {
+        if args.json {
+            print!("{doc}");
+        }
+        if let Some(path) = &args.json_out {
+            if let Err(e) = std::fs::write(path, doc) {
+                eprintln!("cfsf-analyze: cannot write {}: {e}", path.display());
+                failed = true;
             }
         }
     }

@@ -16,11 +16,16 @@
 //!
 //! 2. **loom-lite model checker** ([`sched`], [`llsync`], [`models`]) —
 //!    a deterministic scheduler exploring thread interleavings
-//!    (exhaustive DFS, seeded random, exact replay) over the production
-//!    concurrent cores, which are generic over [`cf_obs::sync::Shim`]:
-//!    the sharded second-chance cache, the slow-trace reservoir, and the
-//!    poisoned-shard reset all run the *same code* in production and
-//!    under the checker.
+//!    (exhaustive DFS with sleep-set partial-order reduction, seeded
+//!    random, exact replay) over the production concurrent cores, which
+//!    are generic over [`cf_obs::sync::Shim`]: the sharded second-chance
+//!    cache, the slow-trace reservoir, the poisoned-shard reset, the
+//!    generation cell, and the fleet aggregator all run the *same code*
+//!    in production and under the checker. The checked shim carries a
+//!    FastTrack-style happens-before race detector ([`vclock`],
+//!    [`llsync::LLCell`]) and models relaxed atomics against a bounded
+//!    store buffer of stale values instead of assuming sequential
+//!    consistency.
 
 #![warn(missing_docs)]
 
@@ -29,3 +34,4 @@ pub mod llsync;
 pub mod models;
 pub mod sched;
 pub mod toylock;
+pub mod vclock;

@@ -22,7 +22,6 @@
 
 pub mod rules;
 
-use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -447,17 +446,29 @@ pub fn render_suppression(rules: &[&str]) -> String {
 // Allowlist
 // --------------------------------------------------------------------------
 
-/// The parsed allowlist: rule id → exempt path prefixes.
+/// One `rule-id path-prefix` exemption, with its source line for
+/// staleness reporting.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// The exempted rule id.
+    pub rule: String,
+    /// Repo-relative path prefix the exemption covers.
+    pub prefix: String,
+    /// 1-based line in [`ALLOWLIST_FILE`].
+    pub line: usize,
+}
+
+/// The parsed allowlist: audited `rule-id path-prefix` exemptions.
 #[derive(Debug, Default, Clone)]
 pub struct Allowlist {
-    entries: BTreeMap<String, Vec<String>>,
+    entries: Vec<AllowEntry>,
 }
 
 impl Allowlist {
     /// Parses allowlist text (`rule-id path-prefix` per line, `#`
-    /// comments). Unknown rule ids are errors so stale entries surface.
+    /// comments). Unknown rule ids are errors so renamed rules surface.
     pub fn parse(text: &str) -> Result<Self, String> {
-        let mut entries: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut entries = Vec::new();
         for (n, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -476,10 +487,11 @@ impl Allowlist {
                     n + 1
                 ));
             }
-            entries
-                .entry(rule.to_string())
-                .or_default()
-                .push(prefix.to_string());
+            entries.push(AllowEntry {
+                rule: rule.to_string(),
+                prefix: prefix.to_string(),
+                line: n + 1,
+            });
         }
         Ok(Self { entries })
     }
@@ -487,8 +499,13 @@ impl Allowlist {
     /// True when `path` is exempt from `rule`.
     pub fn allows(&self, rule: &str, path: &str) -> bool {
         self.entries
-            .get(rule)
-            .is_some_and(|ps| ps.iter().any(|p| path.starts_with(p.as_str())))
+            .iter()
+            .any(|e| e.rule == rule && path.starts_with(e.prefix.as_str()))
+    }
+
+    /// The parsed entries, in file order.
+    pub fn entries(&self) -> &[AllowEntry] {
+        &self.entries
     }
 }
 
@@ -576,8 +593,16 @@ pub fn lint_scans(scans: &[FileScan], allowlist: &Allowlist) -> LintReport {
     rules::check_counter_pairing(scans, &mut raw);
 
     let mut used = vec![false; suppressions.len()];
+    let mut allow_used = vec![false; allowlist.entries().len()];
     for d in raw {
-        if allowlist.allows(d.rule, &d.path) {
+        let mut allowed = false;
+        for (i, e) in allowlist.entries().iter().enumerate() {
+            if e.rule == d.rule && d.path.starts_with(e.prefix.as_str()) {
+                allow_used[i] = true;
+                allowed = true;
+            }
+        }
+        if allowed {
             continue;
         }
         let hit = suppressions.iter().enumerate().find(|(_, s)| {
@@ -594,6 +619,23 @@ pub fn lint_scans(scans: &[FileScan], allowlist: &Allowlist) -> LintReport {
     for (i, s) in suppressions.into_iter().enumerate() {
         if !used[i] {
             report.unused_suppressions.push(s);
+        }
+    }
+    // A stale allowlist entry is a hard error, not a note: an exemption
+    // that exempts nothing is either debris from deleted code or a
+    // typo'd prefix silently about to exempt the wrong thing.
+    for (i, e) in allowlist.entries().iter().enumerate() {
+        if !allow_used[i] {
+            report.errors.push(Diagnostic {
+                rule: "stale-allowlist",
+                path: ALLOWLIST_FILE.to_string(),
+                line: e.line,
+                message: format!(
+                    "allowlist entry `{} {}` matched no finding; remove it (or fix \
+                     the prefix)",
+                    e.rule, e.prefix
+                ),
+            });
         }
     }
     report.diagnostics.sort_by(|a, b| {

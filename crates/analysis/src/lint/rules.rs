@@ -67,6 +67,13 @@ pub const RULES: &[RuleInfo] = &[
                   construction outside frame.rs; the frame helpers capture the \
                   ambient trace context, a literal silently drops it",
     },
+    RuleInfo {
+        id: "bounded-frame-alloc",
+        summary: "every length-driven allocation in frame.rs decode paths \
+                  (Vec::with_capacity / vec![0; n] / Cursor::take of a decoded \
+                  length) must sit within a few lines of a dominating bound \
+                  check (MAX_FRAME_BYTES, payload.len(), remaining(), .min())",
+    },
 ];
 
 /// Files whose clock reads must sit behind the obs enabled-gate.
@@ -114,6 +121,7 @@ pub fn check_file(scan: &FileScan, out: &mut Vec<Diagnostic>) {
     quant_plane_raw_read(scan, out);
     model_access_outside_generation(scan, out);
     trace_context_dropped(scan, out);
+    bounded_frame_alloc(scan, out);
 }
 
 // --------------------------------------------------------------------------
@@ -611,6 +619,110 @@ fn trace_context_dropped(scan: &FileScan, out: &mut Vec<Diagnostic>) {
 }
 
 // --------------------------------------------------------------------------
+// bounded-frame-alloc
+// --------------------------------------------------------------------------
+
+/// How many lines above a length-driven allocation its bound check may
+/// sit.
+const ALLOC_BOUND_WINDOW: usize = 6;
+
+/// Evidence that a decoded length was dominated before use: the frame
+/// cap, the arrived payload, the cursor's remaining bytes, or an
+/// explicit clamp.
+const ALLOC_BOUND_TOKENS: &[&str] = &["MAX_FRAME_BYTES", "payload.len()", "remaining()", ".min("];
+
+/// Allocation shapes whose argument is a decoded length when it is a
+/// bare identifier.
+const ALLOC_TOKENS: &[&str] = &["Vec::with_capacity(", "vec![0u8; ", "vec![0; ", ".take("];
+
+/// True when `code` contains `word` as a whole identifier (both ends at
+/// word boundaries).
+fn contains_word(code: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(off) = code[from..].find(word) {
+        let pos = from + off;
+        from = pos + 1;
+        if !at_word_boundary(code, pos) {
+            continue;
+        }
+        let after = code[pos + word.len()..].chars().next();
+        if !after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            return true;
+        }
+    }
+    false
+}
+
+/// Extracts the argument of `token` at `pos` up to the closing `)`/`]`,
+/// stripping integer casts and `?`; returns it only when what remains is
+/// a bare identifier (a decoded length variable). Literals (`take(4)`)
+/// and compound expressions (`with_capacity(a + b)`) are inherently
+/// sized by the caller, not the wire.
+fn length_identifier<'a>(code: &'a str, pos: usize, token: &str) -> Option<&'a str> {
+    let rest = &code[pos + token.len()..];
+    let end = rest.find([')', ']'])?;
+    let mut arg = rest[..end].trim();
+    for cast in [" as usize", " as u64", " as u32"] {
+        arg = arg.strip_suffix(cast).unwrap_or(arg);
+    }
+    let arg = arg.trim();
+    (!arg.is_empty()
+        && arg.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+        && arg.chars().all(|c| c.is_alphanumeric() || c == '_'))
+    .then_some(arg)
+}
+
+/// Frame decode paths allocate buffers sized by lengths an untrusted
+/// peer declared. [`FRAME_FILE`]'s contract is that every such length is
+/// dominated — by the 64 MiB frame cap, by the payload that actually
+/// arrived, or by an explicit clamp — **before** the allocation, so a
+/// corrupt length costs a `Malformed` error, never a multi-gigabyte
+/// `Vec`. This rule enforces the pattern structurally: a length-driven
+/// allocation with no dominating bound within the previous
+/// [`ALLOC_BOUND_WINDOW`] lines is a diagnostic.
+fn bounded_frame_alloc(scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    if !scan.path.ends_with(FRAME_FILE) {
+        return;
+    }
+    for (i, l) in scan.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        for token in ALLOC_TOKENS {
+            let mut from = 0;
+            while let Some(off) = l.code[from..].find(token) {
+                let pos = from + off;
+                from = pos + token.len();
+                let Some(ident) = length_identifier(&l.code, pos, token) else {
+                    continue;
+                };
+                let bounded = scan.lines[i.saturating_sub(ALLOC_BOUND_WINDOW)..=i]
+                    .iter()
+                    .any(|g| {
+                        !g.in_test
+                            && contains_word(&g.code, ident)
+                            && ALLOC_BOUND_TOKENS.iter().any(|t| g.code.contains(t))
+                    });
+                if !bounded {
+                    out.push(Diagnostic {
+                        rule: "bounded-frame-alloc",
+                        path: scan.path.clone(),
+                        line: i + 1,
+                        message: format!(
+                            "`{}{ident}…` sized by a decoded length with no dominating \
+                             bound within the previous {ALLOC_BOUND_WINDOW} lines; \
+                             check against MAX_FRAME_BYTES / payload.len() / \
+                             remaining() before allocating",
+                            token.trim_end()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
 // counter-pairing (cross-file)
 // --------------------------------------------------------------------------
 
@@ -847,6 +959,43 @@ mod tests {
     }
 
     #[test]
+    fn unbounded_decode_alloc_flagged_in_frame_rs() {
+        let bad = "fn d(c: &mut Cursor) -> R {\n    let len = c.u32()? as usize;\n    let bytes = c.take(len)?;\n}\n";
+        let d = lint_one("crates/serve/src/frame.rs", bad);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "bounded-frame-alloc");
+        assert_eq!(d[0].line, 3);
+
+        let bad_cap = "fn d(c: &mut Cursor) -> R {\n    let count = c.u32()? as usize;\n    let mut v = Vec::with_capacity(count);\n}\n";
+        let d = lint_one("crates/serve/src/frame.rs", bad_cap);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "bounded-frame-alloc");
+
+        // A dominating bound within the window passes: the arrived
+        // payload, the frame cap, remaining(), or an explicit clamp.
+        for good in [
+            "fn d(c: &mut Cursor, payload: &[u8]) -> R {\n    let count = c.u32()? as usize;\n    if count > payload.len() / 8 + 1 {\n        return Err(FrameError::Malformed(\"count\"));\n    }\n    let mut v = Vec::with_capacity(count);\n}\n",
+            "fn d(c: &mut Cursor) -> R {\n    let len = c.u32()? as usize;\n    if len as usize > MAX_FRAME_BYTES {\n        return Err(FrameError::TooLarge(len));\n    }\n    let mut payload = vec![0u8; len as usize];\n}\n",
+            "fn d(c: &mut Cursor) -> R {\n    let len = c.u16()? as usize;\n    if len > c.remaining() {\n        return Err(FrameError::Malformed(\"len\"));\n    }\n    let bytes = c.take(len)?;\n}\n",
+            "fn d(c: &mut Cursor) -> R {\n    let n = c.u32()?.min(64) as usize;\n    let mut v = Vec::with_capacity(n);\n}\n",
+        ] {
+            assert!(
+                lint_one("crates/serve/src/frame.rs", good).is_empty(),
+                "false positive on {good:?}"
+            );
+        }
+
+        // Literal and compound-expression sizes are caller-controlled,
+        // not wire-controlled; other files are out of scope.
+        let literal = "fn d(c: &mut Cursor) -> R { let b = c.take(4)?; }\n";
+        assert!(lint_one("crates/serve/src/frame.rs", literal).is_empty());
+        let compound =
+            "fn e(payload: &[u8]) { let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4); }\n";
+        assert!(lint_one("crates/serve/src/frame.rs", compound).is_empty());
+        assert!(lint_one("crates/serve/src/router.rs", bad).is_empty());
+    }
+
+    #[test]
     fn counter_pairing_requires_test_reference() {
         let prod = "fn f() { cf_obs::counter!(\"online.degrade.user_mean\").inc(); }\n";
         let scan = scan_file("crates/core/src/online.rs", prod);
@@ -905,5 +1054,20 @@ mod tests {
     #[test]
     fn allowlist_rejects_unknown_rule() {
         assert!(Allowlist::parse("bogus-rule crates/\n").is_err());
+    }
+
+    #[test]
+    fn stale_allowlist_entry_is_hard_error() {
+        let src = "fn f() { x.unwrap(); }\n";
+        let scan = scan_file("crates/analysis/src/sched.rs", src);
+        // Second entry exempts a path with no findings: stale.
+        let allow = Allowlist::parse("no-unwrap crates/analysis/src/\nfloat-eq crates/gone/src/\n")
+            .unwrap();
+        let report = lint_scans(&[scan], &allow);
+        assert_eq!(report.errors.len(), 1, "{:?}", report.errors);
+        assert_eq!(report.errors[0].rule, "stale-allowlist");
+        assert_eq!(report.errors[0].line, 2);
+        assert!(report.errors[0].message.contains("crates/gone/src/"));
+        assert!(!report.is_clean());
     }
 }

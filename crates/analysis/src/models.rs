@@ -15,12 +15,25 @@
 //! - [`PoisonResetModel`] — the poisoned-shard self-reset racing a
 //!   writer: when the poison fully precedes the insert, the reset must
 //!   not silently drop the concurrent writer's entry, and the insert
-//!   never panics.
+//!   never panics;
+//! - [`GenSwapModel`] — the refresh generation cell under publish racing
+//!   readers: no torn `(model, generation)` pair, generations monotone;
+//! - [`FleetScrapeModel`] — `cf_serve::fleet::FleetSync` under a poll
+//!   racing a `/metrics` scrape: everything rendered within one scrape
+//!   hold is mutually consistent (merged == per-shard sum), totals never
+//!   run backwards;
+//! - [`SloMergeModel`] — the SLO engine's cumulative differencing racing
+//!   fleet ingestion across a shard restart: gauges never go negative or
+//!   wrap, whatever snapshot the reader lands on;
+//! - [`RacyCellModel`] — the seeded-race fixture: an unguarded
+//!   [`LLCell`] increment the happens-before detector **must** report
+//!   (the gate requires the failure), plus the mutex-fixed variant that
+//!   must pass exhaustively.
 //!
-//! [`run_builtin_models`] runs all three exhaustively (the CI gate).
+//! [`run_builtin_models`] runs them all exhaustively (the CI gate).
 
 use cf_obs::reservoir::SlowReservoir;
-use cf_obs::sync::ShimAtomicU64;
+use cf_obs::sync::{Ordering, ShimAtomicU64};
 use cfsf_core::cache::ShardedCacheCore;
 
 use crate::llsync::{LLAtomicU64, LLShim};
@@ -30,8 +43,11 @@ use crate::sched::{Explorer, Mode, Model, Report};
 // Model A: sharded cache insert / evict
 // --------------------------------------------------------------------------
 
-/// Three threads insert distinct keys into a single 2-slot shard (every
-/// insert past the second evicts), each re-reading its own key.
+/// Two threads race three inserts (and a re-read) into a single 2-slot
+/// shard, so the third insert always exercises second-chance eviction.
+/// Two threads — not three — keep the tree exhaustive now that lock
+/// releases are scheduling points and relaxed reference-bit loads fork
+/// on store-buffer value choices.
 pub struct CacheInsertEvictModel;
 
 /// Shared state of [`CacheInsertEvictModel`].
@@ -47,7 +63,7 @@ impl Model for CacheInsertEvictModel {
     }
 
     fn threads(&self) -> usize {
-        3
+        2
     }
 
     fn make_state(&self) -> CacheState {
@@ -63,7 +79,11 @@ impl Model for CacheInsertEvictModel {
         let value = 100 + key;
         let stored = st.cache.insert(key, value);
         assert_eq!(stored, value, "insert must return this key's value");
-        if let Some(v) = st.cache.get(key) {
+        if tid == 0 {
+            // The third insert: drives eviction in the full shard.
+            let stored = st.cache.insert(2, 102);
+            assert_eq!(stored, 102, "insert must return this key's value");
+        } else if let Some(v) = st.cache.get(key) {
             // The entry may have been evicted (miss is fine), but a hit
             // must never surface a value inserted for a different key.
             assert_eq!(v, value, "hit for key {key} returned foreign value {v}");
@@ -209,11 +229,11 @@ impl Model for PoisonResetModel {
     fn run_thread(&self, tid: usize, st: &PoisonState) {
         if tid == 0 {
             st.cache.poison_shard(0);
-            let stamp = st.clock.fetch_add(1);
-            st.poison_done.store(stamp);
+            let stamp = st.clock.fetch_add(1, Ordering::SeqCst);
+            st.poison_done.store(stamp, Ordering::Relaxed);
         } else {
-            let stamp = st.clock.fetch_add(1);
-            st.insert_start.store(stamp);
+            let stamp = st.clock.fetch_add(1, Ordering::SeqCst);
+            st.insert_start.store(stamp, Ordering::Relaxed);
             // Must never panic, poisoned or not.
             let stored = st.cache.insert(5, 105);
             assert_eq!(stored, 105, "insert through a reset must keep its value");
@@ -222,8 +242,8 @@ impl Model for PoisonResetModel {
 
     fn check(&self, st: &PoisonState) -> Result<(), String> {
         st.cache.integrity()?;
-        let p = st.poison_done.load();
-        let i = st.insert_start.load();
+        let p = st.poison_done.load(Ordering::Relaxed);
+        let i = st.insert_start.load(Ordering::Relaxed);
         if p == 0 || i == 0 {
             return Err("both threads must have stamped the clock".into());
         }
@@ -326,27 +346,343 @@ impl Model for GenSwapModel {
 }
 
 // --------------------------------------------------------------------------
+// Model E: fleet poll vs /metrics scrape
+// --------------------------------------------------------------------------
+
+use std::time::{Duration, Instant};
+
+use cf_obs::merge::MergeSnapshot;
+use cf_obs::slo::{SloKind, SloSpec};
+use cf_serve::fleet::FleetSync;
+use cf_serve::frame::WireStats;
+
+/// Builds a shard stats frame whose snapshot carries `reqs` on the
+/// `reqs` counter (and `bad` on `bad`), the shape the SLO ratio spec
+/// below consumes.
+fn stats_frame(shard_id: u32, generation: u64, reqs: u64, bad: u64) -> WireStats {
+    let reg = cf_obs::Registry::new();
+    reg.counter("reqs").add(reqs);
+    reg.counter("bad").add(bad);
+    WireStats {
+        shard_id,
+        generation,
+        snapshot: MergeSnapshot::of(&reg).to_bytes(),
+    }
+}
+
+/// The router's fleet aggregation core (`cf_serve::fleet::FleetSync`)
+/// under a poll racing a `/metrics` scrape. `ingest` takes the state
+/// lock per slot, so a scrape can land *between* two slot updates — the
+/// invariant is that everything read within one [`FleetSync::scrape`]
+/// hold is consistent: the merged counter equals the sum of the
+/// per-shard counters it renders next to, and successive scrapes never
+/// see cumulative totals step backwards.
+pub struct FleetScrapeModel;
+
+/// Shared state of [`FleetScrapeModel`].
+pub struct FleetScrapeState {
+    fleet: FleetSync<LLShim>,
+    update: [WireStats; 2],
+}
+
+impl FleetScrapeModel {
+    /// Sum of the `reqs` counter across a consistent fleet view, plus
+    /// the merged value — computed inside one scrape hold.
+    fn scrape_totals(fleet: &FleetSync<LLShim>) -> (u64, u64) {
+        fleet.scrape(|state| {
+            let merged = state.merged().counters.get("reqs").copied().unwrap_or(0);
+            let by_shard = state
+                .shards()
+                .iter()
+                .flatten()
+                .map(|e| e.snapshot.counters.get("reqs").copied().unwrap_or(0))
+                .sum();
+            (merged, by_shard)
+        })
+    }
+}
+
+impl Model for FleetScrapeModel {
+    type State = FleetScrapeState;
+
+    fn name(&self) -> &'static str {
+        "fleet-scrape"
+    }
+
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn make_state(&self) -> FleetScrapeState {
+        let fleet = FleetSync::new(2, Vec::new(), Vec::new());
+        // Baseline poll (free-pass: no scheduling during make_state).
+        fleet.ingest(&[Some(stats_frame(0, 1, 1, 0)), Some(stats_frame(1, 1, 2, 0))]);
+        FleetScrapeState {
+            fleet,
+            update: [stats_frame(0, 2, 3, 0), stats_frame(1, 2, 5, 0)],
+        }
+    }
+
+    fn run_thread(&self, tid: usize, st: &FleetScrapeState) {
+        if tid == 0 {
+            // The poller: a fresh batch for both slots. The per-slot
+            // lock grain means the scraper can observe slot 0 updated
+            // while slot 1 is still the baseline.
+            let fresh = st
+                .fleet
+                .ingest(&[Some(st.update[0].clone()), Some(st.update[1].clone())]);
+            assert_eq!(fresh, 2, "both decodable polls must be fresh");
+        } else {
+            // The scraper: two consistent reads.
+            let mut last = 0;
+            for _ in 0..2 {
+                let (merged, by_shard) = Self::scrape_totals(&st.fleet);
+                assert_eq!(
+                    merged, by_shard,
+                    "one scrape rendered merged {merged} next to per-shard sum {by_shard}"
+                );
+                assert!(
+                    merged >= last,
+                    "cumulative totals ran backwards: {merged} after {last}"
+                );
+                last = merged;
+            }
+        }
+    }
+
+    fn check(&self, st: &FleetScrapeState) -> Result<(), String> {
+        let (merged, by_shard) = Self::scrape_totals(&st.fleet);
+        if merged != 8 || by_shard != 8 {
+            return Err(format!(
+                "after the full poll the fleet must total (8, 8), got ({merged}, {by_shard})"
+            ));
+        }
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------------------
+// Model F: SLO cumulative-diff vs merge ingestion
+// --------------------------------------------------------------------------
+
+/// The SLO engine's cumulative differencing racing fleet ingestion —
+/// including the nasty case: a shard *restart* reports a lower
+/// cumulative total, so the merged snapshot regresses between ticks.
+/// The engine's window diffs must saturate at zero (never go negative,
+/// never wrap into an astronomic burn rate) no matter where the
+/// reader's gauge snapshot lands between the ticks.
+pub struct SloMergeModel;
+
+/// Shared state of [`SloMergeModel`].
+pub struct SloMergeState {
+    fleet: FleetSync<LLShim>,
+    base: Instant,
+    /// Tick 1: 10 requests, 2 bad. Tick 2 (restarted shard): 4, 0.
+    ticks: [WireStats; 2],
+}
+
+impl Model for SloMergeModel {
+    type State = SloMergeState;
+
+    fn name(&self) -> &'static str {
+        "slo-merge"
+    }
+
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn make_state(&self) -> SloMergeState {
+        let spec = SloSpec {
+            name: "deg".to_string(),
+            kind: SloKind::Ratio {
+                bad: vec!["bad".to_string()],
+                total: vec!["reqs".to_string()],
+                budget_pm: 100,
+            },
+        };
+        SloMergeState {
+            fleet: FleetSync::new(1, vec![spec], vec![Duration::from_secs(60)]),
+            base: Instant::now(),
+            ticks: [stats_frame(0, 1, 10, 2), stats_frame(0, 1, 4, 0)],
+        }
+    }
+
+    fn run_thread(&self, tid: usize, st: &SloMergeState) {
+        if tid == 0 {
+            st.fleet.ingest(&[Some(st.ticks[0].clone())]);
+            st.fleet.observe(st.base + Duration::from_secs(60));
+            // The shard restarts: cumulative counters regress.
+            st.fleet.ingest(&[Some(st.ticks[1].clone())]);
+            st.fleet.observe(st.base + Duration::from_secs(120));
+        } else {
+            let gauges = st.fleet.gauges(st.base + Duration::from_secs(120));
+            for (name, v) in gauges {
+                assert!(v >= 0, "gauge {name} went negative: {v}");
+                // Bad ratio is at most 1000‰, budget 100‰ → burn caps at
+                // 10_000 milli; a wrapped diff would smash through this.
+                assert!(v <= 10_000, "gauge {name} blew past any real ratio: {v}");
+            }
+        }
+    }
+
+    fn check(&self, st: &SloMergeState) -> Result<(), String> {
+        for (name, v) in st.fleet.gauges(st.base + Duration::from_secs(120)) {
+            if !(0..=10_000).contains(&v) {
+                return Err(format!("final gauge {name} out of range: {v}"));
+            }
+        }
+        let merged = st.fleet.merged();
+        if merged.counters.get("reqs") != Some(&4) {
+            return Err(format!(
+                "final merged must hold the restarted shard's counters, got {:?}",
+                merged.counters.get("reqs")
+            ));
+        }
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------------------
+// Model G: seeded-race fixture (the detector must fire)
+// --------------------------------------------------------------------------
+
+use crate::llsync::{LLCell, LLMutex};
+use cf_obs::sync::{ShimCell, ShimMutex};
+
+/// A tracked plain cell ([`LLCell`]) incremented by two threads. With
+/// `fixed: false` the increments are bare — a textbook data race the
+/// happens-before detector must report (with both access sites and a
+/// replayable schedule); with `fixed: true` the same accesses run under
+/// a mutex and the model must pass exhaustively.
+pub struct RacyCellModel {
+    /// Guard the cell accesses with the mutex.
+    pub fixed: bool,
+    /// How many incrementing threads to run (the gate uses 2).
+    pub threads: usize,
+}
+
+/// Shared state of [`RacyCellModel`].
+pub struct RacyCellState {
+    cell: LLCell<u64>,
+    lock: LLMutex<()>,
+}
+
+impl Model for RacyCellModel {
+    type State = RacyCellState;
+
+    fn name(&self) -> &'static str {
+        if self.fixed {
+            "racy-cell-fixed"
+        } else {
+            "racy-cell"
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn make_state(&self) -> RacyCellState {
+        RacyCellState {
+            cell: ShimCell::new(0),
+            lock: ShimMutex::new(()),
+        }
+    }
+
+    fn run_thread(&self, _tid: usize, st: &RacyCellState) {
+        if self.fixed {
+            let _g = st.lock.lock_recover();
+            st.cell.set(st.cell.get() + 1);
+        } else {
+            // Unprotected read-modify-write on plain data: the detector,
+            // not a lost-update check, is what must catch this.
+            st.cell.set(st.cell.get() + 1);
+        }
+    }
+
+    fn check(&self, st: &RacyCellState) -> Result<(), String> {
+        if self.fixed && st.cell.get() != self.threads as u64 {
+            return Err(format!(
+                "serialized increments must total {}, got {}",
+                self.threads,
+                st.cell.get()
+            ));
+        }
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------------------
 // Registry
 // --------------------------------------------------------------------------
 
 /// Names of the built-in models, in the order [`run_builtin_models`]
 /// runs them.
-pub const BUILTIN_MODELS: [&str; 4] = [
+pub const BUILTIN_MODELS: [&str; 8] = [
     "cache-insert-evict",
     "reservoir-admission",
     "poison-reset",
     "gen-swap",
+    "fleet-scrape",
+    "slo-merge",
+    "racy-cell",
+    "racy-cell-fixed",
 ];
 
-/// Runs every built-in model exhaustively, returning `(name, report)`
-/// pairs. This is what `cfsf-analyze` gates CI on.
-pub fn run_builtin_models() -> Vec<(&'static str, Report)> {
+/// One gate entry: a model's exploration report plus what the gate
+/// expects of it.
+pub struct ModelRun {
+    /// The model's stable name.
+    pub name: &'static str,
+    /// `true` for the seeded-race fixture: the gate *requires* a failure
+    /// whose message names a data race, proving the detector fires.
+    pub expect_race: bool,
+    /// The exploration report.
+    pub report: Report,
+}
+
+/// Runs every built-in model exhaustively. This is what `cfsf-analyze`
+/// gates CI on: every entry must pass — and the `expect_race` fixture
+/// must *fail* with a data-race report.
+pub fn run_builtin_models() -> Vec<ModelRun> {
     let explorer = Explorer::new(Mode::Exhaustive).with_max_steps(5_000);
+    let run = |name, expect_race, report| ModelRun {
+        name,
+        expect_race,
+        report,
+    };
     vec![
-        ("cache-insert-evict", explorer.run(CacheInsertEvictModel)),
-        ("reservoir-admission", explorer.run(ReservoirAdmissionModel)),
-        ("poison-reset", explorer.run(PoisonResetModel)),
-        ("gen-swap", explorer.run(GenSwapModel)),
+        run(
+            "cache-insert-evict",
+            false,
+            explorer.run(CacheInsertEvictModel),
+        ),
+        run(
+            "reservoir-admission",
+            false,
+            explorer.run(ReservoirAdmissionModel),
+        ),
+        run("poison-reset", false, explorer.run(PoisonResetModel)),
+        run("gen-swap", false, explorer.run(GenSwapModel)),
+        run("fleet-scrape", false, explorer.run(FleetScrapeModel)),
+        run("slo-merge", false, explorer.run(SloMergeModel)),
+        run(
+            "racy-cell",
+            true,
+            explorer.run(RacyCellModel {
+                fixed: false,
+                threads: 2,
+            }),
+        ),
+        run(
+            "racy-cell-fixed",
+            false,
+            explorer.run(RacyCellModel {
+                fixed: true,
+                threads: 2,
+            }),
+        ),
     ]
 }
 
@@ -359,6 +695,16 @@ pub fn replay_builtin(name: &str, script: Vec<usize>) -> Option<Report> {
         "reservoir-admission" => Some(explorer.run(ReservoirAdmissionModel)),
         "poison-reset" => Some(explorer.run(PoisonResetModel)),
         "gen-swap" => Some(explorer.run(GenSwapModel)),
+        "fleet-scrape" => Some(explorer.run(FleetScrapeModel)),
+        "slo-merge" => Some(explorer.run(SloMergeModel)),
+        "racy-cell" => Some(explorer.run(RacyCellModel {
+            fixed: false,
+            threads: 2,
+        })),
+        "racy-cell-fixed" => Some(explorer.run(RacyCellModel {
+            fixed: true,
+            threads: 2,
+        })),
         _ => None,
     }
 }

@@ -9,7 +9,7 @@
 //! proves the scheduler's blocked/promote machinery keeps the schedule
 //! tree finite.
 
-use cf_obs::sync::{ShimAtomicBool, ShimAtomicU64, ShimMutex};
+use cf_obs::sync::{Ordering, ShimAtomicBool, ShimAtomicU64, ShimMutex};
 
 use crate::llsync::{LLAtomicBool, LLAtomicU64, LLMutex};
 use crate::sched::Model;
@@ -37,14 +37,14 @@ pub struct ToyLockState {
 
 impl ToyLockState {
     fn critical_section(&self) {
-        let inside = self.in_cs.fetch_add(1) + 1;
+        let inside = self.in_cs.fetch_add(1, Ordering::Relaxed) + 1;
         if inside > 1 {
-            self.violations.fetch_add(1);
+            self.violations.fetch_add(1, Ordering::Relaxed);
         }
         // Leave: wrapping add of -1 (the shim exposes no fetch_sub; the
         // counter is only ever compared against small values).
-        self.in_cs.fetch_add(u64::MAX);
-        self.acquisitions.fetch_add(1);
+        self.in_cs.fetch_add(u64::MAX, Ordering::Relaxed);
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -77,10 +77,10 @@ impl Model for ToyLockModel {
         if self.buggy {
             // Check... (yield) ...then act: another thread can pass the
             // check between these two operations.
-            while st.flag.load() {}
-            st.flag.store(true);
+            while st.flag.load(Ordering::SeqCst) {}
+            st.flag.store(true, Ordering::SeqCst);
             st.critical_section();
-            st.flag.store(false);
+            st.flag.store(false, Ordering::SeqCst);
         } else {
             let _g = st.lock.lock_recover();
             st.critical_section();
@@ -88,16 +88,16 @@ impl Model for ToyLockModel {
     }
 
     fn check(&self, st: &ToyLockState) -> Result<(), String> {
-        if st.violations.load() > 0 {
+        if st.violations.load(Ordering::Relaxed) > 0 {
             return Err(format!(
                 "mutual exclusion violated {} time(s)",
-                st.violations.load()
+                st.violations.load(Ordering::Relaxed)
             ));
         }
-        if st.in_cs.load() != 0 {
+        if st.in_cs.load(Ordering::Relaxed) != 0 {
             return Err("a thread never left the critical section".into());
         }
-        let acq = st.acquisitions.load();
+        let acq = st.acquisitions.load(Ordering::Relaxed);
         if acq != self.threads as u64 {
             return Err(format!(
                 "expected {} critical sections, saw {acq}",
@@ -111,14 +111,14 @@ impl Model for ToyLockModel {
         // Atomics only (the contract): flag + counters cover all shared
         // state except lock ownership, which the scheduler's progress
         // vector pins for these straight-line bodies.
-        let mut h = u64::from(st.flag.load());
+        let mut h = u64::from(st.flag.load(Ordering::Relaxed));
         h = h
             .wrapping_mul(0x100_0193)
-            .wrapping_add(st.in_cs.load())
+            .wrapping_add(st.in_cs.load(Ordering::Relaxed))
             .wrapping_mul(0x100_0193)
-            .wrapping_add(st.violations.load())
+            .wrapping_add(st.violations.load(Ordering::Relaxed))
             .wrapping_mul(0x100_0193)
-            .wrapping_add(st.acquisitions.load());
+            .wrapping_add(st.acquisitions.load(Ordering::Relaxed));
         Some(h)
     }
 }

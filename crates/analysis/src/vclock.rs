@@ -1,0 +1,153 @@
+//! Vector clocks and epochs for the happens-before race detector.
+//!
+//! A [`VClock`] maps thread ids to logical timestamps; join (pointwise
+//! max) and the pointwise-`<=` partial order form the standard lattice
+//! every vector-clock race detector is built on. An [`Epoch`] is the
+//! FastTrack compression of a full clock down to one `(tid, timestamp)`
+//! pair — sufficient shadow state for the common same-thread /
+//! totally-ordered access patterns, inflated to a full clock only when
+//! reads become genuinely concurrent.
+//!
+//! The lattice laws (join is idempotent, commutative, associative, and
+//! monotone with respect to `leq`) are what make the detector sound:
+//! they are property-tested in `tests/vclock_prop.rs`.
+
+/// A vector clock: `clock[t]` is the last operation of thread `t` known
+/// to happen before the holder's current point. Missing entries are 0.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock {
+    slots: Vec<u32>,
+}
+
+impl VClock {
+    /// The bottom clock (all zeros).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The component for thread `t` (0 when never observed).
+    pub fn get(&self, t: usize) -> u32 {
+        self.slots.get(t).copied().unwrap_or(0)
+    }
+
+    /// Sets component `t`, growing the clock as needed.
+    pub fn set(&mut self, t: usize, v: u32) {
+        if self.slots.len() <= t {
+            self.slots.resize(t + 1, 0);
+        }
+        self.slots[t] = v;
+    }
+
+    /// Increments component `t` (the holder passed a release point).
+    pub fn inc(&mut self, t: usize) {
+        let v = self.get(t).saturating_add(1);
+        self.set(t, v);
+    }
+
+    /// Pointwise maximum: after `a.join(&b)`, everything that happened
+    /// before either input happens before `a`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (s, o) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// Pointwise `<=`: true when every event before `self` is also
+    /// before `other` (the lattice partial order).
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.slots
+            .iter()
+            .enumerate()
+            .all(|(t, &v)| v <= other.get(t))
+    }
+
+    /// Order-insensitive digest of the clock contents (prune keys).
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xA24B_AED4_963E_E407u64;
+        for (t, &v) in self.slots.iter().enumerate() {
+            if v != 0 {
+                h = h
+                    .wrapping_mul(0x100_0000_01B3)
+                    .wrapping_add(((t as u64) << 32) | v as u64);
+            }
+        }
+        h
+    }
+}
+
+/// A FastTrack epoch: one `(tid, timestamp)` pair standing in for a
+/// full clock when accesses are totally ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Epoch {
+    /// Thread id, or `u32::MAX` for the "no access yet" sentinel.
+    pub tid: u32,
+    /// That thread's clock component at the access.
+    pub clock: u32,
+}
+
+impl Epoch {
+    /// The "no access recorded" sentinel; happens before everything.
+    pub const NONE: Epoch = Epoch {
+        tid: u32::MAX,
+        clock: 0,
+    };
+
+    /// The epoch of thread `t` under clock `c`: `(t, c[t])`.
+    pub fn of(t: usize, c: &VClock) -> Self {
+        Epoch {
+            tid: t as u32,
+            clock: c.get(t),
+        }
+    }
+
+    /// True when this access happens before the point described by `c`
+    /// (the FastTrack `e ⊑ c` test: `clock <= c[tid]`).
+    pub fn visible_to(&self, c: &VClock) -> bool {
+        self.tid == u32::MAX || self.clock <= c.get(self.tid as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_leq_basics() {
+        let mut a = VClock::new();
+        a.set(0, 3);
+        let mut b = VClock::new();
+        b.set(1, 2);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        assert_eq!(j.get(0), 3);
+        assert_eq!(j.get(1), 2);
+    }
+
+    #[test]
+    fn epoch_visibility() {
+        let mut c = VClock::new();
+        c.set(1, 5);
+        assert!(Epoch { tid: 1, clock: 5 }.visible_to(&c));
+        assert!(!Epoch { tid: 1, clock: 6 }.visible_to(&c));
+        assert!(!Epoch { tid: 0, clock: 1 }.visible_to(&c));
+        assert!(Epoch::NONE.visible_to(&c));
+    }
+
+    #[test]
+    fn missing_slots_read_as_zero() {
+        let mut a = VClock::new();
+        a.set(4, 1);
+        assert_eq!(a.get(2), 0);
+        assert_eq!(a.get(100), 0);
+        let b = VClock::new();
+        assert!(b.leq(&a));
+        assert!(VClock::new().leq(&a));
+    }
+}

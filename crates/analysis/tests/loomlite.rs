@@ -7,6 +7,7 @@
 //! the recorded schedule, and (c) pass the fixed variant by exhausting
 //! every interleaving.
 
+use cf_analysis::models::RacyCellModel;
 use cf_analysis::sched::{Explorer, Mode};
 use cf_analysis::toylock::ToyLockModel;
 
@@ -81,6 +82,99 @@ fn fixed_toy_lock_passes_exhaustively_at_four_threads() {
     });
     assert!(report.failure.is_none(), "{:?}", report.failure);
     assert!(report.complete);
+}
+
+#[test]
+fn race_detector_fires_on_unguarded_cell_and_replays() {
+    let report = Explorer::new(Mode::Exhaustive).run(RacyCellModel {
+        fixed: false,
+        threads: 2,
+    });
+    let failure = report
+        .failure
+        .expect("unguarded increments must be reported as a data race");
+    // The report must name the race and BOTH conflicting access sites.
+    assert!(
+        failure.message.contains("data race"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    assert!(
+        failure.message.contains("read by thread") && failure.message.contains("write by thread"),
+        "race report must carry both access sites: {}",
+        failure.message
+    );
+    assert_eq!(
+        failure.message.matches("models.rs").count(),
+        2,
+        "both sites must resolve to source locations: {}",
+        failure.message
+    );
+
+    // The recorded schedule is a working reproducer.
+    let replay = Explorer::new(Mode::Replay {
+        script: failure.script.clone(),
+    })
+    .run(RacyCellModel {
+        fixed: false,
+        threads: 2,
+    });
+    let again = replay
+        .failure
+        .expect("recorded schedule must reproduce the race");
+    assert_eq!(again.message, failure.message);
+}
+
+#[test]
+fn race_detector_fires_under_a_recorded_seed() {
+    // Random mode must find the race too, and stamp the failure with the
+    // seed so the operator can rerun the exact search.
+    let report = Explorer::new(Mode::Random {
+        seed: RECORDED_SEED,
+        iterations: 16,
+    })
+    .run(RacyCellModel {
+        fixed: false,
+        threads: 2,
+    });
+    let failure = report.failure.expect("seeded run must expose the race");
+    assert!(failure.message.contains("data race"), "{}", failure.message);
+    let (seed, _) = failure.seed.expect("random failures carry a seed");
+    assert_eq!(seed, RECORDED_SEED);
+}
+
+#[test]
+fn fixed_racy_cell_passes_exhaustively_at_two_and_three_threads() {
+    for threads in [2, 3] {
+        let report = Explorer::new(Mode::Exhaustive).run(RacyCellModel {
+            fixed: true,
+            threads,
+        });
+        assert!(
+            report.failure.is_none(),
+            "threads={threads}: {:?}",
+            report.failure
+        );
+        assert!(report.complete, "threads={threads}: must exhaust the tree");
+    }
+}
+
+#[test]
+#[ignore = "deep sweep; run with --ignored"]
+fn fixed_racy_cell_is_race_free_across_a_deep_bounded_sweep_at_four_threads() {
+    // Four threads of lock/get/set/unlock have too many interleavings to
+    // exhaust even under sleep sets (the tree outgrows the 1M-execution
+    // safety valve), so this sweep is explicitly *bounded*: DFS order is
+    // deterministic, and no schedule in the first 200k executions may
+    // trip the race detector or the final-count check.
+    let report = Explorer::new(Mode::Exhaustive)
+        .with_max_executions(200_000)
+        .run(RacyCellModel {
+            fixed: true,
+            threads: 4,
+        });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.executions >= 200_000 || report.complete);
 }
 
 #[test]

@@ -1,0 +1,106 @@
+//! Property tests for the race detector's vector-clock lattice.
+//!
+//! The happens-before detector is sound only if `join`/`leq` really
+//! form a join-semilattice: join must be idempotent, commutative, and
+//! associative; `leq` must be a partial order; and `join` must compute
+//! the *least* upper bound. Epochs must agree with the clocks they
+//! compress. Each law is checked over arbitrary clocks.
+
+use cf_analysis::vclock::{Epoch, VClock};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary clock over up to 6 threads with small
+/// timestamps (collisions between components are the interesting case).
+fn clock() -> impl Strategy<Value = VClock> {
+    proptest::collection::vec(0u32..5, 0..6).prop_map(|vals| {
+        let mut c = VClock::new();
+        for (t, v) in vals.into_iter().enumerate() {
+            c.set(t, v);
+        }
+        c
+    })
+}
+
+fn joined(a: &VClock, b: &VClock) -> VClock {
+    let mut j = a.clone();
+    j.join(b);
+    j
+}
+
+proptest! {
+    #[test]
+    fn join_is_idempotent_commutative_associative(
+        a in clock(), b in clock(), c in clock(),
+    ) {
+        prop_assert_eq!(joined(&a, &a), a.clone());
+        let ab = joined(&a, &b);
+        let ba = joined(&b, &a);
+        // Commutativity up to trailing zeros: compare componentwise via
+        // the partial order, which ignores representation length.
+        prop_assert!(ab.leq(&ba) && ba.leq(&ab));
+        let ab_c = joined(&joined(&a, &b), &c);
+        let a_bc = joined(&a, &joined(&b, &c));
+        prop_assert!(ab_c.leq(&a_bc) && a_bc.leq(&ab_c));
+    }
+
+    #[test]
+    fn leq_is_a_partial_order(a in clock(), b in clock(), c in clock()) {
+        // Reflexive.
+        prop_assert!(a.leq(&a));
+        // Antisymmetric (up to representation: mutual leq means every
+        // component agrees).
+        if a.leq(&b) && b.leq(&a) {
+            for t in 0..8 {
+                prop_assert_eq!(a.get(t), b.get(t));
+            }
+        }
+        // Transitive.
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    #[test]
+    fn join_is_the_least_upper_bound(a in clock(), b in clock(), c in clock()) {
+        let j = joined(&a, &b);
+        // Upper bound of both inputs…
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+        // …and least among upper bounds.
+        if a.leq(&c) && b.leq(&c) {
+            prop_assert!(j.leq(&c));
+        }
+        // Join is monotone: ordered inputs keep ordered joins.
+        if a.leq(&b) {
+            prop_assert!(joined(&a, &c).leq(&joined(&b, &c)));
+        }
+    }
+
+    #[test]
+    fn epoch_visibility_matches_the_clock_it_compresses(
+        a in clock(), b in clock(), t in 0usize..6,
+    ) {
+        // FastTrack's point: `Epoch::of(t, a)` visible to `b` must be
+        // exactly the component test `a[t] <= b[t]`.
+        let e = Epoch::of(t, &a);
+        prop_assert_eq!(e.visible_to(&b), a.get(t) <= b.get(t));
+        // Full-clock ordering implies epoch visibility.
+        if a.leq(&b) {
+            prop_assert!(e.visible_to(&b));
+        }
+        // The sentinel is visible to everything.
+        prop_assert!(Epoch::NONE.visible_to(&a));
+    }
+
+    #[test]
+    fn inc_strictly_advances_only_the_holder(a in clock(), t in 0usize..6) {
+        let mut bumped = a.clone();
+        bumped.inc(t);
+        prop_assert!(a.leq(&bumped));
+        prop_assert!(!bumped.leq(&a), "inc must strictly advance");
+        prop_assert_eq!(bumped.get(t), a.get(t) + 1);
+        for other in (0..8).filter(|&o| o != t) {
+            prop_assert_eq!(bumped.get(other), a.get(other));
+        }
+    }
+}

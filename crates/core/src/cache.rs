@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use cf_matrix::UserId;
-use cf_obs::sync::{Shim, ShimAtomicBool, ShimRwLock, StdShim};
+use cf_obs::sync::{Ordering, Shim, ShimAtomicBool, ShimRwLock, StdShim};
 
 /// A cached selection: the user's top-`K` like-minded users.
 pub(crate) type Selection = Arc<Vec<(UserId, f64)>>;
@@ -125,7 +125,7 @@ impl<S: Shim, V: Clone + Send + Sync + 'static> ShardedCacheCore<S, V> {
         };
         let &slot = shard.map.get(&key)?;
         let s = &shard.slots[slot];
-        s.referenced.store(true);
+        s.referenced.store(true, Ordering::Relaxed);
         Some(s.value.clone())
     }
 
@@ -148,7 +148,7 @@ impl<S: Shim, V: Clone + Send + Sync + 'static> ShardedCacheCore<S, V> {
         cf_faultinject::maybe_panic("cache.poison");
         if let Some(&slot) = shard.map.get(&key) {
             let s = &shard.slots[slot];
-            s.referenced.store(true);
+            s.referenced.store(true, Ordering::Relaxed);
             return s.value.clone();
         }
         let slot = if shard.slots.len() < self.shard_capacity {
@@ -165,7 +165,7 @@ impl<S: Shim, V: Clone + Send + Sync + 'static> ShardedCacheCore<S, V> {
                 let hand = shard.hand;
                 shard.hand = (hand + 1) % shard.slots.len();
                 let s = &shard.slots[hand];
-                if s.referenced.swap(false) {
+                if s.referenced.swap(false, Ordering::Relaxed) {
                     continue;
                 }
                 break hand;

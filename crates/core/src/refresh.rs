@@ -95,10 +95,10 @@ impl<S: Shim, T: Send + Sync + 'static> GenCellCore<S, T> {
     /// under, as one consistent pair.
     pub fn load_with_generation(&self) -> (Arc<T>, u64) {
         match self.slot.read() {
-            Ok(guard) => (Arc::clone(&guard), self.generation.load()),
+            Ok(guard) => (Arc::clone(&guard), self.generation.load(Ordering::Relaxed)),
             Err(_) => {
                 let snapshot = self.recover();
-                let gen = self.generation.load();
+                let gen = self.generation.load(Ordering::Relaxed);
                 (snapshot, gen)
             }
         }
@@ -107,7 +107,7 @@ impl<S: Shim, T: Send + Sync + 'static> GenCellCore<S, T> {
     /// The current generation number (starts at 0, bumps on every
     /// [`Self::publish`]).
     pub fn generation(&self) -> u64 {
-        self.generation.load()
+        self.generation.load(Ordering::Relaxed)
     }
 
     /// Publishes `next` as the new serving generation and returns its
@@ -116,9 +116,12 @@ impl<S: Shim, T: Send + Sync + 'static> GenCellCore<S, T> {
     /// reader drops its `Arc` — classic RCU reclamation.
     pub fn publish(&self, next: Arc<T>) -> u64 {
         let mut guard = self.slot.write_recover();
-        let gen = self.generation.load() + 1;
+        // Relaxed is sound here: every generation access is paired with a
+        // slot-lock acquisition, and the lock's acquire/release edges
+        // order the pair (the gen-swap model checks exactly this).
+        let gen = self.generation.load(Ordering::Relaxed) + 1;
         *guard = next;
-        self.generation.store(gen);
+        self.generation.store(gen, Ordering::Relaxed);
         self.slot.clear_poison();
         gen
     }

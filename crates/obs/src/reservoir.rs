@@ -16,7 +16,7 @@
 //!   pre-check ([`SlowReservoir::should_admit`]) may admit stale values
 //!   but never *rejects* a value the under-lock re-check would keep.
 
-use crate::sync::{Shim, ShimAtomicU64, ShimMutex};
+use crate::sync::{Ordering, Shim, ShimAtomicU64, ShimMutex};
 use std::collections::VecDeque;
 
 /// A bounded FIFO ring: pushing at capacity evicts the oldest entry.
@@ -111,7 +111,7 @@ impl<S: Shim, T: Send + 'static> SlowReservoir<S, T> {
     /// be stale (the bar rises concurrently); `false` is authoritative
     /// because the bar is monotone.
     pub fn should_admit(&self, key: u64) -> bool {
-        key >= self.bar.load()
+        key >= self.bar.load(Ordering::Relaxed)
     }
 
     /// Admits `(key, value)` if it belongs among the `cap` largest,
@@ -142,7 +142,7 @@ impl<S: Shim, T: Send + 'static> SlowReservoir<S, T> {
         };
         if inner.items.len() >= self.cap {
             let new_min = inner.items.iter().map(|(k, _)| *k).min().unwrap_or(0);
-            self.bar.store(new_min.saturating_add(1));
+            self.bar.store(new_min.saturating_add(1), Ordering::Relaxed);
         }
         stored
     }
@@ -164,14 +164,14 @@ impl<S: Shim, T: Send + 'static> SlowReservoir<S, T> {
 
     /// The current admission bar (diagnostics / model assertions).
     pub fn bar(&self) -> u64 {
-        self.bar.load()
+        self.bar.load(Ordering::Relaxed)
     }
 
     /// Removes every entry and resets the admission bar.
     pub fn clear(&self) {
         let mut inner = self.inner.lock_recover();
         inner.items.clear();
-        self.bar.store(0);
+        self.bar.store(0, Ordering::Relaxed);
     }
 
     /// Snapshot of the held entries where `T: Clone`, largest key first.

@@ -17,12 +17,19 @@
 //! - poisoning is a first-class observable ([`ShimRwLock::read`] reports
 //!   it instead of handing out a tainted guard) because the poisoned-shard
 //!   self-reset is one of the model-checked behaviors;
-//! - atomics expose no ordering parameter: the std impl uses `Relaxed`
-//!   (all current call sites are counters/flags with no cross-variable
-//!   ordering contract), and the model checker runs sequentially
-//!   consistent — i.e. it checks a *stronger* memory model, which is
-//!   sound for the invariants asserted (they do not rely on weak-memory
-//!   reorderings).
+//! - atomics take an explicit [`Ordering`] parameter (re-exported here so
+//!   cores need no direct `std::sync::atomic` import): the std impl
+//!   passes it straight through, while the checked shim *models* it —
+//!   `Relaxed` loads may observe any value from a bounded store buffer of
+//!   stale writes, and only `Acquire`/`Release`/`SeqCst` edges create
+//!   happens-before. Counter/flag call sites say `Relaxed` and are now
+//!   explored under the reorderings that ordering actually permits;
+//! - [`ShimCell`] wraps plain (non-atomic) shared data. The std impl is
+//!   an uncontended mutex access (this crate forbids `unsafe`, see
+//!   [`StdCell`]); the checked shim tracks every access with a
+//!   FastTrack-style happens-before race detector, so models can mark
+//!   data whose safety argument is "the surrounding protocol serializes
+//!   access" and have that argument machine-checked.
 //!
 //! [`RecoverMutex`] is also exported on its own as the repo's sanctioned
 //! replacement for bare `std::sync::Mutex` in `crates/core`/`crates/obs`
@@ -31,7 +38,8 @@
 //! cascade into every later lock site.
 
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::Ordering;
+
+pub use std::sync::atomic::Ordering;
 
 /// Marker returned when a lock acquisition observed poison. The caller
 /// decides the recovery policy (reset the data, recover the guard, …).
@@ -42,12 +50,12 @@ pub struct Poisoned;
 pub trait ShimAtomicBool: Send + Sync + 'static {
     /// A fresh atomic holding `v`.
     fn new(v: bool) -> Self;
-    /// Reads the value.
-    fn load(&self) -> bool;
-    /// Writes the value.
-    fn store(&self, v: bool);
+    /// Reads the value under `order`.
+    fn load(&self, order: Ordering) -> bool;
+    /// Writes the value under `order`.
+    fn store(&self, v: bool, order: Ordering);
     /// Writes `v`, returning the previous value.
-    fn swap(&self, v: bool) -> bool;
+    fn swap(&self, v: bool, order: Ordering) -> bool;
 }
 
 /// Atomic `u64` as the cores use it (reservoir admission bar, logical
@@ -55,12 +63,32 @@ pub trait ShimAtomicBool: Send + Sync + 'static {
 pub trait ShimAtomicU64: Send + Sync + 'static {
     /// A fresh atomic holding `v`.
     fn new(v: u64) -> Self;
-    /// Reads the value.
-    fn load(&self) -> u64;
-    /// Writes the value.
-    fn store(&self, v: u64);
+    /// Reads the value under `order`.
+    fn load(&self, order: Ordering) -> u64;
+    /// Writes the value under `order`.
+    fn store(&self, v: u64, order: Ordering);
     /// Adds `v`, returning the previous value.
-    fn fetch_add(&self, v: u64) -> u64;
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64;
+}
+
+/// Plain shared data with *externally guaranteed* exclusivity: the
+/// holder promises some protocol (a lock, an RCU epoch, single-writer
+/// hand-off) serializes conflicting accesses. [`StdCell`] trusts the
+/// promise at zero cost; the checked shim's `LLCell` verifies it with a
+/// happens-before race detector and fails the model run on a violation.
+pub trait ShimCell<T: Copy + Send + 'static>: Send + Sync {
+    /// A fresh cell holding `v`.
+    ///
+    /// `#[track_caller]` so the checked shim can name the construction
+    /// and access sites in race reports.
+    #[track_caller]
+    fn new(v: T) -> Self;
+    /// Reads the value (a *plain* read — not atomic).
+    #[track_caller]
+    fn get(&self) -> T;
+    /// Writes the value (a *plain* write — not atomic).
+    #[track_caller]
+    fn set(&self, v: T);
 }
 
 /// Mutual exclusion with poison *recovery* (never a poison panic).
@@ -124,6 +152,8 @@ pub trait Shim: Send + Sync + 'static {
     type Mutex<T: Send + 'static>: ShimMutex<T>;
     /// Reader-writer lock over `T`.
     type RwLock<T: Send + Sync + 'static>: ShimRwLock<T>;
+    /// Race-tracked plain data cell over `T`.
+    type Cell<T: Copy + Send + 'static>: ShimCell<T>;
 }
 
 // --------------------------------------------------------------------------
@@ -140,16 +170,16 @@ impl ShimAtomicBool for std::sync::atomic::AtomicBool {
         Self::new(v)
     }
     #[inline]
-    fn load(&self) -> bool {
-        self.load(Ordering::Relaxed)
+    fn load(&self, order: Ordering) -> bool {
+        self.load(order)
     }
     #[inline]
-    fn store(&self, v: bool) {
-        self.store(v, Ordering::Relaxed)
+    fn store(&self, v: bool, order: Ordering) {
+        self.store(v, order)
     }
     #[inline]
-    fn swap(&self, v: bool) -> bool {
-        self.swap(v, Ordering::Relaxed)
+    fn swap(&self, v: bool, order: Ordering) -> bool {
+        self.swap(v, order)
     }
 }
 
@@ -158,16 +188,43 @@ impl ShimAtomicU64 for std::sync::atomic::AtomicU64 {
         Self::new(v)
     }
     #[inline]
-    fn load(&self) -> u64 {
-        self.load(Ordering::Relaxed)
+    fn load(&self, order: Ordering) -> u64 {
+        self.load(order)
     }
     #[inline]
-    fn store(&self, v: u64) {
-        self.store(v, Ordering::Relaxed)
+    fn store(&self, v: u64, order: Ordering) {
+        self.store(v, order)
     }
     #[inline]
-    fn fetch_add(&self, v: u64) -> u64 {
-        self.fetch_add(v, Ordering::Relaxed)
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        self.fetch_add(v, order)
+    }
+}
+
+/// Production [`ShimCell`]: an uncontended [`RecoverMutex`] access.
+///
+/// This crate is `#![forbid(unsafe_code)]`, so the loom-style "bare
+/// `UnsafeCell`, the checker proved exclusivity" implementation is off
+/// the table. The holder's protocol guarantees conflicting accesses are
+/// serialized (verified under the checked shim's `LLCell` race
+/// detector), which means this mutex is *never contended*: each access
+/// costs one uncontended lock/unlock, not a queue. Cores that need a
+/// truly free plain access on a proven-hot path should use an atomic
+/// instead.
+#[derive(Debug, Default)]
+pub struct StdCell<T>(RecoverMutex<T>);
+
+impl<T: Copy + Send + 'static> ShimCell<T> for StdCell<T> {
+    fn new(v: T) -> Self {
+        Self(RecoverMutex::new(v))
+    }
+    #[inline]
+    fn get(&self) -> T {
+        *self.0.lock()
+    }
+    #[inline]
+    fn set(&self, v: T) {
+        *self.0.lock() = v;
     }
 }
 
@@ -271,6 +328,7 @@ impl Shim for StdShim {
     type AtomicU64 = std::sync::atomic::AtomicU64;
     type Mutex<T: Send + 'static> = RecoverMutex<T>;
     type RwLock<T: Send + Sync + 'static> = std::sync::RwLock<T>;
+    type Cell<T: Copy + Send + 'static> = StdCell<T>;
 }
 
 #[cfg(test)]
@@ -312,12 +370,20 @@ mod tests {
     #[test]
     fn std_atomics_round_trip() {
         let b = <std::sync::atomic::AtomicBool as ShimAtomicBool>::new(false);
-        assert!(!ShimAtomicBool::swap(&b, true));
-        assert!(ShimAtomicBool::load(&b));
+        assert!(!ShimAtomicBool::swap(&b, true, Ordering::Relaxed));
+        assert!(ShimAtomicBool::load(&b, Ordering::Acquire));
         let u = <std::sync::atomic::AtomicU64 as ShimAtomicU64>::new(5);
-        assert_eq!(ShimAtomicU64::fetch_add(&u, 2), 5);
-        assert_eq!(ShimAtomicU64::load(&u), 7);
-        ShimAtomicU64::store(&u, 1);
-        assert_eq!(ShimAtomicU64::load(&u), 1);
+        assert_eq!(ShimAtomicU64::fetch_add(&u, 2, Ordering::Relaxed), 5);
+        assert_eq!(ShimAtomicU64::load(&u, Ordering::Relaxed), 7);
+        ShimAtomicU64::store(&u, 1, Ordering::Release);
+        assert_eq!(ShimAtomicU64::load(&u, Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn std_cell_round_trips() {
+        let c: StdCell<(u64, u32)> = ShimCell::new((1, 2));
+        assert_eq!(ShimCell::get(&c), (1, 2));
+        ShimCell::set(&c, (3, 4));
+        assert_eq!(ShimCell::get(&c), (3, 4));
     }
 }

@@ -27,12 +27,12 @@
 //! holds as a testable identity.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cf_obs::merge::MergeSnapshot;
 use cf_obs::prom;
 use cf_obs::slo::{SloEngine, SloSpec, DEFAULT_WINDOWS};
-use cf_obs::sync::RecoverMutex;
+use cf_obs::sync::{Shim, ShimMutex, StdShim};
 
 use crate::frame::WireStats;
 use crate::router::Router;
@@ -233,14 +233,91 @@ impl FleetState {
     }
 }
 
+/// The aggregator's concurrency core: the fleet state and the SLO
+/// engine behind [`cf_obs::sync::Shim`] mutexes, so the poll-vs-scrape
+/// surface runs under the loom-lite model checker with the *same* code
+/// production executes (`cf-analysis` model `fleet-scrape`).
+///
+/// Locking contract (what the models pin down):
+///
+/// - [`ingest`](Self::ingest) takes the state lock **per slot**, not
+///   across the whole batch, so a `/metrics` scrape interleaves with a
+///   fleet poll instead of stalling behind N decodes;
+/// - a [`scrape`](Self::scrape) reads everything it renders under one
+///   lock hold, so "merged == bucket-wise sum of the per-shard series"
+///   holds *within* one scrape even mid-poll;
+/// - the SLO lock is always taken after (never inside) the state lock,
+///   so the two locks cannot deadlock against each other.
+pub struct FleetSync<S: Shim> {
+    state: S::Mutex<FleetState>,
+    slo: S::Mutex<SloEngine>,
+}
+
+impl<S: Shim> FleetSync<S> {
+    /// A core for `shards` slots evaluating `slos` over `windows`.
+    pub fn new(shards: usize, slos: Vec<SloSpec>, windows: Vec<Duration>) -> Self {
+        FleetSync {
+            state: ShimMutex::new(FleetState::new(shards)),
+            slo: ShimMutex::new(SloEngine::new(slos, windows)),
+        }
+    }
+
+    /// Folds one batch of poll results into the state, slot by slot
+    /// (the state lock is released between slots — see the type docs).
+    /// Returns the number of slots that produced a fresh snapshot.
+    pub fn ingest(&self, polled: &[Option<WireStats>]) -> usize {
+        let mut fresh = 0;
+        for (i, w) in polled.iter().enumerate() {
+            if self.state.lock_recover().ingest(i, w.as_ref()) {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
+    /// Feeds the current merged cumulative snapshot to the SLO engine as
+    /// one tick at `now`.
+    pub fn observe(&self, now: Instant) {
+        let merged = self.merged();
+        self.slo.lock_recover().observe(&merged, now);
+    }
+
+    /// The SLO burn-rate / budget gauges as of `now`.
+    pub fn gauges(&self, now: Instant) -> Vec<(String, i64)> {
+        self.slo.lock_recover().gauges(now)
+    }
+
+    /// Publishes the SLO gauges into the global registry.
+    pub fn publish(&self, now: Instant) {
+        self.slo.lock_recover().publish(now);
+    }
+
+    /// Runs `f` over the fleet state under a single lock hold — the
+    /// consistency boundary every exposition path must stay inside.
+    pub fn scrape<R>(&self, f: impl FnOnce(&FleetState) -> R) -> R {
+        f(&self.state.lock_recover())
+    }
+
+    /// The merged fleet snapshot as of the last ingested poll.
+    pub fn merged(&self) -> MergeSnapshot {
+        self.state.lock_recover().merged()
+    }
+
+    /// The SLO report JSON (`BENCH_slo.json` payload) as of `now`.
+    pub fn slo_report(&self, now: Instant) -> String {
+        self.slo.lock_recover().report_json(now)
+    }
+}
+
 /// Polls shard stats frames through a [`Router`], maintains the merged
 /// fleet view and evaluates SLOs over it. Install with
 /// [`cf_obs::serve::set_scrape_extra`] to splice the fleet view into the
-/// router's `/metrics` and `/stats.json`.
+/// router's `/metrics` and `/stats.json`. All shared state lives in a
+/// [`FleetSync<StdShim>`]; the checked-shim instantiation of the same
+/// core is model-checked in `cf-analysis`.
 pub struct FleetAggregator {
     router: Arc<Router>,
-    state: RecoverMutex<FleetState>,
-    slo: RecoverMutex<SloEngine>,
+    sync: FleetSync<StdShim>,
 }
 
 impl FleetAggregator {
@@ -250,8 +327,7 @@ impl FleetAggregator {
         let n = router.num_shards();
         FleetAggregator {
             router,
-            state: RecoverMutex::new(FleetState::new(n)),
-            slo: RecoverMutex::new(SloEngine::new(slos, DEFAULT_WINDOWS.to_vec())),
+            sync: FleetSync::new(n, slos, DEFAULT_WINDOWS.to_vec()),
         }
     }
 
@@ -262,46 +338,38 @@ impl FleetAggregator {
     /// answered with a fresh snapshot.
     pub fn poll(&self, now: Instant) -> usize {
         let polled = self.router.poll_shard_stats();
-        let mut fresh = 0;
-        let merged = {
-            let mut state = self.state.lock();
-            for (i, w) in polled.iter().enumerate() {
-                if state.ingest(i, w.as_ref()) {
-                    fresh += 1;
-                } else {
-                    cf_obs::counter!("fleet.poll_failures").inc();
-                }
-            }
-            cf_obs::counter!("fleet.polls").inc();
-            // Reachability and skew render from the scrape extra (one
-            // series each); publishing them as registry gauges too would
-            // duplicate the exposition lines.
-            state.merged()
-        };
-        let mut slo = self.slo.lock();
-        slo.observe(&merged, now);
-        slo.publish(now);
+        let fresh = self.sync.ingest(&polled);
+        cf_obs::counter!("fleet.poll_failures").add((polled.len() - fresh) as u64);
+        cf_obs::counter!("fleet.polls").inc();
+        // Reachability and skew render from the scrape extra (one
+        // series each); publishing them as registry gauges too would
+        // duplicate the exposition lines.
+        self.sync.observe(now);
+        self.sync.publish(now);
         fresh
     }
 
     /// The merged fleet snapshot as of the last poll.
     pub fn merged(&self) -> MergeSnapshot {
-        self.state.lock().merged()
+        self.sync.merged()
     }
 
     /// The SLO report JSON (`BENCH_slo.json` payload) as of `now`.
     pub fn slo_report(&self, now: Instant) -> String {
-        self.slo.lock().report_json(now)
+        self.sync.slo_report(now)
     }
 }
 
 impl cf_obs::serve::ScrapeExtra for FleetAggregator {
     fn prometheus(&self) -> String {
-        self.state.lock().render_prometheus()
+        self.sync.scrape(FleetState::render_prometheus)
     }
 
     fn stats_sections(&self) -> Vec<(String, String)> {
-        vec![("fleet".to_string(), self.state.lock().stats_json())]
+        vec![(
+            "fleet".to_string(),
+            self.sync.scrape(FleetState::stats_json),
+        )]
     }
 }
 

@@ -377,6 +377,12 @@ impl<'a> Cursor<'a> {
     fn u64_or(&mut self, default: u64) -> u64 {
         self.u64().unwrap_or(default)
     }
+
+    /// Bytes left between the read position and the end of the payload —
+    /// the tightest bound any decoded length can honestly claim.
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
 }
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
@@ -458,7 +464,8 @@ fn take_spans(c: &mut Cursor) -> Vec<RemoteSpan> {
     let mut spans = Vec::new();
     for _ in 0..count.min(REMOTE_SPANS_CAP as u32) {
         let Ok(len) = c.u16() else { break };
-        let Ok(name) = c.take(len as usize) else {
+        let len = (len as usize).min(c.remaining());
+        let Ok(name) = c.take(len) else {
             break;
         };
         let name = String::from_utf8_lossy(name).into_owned();
@@ -720,6 +727,9 @@ impl Response {
             KIND_R_ERROR => {
                 let code = c.u16()?;
                 let len = c.u32()? as usize;
+                if len > c.remaining() {
+                    return Err(FrameError::Malformed("error message exceeds payload"));
+                }
                 let bytes = c.take(len)?;
                 Self::Error {
                     code,

@@ -18,11 +18,22 @@ cargo test --workspace -q --offline
 
 # Analysis gate: the repo lint engine (panic-free serving path, hot-path
 # clock gating, float-eq, bare sync primitives, counter pairing, unwind
-# captures) plus the loom-lite model checker running the cache /
-# reservoir / poison-reset models exhaustively. Zero unsuppressed
-# diagnostics and all models green, or the gate fails.
+# captures, bounded frame-decode allocations) plus the loom-lite model
+# checker running every built-in model exhaustively — including the
+# seeded-race fixture the happens-before detector must catch. Zero
+# unsuppressed diagnostics, no stale allowlist entries, and all models
+# green, or the gate fails. The machine-readable report lands at
+# target/analyze.json; under CI ($CI set) findings are also emitted as
+# GitHub ::error annotations pinned to file/line.
 echo "==> cfsf-analyze (lint + concurrency models, deny warnings)"
-cargo run -q -p cf-analysis --bin cfsf-analyze --offline -- --deny-warnings
+cargo run -q -p cf-analysis --bin cfsf-analyze --offline -- --deny-warnings \
+    --json-out target/analyze.json ${CI:+--annotate}
+
+# TSan job: the loom-lite shim layer under ThreadSanitizer, bounded to
+# the model targets and a wall-clock budget (TSAN_BUDGET_SECS). Skips
+# with exit 0 when no nightly toolchain is installed; gates when one is.
+echo "==> tsan: loom-lite model targets under ThreadSanitizer"
+./scripts/tsan.sh
 
 # Sharded serving: the multi-process integration test spawns real shard
 # and router processes from the built binaries and asserts (a) remote
